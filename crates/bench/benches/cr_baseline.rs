@@ -1,0 +1,121 @@
+//! **ESR vs. checkpoint/restart** — the comparison motivating the paper
+//! (Secs. 1.2, 2.2): C/R "imposes a usually considerable runtime overhead
+//! due to continuously saving the state of the solver", while ESR keeps
+//! only the search-direction copies that mostly ride along with SpMV.
+//!
+//! Both protections run on the same solver, cluster, matrices, and failure
+//! scenarios; C/R uses diskless neighbour checkpointing with the same ring
+//! partners as ESR's Eqn. (5) (the strongest practical C/R variant).
+
+use esr_bench::{banner, write_csv, BenchConfig, FailLocation};
+use esr_core::{run_checkpoint_restart, run_pcg, CrConfig, SolverConfig};
+use parcomm::FailureScript;
+
+fn main() {
+    let cfgb = BenchConfig::from_env();
+    banner("Baseline — ESR vs. diskless checkpoint/restart", &cfgb);
+
+    println!(
+        "{:<4} | {:>11} {:>11} | {:>11} {:>11} {:>11} | {:>11} {:>11}",
+        "ID",
+        "ESR undis.",
+        "ESR fail",
+        "CR5 undis.",
+        "CR20 undis.",
+        "CR20 fail",
+        "ESR rec",
+        "CR20 redo"
+    );
+    let mut csv = Vec::new();
+    for &id in &cfgb.matrices {
+        let problem = cfgb.problem(id);
+        let reference = run_pcg(
+            &problem,
+            cfgb.nodes,
+            &SolverConfig::reference(),
+            cfgb.cost,
+            FailureScript::none(),
+        );
+        let t0 = reference.vtime;
+        let psi = 3usize;
+        let fail_at = ((reference.iterations / 2) as u64).max(1);
+        let script = FailureScript::simultaneous(
+            fail_at,
+            FailLocation::Center.first_rank(cfgb.nodes),
+            psi,
+            cfgb.nodes,
+        );
+        let solver = SolverConfig::resilient(psi);
+
+        // ESR.
+        let esr_u = run_pcg(&problem, cfgb.nodes, &solver, cfgb.cost, FailureScript::none());
+        let esr_f = run_pcg(&problem, cfgb.nodes, &solver, cfgb.cost, script.clone());
+        assert!(esr_u.converged && esr_f.converged);
+
+        // C/R with two checkpoint intervals; copies = ψ for equal
+        // fault-tolerance level.
+        let cr5 = CrConfig {
+            interval: 5,
+            copies: psi,
+        };
+        let cr20 = CrConfig {
+            interval: 20,
+            copies: psi,
+        };
+        let cr5_u = run_checkpoint_restart(
+            &problem,
+            cfgb.nodes,
+            &solver,
+            &cr5,
+            cfgb.cost,
+            FailureScript::none(),
+        );
+        let cr20_u = run_checkpoint_restart(
+            &problem,
+            cfgb.nodes,
+            &solver,
+            &cr20,
+            cfgb.cost,
+            FailureScript::none(),
+        );
+        let cr20_f = run_checkpoint_restart(
+            &problem,
+            cfgb.nodes,
+            &solver,
+            &cr20,
+            cfgb.cost,
+            script,
+        );
+        assert!(cr5_u.converged && cr20_u.converged && cr20_f.converged);
+
+        let pct = |t: f64| 100.0 * (t / t0 - 1.0);
+        println!(
+            "{:<4} | {:>10.1}% {:>10.1}% | {:>10.1}% {:>10.1}% {:>10.1}% | {:>10.2}% {:>10.2}%",
+            format!("{id:?}"),
+            pct(esr_u.vtime),
+            pct(esr_f.vtime),
+            pct(cr5_u.vtime),
+            pct(cr20_u.vtime),
+            pct(cr20_f.vtime),
+            100.0 * esr_f.vtime_recovery / t0,
+            100.0 * (cr20_f.vtime - cr20_u.vtime) / t0,
+        );
+        csv.push(format!(
+            "{id:?},{:.3},{:.3},{:.3},{:.3},{:.3},{:.4},{:.4}",
+            pct(esr_u.vtime),
+            pct(esr_f.vtime),
+            pct(cr5_u.vtime),
+            pct(cr20_u.vtime),
+            pct(cr20_f.vtime),
+            100.0 * esr_f.vtime_recovery / t0,
+            100.0 * (cr20_f.vtime - cr20_u.vtime) / t0,
+        ));
+    }
+    write_csv(
+        "cr_baseline.csv",
+        "id,esr_undisturbed_pct,esr_failure_pct,cr5_undisturbed_pct,cr20_undisturbed_pct,cr20_failure_pct,esr_recovery_pct,cr20_redo_pct",
+        &csv,
+    );
+    println!("\n(ψ = 3 failures at 50% progress, center ranks; CR5/CR20 =");
+    println!(" checkpoint every 5/20 iterations with ψ replicas)");
+}

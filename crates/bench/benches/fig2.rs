@@ -1,0 +1,18 @@
+//! **Figure 2** — runtimes and relative overhead for the M1'
+//! (parabolic_fem-class) matrix, failures near the *start* of the vector.
+//! The paper's Fig. 2 showcases that a run with failures can even finish
+//! *faster* than the failure-free run when the reconstruction slightly
+//! reduces the remaining iteration count.
+
+use esr_bench::figures::figure;
+use esr_bench::FailLocation;
+use sparsemat::gen::suite::PaperMatrix;
+
+fn main() {
+    figure(
+        "fig2",
+        "Figure 2 — M1' (parabolic_fem analog), failures at start ranks",
+        PaperMatrix::M1,
+        FailLocation::Start,
+    );
+}

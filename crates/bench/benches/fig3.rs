@@ -1,0 +1,18 @@
+//! **Figure 3** — runtimes and relative overhead for the M8'
+//! (audikw_1-class) matrix, failures at the center ranks: the densest band
+//! of the test set. The paper observes superlinear growth of the
+//! undisturbed overhead with the number of copies held, yet the smallest
+//! relative overheads overall (~2.5% for three failures, ~10% for eight).
+
+use esr_bench::figures::figure;
+use esr_bench::FailLocation;
+use sparsemat::gen::suite::PaperMatrix;
+
+fn main() {
+    figure(
+        "fig3",
+        "Figure 3 — M8' (audikw_1 analog), failures at center ranks",
+        PaperMatrix::M8,
+        FailLocation::Center,
+    );
+}

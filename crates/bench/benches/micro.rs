@@ -1,0 +1,103 @@
+//! Criterion micro-benchmarks of the building blocks: SpMV, assembly,
+//! factorizations, the redundancy-set computation (Eqn. 6), and RCM.
+//!
+//! These quantify the per-iteration primitives behind the table harnesses;
+//! sizes follow `ESR_SCALE` like everything else.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use esr_core::redundancy::compute_extra_sends;
+use esr_core::BackupStrategy;
+use precond::{Ic0, Ilu0, SparseLdl};
+use sparsemat::analysis::send_sets;
+use sparsemat::gen::suite::PaperMatrix;
+use sparsemat::BlockPartition;
+
+fn scale() -> f64 {
+    std::env::var("ESR_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01)
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let a = sparsemat::gen::generate(PaperMatrix::M5, scale());
+    let x: Vec<f64> = (0..a.n_rows()).map(|i| (i as f64 * 0.1).sin()).collect();
+    let mut y = vec![0.0; a.n_rows()];
+    c.bench_function("spmv_m5", |b| {
+        b.iter(|| {
+            a.spmv(black_box(&x), &mut y);
+            black_box(&y);
+        })
+    });
+}
+
+fn bench_assembly(c: &mut Criterion) {
+    c.bench_function("generate_m1", |b| {
+        b.iter(|| black_box(sparsemat::gen::generate(PaperMatrix::M1, scale())))
+    });
+}
+
+fn bench_factorizations(c: &mut Criterion) {
+    // One node-block of the M5' matrix — what block Jacobi factors.
+    let a = sparsemat::gen::generate(PaperMatrix::M5, scale());
+    let part = BlockPartition::new(a.n_rows(), 16);
+    let rows: Vec<usize> = part.range(0).collect();
+    let block = a.extract(&rows, &rows);
+    c.bench_function("ldl_factor_block", |b| {
+        b.iter(|| black_box(SparseLdl::new(black_box(&block)).unwrap()))
+    });
+    c.bench_function("ilu0_factor_block", |b| {
+        b.iter(|| black_box(Ilu0::new(black_box(&block)).unwrap()))
+    });
+    c.bench_function("ic0_factor_block", |b| {
+        b.iter(|| black_box(Ic0::new(black_box(&block)).unwrap()))
+    });
+    let ldl = SparseLdl::new(&block).unwrap();
+    let rhs: Vec<f64> = (0..block.n_rows()).map(|i| i as f64 * 0.01).collect();
+    c.bench_function("ldl_solve_block", |b| {
+        b.iter(|| black_box(ldl.solve(black_box(&rhs))))
+    });
+}
+
+fn bench_redundancy(c: &mut Criterion) {
+    // The Eqn. (6) extra-set computation for one node of M5'.
+    let a = sparsemat::gen::generate(PaperMatrix::M5, scale());
+    let part = BlockPartition::new(a.n_rows(), 16);
+    let sets = send_sets(&a, &part);
+    let start = part.range(0).start;
+    let send_natural: Vec<Vec<usize>> = sets[0]
+        .iter()
+        .map(|sk| sk.iter().map(|&g| g - start).collect())
+        .collect();
+    c.bench_function("redundancy_extra_sets_phi3", |b| {
+        b.iter(|| {
+            black_box(compute_extra_sends(
+                0,
+                16,
+                3,
+                &BackupStrategy::Minimal,
+                part.len_of(0),
+                black_box(&send_natural),
+            ))
+        })
+    });
+}
+
+fn bench_rcm(c: &mut Criterion) {
+    let a = sparsemat::gen::generate(PaperMatrix::M3, scale() * 0.2);
+    c.bench_function("rcm_m3", |b| {
+        b.iter(|| black_box(sparsemat::order::rcm(black_box(&a))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_spmv,
+    bench_assembly,
+    bench_factorizations,
+    bench_redundancy,
+    bench_rcm
+);
+criterion_main!(benches);

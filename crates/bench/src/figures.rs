@@ -1,0 +1,91 @@
+//! Shared harness for the paper's box-plot figures (Figs. 1–3): runtime
+//! and relative overhead versus the number of redundant copies, with and
+//! without node failures, for one matrix and one failure location.
+
+use crate::{banner, mean_std, run_failure_case, write_csv, BenchConfig, FailLocation};
+use esr_core::{run_pcg, SolverConfig};
+use parcomm::FailureScript;
+use sparsemat::gen::suite::PaperMatrix;
+
+/// Produce one figure: series of (copies → runtime, overhead) with
+/// failure-free ("blue boxes") and with-failure ("orange boxes") runs.
+pub fn figure(fig_name: &str, caption: &str, id: PaperMatrix, loc: FailLocation) {
+    let cfgb = BenchConfig::from_env();
+    banner(caption, &cfgb);
+
+    let problem = cfgb.problem(id);
+    let reference = run_pcg(
+        &problem,
+        cfgb.nodes,
+        &SolverConfig::reference(),
+        cfgb.cost,
+        FailureScript::none(),
+    );
+    assert!(reference.converged);
+    let t0 = reference.vtime;
+    println!(
+        "reference t0 = {:.3} ms ({} iterations), failures at {} ranks\n",
+        t0 * 1e3,
+        reference.iterations,
+        loc.label()
+    );
+    println!(
+        "{:>6} | {:>22} | {:>34}",
+        "copies", "failure-free (blue)", "with ψ=φ failures (orange)"
+    );
+    println!(
+        "{:>6} | {:>10} {:>11} | {:>10} {:>11} {:>11}",
+        "φ", "time [ms]", "ovh [%]", "time [ms]", "ovh [%]", "±σ [%]"
+    );
+
+    let mut csv = Vec::new();
+    for phi in [1usize, 3, 8] {
+        let solver = SolverConfig::resilient(phi);
+        let undisturbed = run_pcg(
+            &problem,
+            cfgb.nodes,
+            &solver,
+            cfgb.cost,
+            FailureScript::none(),
+        );
+        assert!(undisturbed.converged);
+        let u_ovh = 100.0 * (undisturbed.vtime / t0 - 1.0);
+
+        let mut times = Vec::new();
+        let mut ovhs = Vec::new();
+        for &pr in &cfgb.progress {
+            let res = run_failure_case(
+                &cfgb,
+                &problem,
+                &solver,
+                phi,
+                loc,
+                pr,
+                reference.iterations,
+            );
+            assert!(res.converged);
+            times.push(res.vtime * 1e3);
+            ovhs.push(100.0 * (res.vtime / t0 - 1.0));
+        }
+        let (tm, _) = mean_std(&times);
+        let (om, os) = mean_std(&ovhs);
+        println!(
+            "{:>6} | {:>10.3} {:>11.2} | {:>10.3} {:>11.2} {:>11.2}",
+            phi,
+            undisturbed.vtime * 1e3,
+            u_ovh,
+            tm,
+            om,
+            os
+        );
+        csv.push(format!(
+            "{phi},{:.6},{:.3},{:.6},{:.3},{:.3}",
+            undisturbed.vtime, u_ovh, tm / 1e3, om, os
+        ));
+    }
+    write_csv(
+        &format!("{fig_name}.csv"),
+        "phi,undisturbed_time_s,undisturbed_ovh_pct,failure_time_s,failure_ovh_pct,failure_ovh_std",
+        &csv,
+    );
+}

@@ -1,0 +1,201 @@
+//! Shared infrastructure for the benchmark harnesses that regenerate the
+//! paper's tables and figures (see EXPERIMENTS.md for the mapping).
+//!
+//! Configuration via environment variables:
+//!
+//! | variable | default | meaning |
+//! |---|---|---|
+//! | `ESR_SCALE` | `0.01` | problem size as a fraction of the paper's (1.0 ≈ paper) |
+//! | `ESR_NODES` | `16` | simulated cluster size N (paper: 128) |
+//! | `ESR_MATRICES` | all | comma list, e.g. `M1,M5,M8` |
+//! | `ESR_PROGRESS` | `0.2,0.5,0.8` | failure-injection progress points |
+//! | `ESR_REPS` | `1` | repetitions (virtual time is deterministic) |
+//!
+//! The virtual BSP clock (λ–µ–γ model, paper Sec. 4.2) is deterministic,
+//! so a single repetition yields exact numbers; variation across the
+//! progress points reproduces the spread the paper aggregates over.
+
+pub mod figures;
+
+use esr_core::{run_pcg, ExperimentResult, Problem, SolverConfig};
+use parcomm::{CostModel, FailureScript};
+use sparsemat::gen::suite::{self, PaperMatrix};
+
+/// Benchmark configuration resolved from the environment.
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    pub scale: f64,
+    pub nodes: usize,
+    pub matrices: Vec<PaperMatrix>,
+    pub progress: Vec<f64>,
+    pub reps: usize,
+    pub cost: CostModel,
+}
+
+impl BenchConfig {
+    /// Read the configuration from `ESR_*` environment variables.
+    pub fn from_env() -> Self {
+        let scale = env_f64("ESR_SCALE", 0.01);
+        let nodes = env_usize("ESR_NODES", 16);
+        let matrices = match std::env::var("ESR_MATRICES") {
+            Ok(s) if !s.trim().is_empty() => s
+                .split(',')
+                .map(|t| match t.trim().to_uppercase().as_str() {
+                    "M1" => PaperMatrix::M1,
+                    "M2" => PaperMatrix::M2,
+                    "M3" => PaperMatrix::M3,
+                    "M4" => PaperMatrix::M4,
+                    "M5" => PaperMatrix::M5,
+                    "M6" => PaperMatrix::M6,
+                    "M7" => PaperMatrix::M7,
+                    "M8" => PaperMatrix::M8,
+                    other => panic!("unknown matrix id {other:?}"),
+                })
+                .collect(),
+            _ => suite::all_ids().to_vec(),
+        };
+        let progress = match std::env::var("ESR_PROGRESS") {
+            Ok(s) if !s.trim().is_empty() => s
+                .split(',')
+                .map(|t| t.trim().parse::<f64>().expect("bad ESR_PROGRESS"))
+                .collect(),
+            _ => vec![0.2, 0.5, 0.8],
+        };
+        BenchConfig {
+            scale,
+            nodes,
+            matrices,
+            progress,
+            reps: env_usize("ESR_REPS", 1),
+            cost: CostModel::default(),
+        }
+    }
+
+    /// Generate the analog of `id` at the configured scale, with its RHS.
+    pub fn problem(&self, id: PaperMatrix) -> Problem {
+        let a = suite::generate(id, self.scale);
+        Problem::with_random_rhs(a, 0xBE7C_0000 + id as u64)
+    }
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Failure locations of the paper's setup (Sec. 7.1): contiguous ranks
+/// starting at rank 0 ("start") or rank N/2 ("center").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FailLocation {
+    Start,
+    Center,
+}
+
+impl FailLocation {
+    pub fn first_rank(self, nodes: usize) -> usize {
+        match self {
+            FailLocation::Start => 0,
+            FailLocation::Center => nodes / 2,
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            FailLocation::Start => "start",
+            FailLocation::Center => "center",
+        }
+    }
+}
+
+/// Mean and population standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (f64::NAN, f64::NAN);
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// One failure experiment: `psi` simultaneous failures at `loc`, injected
+/// at fraction `progress` of `ref_iters`.
+pub fn run_failure_case(
+    cfgb: &BenchConfig,
+    problem: &Problem,
+    solver: &SolverConfig,
+    psi: usize,
+    loc: FailLocation,
+    progress: f64,
+    ref_iters: usize,
+) -> ExperimentResult {
+    let at = ((ref_iters as f64 * progress) as u64).max(1);
+    let script = FailureScript::simultaneous(at, loc.first_rank(cfgb.nodes), psi, cfgb.nodes);
+    run_pcg(problem, cfgb.nodes, solver, cfgb.cost, script)
+}
+
+/// Write a CSV file under the workspace's `target/esr-results/`.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    // Benches run with the package directory as CWD; anchor at the
+    // workspace root so all results land in one place.
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/esr-results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(name);
+    let mut out = String::with_capacity(rows.len() * 64 + header.len() + 1);
+    out.push_str(header);
+    out.push('\n');
+    for r in rows {
+        out.push_str(r);
+        out.push('\n');
+    }
+    std::fs::write(&path, out).expect("write csv");
+    println!("[csv] wrote {}", path.display());
+}
+
+/// Print the standard harness banner.
+pub fn banner(title: &str, cfgb: &BenchConfig) {
+    println!("================================================================");
+    println!("{title}");
+    println!(
+        "scale = {} of paper size | N = {} nodes | λ = {:.1e}s µ = {:.1e}s γ = {:.1e}s",
+        cfgb.scale, cfgb.nodes, cfgb.cost.lambda, cfgb.cost.mu, cfgb.cost.gamma
+    );
+    println!("(virtual BSP clock; see EXPERIMENTS.md for paper-vs-measured)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[2.0, 4.0]);
+        assert_eq!(m, 3.0);
+        assert_eq!(s, 1.0);
+        assert!(mean_std(&[]).0.is_nan());
+    }
+
+    #[test]
+    fn fail_location_ranks() {
+        assert_eq!(FailLocation::Start.first_rank(16), 0);
+        assert_eq!(FailLocation::Center.first_rank(16), 8);
+    }
+
+    #[test]
+    fn default_config_parses() {
+        let c = BenchConfig::from_env();
+        assert!(c.scale > 0.0);
+        assert!(c.nodes >= 2);
+        assert!(!c.matrices.is_empty());
+    }
+}

@@ -1,0 +1,478 @@
+//! ESR-protected distributed BiCGSTAB.
+//!
+//! The paper (Sec. 1): "our proposed algorithmic modifications can also be
+//! applied to the ESR approach for the … preconditioned bi-conjugate
+//! gradient stabilized (BiCGSTAB) algorithms", without giving details "due
+//! to space restrictions". This module works them out.
+//!
+//! Preconditioned BiCGSTAB performs **two** SpMVs per iteration —
+//! `v = A p̂` with `p̂ = M⁻¹p` and `t = A ŝ` with `ŝ = M⁻¹s` — so two
+//! vectors are naturally scattered per iteration and both are retained
+//! (two retention channels). At the failure boundary (after the second
+//! scatter) the full state is exactly reconstructible on the replacements:
+//!
+//! * `p̂_If`, `ŝ_If` — from the retained redundant copies;
+//! * `p_If = M p̂_If`, `s_If = M ŝ_If` — locally (block-diagonal `M`);
+//! * `v_If = A_{If,·} p̂` — survivors hold `p̂`, its ghosts are gathered;
+//!   the `If`-columns come from the replacement group's reconstructed
+//!   `p̂` blocks;
+//! * `r_If = s_If + α v_If` — from the recurrence `s = r − α v`
+//!   (`α` is a replicated scalar, re-sent by a survivor);
+//! * `x_If` — from `r = b − A x`, solving `A_{If,If} x_If = b_If − r_If −
+//!   A_{If,I\If} x_{I\If}` cooperatively, exactly as in PCG recovery;
+//! * `r̂0 = b` is static (the solver fixes `x(0) = 0`).
+//!
+//! Unlike PCG, no previous-iteration data is needed: the recurrences close
+//! within the iteration, so only the *current* generation of each channel
+//! is read during recovery.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parcomm::fault::poison;
+use parcomm::{CommPhase, FailAt, NodeCtx, Payload};
+use sparsemat::vecops::{axpy, dot};
+use sparsemat::{BlockPartition, Csr};
+
+use crate::config::{PrecondConfig, SolverConfig};
+use crate::localmat::LocalMatrix;
+use crate::pcg::NodeOutcome;
+use crate::precsetup::NodePrecond;
+use crate::recovery::{gather_failed_ghosts, solve_failed_system, RecoveryEnv};
+use crate::redundancy;
+use crate::retention::{Gen, Retention};
+use crate::scatter::ScatterPlan;
+
+const TAG_ALPHA: u32 = 1 << 24;
+const TAG_PHAT: u32 = (1 << 24) + 1;
+const TAG_SHAT: u32 = (1 << 24) + 2;
+const TAG_REQ_PHAT: u32 = (1 << 24) + 3;
+const TAG_RESP_PHAT: u32 = (1 << 24) + 4;
+const TAG_REQ_X: u32 = (1 << 24) + 5;
+const TAG_RESP_X: u32 = (1 << 24) + 6;
+
+/// The SPMD node program: solve `A x = b` with (optionally resilient)
+/// preconditioned BiCGSTAB. `A` may be non-symmetric; the preconditioner
+/// must be one of the block-diagonal (M-given) variants.
+pub fn esr_bicgstab_node(
+    ctx: &mut NodeCtx,
+    a: &Arc<Csr>,
+    b: &Arc<Vec<f64>>,
+    cfg: &SolverConfig,
+) -> NodeOutcome {
+    assert!(
+        !matches!(cfg.precond, PrecondConfig::ExplicitP(_)),
+        "ESR-BiCGSTAB supports the block-diagonal (M-given) preconditioners"
+    );
+    let n = a.n_rows();
+    let rank = ctx.rank();
+    let part = BlockPartition::new(n, ctx.size());
+    let lm = LocalMatrix::build(a, &part, rank);
+    let mut plan = ScatterPlan::build(ctx, &lm, &part);
+    if let Some(res) = &cfg.resilience {
+        plan.send_extra = redundancy::compute_extra_sends(
+            rank,
+            ctx.size(),
+            res.phi,
+            &res.strategy,
+            lm.n_local(),
+            &plan.send_natural,
+        );
+        plan.announce_extras(ctx);
+    }
+    // Two retention channels: copies of p̂(j) and of ŝ(j).
+    let mut ret_p = Retention::build(&plan, &lm.ghost_cols);
+    let mut ret_s = Retention::build(&plan, &lm.ghost_cols);
+    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
+        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    ctx.barrier();
+    let vtime_setup = ctx.vtime();
+    ctx.reset_metrics();
+
+    let nloc = lm.n_local();
+    let range = lm.range.clone();
+    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    // x(0) = 0 so that r̂0 = r(0) = b is static data.
+    let mut x = vec![0.0; nloc];
+    let mut r = b_loc.clone();
+    let rhat0 = b_loc.clone();
+    let mut p = r.clone();
+    let mut v = vec![0.0; nloc];
+    let mut phat = vec![0.0; nloc];
+    let mut shat = vec![0.0; nloc];
+    let mut s = vec![0.0; nloc];
+    let mut t = vec![0.0; nloc];
+    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+
+    let r0_sq = ctx.allreduce_sum(dot(&r, &r));
+    let r0_norm = r0_sq.sqrt();
+    let target_sq = cfg.rel_tol * cfg.rel_tol * r0_sq;
+    let mut rho = ctx.allreduce_sum(dot(&rhat0, &r));
+    let mut alpha = 0.0f64;
+    let mut omega = 0.0f64;
+
+    let mut iterations = 0usize;
+    let mut residual_sq = r0_sq;
+    let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut recoveries = 0usize;
+    let mut ranks_recovered = 0usize;
+    let mut vtime_recovery = 0.0f64;
+    let mut handled: HashSet<u64> = HashSet::new();
+    let resilient = cfg.resilience.is_some();
+
+    while !converged && iterations < cfg.max_iter {
+        let j = iterations as u64;
+        // p update (j > 0): p = r + β (p − ω v)
+        if j > 0 {
+            let rho_next = ctx.allreduce_sum(dot(&rhat0, &r));
+            if rho_next.abs() < f64::MIN_POSITIVE {
+                panic!("rank {rank}: BiCGSTAB breakdown (ρ = 0) at iteration {j}");
+            }
+            let beta = (rho_next / rho) * (alpha / omega);
+            rho = rho_next;
+            for ((pi, ri), vi) in p.iter_mut().zip(&r).zip(&v) {
+                *pi = ri + beta * (*pi - omega * vi);
+            }
+            ctx.clock_mut().advance_flops(6 * nloc);
+        }
+        // p̂ = M⁻¹ p ; first scatter (channel p).
+        prec.apply(ctx, &p, &mut phat);
+        if resilient {
+            ret_p.rotate();
+            plan.exchange(ctx, &phat, &mut ghosts, Some(&mut ret_p));
+            ret_p.finish_generation();
+        } else {
+            plan.exchange(ctx, &phat, &mut ghosts, None);
+        }
+        lm.spmv(&phat, &ghosts, &mut v);
+        ctx.clock_mut().advance_flops(lm.spmv_flops());
+        let rhat0_v = ctx.allreduce_sum(dot(&rhat0, &v));
+        if rhat0_v.abs() < f64::MIN_POSITIVE {
+            panic!("rank {rank}: BiCGSTAB breakdown ((r̂0,v) = 0) at iteration {j}");
+        }
+        alpha = rho / rhat0_v;
+        // s = r − α v
+        s.copy_from_slice(&r);
+        axpy(-alpha, &v, &mut s);
+        ctx.clock_mut().advance_flops(2 * nloc);
+        // ŝ = M⁻¹ s ; second scatter (channel s).
+        prec.apply(ctx, &s, &mut shat);
+        if resilient {
+            ret_s.rotate();
+            plan.exchange(ctx, &shat, &mut ghosts, Some(&mut ret_s));
+            ret_s.finish_generation();
+        } else {
+            plan.exchange(ctx, &shat, &mut ghosts, None);
+        }
+
+        // ---- failure boundary: both channels scattered -----------------
+        if resilient && !handled.contains(&j) {
+            handled.insert(j);
+            let failed = ctx.poll_failures(FailAt::Iteration(j));
+            if !failed.is_empty() {
+                let t0 = ctx.vtime();
+                let res = cfg.resilience.as_ref().unwrap();
+                let env = RecoveryEnv {
+                    a,
+                    b_loc: &b_loc,
+                    part: &part,
+                    lm: &lm,
+                    cfg: &res.recovery,
+                    iteration: j,
+                    has_prev: false,
+                };
+                recover_bicgstab(
+                    ctx, &env, &prec, &failed, &mut alpha, &mut x, &mut r, &mut p, &mut v,
+                    &mut s, &mut phat, &mut shat, &mut ghosts, &mut ret_p, &mut ret_s,
+                );
+                recoveries += 1;
+                ranks_recovered += failed.len();
+                vtime_recovery += ctx.vtime() - t0;
+                // Restart from the ŝ scatter: re-exchange (restores the
+                // replacement ghosts and the s-channel redundancy; the
+                // p channel heals at the next iteration's scatter).
+                ret_s.rotate();
+                plan.exchange(ctx, &shat, &mut ghosts, Some(&mut ret_s));
+                ret_s.finish_generation();
+            }
+        }
+
+        // t = A ŝ
+        lm.spmv(&shat, &ghosts, &mut t);
+        ctx.clock_mut().advance_flops(lm.spmv_flops());
+        let tt_ts = ctx.allreduce_vec(
+            parcomm::comm::ReduceOp::Sum,
+            vec![dot(&t, &t), dot(&t, &s)],
+        );
+        ctx.clock_mut().advance_flops(4 * nloc);
+        let (tt, ts) = (tt_ts[0], tt_ts[1]);
+        if tt <= 0.0 || !tt.is_finite() {
+            panic!("rank {rank}: BiCGSTAB breakdown ((t,t) = {tt}) at iteration {j}");
+        }
+        omega = ts / tt;
+        // x += α p̂ + ω ŝ ; r = s − ω t
+        axpy(alpha, &phat, &mut x);
+        axpy(omega, &shat, &mut x);
+        r.copy_from_slice(&s);
+        axpy(-omega, &t, &mut r);
+        ctx.clock_mut().advance_flops(6 * nloc);
+
+        iterations += 1;
+        residual_sq = ctx.allreduce_sum(dot(&r, &r));
+        ctx.clock_mut().advance_flops(2 * nloc);
+        if residual_sq <= target_sq {
+            converged = true;
+        }
+    }
+
+    NodeOutcome {
+        rank,
+        x_loc: x,
+        range_start: range.start,
+        iterations,
+        residual_norm: residual_sq.sqrt(),
+        initial_residual_norm: r0_norm,
+        converged,
+        vtime_total: ctx.vtime(),
+        vtime_recovery,
+        recoveries,
+        ranks_recovered,
+        stats: ctx.stats().clone(),
+        vtime_setup,
+    }
+}
+
+/// Reconstruction of the BiCGSTAB state on the replacements.
+#[allow(clippy::too_many_arguments)]
+fn recover_bicgstab(
+    ctx: &mut NodeCtx,
+    env: &RecoveryEnv,
+    prec: &NodePrecond,
+    failed: &[usize],
+    alpha: &mut f64,
+    x: &mut [f64],
+    r: &mut [f64],
+    p: &mut [f64],
+    v: &mut [f64],
+    s: &mut [f64],
+    phat: &mut [f64],
+    shat: &mut [f64],
+    ghosts: &mut [f64],
+    ret_p: &mut Retention,
+    ret_s: &mut Retention,
+) {
+    let rank = ctx.rank();
+    let mut failed = failed.to_vec();
+    failed.sort_unstable();
+    failed.dedup();
+    let am_failed = failed.binary_search(&rank).is_ok();
+    let if_indices = env.part.union_of(&failed);
+    let nloc = env.lm.n_local();
+    let my_start = env.lm.range.start;
+
+    if am_failed {
+        poison(x);
+        poison(r);
+        poison(p);
+        poison(v);
+        poison(s);
+        poison(phat);
+        poison(shat);
+        poison(ghosts);
+        ret_p.poison();
+        ret_s.poison();
+        *alpha = f64::NAN;
+    }
+
+    // α (replicated scalar) from the lowest survivor.
+    let lowest_surv = (0..ctx.size())
+        .find(|r| failed.binary_search(r).is_err())
+        .expect("at least one survivor");
+    if rank == lowest_surv {
+        for &f in &failed {
+            ctx.send(f, TAG_ALPHA, Payload::F64(*alpha), CommPhase::Recovery);
+        }
+    } else if am_failed {
+        *alpha = ctx.recv(lowest_surv, TAG_ALPHA).into_f64();
+    }
+
+    // Retained copies of p̂_If and ŝ_If.
+    if !am_failed {
+        for &f in &failed {
+            let range = env.part.range(f);
+            ctx.send(
+                f,
+                TAG_PHAT,
+                Payload::Pairs(ret_p.collect_range(Gen::Cur, range.start, range.end)),
+                CommPhase::Recovery,
+            );
+            ctx.send(
+                f,
+                TAG_SHAT,
+                Payload::Pairs(ret_s.collect_range(Gen::Cur, range.start, range.end)),
+                CommPhase::Recovery,
+            );
+        }
+    } else {
+        let mut got_p = vec![false; nloc];
+        let mut got_s = vec![false; nloc];
+        for src in 0..ctx.size() {
+            if failed.binary_search(&src).is_ok() {
+                continue;
+            }
+            for (g, val) in ctx.recv(src, TAG_PHAT).into_pairs() {
+                let o = g as usize - my_start;
+                phat[o] = val;
+                got_p[o] = true;
+            }
+            for (g, val) in ctx.recv(src, TAG_SHAT).into_pairs() {
+                let o = g as usize - my_start;
+                shat[o] = val;
+                got_s[o] = true;
+            }
+        }
+        assert!(
+            got_p.iter().all(|&g| g) && got_s.iter().all(|&g| g),
+            "rank {rank}: unrecoverable — missing p̂/ŝ copies (more than φ failures?)"
+        );
+        // p_If = M p̂_If ; s_If = M ŝ_If (block-diagonal M).
+        prec.m_forward_local(env.lm, phat, p);
+        prec.m_forward_local(env.lm, shat, s);
+        ctx.clock_mut().advance_flops(2 * env.lm.diag.spmv_flops());
+    }
+
+    // v_If = A_{If,·} p̂: survivors provide the I\If ghosts; the If-columns
+    // come from the other replacements' reconstructed p̂ blocks.
+    let ghost_phat = gather_failed_ghosts(
+        ctx,
+        env.part,
+        &failed,
+        am_failed,
+        &env.lm.ghost_cols,
+        phat,
+        my_start,
+        TAG_REQ_PHAT,
+        TAG_RESP_PHAT,
+    );
+    if am_failed {
+        let mut group = ctx.group(&failed);
+        let parts = group.allgatherv_f64(ctx, phat.to_vec());
+        let phat_if: Vec<f64> = parts.into_iter().flatten().collect();
+        let rows: Vec<usize> = env.lm.range.clone().collect();
+        let sub = env.a.extract(&rows, &if_indices);
+        sub.spmv(&phat_if, v);
+        ctx.clock_mut().advance_flops(sub.spmv_flops());
+        let mut off = vec![0.0; nloc];
+        env.lm
+            .offdiag_mul_excluding(&ghost_phat.unwrap(), &if_indices, &mut off);
+        ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
+        for i in 0..nloc {
+            v[i] += off[i];
+        }
+        // r_If = s_If + α v_If  (from s = r − α v).
+        for i in 0..nloc {
+            r[i] = s[i] + *alpha * v[i];
+        }
+        ctx.clock_mut().advance_flops(4 * nloc);
+    }
+
+    // x_If from r = b − A x (same machinery as PCG recovery).
+    let ghost_x = gather_failed_ghosts(
+        ctx,
+        env.part,
+        &failed,
+        am_failed,
+        &env.lm.ghost_cols,
+        x,
+        my_start,
+        TAG_REQ_X,
+        TAG_RESP_X,
+    );
+    if am_failed {
+        let mut w = vec![0.0; nloc];
+        env.lm
+            .offdiag_mul_excluding(&ghost_x.unwrap(), &if_indices, &mut w);
+        ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
+        for i in 0..nloc {
+            w[i] = env.b_loc[i] - r[i] - w[i];
+        }
+        let (x_new, _iters) = solve_failed_system(ctx, env, &failed, &if_indices, env.a, w);
+        x.copy_from_slice(&x_new);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::driver::Problem;
+    use parcomm::{Cluster, ClusterConfig, FailureScript};
+    use sparsemat::gen::poisson2d;
+
+    fn run(
+        problem: &Problem,
+        nodes: usize,
+        cfg: &SolverConfig,
+        script: FailureScript,
+    ) -> Vec<NodeOutcome> {
+        let a = problem.a.clone();
+        let b = problem.b.clone();
+        let cfg = cfg.clone();
+        Cluster::run(
+            ClusterConfig::new(nodes).with_script(script),
+            move |ctx| esr_bicgstab_node(ctx, &a, &b, &cfg),
+        )
+    }
+
+    fn max_err_to_ones(outs: &[NodeOutcome]) -> f64 {
+        outs.iter()
+            .flat_map(|o| o.x_loc.iter())
+            .map(|xi| (xi - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn failure_free_solves() {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a);
+        let outs = run(&problem, 4, &SolverConfig::reference(), FailureScript::none());
+        assert!(outs[0].converged);
+        assert!(max_err_to_ones(&outs) < 1e-6, "err {}", max_err_to_ones(&outs));
+    }
+
+    #[test]
+    fn survives_single_failure() {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(4, 1, 1, 4);
+        let outs = run(&problem, 4, &SolverConfig::resilient(1), script);
+        assert!(outs[0].converged);
+        assert_eq!(outs[0].recoveries, 1);
+        assert!(max_err_to_ones(&outs) < 1e-6, "err {}", max_err_to_ones(&outs));
+    }
+
+    #[test]
+    fn survives_two_simultaneous_failures() {
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(6, 2, 2, 7);
+        let outs = run(&problem, 7, &SolverConfig::resilient(2), script);
+        assert!(outs[0].converged);
+        assert_eq!(outs[0].ranks_recovered, 2);
+        assert!(max_err_to_ones(&outs) < 1e-6, "err {}", max_err_to_ones(&outs));
+    }
+
+    #[test]
+    fn jacobi_preconditioned_with_failure() {
+        let a = poisson2d(10, 10);
+        let problem = Problem::with_ones_solution(a);
+        let cfg = SolverConfig {
+            precond: crate::config::PrecondConfig::Jacobi,
+            ..SolverConfig::resilient(1)
+        };
+        let script = FailureScript::simultaneous(3, 0, 1, 5);
+        let outs = run(&problem, 5, &cfg, script);
+        assert!(outs[0].converged);
+        assert!(max_err_to_ones(&outs) < 1e-6);
+    }
+}

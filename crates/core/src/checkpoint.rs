@@ -1,0 +1,462 @@
+//! In-memory checkpoint/restart (C/R) baseline.
+//!
+//! The class of techniques the paper positions ESR against (Sec. 1.2):
+//! *"The currently in practice most commonly used class of fault-tolerance
+//! techniques to cope with node failures is checkpoint/restart … These
+//! techniques frequently save the current state of a running application
+//! and roll back to the latest saved state"*, with the key drawback that
+//! they *"impose a usually considerable runtime overhead due to
+//! continuously saving the state of the solver"* (Sec. 2.2).
+//!
+//! This module implements the strongest practical variant for a fair
+//! comparison: **diskless neighbour checkpointing**. Every `interval`
+//! iterations each node replicates its full dynamic state block
+//! (`x, r, z, p` + scalars = 4·n/N values) to `copies` partner nodes —
+//! the same ring partners as ESR's Eqn. (5), so the placement is equally
+//! failure-decorrelated. On a failure, replacements fetch the newest
+//! surviving checkpoint of the failed blocks and **all** nodes roll back
+//! to it, re-executing the lost iterations.
+//!
+//! Contrast with ESR (same solver, same cluster, same failures):
+//!
+//! * C/R pays `4·(n/N)·copies` extra elements every `interval` iterations
+//!   whether or not anything fails; ESR pays only the elements that do not
+//!   already travel in SpMV (often zero — paper Sec. 5);
+//! * after a failure, C/R repeats up to `interval` iterations of work on
+//!   the *whole cluster*; ESR reconstructs locally and repeats one SpMV.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parcomm::fault::poison;
+use parcomm::{CommPhase, FailAt, NodeCtx, Payload};
+use sparsemat::vecops::{axpy, dot, xpay};
+use sparsemat::{BlockPartition, Csr};
+
+use crate::config::{PrecondConfig, SolverConfig};
+use crate::localmat::LocalMatrix;
+use crate::pcg::NodeOutcome;
+use crate::precsetup::NodePrecond;
+use crate::redundancy::backup_targets;
+use crate::scatter::ScatterPlan;
+
+const TAG_CKPT: u32 = (1 << 26) + 1;
+const TAG_FETCH_REQ: u32 = (1 << 26) + 2;
+const TAG_FETCH_RESP: u32 = (1 << 26) + 3;
+
+/// Checkpoint/restart configuration.
+#[derive(Clone, Debug)]
+pub struct CrConfig {
+    /// Checkpoint every this many iterations (the paper's C/R citations
+    /// use application-dependent periods; smaller = less lost work, more
+    /// overhead).
+    pub interval: usize,
+    /// Number of replicas per state block (failure tolerance, like φ).
+    pub copies: usize,
+}
+
+impl Default for CrConfig {
+    fn default() -> Self {
+        CrConfig {
+            interval: 10,
+            copies: 1,
+        }
+    }
+}
+
+/// One saved state: iteration number and the packed block
+/// `[x | r | z | p | β, rz]`.
+#[derive(Clone, Debug)]
+struct Checkpoint {
+    iteration: u64,
+    data: Vec<f64>,
+}
+
+fn pack(x: &[f64], r: &[f64], z: &[f64], p: &[f64], beta_prev: f64, rz: f64) -> Vec<f64> {
+    let mut d = Vec::with_capacity(4 * x.len() + 2);
+    d.extend_from_slice(x);
+    d.extend_from_slice(r);
+    d.extend_from_slice(z);
+    d.extend_from_slice(p);
+    d.push(beta_prev);
+    d.push(rz);
+    d
+}
+
+#[allow(clippy::too_many_arguments)]
+fn unpack(
+    d: &[f64],
+    nloc: usize,
+    x: &mut [f64],
+    r: &mut [f64],
+    z: &mut [f64],
+    p: &mut [f64],
+    beta_prev: &mut f64,
+    rz: &mut f64,
+) {
+    x.copy_from_slice(&d[0..nloc]);
+    r.copy_from_slice(&d[nloc..2 * nloc]);
+    z.copy_from_slice(&d[2 * nloc..3 * nloc]);
+    p.copy_from_slice(&d[3 * nloc..4 * nloc]);
+    *beta_prev = d[4 * nloc];
+    *rz = d[4 * nloc + 1];
+}
+
+/// The SPMD node program: PCG protected by neighbour checkpointing instead
+/// of ESR. `cfg.resilience` is ignored except as an on/off switch; the C/R
+/// parameters come from `cr`.
+pub fn cr_pcg_node(
+    ctx: &mut NodeCtx,
+    a: &Arc<Csr>,
+    b: &Arc<Vec<f64>>,
+    cfg: &SolverConfig,
+    cr: &CrConfig,
+) -> NodeOutcome {
+    assert!(
+        !matches!(cfg.precond, PrecondConfig::ExplicitP(_)),
+        "the C/R baseline supports the block-diagonal preconditioners"
+    );
+    assert!(cr.copies >= 1 && cr.copies < ctx.size());
+    let n = a.n_rows();
+    let rank = ctx.rank();
+    let part = BlockPartition::new(n, ctx.size());
+    let lm = LocalMatrix::build(a, &part, rank);
+    let plan = ScatterPlan::build(ctx, &lm, &part);
+    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
+        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    ctx.barrier();
+    let vtime_setup = ctx.vtime();
+    ctx.reset_metrics();
+
+    let nloc = lm.n_local();
+    let range = lm.range.clone();
+    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let mut x = vec![0.0; nloc];
+    let mut r = b_loc.clone();
+    let mut z = vec![0.0; nloc];
+    prec.apply(ctx, &r, &mut z);
+    let mut p = z.clone();
+    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+    let mut u = vec![0.0; nloc];
+
+    let r0_sq = ctx.allreduce_sum(dot(&r, &r));
+    let r0_norm = r0_sq.sqrt();
+    let target_sq = cfg.rel_tol * cfg.rel_tol * r0_sq;
+    let mut rz = ctx.allreduce_sum(dot(&r, &z));
+    let mut beta_prev = 0.0f64;
+
+    // Checkpoint storage: own latest + blocks held for partners.
+    // `held[s]` = newest checkpoint of rank s stored on this node.
+    let my_partners = backup_targets(rank, ctx.size(), cr.copies);
+    let mut own_ckpt = Checkpoint {
+        iteration: 0,
+        data: pack(&x, &r, &z, &p, beta_prev, rz),
+    };
+    let mut held: Vec<Option<Checkpoint>> = vec![None; ctx.size()];
+    // Who sends checkpoints *to* this node: ranks i with d_ik == rank.
+    let holders_of: Vec<Vec<usize>> = (0..ctx.size())
+        .map(|i| backup_targets(i, ctx.size(), cr.copies))
+        .collect();
+    let my_clients: Vec<usize> = (0..ctx.size())
+        .filter(|&i| i != rank && holders_of[i].contains(&rank))
+        .collect();
+
+    let mut iterations = 0usize;
+    let mut residual_sq = r0_sq;
+    let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut recoveries = 0usize;
+    let mut ranks_recovered = 0usize;
+    let mut vtime_recovery = 0.0f64;
+    let mut handled: HashSet<u64> = HashSet::new();
+    let resilient = cfg.resilience.is_some();
+
+    while !converged && iterations < cfg.max_iter {
+        let j = iterations as u64;
+
+        // Periodic checkpoint (before the iteration, so a failure at
+        // boundary j can roll back to a state ≤ j).
+        if resilient && iterations.is_multiple_of(cr.interval) {
+            own_ckpt = Checkpoint {
+                iteration: j,
+                data: pack(&x, &r, &z, &p, beta_prev, rz),
+            };
+            for &d in &my_partners {
+                ctx.send(
+                    d,
+                    TAG_CKPT,
+                    Payload::F64s(own_ckpt.data.clone()),
+                    CommPhase::Redundancy,
+                );
+            }
+            for &c in &my_clients {
+                let data = ctx.recv(c, TAG_CKPT).into_f64s();
+                held[c] = Some(Checkpoint { iteration: j, data });
+            }
+        }
+
+        plan.exchange(ctx, &p, &mut ghosts, None);
+
+        // Failure boundary.
+        if resilient && !handled.contains(&j) {
+            handled.insert(j);
+            let failed = ctx.poll_failures(FailAt::Iteration(j));
+            if !failed.is_empty() {
+                let t0v = ctx.vtime();
+                let mut failed = failed;
+                failed.sort_unstable();
+                let am_failed = failed.binary_search(&rank).is_ok();
+                if am_failed {
+                    poison(&mut x);
+                    poison(&mut r);
+                    poison(&mut z);
+                    poison(&mut p);
+                    poison(&mut ghosts);
+                    own_ckpt.data.clear();
+                    held = vec![None; ctx.size()];
+                    beta_prev = f64::NAN;
+                    rz = f64::NAN;
+                }
+                // Replacements fetch the newest surviving replica of their
+                // block: ask each surviving holder, take any response
+                // (replicas of the same epoch are identical).
+                if am_failed {
+                    let surviving_holder = holders_of[rank]
+                        .iter()
+                        .copied()
+                        .find(|h| failed.binary_search(h).is_err())
+                        .unwrap_or_else(|| {
+                            panic!(
+                                "rank {rank}: unrecoverable — all {} checkpoint \
+                                 holders failed too",
+                                holders_of[rank].len()
+                            )
+                        });
+                    ctx.send(
+                        surviving_holder,
+                        TAG_FETCH_REQ,
+                        Payload::Empty,
+                        CommPhase::Recovery,
+                    );
+                    let resp = ctx.recv(surviving_holder, TAG_FETCH_RESP);
+                    let data = resp.into_f64s();
+                    assert!(
+                        !data.is_empty(),
+                        "rank {rank}: holder had no checkpoint of this block"
+                    );
+                    own_ckpt = Checkpoint {
+                        iteration: 0, // true epoch re-agreed below
+                        data,
+                    };
+                } else {
+                    // Survivors answer any fetch requests addressed to them.
+                    for &f in &failed {
+                        if holders_of[f].contains(&rank)
+                        {
+                            // Only respond if actually asked: the failed
+                            // rank picks its first *surviving* holder.
+                            let first_surviving = holders_of[f]
+                                .iter()
+                                .copied()
+                                .find(|h| failed.binary_search(h).is_err());
+                            if first_surviving == Some(rank) {
+                                ctx.recv(f, TAG_FETCH_REQ);
+                                let data = held[f]
+                                    .as_ref()
+                                    .map(|c| c.data.clone())
+                                    .unwrap_or_default();
+                                ctx.send(
+                                    f,
+                                    TAG_FETCH_RESP,
+                                    Payload::F64s(data),
+                                    CommPhase::Recovery,
+                                );
+                            }
+                        }
+                    }
+                }
+                // Agree on the restart epoch (identical on all survivors —
+                // checkpoints are taken at the same SPMD points; the min
+                // guards against a replacement that has not re-saved yet).
+                let epoch = ctx.allreduce_min(if am_failed {
+                    f64::INFINITY
+                } else {
+                    own_ckpt.iteration as f64
+                }) as u64;
+                if am_failed {
+                    own_ckpt.iteration = epoch;
+                }
+                // Global rollback: everyone restores the checkpoint epoch
+                // (survivors from their own copy, replacements from the
+                // fetched data).
+                unpack(
+                    &own_ckpt.data.clone(),
+                    nloc,
+                    &mut x,
+                    &mut r,
+                    &mut z,
+                    &mut p,
+                    &mut beta_prev,
+                    &mut rz,
+                );
+                // Lost work: re-execute from the checkpoint epoch.
+                iterations = epoch as usize;
+                recoveries += 1;
+                ranks_recovered += failed.len();
+                vtime_recovery += ctx.vtime() - t0v;
+                continue;
+            }
+        }
+
+        lm.spmv(&p, &ghosts, &mut u);
+        ctx.clock_mut().advance_flops(lm.spmv_flops());
+        ctx.clock_mut().advance_flops(2 * nloc);
+        let pap = ctx.allreduce_sum(dot(&p, &u));
+        if pap <= 0.0 || !pap.is_finite() {
+            panic!("rank {rank}: PCG breakdown at iteration {j} (pᵀAp = {pap})");
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &u, &mut r);
+        ctx.clock_mut().advance_flops(4 * nloc);
+
+        iterations += 1;
+        ctx.clock_mut().advance_flops(2 * nloc);
+        residual_sq = ctx.allreduce_sum(dot(&r, &r));
+        if residual_sq <= target_sq {
+            converged = true;
+            break;
+        }
+        prec.apply(ctx, &r, &mut z);
+        ctx.clock_mut().advance_flops(2 * nloc);
+        let rz_next = ctx.allreduce_sum(dot(&r, &z));
+        beta_prev = rz_next / rz;
+        rz = rz_next;
+        xpay(&z, beta_prev, &mut p);
+        ctx.clock_mut().advance_flops(2 * nloc);
+    }
+
+    NodeOutcome {
+        rank,
+        x_loc: x,
+        range_start: range.start,
+        iterations,
+        residual_norm: residual_sq.sqrt(),
+        initial_residual_norm: r0_norm,
+        converged,
+        vtime_total: ctx.vtime(),
+        vtime_recovery,
+        recoveries,
+        ranks_recovered,
+        stats: ctx.stats().clone(),
+        vtime_setup,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SolverConfig;
+    use crate::driver::Problem;
+    use parcomm::{Cluster, ClusterConfig, FailureScript};
+    use sparsemat::gen::poisson2d;
+
+    fn run_cr(
+        problem: &Problem,
+        nodes: usize,
+        cfg: &SolverConfig,
+        cr: &CrConfig,
+        script: FailureScript,
+    ) -> Vec<NodeOutcome> {
+        let a = problem.a.clone();
+        let b = problem.b.clone();
+        let cfg = cfg.clone();
+        let cr = cr.clone();
+        Cluster::run(ClusterConfig::new(nodes).with_script(script), move |ctx| {
+            cr_pcg_node(ctx, &a, &b, &cfg, &cr)
+        })
+    }
+
+    fn max_err(outs: &[NodeOutcome]) -> f64 {
+        outs.iter()
+            .flat_map(|o| o.x_loc.iter())
+            .map(|xi| (xi - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn failure_free_matches_plain_pcg() {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a);
+        let outs = run_cr(
+            &problem,
+            4,
+            &SolverConfig::resilient(1),
+            &CrConfig::default(),
+            FailureScript::none(),
+        );
+        assert!(outs[0].converged);
+        assert!(max_err(&outs) < 1e-6);
+        // Checkpointing cost shows in the stats.
+        let ck: u64 = outs
+            .iter()
+            .map(|o| o.stats.elems(parcomm::CommPhase::Redundancy))
+            .sum();
+        assert!(ck > 0, "checkpoints must be recorded as redundancy traffic");
+    }
+
+    #[test]
+    fn recovers_from_single_failure_by_rollback() {
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(13, 2, 1, 4);
+        let cr = CrConfig {
+            interval: 5,
+            copies: 1,
+        };
+        let outs = run_cr(&problem, 4, &SolverConfig::resilient(1), &cr, script);
+        assert!(outs[0].converged);
+        assert_eq!(outs[0].recoveries, 1);
+        assert!(max_err(&outs) < 1e-6, "err {}", max_err(&outs));
+        // Rollback repeats work: more iterations executed than the clean
+        // run (iterations counter counts completed ones after rollback, so
+        // compare via the residual being reached later in virtual time).
+        let clean = run_cr(
+            &problem,
+            4,
+            &SolverConfig::resilient(1),
+            &cr,
+            FailureScript::none(),
+        );
+        assert!(outs[0].vtime_total > clean[0].vtime_total);
+    }
+
+    #[test]
+    fn recovers_from_two_failures_with_two_copies() {
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(8, 1, 2, 6);
+        let cr = CrConfig {
+            interval: 4,
+            copies: 2,
+        };
+        let outs = run_cr(&problem, 6, &SolverConfig::resilient(2), &cr, script);
+        assert!(outs[0].converged);
+        assert!(max_err(&outs) < 1e-6);
+    }
+
+    #[test]
+    fn holder_loss_is_unrecoverable() {
+        // Rank 1 fails together with its only checkpoint holder (d_11 = 2).
+        let a = poisson2d(10, 10);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(6, 1, 2, 5); // ranks 1 and 2
+        let cr = CrConfig {
+            interval: 3,
+            copies: 1,
+        };
+        let result = std::panic::catch_unwind(|| {
+            run_cr(&problem, 5, &SolverConfig::resilient(1), &cr, script)
+        });
+        assert!(result.is_err());
+    }
+}

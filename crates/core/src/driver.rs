@@ -1,0 +1,359 @@
+//! Experiment orchestration: run a distributed solve on the simulated
+//! cluster and aggregate the metrics the paper reports (Secs. 6–7).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parcomm::{Cluster, ClusterConfig, CommStats, CostModel, FailureScript};
+use sparsemat::vecops::norm2;
+use sparsemat::Csr;
+
+use crate::config::SolverConfig;
+use crate::pcg::{esr_pcg_node, NodeOutcome};
+
+/// A linear system `A x = b` with `A` SPD.
+#[derive(Clone)]
+pub struct Problem {
+    /// The SPD system matrix (static data on reliable storage).
+    pub a: Arc<Csr>,
+    /// The right-hand side.
+    pub b: Arc<Vec<f64>>,
+}
+
+impl Problem {
+    /// Wrap a matrix and right-hand side.
+    pub fn new(a: Csr, b: Vec<f64>) -> Self {
+        assert_eq!(a.n_rows(), b.len());
+        Problem {
+            a: Arc::new(a),
+            b: Arc::new(b),
+        }
+    }
+
+    /// Problem with known solution `x = 1` (`b = A·1`).
+    pub fn with_ones_solution(a: Csr) -> Self {
+        let b = sparsemat::gen::rhs_for_ones(&a);
+        Problem::new(a, b)
+    }
+
+    /// Problem with a deterministic random right-hand side.
+    pub fn with_random_rhs(a: Csr, seed: u64) -> Self {
+        let b = sparsemat::gen::random_rhs(a.n_rows(), seed);
+        Problem::new(a, b)
+    }
+
+    /// System dimension.
+    pub fn n(&self) -> usize {
+        self.a.n_rows()
+    }
+}
+
+/// Aggregated result of one distributed solve.
+#[derive(Clone, Debug)]
+pub struct ExperimentResult {
+    /// Assembled global solution.
+    pub x: Vec<f64>,
+    /// Completed outer iterations.
+    pub iterations: usize,
+    /// Whether the residual target was reached.
+    pub converged: bool,
+    /// Final solver (recursive) residual norm ‖r‖₂.
+    pub solver_residual: f64,
+    /// Recomputed true residual ‖b − A x‖₂.
+    pub true_residual: f64,
+    /// The paper's Eqn. (7): `∆ = (‖r‖ − ‖b−Ax‖) / ‖b−Ax‖`.
+    pub residual_deviation: f64,
+    /// Virtual solve time: max over nodes (the BSP makespan).
+    pub vtime: f64,
+    /// Virtual time spent in reconstruction: max over nodes.
+    pub vtime_recovery: f64,
+    /// Virtual setup time (plans + factorizations): max over nodes.
+    pub vtime_setup: f64,
+    /// Host wall-clock time of the whole cluster run (oversubscribed
+    /// host — use `vtime` for paper-shaped comparisons).
+    pub wall: Duration,
+    /// Cluster-wide communication totals.
+    pub stats: CommStats,
+    /// Failure events recovered from (max over nodes — identical on all).
+    pub recoveries: usize,
+    /// Total ranks reconstructed.
+    pub ranks_recovered: usize,
+    /// Per-node outcomes for detailed analysis.
+    pub per_node: Vec<NodeOutcome>,
+}
+
+impl ExperimentResult {
+    /// Relative residual reduction achieved.
+    pub fn relative_residual(&self) -> f64 {
+        let r0 = self.per_node[0].initial_residual_norm;
+        if r0 == 0.0 {
+            0.0
+        } else {
+            self.solver_residual / r0
+        }
+    }
+}
+
+/// Run (resilient) PCG on a simulated cluster of `nodes` nodes.
+pub fn run_pcg(
+    problem: &Problem,
+    nodes: usize,
+    cfg: &SolverConfig,
+    cost: CostModel,
+    script: FailureScript,
+) -> ExperimentResult {
+    run_with(problem, nodes, cfg, cost, script, esr_pcg_node)
+}
+
+/// Run (resilient) preconditioned BiCGSTAB (paper Sec. 1 extension).
+pub fn run_bicgstab(
+    problem: &Problem,
+    nodes: usize,
+    cfg: &SolverConfig,
+    cost: CostModel,
+    script: FailureScript,
+) -> ExperimentResult {
+    run_with(problem, nodes, cfg, cost, script, crate::bicgstab::esr_bicgstab_node)
+}
+
+/// Run the (resilient) distributed Jacobi iteration (paper Sec. 1
+/// extension; requires a Jacobi-convergent matrix).
+pub fn run_jacobi(
+    problem: &Problem,
+    nodes: usize,
+    cfg: &SolverConfig,
+    cost: CostModel,
+    script: FailureScript,
+) -> ExperimentResult {
+    run_with(problem, nodes, cfg, cost, script, crate::stationary::esr_jacobi_node)
+}
+
+/// Run the checkpoint/restart baseline (paper Sec. 1.2's comparator class;
+/// see [`crate::checkpoint`]).
+pub fn run_checkpoint_restart(
+    problem: &Problem,
+    nodes: usize,
+    cfg: &SolverConfig,
+    cr: &crate::checkpoint::CrConfig,
+    cost: CostModel,
+    script: FailureScript,
+) -> ExperimentResult {
+    let cr = cr.clone();
+    run_with(problem, nodes, cfg, cost, script, move |ctx, a, b, cfg| {
+        crate::checkpoint::cr_pcg_node(ctx, a, b, cfg, &cr)
+    })
+}
+
+fn run_with<F>(
+    problem: &Problem,
+    nodes: usize,
+    cfg: &SolverConfig,
+    cost: CostModel,
+    script: FailureScript,
+    node_program: F,
+) -> ExperimentResult
+where
+    F: Fn(&mut parcomm::NodeCtx, &Arc<Csr>, &Arc<Vec<f64>>, &SolverConfig) -> NodeOutcome + Sync,
+{
+    let a = problem.a.clone();
+    let b = problem.b.clone();
+    let cfg = cfg.clone();
+    let cluster_cfg = ClusterConfig::new(nodes)
+        .with_cost(cost)
+        .with_script(script);
+    let start = Instant::now();
+    let per_node = Cluster::run(cluster_cfg, move |ctx| node_program(ctx, &a, &b, &cfg));
+    let wall = start.elapsed();
+
+    // Assemble the global solution in rank order.
+    let mut x = vec![0.0; problem.n()];
+    for o in &per_node {
+        x[o.range_start..o.range_start + o.x_loc.len()].copy_from_slice(&o.x_loc);
+    }
+
+    // True residual and the Eqn. (7) deviation.
+    let mut resid = problem.a.mul_vec(&x);
+    for (ri, bi) in resid.iter_mut().zip(problem.b.iter()) {
+        *ri = bi - *ri;
+    }
+    let true_residual = norm2(&resid);
+    let solver_residual = per_node[0].residual_norm;
+    let residual_deviation = if true_residual > 0.0 {
+        (solver_residual - true_residual) / true_residual
+    } else {
+        0.0
+    };
+
+    let mut stats = CommStats::new();
+    for o in &per_node {
+        stats.merge(&o.stats);
+    }
+    let vtime = per_node.iter().map(|o| o.vtime_total).fold(0.0, f64::max);
+    let vtime_recovery = per_node
+        .iter()
+        .map(|o| o.vtime_recovery)
+        .fold(0.0, f64::max);
+    let vtime_setup = per_node.iter().map(|o| o.vtime_setup).fold(0.0, f64::max);
+
+    ExperimentResult {
+        iterations: per_node[0].iterations,
+        converged: per_node[0].converged,
+        solver_residual,
+        true_residual,
+        residual_deviation,
+        vtime,
+        vtime_recovery,
+        vtime_setup,
+        wall,
+        stats,
+        recoveries: per_node[0].recoveries,
+        ranks_recovered: per_node[0].ranks_recovered,
+        x,
+        per_node,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PrecondConfig, SolverConfig};
+    use parcomm::FailureScript;
+    use precond::{BlockJacobi, BlockSolver};
+    use sparsemat::gen::poisson2d;
+    use sparsemat::BlockPartition;
+
+    fn solve_error(result: &ExperimentResult) -> f64 {
+        result
+            .x
+            .iter()
+            .map(|xi| (xi - 1.0).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn failure_free_matches_sequential_pcg() {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a.clone());
+        let cfg = SolverConfig::reference();
+        let res = run_pcg(
+            &problem,
+            4,
+            &cfg,
+            CostModel::default(),
+            FailureScript::none(),
+        );
+        assert!(res.converged);
+        assert!(solve_error(&res) < 1e-6, "err={}", solve_error(&res));
+        // Sequential oracle with the same preconditioner.
+        let part = BlockPartition::new(144, 4);
+        let bj = BlockJacobi::from_partition(&a, &part, BlockSolver::ExactLdl).unwrap();
+        let seq = krylov::pcg(&a, &problem.b, &vec![0.0; 144], &bj, 1e-8, 10_000);
+        assert!(seq.converged());
+        assert!(
+            res.iterations.abs_diff(seq.iterations) <= 1,
+            "dist {} vs seq {}",
+            res.iterations,
+            seq.iterations
+        );
+    }
+
+    #[test]
+    fn resilient_without_failures_same_iterations() {
+        let a = poisson2d(10, 10);
+        let problem = Problem::with_random_rhs(a, 3);
+        let plain = run_pcg(
+            &problem,
+            4,
+            &SolverConfig::reference(),
+            CostModel::default(),
+            FailureScript::none(),
+        );
+        let resilient = run_pcg(
+            &problem,
+            4,
+            &SolverConfig::resilient(2),
+            CostModel::default(),
+            FailureScript::none(),
+        );
+        // Redundancy changes communication, not numerics.
+        assert_eq!(plain.iterations, resilient.iterations);
+        assert_eq!(plain.solver_residual, resilient.solver_residual);
+        // But it does cost extra elements.
+        assert!(
+            resilient.stats.elems(parcomm::CommPhase::Redundancy)
+                > plain.stats.elems(parcomm::CommPhase::Redundancy)
+        );
+    }
+
+    #[test]
+    fn survives_single_failure() {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(5, 1, 1, 4);
+        let res = run_pcg(
+            &problem,
+            4,
+            &SolverConfig::resilient(1),
+            CostModel::default(),
+            script,
+        );
+        assert!(res.converged);
+        assert_eq!(res.recoveries, 1);
+        assert_eq!(res.ranks_recovered, 1);
+        assert!(solve_error(&res) < 1e-6, "err={}", solve_error(&res));
+        assert!(res.vtime_recovery > 0.0);
+    }
+
+    #[test]
+    fn survives_three_simultaneous_failures() {
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(8, 2, 3, 7);
+        let res = run_pcg(
+            &problem,
+            7,
+            &SolverConfig::resilient(3),
+            CostModel::default(),
+            script,
+        );
+        assert!(res.converged);
+        assert_eq!(res.recoveries, 1);
+        assert_eq!(res.ranks_recovered, 3);
+        assert!(solve_error(&res) < 1e-6, "err={}", solve_error(&res));
+    }
+
+    #[test]
+    fn jacobi_preconditioner_with_failures() {
+        let a = poisson2d(10, 10);
+        let problem = Problem::with_ones_solution(a);
+        let cfg = SolverConfig {
+            precond: PrecondConfig::Jacobi,
+            ..SolverConfig::resilient(2)
+        };
+        let script = FailureScript::simultaneous(10, 0, 2, 5);
+        let res = run_pcg(&problem, 5, &cfg, CostModel::default(), script);
+        assert!(res.converged);
+        assert!(solve_error(&res) < 1e-6);
+    }
+
+    #[test]
+    fn deviation_metric_is_small() {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_random_rhs(a, 9);
+        let script = FailureScript::simultaneous(6, 1, 2, 6);
+        let res = run_pcg(
+            &problem,
+            6,
+            &SolverConfig::resilient(2),
+            CostModel::default(),
+            script,
+        );
+        assert!(res.converged);
+        // Eqn. 7 deviation: tiny compared to the 1e8 residual reduction.
+        assert!(
+            res.residual_deviation.abs() < 1e-4,
+            "∆ESR = {}",
+            res.residual_deviation
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! # esr-core — exact state reconstruction for distributed PCG
+//!
+//! The primary contribution of Pachajoa, Levonyak, Gansterer & Träff,
+//! *"How to Make the Preconditioned Conjugate Gradient Method Resilient
+//! Against Multiple Node Failures"* (ICPP 2019): a distributed PCG solver
+//! that survives up to `φ` **simultaneous or overlapping node failures**
+//! without checkpointing, by keeping `φ` redundant copies of the two most
+//! recent search directions distributed across the cluster.
+//!
+//! Module map (paper section → code):
+//!
+//! | Paper | Module |
+//! |---|---|
+//! | Alg. 1 (PCG), block-row distribution (Sec. 1.1.2) | [`pcg`], [`localmat`] |
+//! | SpMV generalized scatter (Sec. 6) | [`scatter`] |
+//! | Eqns. (2)–(6): `S_ik`, `mᵢ(s)`, `d_ik`, `Rᶜᵢₖ` (Secs. 3–4) | [`redundancy`] |
+//! | Retention of `p(j)`, `p(j-1)` copies (Sec. 2.2) | [`retention`] |
+//! | Alg. 2 generalized to `ψ ≤ φ` failures (Sec. 4.1) | [`recovery`] |
+//! | Preconditioner variants (M-given / P-given) | [`precsetup`] |
+//! | Communication-overhead bounds (Sec. 4.2, Sec. 5) | [`analysis`] |
+//! | Experiment orchestration (Secs. 6–7) | [`driver`] |
+//! | ESR beyond PCG: BiCGSTAB, stationary methods (Sec. 1) | [`bicgstab`], [`stationary`] |
+
+// Indexed loops over several parallel arrays are the clearest form for
+// the numeric kernels in this crate; iterator-zip pyramids obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analysis;
+pub mod bicgstab;
+pub mod checkpoint;
+pub mod config;
+pub mod driver;
+pub mod localmat;
+pub mod pcg;
+pub mod precsetup;
+pub mod recovery;
+pub mod redundancy;
+pub mod retention;
+pub mod scatter;
+pub mod stationary;
+
+pub use config::{
+    BackupStrategy, PrecondConfig, RecoveryConfig, ResilienceConfig, SolverConfig,
+};
+pub use checkpoint::CrConfig;
+pub use driver::{
+    run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, ExperimentResult, Problem,
+};
+pub use pcg::NodeOutcome;

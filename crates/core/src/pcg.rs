@@ -1,0 +1,239 @@
+//! The resilient distributed PCG node program — paper Alg. 1 with the ESR
+//! hooks of Secs. 2.2–4 woven into the SpMV.
+//!
+//! Differences from non-resilient PCG are exactly the ones the paper
+//! describes:
+//!
+//! * the SpMV ghost exchange additionally carries the extra sets `Rᶜᵢₖ`
+//!   appended to existing messages (one λ per link, Sec. 4.2);
+//! * received search-direction elements are *retained* for two generations
+//!   instead of dropped (Sec. 2.2);
+//! * at every post-SpMV boundary the ULFM-style oracle is polled; on
+//!   failure, all nodes enter [`crate::recovery::recover`] and the
+//!   interrupted iteration restarts.
+//!
+//! With `resilience: None` the solver is the reference non-resilient PCG
+//! used for the paper's `t₀` baselines.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parcomm::{CommStats, FailAt, NodeCtx};
+use sparsemat::vecops::{axpy, dot, xpay};
+use sparsemat::{BlockPartition, Csr};
+
+use crate::config::SolverConfig;
+use crate::localmat::LocalMatrix;
+use crate::precsetup::NodePrecond;
+use crate::recovery::{self, RecoveryEnv, SolverState};
+use crate::redundancy;
+use crate::retention::Retention;
+use crate::scatter::ScatterPlan;
+
+/// Per-node result of a distributed solve.
+#[derive(Clone, Debug)]
+pub struct NodeOutcome {
+    /// This node's rank.
+    pub rank: usize,
+    /// The owned block of the solution.
+    pub x_loc: Vec<f64>,
+    /// Global range of `x_loc`.
+    pub range_start: usize,
+    /// Completed iterations.
+    pub iterations: usize,
+    /// Final solver residual norm ‖r‖₂ (global, replicated).
+    pub residual_norm: f64,
+    /// Initial residual norm ‖b - A x₀‖₂.
+    pub initial_residual_norm: f64,
+    /// Whether the residual target was reached.
+    pub converged: bool,
+    /// Virtual time at solve end (setup excluded).
+    pub vtime_total: f64,
+    /// Virtual time spent inside recovery.
+    pub vtime_recovery: f64,
+    /// Number of recovery events (not attempts).
+    pub recoveries: usize,
+    /// Total ranks reconstructed across all recoveries.
+    pub ranks_recovered: usize,
+    /// Communication statistics (setup excluded).
+    pub stats: CommStats,
+    /// Virtual time of the setup phase (plans, factorizations).
+    pub vtime_setup: f64,
+}
+
+/// The SPMD node program: solve `A x = b` with (optionally resilient) PCG.
+///
+/// All nodes receive the same `a`, `b` (static data on reliable storage)
+/// and configuration; the failure script lives in the cluster's oracle.
+pub fn esr_pcg_node(
+    ctx: &mut NodeCtx,
+    a: &Arc<Csr>,
+    b: &Arc<Vec<f64>>,
+    cfg: &SolverConfig,
+) -> NodeOutcome {
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "rhs length");
+    let rank = ctx.rank();
+    let part = BlockPartition::new(n, ctx.size());
+
+    // ---- setup: local rows, communication plans, preconditioner --------
+    let lm = LocalMatrix::build(a, &part, rank);
+    let mut plan = ScatterPlan::build(ctx, &lm, &part);
+    if let Some(res) = &cfg.resilience {
+        plan.send_extra = redundancy::compute_extra_sends(
+            rank,
+            ctx.size(),
+            res.phi,
+            &res.strategy,
+            lm.n_local(),
+            &plan.send_natural,
+        );
+        plan.announce_extras(ctx);
+    }
+    let mut retention = Retention::build(&plan, &lm.ghost_cols);
+    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
+        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    ctx.barrier();
+    let vtime_setup = ctx.vtime();
+    ctx.reset_metrics();
+
+    // ---- initial state: x(0) = 0 ---------------------------------------
+    let nloc = lm.n_local();
+    let range = lm.range.clone();
+    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let mut x = vec![0.0; nloc];
+    let mut r = b_loc.clone(); // r(0) = b − A·0
+    let mut z = vec![0.0; nloc];
+    prec.apply(ctx, &r, &mut z);
+    let mut p = z.clone(); // p(0) = z(0)
+    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+    let mut u = vec![0.0; nloc];
+
+    ctx.clock_mut().advance_flops(4 * nloc);
+    let r0_sq = ctx.allreduce_sum(dot(&r, &r));
+    let r0_norm = r0_sq.sqrt();
+    let target_sq = cfg.rel_tol * cfg.rel_tol * r0_sq;
+    let mut rz = ctx.allreduce_sum(dot(&r, &z));
+    let mut beta_prev = 0.0f64;
+
+    let mut iterations = 0usize;
+    let mut residual_sq = r0_sq;
+    let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut vtime_recovery = 0.0f64;
+    let mut recoveries = 0usize;
+    let mut ranks_recovered = 0usize;
+    let mut handled_iter: HashSet<u64> = HashSet::new();
+    let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
+    let mut recovery_seq: u32 = 0;
+    let resilient = cfg.resilience.is_some();
+
+    while !converged && iterations < cfg.max_iter {
+        let j = iterations as u64;
+
+        // SpMV scatter: ghost exchange + redundancy distribution. The
+        // retention generations rotate with every scatter of a new p(j)
+        // (and identically on the post-recovery restart, which re-scatters
+        // the recovered p(j) and thereby restores lost redundancy).
+        if resilient {
+            retention.rotate();
+            plan.exchange(ctx, &p, &mut ghosts, Some(&mut retention));
+            retention.finish_generation();
+        } else {
+            plan.exchange(ctx, &p, &mut ghosts, None);
+        }
+
+        // ULFM failure boundary (paper Sec. 1.1.1): consistent notification.
+        if resilient && !handled_iter.contains(&j) {
+            handled_iter.insert(j);
+            let failed = ctx.poll_failures(FailAt::Iteration(j));
+            if !failed.is_empty() {
+                let t0 = ctx.vtime();
+                let res = cfg.resilience.as_ref().unwrap();
+                let env = RecoveryEnv {
+                    a,
+                    b_loc: &b_loc,
+                    part: &part,
+                    lm: &lm,
+                    cfg: &res.recovery,
+                    iteration: j,
+                    has_prev: j > 0,
+                };
+                let mut st = SolverState {
+                    x: &mut x,
+                    r: &mut r,
+                    z: &mut z,
+                    p: &mut p,
+                    ghosts: &mut ghosts,
+                    retention: &mut retention,
+                    beta_prev: &mut beta_prev,
+                };
+                let report = recovery::recover(
+                    ctx,
+                    &env,
+                    &mut prec,
+                    &failed,
+                    &mut handled_sub,
+                    &mut recovery_seq,
+                    &mut st,
+                );
+                recoveries += 1;
+                ranks_recovered += report.total_failed;
+                vtime_recovery += ctx.vtime() - t0;
+                // rz must be re-established (replacements recompute their
+                // share); bitwise identical on survivors' data.
+                ctx.clock_mut().advance_flops(2 * nloc);
+                rz = ctx.allreduce_sum(dot(&r, &z));
+                // Restart the interrupted iteration: re-scatter p(j) (also
+                // restores redundancy and replacement ghosts).
+                continue;
+            }
+        }
+
+        // u = A p(j)  (local part; ghosts already exchanged)
+        lm.spmv(&p, &ghosts, &mut u);
+        ctx.clock_mut().advance_flops(lm.spmv_flops());
+
+        // α(j) = r(j)ᵀz(j) / p(j)ᵀAp(j)   [Alg. 1 line 3]
+        ctx.clock_mut().advance_flops(2 * nloc);
+        let pap = ctx.allreduce_sum(dot(&p, &u));
+        if pap <= 0.0 || !pap.is_finite() {
+            panic!("rank {rank}: PCG breakdown at iteration {j} (pᵀAp = {pap})");
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x); // line 4
+        axpy(-alpha, &u, &mut r); // line 5
+        ctx.clock_mut().advance_flops(4 * nloc);
+
+        iterations += 1;
+        ctx.clock_mut().advance_flops(2 * nloc);
+        residual_sq = ctx.allreduce_sum(dot(&r, &r));
+        if residual_sq <= target_sq {
+            converged = true;
+            break;
+        }
+
+        prec.apply(ctx, &r, &mut z); // line 6
+        ctx.clock_mut().advance_flops(2 * nloc);
+        let rz_next = ctx.allreduce_sum(dot(&r, &z));
+        beta_prev = rz_next / rz; // line 7
+        rz = rz_next;
+        xpay(&z, beta_prev, &mut p); // line 8
+        ctx.clock_mut().advance_flops(2 * nloc);
+    }
+
+    NodeOutcome {
+        rank,
+        x_loc: x,
+        range_start: range.start,
+        iterations,
+        residual_norm: residual_sq.sqrt(),
+        initial_residual_norm: r0_norm,
+        converged,
+        vtime_total: ctx.vtime(),
+        vtime_recovery,
+        recoveries,
+        ranks_recovered,
+        stats: ctx.stats().clone(),
+        vtime_setup,
+    }
+}

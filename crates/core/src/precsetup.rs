@@ -1,0 +1,182 @@
+//! Per-node preconditioner state.
+//!
+//! The preconditioner is distributed like everything else (paper
+//! Sec. 1.1.2: block rows of `M` live on the owning node). Three of the
+//! four configurations are block-diagonal and apply locally; an explicit
+//! `P = M⁻¹` with coupling across nodes needs its own ghost exchange, for
+//! which it gets a dedicated scatter plan over `P`'s pattern.
+
+use parcomm::NodeCtx;
+use precond::{PrecondError, SparseLdl};
+use sparsemat::{BlockPartition, Csr};
+use std::sync::Arc;
+
+use crate::config::PrecondConfig;
+use crate::localmat::LocalMatrix;
+use crate::scatter::ScatterPlan;
+
+/// A node's share of the preconditioner.
+///
+/// One value lives per node for the whole solve; the size skew between
+/// variants is irrelevant (never stored in bulk).
+#[allow(clippy::large_enum_variant)]
+pub enum NodePrecond {
+    /// Identity (plain CG).
+    None {
+        /// Owned block length.
+        n_local: usize,
+    },
+    /// `M = diag(A)`: the owned diagonal entries.
+    Jacobi {
+        /// Owned diagonal of `A`.
+        diag: Vec<f64>,
+        /// Element-wise inverse of `diag`.
+        inv_diag: Vec<f64>,
+    },
+    /// The paper's setup: `M` = the node's diagonal block of `A`, solved
+    /// exactly by sparse LDLᵀ. The block itself is `LocalMatrix::diag`.
+    BlockJacobiExact {
+        /// Exact LDLᵀ factorization of the node's diagonal block.
+        factor: SparseLdl,
+    },
+    /// Explicit `P = M⁻¹` as a distributed sparse matrix: apply is a
+    /// distributed SpMV over `P`'s own communication plan.
+    ExplicitP {
+        /// The full `P` (static data; recovery reads its rows).
+        p_full: Arc<Csr>,
+        /// This node's block rows of `P`.
+        p_local: LocalMatrix,
+        /// Ghost-exchange plan over `P`'s pattern.
+        p_plan: ScatterPlan,
+        /// Ghost buffer for `P`-applies.
+        p_ghosts: Vec<f64>,
+    },
+}
+
+impl NodePrecond {
+    /// Collective setup — all nodes must call this at the same SPMD point
+    /// with the same configuration.
+    pub fn setup(
+        ctx: &mut NodeCtx,
+        cfg: &PrecondConfig,
+        part: &BlockPartition,
+        lm: &LocalMatrix,
+    ) -> Result<Self, PrecondError> {
+        match cfg {
+            PrecondConfig::None => Ok(NodePrecond::None {
+                n_local: lm.n_local(),
+            }),
+            PrecondConfig::Jacobi => {
+                let diag = lm.diag.diag();
+                let mut inv_diag = Vec::with_capacity(diag.len());
+                for (i, &d) in diag.iter().enumerate() {
+                    if d <= 0.0 || !d.is_finite() {
+                        return Err(PrecondError::Breakdown(lm.range.start + i));
+                    }
+                    inv_diag.push(1.0 / d);
+                }
+                Ok(NodePrecond::Jacobi { diag, inv_diag })
+            }
+            PrecondConfig::BlockJacobiExact => {
+                let factor = SparseLdl::new(&lm.diag)?;
+                // Charge the factorization to the virtual clock (done once;
+                // a coarse 20 flops per factor nonzero).
+                ctx.clock_mut().advance_flops(20 * factor.l_nnz().max(1));
+                Ok(NodePrecond::BlockJacobiExact { factor })
+            }
+            PrecondConfig::ExplicitP(p) => {
+                if p.n_rows() != part.n() || p.n_cols() != part.n() {
+                    return Err(PrecondError::Shape(format!(
+                        "P is {}x{}, system is {}",
+                        p.n_rows(),
+                        p.n_cols(),
+                        part.n()
+                    )));
+                }
+                let p_local = LocalMatrix::build(p, part, ctx.rank());
+                let p_plan = ScatterPlan::build(ctx, &p_local, part);
+                let p_ghosts = vec![0.0; p_local.ghost_cols.len()];
+                Ok(NodePrecond::ExplicitP {
+                    p_full: p.clone(),
+                    p_local,
+                    p_plan,
+                    p_ghosts,
+                })
+            }
+        }
+    }
+
+    /// Apply `z ← M⁻¹ r` on the owned block. May communicate (explicit P
+    /// with off-node coupling) — all nodes must call together.
+    pub fn apply(&mut self, ctx: &mut NodeCtx, r_loc: &[f64], z_loc: &mut [f64]) {
+        match self {
+            NodePrecond::None { .. } => z_loc.copy_from_slice(r_loc),
+            NodePrecond::Jacobi { inv_diag, .. } => {
+                for ((z, r), d) in z_loc.iter_mut().zip(r_loc).zip(inv_diag.iter()) {
+                    *z = r * d;
+                }
+                ctx.clock_mut().advance_flops(r_loc.len());
+            }
+            NodePrecond::BlockJacobiExact { factor } => {
+                z_loc.copy_from_slice(r_loc);
+                factor.solve_in_place(z_loc);
+                ctx.clock_mut().advance_flops(factor.solve_flops());
+            }
+            NodePrecond::ExplicitP {
+                p_local,
+                p_plan,
+                p_ghosts,
+                ..
+            } => {
+                p_plan.exchange(ctx, r_loc, p_ghosts, None);
+                p_local.spmv(r_loc, p_ghosts, z_loc);
+                ctx.clock_mut().advance_flops(p_local.spmv_flops());
+            }
+        }
+    }
+
+    /// Apply the *forward* operator `r_If = M_{If,·} z` restricted to the
+    /// owned (failed) block — the M-given reconstruction step (companion
+    /// paper Alg. 3; local because M is block-diagonal for these variants).
+    /// Not available for `ExplicitP` (which uses the Alg. 2 P-given path).
+    pub fn m_forward_local(&self, lm: &LocalMatrix, z_loc: &[f64], r_loc: &mut [f64]) {
+        match self {
+            NodePrecond::None { .. } => r_loc.copy_from_slice(z_loc),
+            NodePrecond::Jacobi { diag, .. } => {
+                for ((r, z), d) in r_loc.iter_mut().zip(z_loc).zip(diag.iter()) {
+                    *r = z * d;
+                }
+            }
+            NodePrecond::BlockJacobiExact { .. } => {
+                // M's block is exactly the diagonal block of A.
+                lm.diag.spmv(z_loc, r_loc);
+            }
+            NodePrecond::ExplicitP { .. } => {
+                unreachable!("ExplicitP uses the P-given reconstruction path")
+            }
+        }
+    }
+
+    /// True if recovery must use the P-given path (Alg. 2 lines 5–6).
+    pub fn is_explicit_p(&self) -> bool {
+        matches!(self, NodePrecond::ExplicitP { .. })
+    }
+
+    /// The explicit `P` matrix (P-given recovery needs its rows).
+    pub fn p_matrix(&self) -> Option<&Arc<Csr>> {
+        match self {
+            NodePrecond::ExplicitP { p_full, .. } => Some(p_full),
+            _ => None,
+        }
+    }
+
+    /// Flops of one apply (for sizing expectations in tests).
+    pub fn flops_per_apply(&self) -> usize {
+        match self {
+            NodePrecond::None { .. } => 0,
+            NodePrecond::Jacobi { inv_diag, .. } => inv_diag.len(),
+            NodePrecond::BlockJacobiExact { factor } => factor.solve_flops(),
+            NodePrecond::ExplicitP { p_local, .. } => p_local.spmv_flops(),
+        }
+    }
+}

@@ -1,0 +1,497 @@
+//! State reconstruction after node failures — the paper's Alg. 2,
+//! generalized to `ψ ≤ φ` simultaneous failures (Sec. 4.1) and overlapping
+//! failures (restart with the enlarged failed set).
+//!
+//! All nodes enter [`recover`] together at a failure boundary. Ranks in the
+//! failed set act as **replacement nodes**: their dynamic data is poisoned
+//! with NaN first (the failure simulation of paper Sec. 6 — any read of
+//! lost data surfaces as NaN in test assertions), then rebuilt:
+//!
+//! 1. retrieve static data — already held as `Arc`s (reliable storage
+//!    assumption, Sec. 1.1.2);
+//! 2. receive `β(j-1)` (replicated scalar) and the redundant copies of
+//!    `p(j)_If`, `p(j-1)_If` retained by the survivors;
+//! 3. `z_If = p(j)_If − β(j-1) p(j-1)_If` (Alg. 2 line 4);
+//! 4. reconstruct `r_If`: locally via `r = M z` for block-diagonal
+//!    preconditioners (M-given variant), or via gather + distributed solve
+//!    of `P_{If,If} r_If = z_If − P_{If,I\If} r_{I\If}` (P-given, Alg. 2
+//!    lines 5–6);
+//! 5. gather surviving `x_{I\If}` parts, form
+//!    `w = b_If − r_If − A_{If,I\If} x_{I\If}`, and solve
+//!    `A_{If,If} x_If = w` cooperatively across the replacement nodes with
+//!    an inner distributed PCG (Alg. 2 lines 7–8, Sec. 6).
+//!
+//! Overlapping failures are detected at four substep boundaries; any new
+//! failure aborts the attempt and restarts with the union of failed ranks,
+//! exactly as prescribed in Sec. 4.1.
+
+use std::collections::HashSet;
+
+use parcomm::fault::poison;
+use parcomm::{CommPhase, FailAt, NodeCtx, Payload};
+use precond::{Ilu0, SparseLdl};
+use sparsemat::vecops::{axpy, dot, xpay};
+use sparsemat::{BlockPartition, Csr};
+
+use crate::config::RecoveryConfig;
+use crate::localmat::LocalMatrix;
+use crate::precsetup::NodePrecond;
+use crate::retention::{Gen, Retention};
+
+// Recovery tag bases; each attempt gets its own tag window so messages
+// from an aborted attempt can never be confused with a later one.
+const TAG_STRIDE: u32 = 16;
+const TAG_BASE: u32 = 1 << 16;
+const OFF_BETA: u32 = 0;
+const OFF_PCUR: u32 = 1;
+const OFF_PPREV: u32 = 2;
+const OFF_REQ_X: u32 = 3;
+const OFF_RESP_X: u32 = 4;
+const OFF_REQ_R: u32 = 5;
+const OFF_RESP_R: u32 = 6;
+
+fn tag(seq: u32, off: u32) -> u32 {
+    TAG_BASE + seq * TAG_STRIDE + off
+}
+
+/// Static context of one recovery.
+pub struct RecoveryEnv<'a> {
+    /// Full system matrix (static data, reliable storage).
+    pub a: &'a Csr,
+    /// Full right-hand side block owned by this node.
+    pub b_loc: &'a [f64],
+    /// The block-row distribution.
+    pub part: &'a BlockPartition,
+    /// This node's block rows.
+    pub lm: &'a LocalMatrix,
+    /// Reconstruction parameters (tolerances, inner solver).
+    pub cfg: &'a RecoveryConfig,
+    /// The iteration whose boundary detected the failure.
+    pub iteration: u64,
+    /// `false` at iteration 0 (no `p(j-1)` exists yet; `z(0) = p(0)`).
+    pub has_prev: bool,
+}
+
+/// Outcome of one recovery.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Total distinct ranks reconstructed (≥ the initial set if
+    /// overlapping failures occurred).
+    pub total_failed: usize,
+    /// Reconstruction attempts (> 1 iff overlapping failures).
+    pub attempts: usize,
+    /// Inner-solver iterations of the final attempt's x-system.
+    pub inner_iterations: usize,
+}
+
+/// The mutable solver state being reconstructed.
+pub struct SolverState<'a> {
+    /// The iterate block `x(j)_Iᵢ`.
+    pub x: &'a mut [f64],
+    /// The residual block `r(j)_Iᵢ`.
+    pub r: &'a mut [f64],
+    /// The preconditioned residual block `z(j)_Iᵢ`.
+    pub z: &'a mut [f64],
+    /// The search-direction block `p(j)_Iᵢ`.
+    pub p: &'a mut [f64],
+    /// Ghost values of `p(j)` from the last exchange.
+    pub ghosts: &'a mut [f64],
+    /// The redundant-copy store.
+    pub retention: &'a mut Retention,
+    /// The replicated scalar `β(j-1)`.
+    pub beta_prev: &'a mut f64,
+}
+
+/// Run the recovery protocol. All nodes call this at the same boundary
+/// with the same `initial_failed` set (ULFM-consistent notification).
+#[allow(clippy::too_many_arguments)]
+pub fn recover(
+    ctx: &mut NodeCtx,
+    env: &RecoveryEnv,
+    prec: &mut NodePrecond,
+    initial_failed: &[usize],
+    handled: &mut HashSet<(u64, u32)>,
+    recovery_seq: &mut u32,
+    st: &mut SolverState,
+) -> RecoveryReport {
+    let mut failed = initial_failed.to_vec();
+    failed.sort_unstable();
+    failed.dedup();
+    let mut attempts = 0usize;
+
+    'attempt: loop {
+        attempts += 1;
+        let seq = *recovery_seq;
+        *recovery_seq += 1;
+        assert!(
+            failed.len() < ctx.size(),
+            "all {} nodes failed — nothing left to recover from",
+            ctx.size()
+        );
+        let rank = ctx.rank();
+        let am_failed = failed.binary_search(&rank).is_ok();
+        let if_indices = env.part.union_of(&failed);
+        let nloc = env.lm.n_local();
+        let my_start = env.lm.range.start;
+
+        if am_failed {
+            // The node failure: all dynamic data of this rank is lost.
+            poison(st.x);
+            poison(st.r);
+            poison(st.z);
+            poison(st.p);
+            poison(st.ghosts);
+            st.retention.poison();
+            *st.beta_prev = f64::NAN;
+        }
+
+        // ---- substep 0: before any recovery communication ------------
+        if poll_overlap(ctx, env, 0, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        // ---- β(j-1): replicated scalar from the lowest survivor ------
+        let lowest_surv = (0..ctx.size())
+            .find(|r| failed.binary_search(r).is_err())
+            .expect("at least one survivor");
+        if rank == lowest_surv {
+            for &f in &failed {
+                ctx.send(f, tag(seq, OFF_BETA), Payload::F64(*st.beta_prev), CommPhase::Recovery);
+            }
+        } else if am_failed {
+            *st.beta_prev = ctx.recv(lowest_surv, tag(seq, OFF_BETA)).into_f64();
+        }
+
+        // ---- redundant copies of p(j), p(j-1) → replacements ----------
+        if !am_failed {
+            for &f in &failed {
+                let range = env.part.range(f);
+                ctx.send(
+                    f,
+                    tag(seq, OFF_PCUR),
+                    Payload::Pairs(st.retention.collect_range(Gen::Cur, range.start, range.end)),
+                    CommPhase::Recovery,
+                );
+                ctx.send(
+                    f,
+                    tag(seq, OFF_PPREV),
+                    Payload::Pairs(st.retention.collect_range(Gen::Prev, range.start, range.end)),
+                    CommPhase::Recovery,
+                );
+            }
+        } else {
+            let mut p_cur = vec![0.0; nloc];
+            let mut got_cur = vec![false; nloc];
+            let mut p_prev = vec![0.0; nloc];
+            let mut got_prev = vec![false; nloc];
+            for s in 0..ctx.size() {
+                if failed.binary_search(&s).is_ok() {
+                    continue;
+                }
+                for (g, v) in ctx.recv(s, tag(seq, OFF_PCUR)).into_pairs() {
+                    let o = g as usize - my_start;
+                    p_cur[o] = v;
+                    got_cur[o] = true;
+                }
+                for (g, v) in ctx.recv(s, tag(seq, OFF_PPREV)).into_pairs() {
+                    let o = g as usize - my_start;
+                    p_prev[o] = v;
+                    got_prev[o] = true;
+                }
+            }
+            if let Some(o) = got_cur.iter().position(|&g| !g) {
+                panic!(
+                    "rank {rank}: unrecoverable — no surviving copy of p(j)[{}]; \
+                     more simultaneous failures than φ?",
+                    my_start + o
+                );
+            }
+            if env.has_prev {
+                if let Some(o) = got_prev.iter().position(|&g| !g) {
+                    panic!(
+                        "rank {rank}: unrecoverable — no surviving copy of p(j-1)[{}]; \
+                         more simultaneous failures than φ?",
+                        my_start + o
+                    );
+                }
+            }
+            // p(j) restored; z(j) = p(j) − β(j-1) p(j-1)  [Alg. 2 line 4].
+            st.p.copy_from_slice(&p_cur);
+            if env.has_prev {
+                let beta = *st.beta_prev;
+                for i in 0..nloc {
+                    st.z[i] = p_cur[i] - beta * p_prev[i];
+                }
+            } else {
+                st.z.copy_from_slice(&p_cur);
+            }
+            ctx.clock_mut().advance_flops(2 * nloc);
+        }
+
+        // ---- substep 1: after copy gathering --------------------------
+        if poll_overlap(ctx, env, 1, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        // ---- r reconstruction -----------------------------------------
+        let mut inner_iterations = 0usize;
+        if prec.is_explicit_p() {
+            // P-given (Alg. 2 lines 5–6): all nodes participate.
+            let p_full = prec.p_matrix().expect("explicit P").clone();
+            let p_lm = LocalMatrix::build(&p_full, env.part, rank);
+            let ghost_r = gather_failed_ghosts(
+                ctx,
+                env.part,
+                &failed,
+                am_failed,
+                &p_lm.ghost_cols,
+                st.r,
+                my_start,
+                tag(seq, OFF_REQ_R),
+                tag(seq, OFF_RESP_R),
+            );
+            if am_failed {
+                // v = z_If − P_{If,I\If} r_{I\If}
+                let mut v = vec![0.0; nloc];
+                p_lm.offdiag_mul_excluding(&ghost_r.unwrap(), &if_indices, &mut v);
+                ctx.clock_mut().advance_flops(p_lm.offdiag.spmv_flops());
+                for i in 0..nloc {
+                    v[i] = st.z[i] - v[i];
+                }
+                // Solve P_{If,If} r_If = v over the replacement group.
+                let (r_new, iters) = solve_failed_system(
+                    ctx,
+                    env,
+                    &failed,
+                    &if_indices,
+                    &p_full,
+                    v,
+                );
+                inner_iterations += iters;
+                st.r.copy_from_slice(&r_new);
+            }
+        } else if am_failed {
+            // M-given: r_If = M_{If,If} z_If, local (M block-diagonal).
+            prec.m_forward_local(env.lm, st.z, st.r);
+            ctx.clock_mut().advance_flops(env.lm.diag.spmv_flops());
+        }
+
+        // ---- substep 2: after r reconstruction -------------------------
+        if poll_overlap(ctx, env, 2, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        // ---- x reconstruction (Alg. 2 lines 7–8) -----------------------
+        let ghost_x = gather_failed_ghosts(
+            ctx,
+            env.part,
+            &failed,
+            am_failed,
+            &env.lm.ghost_cols,
+            st.x,
+            my_start,
+            tag(seq, OFF_REQ_X),
+            tag(seq, OFF_RESP_X),
+        );
+        if am_failed {
+            // w = b_If − r_If − A_{If,I\If} x_{I\If}
+            let mut w = vec![0.0; nloc];
+            env.lm
+                .offdiag_mul_excluding(&ghost_x.unwrap(), &if_indices, &mut w);
+            ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
+            for i in 0..nloc {
+                w[i] = env.b_loc[i] - st.r[i] - w[i];
+            }
+            let (x_new, iters) =
+                solve_failed_system(ctx, env, &failed, &if_indices, env.a, w);
+            inner_iterations += iters;
+            st.x.copy_from_slice(&x_new);
+        }
+
+        // ---- substep 3: failures during the x solve --------------------
+        if poll_overlap(ctx, env, 3, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        return RecoveryReport {
+            total_failed: failed.len(),
+            attempts,
+            inner_iterations,
+        };
+    }
+}
+
+/// Check the overlap boundary `(iteration, substep)`; merge any newly
+/// failed ranks into `failed` and report whether a restart is needed.
+fn poll_overlap(
+    ctx: &NodeCtx,
+    env: &RecoveryEnv,
+    substep: u32,
+    handled: &mut HashSet<(u64, u32)>,
+    failed: &mut Vec<usize>,
+) -> bool {
+    let key = (env.iteration, substep);
+    if !handled.insert(key) {
+        return false; // already processed in an earlier attempt
+    }
+    let new = ctx.poll_failures(FailAt::RecoverySubstep {
+        after_iteration: env.iteration,
+        substep,
+    });
+    if new.is_empty() {
+        return false;
+    }
+    failed.extend(new);
+    failed.sort_unstable();
+    failed.dedup();
+    true
+}
+
+/// Replacements request the surviving parts of a distributed vector they
+/// need (vector values at their ghost columns outside `If`); survivors
+/// answer. Returns the filled ghost buffer for replacements (entries in
+/// failed ranges left at 0), `None` for survivors.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn gather_failed_ghosts(
+    ctx: &mut NodeCtx,
+    part: &BlockPartition,
+    failed: &[usize],
+    am_failed: bool,
+    ghost_cols: &[usize],
+    v_loc: &[f64],
+    my_start: usize,
+    tag_req: u32,
+    tag_resp: u32,
+) -> Option<Vec<f64>> {
+    if am_failed {
+        // Group needed indices by (surviving) owner.
+        let mut requests: Vec<Vec<u64>> = vec![Vec::new(); ctx.size()];
+        for &g in ghost_cols {
+            let owner = part.owner_of(g);
+            if failed.binary_search(&owner).is_err() {
+                requests[owner].push(g as u64);
+            }
+        }
+        for s in 0..ctx.size() {
+            if s == ctx.rank() || failed.binary_search(&s).is_ok() {
+                continue;
+            }
+            let req = std::mem::take(&mut requests[s]);
+            ctx.send(s, tag_req, Payload::U64s(req), CommPhase::Recovery);
+        }
+        let mut ghosts = vec![0.0; ghost_cols.len()];
+        for s in 0..ctx.size() {
+            if s == ctx.rank() || failed.binary_search(&s).is_ok() {
+                continue;
+            }
+            for (g, v) in ctx.recv(s, tag_resp).into_pairs() {
+                let pos = ghost_cols
+                    .binary_search(&(g as usize))
+                    .expect("response for unrequested index");
+                ghosts[pos] = v;
+            }
+        }
+        Some(ghosts)
+    } else {
+        // Survivors answer every replacement (requests may be empty).
+        for &f in failed {
+            let req = ctx.recv(f, tag_req).into_u64s();
+            let resp: Vec<(u64, f64)> = req
+                .into_iter()
+                .map(|g| (g, v_loc[g as usize - my_start]))
+                .collect();
+            ctx.send(f, tag_resp, Payload::Pairs(resp), CommPhase::Recovery);
+        }
+        None
+    }
+}
+
+/// Cooperatively solve `M_{If,If} y = rhs` across the replacement group
+/// with an inner distributed PCG (paper Sec. 6: "a PCG solver assembled
+/// with global operations", block Jacobi preconditioner with blocks
+/// matching the replacement index sets). Returns this replacement's block
+/// of the solution and the iteration count.
+pub(crate) fn solve_failed_system(
+    ctx: &mut NodeCtx,
+    env: &RecoveryEnv,
+    failed: &[usize],
+    if_indices: &[usize],
+    m: &Csr,
+    rhs: Vec<f64>,
+) -> (Vec<f64>, usize) {
+    let rank = ctx.rank();
+    let my_range = env.part.range(rank);
+    let rows: Vec<usize> = my_range.clone().collect();
+    // This replacement's rows of M_{If,If} (columns renumbered into If).
+    let sub = m.extract(&rows, if_indices);
+    // Own diagonal block of M_{If,If} for preconditioning.
+    let block = m.extract(&rows, &rows);
+    enum BlockPrec {
+        Exact(SparseLdl),
+        Ilu(Ilu0),
+    }
+    let prec = if env.cfg.exact_block_precond {
+        BlockPrec::Exact(SparseLdl::new(&block).unwrap_or_else(|e| {
+            panic!("rank {rank}: reconstruction block not SPD: {e}")
+        }))
+    } else {
+        BlockPrec::Ilu(Ilu0::new(&block).unwrap_or_else(|e| {
+            panic!("rank {rank}: reconstruction block ILU breakdown: {e}")
+        }))
+    };
+    let apply_prec = |p: &BlockPrec, r: &[f64], z: &mut [f64]| {
+        z.copy_from_slice(r);
+        match p {
+            BlockPrec::Exact(f) => f.solve_in_place(z),
+            BlockPrec::Ilu(f) => f.solve_in_place(z),
+        }
+    };
+    // Coarse factorization cost.
+    ctx.clock_mut().advance_flops(20 * block.nnz().max(1));
+
+    let mut group = ctx.group(failed);
+    let nloc = rhs.len();
+    let mut x = vec![0.0; nloc];
+    let mut r = rhs;
+    let mut z = vec![0.0; nloc];
+    apply_prec(&prec, &r, &mut z);
+    let mut p = z.clone();
+    let mut rz = group.allreduce_sum(ctx, dot(&r, &z));
+    let rn0_sq = group.allreduce_sum(ctx, dot(&r, &r));
+    if rn0_sq <= f64::MIN_POSITIVE {
+        return (x, 0);
+    }
+    let target_sq = env.cfg.inner_rel_tol * env.cfg.inner_rel_tol * rn0_sq;
+    let mut u = vec![0.0; nloc];
+    let mut iters = 0usize;
+    for _ in 0..env.cfg.inner_max_iter {
+        iters += 1;
+        // Assemble the full If-vector (group index order == sorted failed
+        // ranks == the layout of `if_indices`).
+        let parts = group.allgatherv_f64(ctx, p.clone());
+        let p_full: Vec<f64> = parts.into_iter().flatten().collect();
+        debug_assert_eq!(p_full.len(), if_indices.len());
+        sub.spmv(&p_full, &mut u);
+        ctx.clock_mut().advance_flops(sub.spmv_flops());
+        let pap = group.allreduce_sum(ctx, dot(&p, &u));
+        if pap <= 0.0 || !pap.is_finite() {
+            panic!("rank {rank}: inner reconstruction solver broke down (pᵀAp = {pap})");
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &u, &mut r);
+        ctx.clock_mut().advance_flops(4 * nloc);
+        let rn_sq = group.allreduce_sum(ctx, dot(&r, &r));
+        if rn_sq <= target_sq {
+            break;
+        }
+        apply_prec(&prec, &r, &mut z);
+        let rz_next = group.allreduce_sum(ctx, dot(&r, &z));
+        let beta = rz_next / rz;
+        rz = rz_next;
+        xpay(&z, beta, &mut p);
+        ctx.clock_mut().advance_flops(2 * nloc);
+    }
+    drop(group);
+    (x, iters)
+}

@@ -1,0 +1,267 @@
+//! The redundant-copy store.
+//!
+//! In non-resilient PCG, a node drops the search-direction elements it
+//! received for SpMV once the product is computed. ESR instead **retains**
+//! everything received for the two most recent search directions
+//! (paper Sec. 2.2): "there is a redundant copy of each element of p(j)
+//! after computing A·p(j)". The store holds two generations — `cur` for
+//! `p(j)`, `prev` for `p(j-1)` — rotated at every SpMV, and answers the
+//! recovery-time query *"give me every retained element owned by the failed
+//! nodes"*.
+
+use crate::scatter::ScatterPlan;
+
+/// Which generation of retained copies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gen {
+    /// Copies of `p(j)` — the most recently scattered search direction.
+    Cur,
+    /// Copies of `p(j-1)`.
+    Prev,
+}
+
+/// Two-generation store of received search-direction elements.
+#[derive(Clone, Debug)]
+pub struct Retention {
+    /// Sorted global indices of every element this node receives per
+    /// iteration (natural ghosts ∪ redundancy extras).
+    idx: Vec<usize>,
+    cur: Vec<f64>,
+    prev: Vec<f64>,
+    /// Per peer: positions into `idx` of that peer's natural values, in
+    /// message order.
+    nat_pos: Vec<Vec<usize>>,
+    /// Per peer: positions into `idx` of that peer's extra values.
+    ext_pos: Vec<Vec<usize>>,
+    cur_valid: bool,
+    prev_valid: bool,
+}
+
+impl Retention {
+    /// Build from a completed scatter plan (extras announced) and the ghost
+    /// column list of the local matrix.
+    pub fn build(plan: &ScatterPlan, ghost_cols: &[usize]) -> Self {
+        let mut idx: Vec<usize> = ghost_cols.to_vec();
+        for ext in &plan.recv_extra {
+            idx.extend_from_slice(ext);
+        }
+        idx.sort_unstable();
+        idx.dedup();
+
+        let lookup = |g: usize| -> usize { idx.binary_search(&g).expect("retained index") };
+        let mut nat_pos = Vec::with_capacity(plan.nodes);
+        let mut ext_pos = Vec::with_capacity(plan.nodes);
+        for k in 0..plan.nodes {
+            nat_pos.push(
+                plan.recv_ghost_range[k]
+                    .clone()
+                    .map(|p| lookup(ghost_cols[p]))
+                    .collect::<Vec<_>>(),
+            );
+            ext_pos.push(
+                plan.recv_extra[k]
+                    .iter()
+                    .map(|&g| lookup(g))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        let n = idx.len();
+        Retention {
+            idx,
+            cur: vec![f64::NAN; n],
+            prev: vec![f64::NAN; n],
+            nat_pos,
+            ext_pos,
+            cur_valid: false,
+            prev_valid: false,
+        }
+    }
+
+    /// Rotate generations at the start of an SpMV: `prev ← cur`.
+    pub fn rotate(&mut self) {
+        std::mem::swap(&mut self.cur, &mut self.prev);
+        self.prev_valid = self.cur_valid;
+        self.cur_valid = false;
+    }
+
+    /// Mark the current generation complete (all exchanges received).
+    pub fn finish_generation(&mut self) {
+        self.cur_valid = true;
+    }
+
+    /// Deposit values received from `peer` into the current generation.
+    pub fn store(&mut self, peer: usize, naturals: &[f64], extras: &[f64]) {
+        debug_assert_eq!(naturals.len(), self.nat_pos[peer].len());
+        debug_assert_eq!(extras.len(), self.ext_pos[peer].len());
+        for (&p, &v) in self.nat_pos[peer].iter().zip(naturals) {
+            self.cur[p] = v;
+        }
+        for (&p, &v) in self.ext_pos[peer].iter().zip(extras) {
+            self.cur[p] = v;
+        }
+    }
+
+    /// Deposit into an explicit generation (recovery-time redundancy
+    /// restoration re-scatters `p(j-1)` into `Prev`).
+    pub fn store_gen(&mut self, generation: Gen, peer: usize, naturals: &[f64], extras: &[f64]) {
+        match generation {
+            Gen::Cur => self.store(peer, naturals, extras),
+            Gen::Prev => {
+                for (&p, &v) in self.nat_pos[peer].iter().zip(naturals) {
+                    self.prev[p] = v;
+                }
+                for (&p, &v) in self.ext_pos[peer].iter().zip(extras) {
+                    self.prev[p] = v;
+                }
+            }
+        }
+    }
+
+    /// Mark a generation valid after recovery restoration.
+    pub fn set_valid(&mut self, generation: Gen) {
+        match generation {
+            Gen::Cur => self.cur_valid = true,
+            Gen::Prev => self.prev_valid = true,
+        }
+    }
+
+    /// Is the generation complete?
+    pub fn is_valid(&self, generation: Gen) -> bool {
+        match generation {
+            Gen::Cur => self.cur_valid,
+            Gen::Prev => self.prev_valid,
+        }
+    }
+
+    /// All retained `(global index, value)` pairs of `generation` whose
+    /// indices fall into `[lo, hi)` — the recovery query for a failed
+    /// node's range.
+    pub fn collect_range(&self, generation: Gen, lo: usize, hi: usize) -> Vec<(u64, f64)> {
+        if !self.is_valid(generation) {
+            return Vec::new();
+        }
+        let vals = match generation {
+            Gen::Cur => &self.cur,
+            Gen::Prev => &self.prev,
+        };
+        let start = self.idx.partition_point(|&g| g < lo);
+        let end = self.idx.partition_point(|&g| g < hi);
+        (start..end)
+            .map(|p| (self.idx[p] as u64, vals[p]))
+            .collect()
+    }
+
+    /// Number of retained elements per generation.
+    pub fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// True if nothing is ever retained (single node, no ghosts).
+    pub fn is_empty(&self) -> bool {
+        self.idx.is_empty()
+    }
+
+    /// Destroy all retained data (this node failed): values become NaN and
+    /// both generations invalid, so any illegal read is detectable.
+    pub fn poison(&mut self) {
+        parcomm::fault::poison(&mut self.cur);
+        parcomm::fault::poison(&mut self.prev);
+        self.cur_valid = false;
+        self.prev_valid = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_plan() -> (ScatterPlan, Vec<usize>) {
+        // 2 peers; this node (rank 1 of 3) has ghosts {0, 1, 20} and
+        // receives extras {2} from peer 0, {21} from peer 2.
+        let plan = ScatterPlan {
+            rank: 1,
+            nodes: 3,
+            my_start: 10,
+            my_len: 10,
+            send_natural: vec![vec![], vec![], vec![]],
+            send_extra: vec![vec![], vec![], vec![]],
+            recv_ghost_range: vec![0..2, 0..0, 2..3],
+            recv_extra: vec![vec![2], vec![], vec![21]],
+        };
+        (plan, vec![0, 1, 20])
+    }
+
+    #[test]
+    fn build_merges_and_sorts_indices() {
+        let (plan, ghosts) = mini_plan();
+        let ret = Retention::build(&plan, &ghosts);
+        assert_eq!(ret.len(), 5); // {0,1,2,20,21}
+        assert!(!ret.is_valid(Gen::Cur));
+    }
+
+    #[test]
+    fn store_and_collect() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.rotate();
+        ret.store(0, &[100.0, 101.0], &[102.0]); // globals 0,1 + extra 2
+        ret.store(2, &[120.0], &[121.0]); // global 20 + extra 21
+        ret.finish_generation();
+        let got = ret.collect_range(Gen::Cur, 0, 3);
+        assert_eq!(got, vec![(0, 100.0), (1, 101.0), (2, 102.0)]);
+        let got = ret.collect_range(Gen::Cur, 20, 22);
+        assert_eq!(got, vec![(20, 120.0), (21, 121.0)]);
+        assert!(ret.collect_range(Gen::Cur, 5, 9).is_empty());
+    }
+
+    #[test]
+    fn rotation_moves_generations() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.rotate();
+        ret.store(0, &[1.0, 2.0], &[3.0]);
+        ret.store(2, &[4.0], &[5.0]);
+        ret.finish_generation();
+        ret.rotate();
+        ret.store(0, &[10.0, 20.0], &[30.0]);
+        ret.store(2, &[40.0], &[50.0]);
+        ret.finish_generation();
+        assert_eq!(ret.collect_range(Gen::Prev, 0, 1), vec![(0, 1.0)]);
+        assert_eq!(ret.collect_range(Gen::Cur, 0, 1), vec![(0, 10.0)]);
+    }
+
+    #[test]
+    fn invalid_generation_yields_nothing() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.rotate();
+        ret.store(0, &[1.0, 2.0], &[3.0]);
+        ret.store(2, &[4.0], &[5.0]);
+        ret.finish_generation();
+        // Prev was never filled.
+        assert!(ret.collect_range(Gen::Prev, 0, 30).is_empty());
+    }
+
+    #[test]
+    fn poison_invalidates() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.rotate();
+        ret.store(0, &[1.0, 2.0], &[3.0]);
+        ret.store(2, &[4.0], &[5.0]);
+        ret.finish_generation();
+        ret.poison();
+        assert!(ret.collect_range(Gen::Cur, 0, 30).is_empty());
+    }
+
+    #[test]
+    fn store_gen_prev_restores_without_rotation() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.store_gen(Gen::Prev, 0, &[7.0, 8.0], &[9.0]);
+        ret.store_gen(Gen::Prev, 2, &[1.0], &[2.0]);
+        ret.set_valid(Gen::Prev);
+        assert_eq!(ret.collect_range(Gen::Prev, 0, 2), vec![(0, 7.0), (1, 8.0)]);
+        assert!(!ret.is_valid(Gen::Cur));
+    }
+}

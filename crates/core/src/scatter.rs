@@ -1,0 +1,280 @@
+//! Communication plans for the distributed SpMV — the "generalized
+//! scatter" of PETSc that the paper's implementation builds on (Sec. 6),
+//! extended with the redundancy traffic of Sec. 4.
+//!
+//! The plan is computed collectively once (the matrix pattern is static):
+//! every node derives its ghost needs from its own rows, requests them from
+//! the owners, and the owners record the resulting send lists `S_ik`
+//! (paper Eqn. 2). The redundancy extension later appends the extra sets
+//! `Rᶜᵢₖ` (Eqn. 6) to the same messages, so that — whenever natural traffic
+//! to the backup target exists — **no additional message latency** is paid
+//! (paper Sec. 4.2).
+
+use parcomm::{CommPhase, NodeCtx, Payload};
+use sparsemat::BlockPartition;
+use std::ops::Range;
+
+use crate::localmat::LocalMatrix;
+use crate::retention::Retention;
+
+/// User message tag for SpMV ghost exchange (with appended redundancy).
+pub const TAG_SPMV: u32 = 10;
+
+/// The per-node communication plan.
+#[derive(Clone, Debug)]
+pub struct ScatterPlan {
+    /// This node's rank.
+    pub rank: usize,
+    /// Cluster size N.
+    pub nodes: usize,
+    /// Start of the owned range (local offset = global − start).
+    pub my_start: usize,
+    /// Owned range length.
+    pub my_len: usize,
+    /// Per peer `k`: local offsets sent naturally during SpMV (`S_ik`).
+    pub send_natural: Vec<Vec<usize>>,
+    /// Per peer `k`: local offsets sent only for redundancy (`Rᶜᵢₖ`);
+    /// filled in by [`crate::redundancy`].
+    pub send_extra: Vec<Vec<usize>>,
+    /// Per peer `k`: the positions in the ghost buffer filled by `k`'s
+    /// natural values (contiguous, because ghost columns are sorted and
+    /// ownership ranges are contiguous).
+    pub recv_ghost_range: Vec<Range<usize>>,
+    /// Per peer `k`: global indices of redundancy extras received from `k`.
+    pub recv_extra: Vec<Vec<usize>>,
+}
+
+impl ScatterPlan {
+    /// Build the natural-traffic plan collectively. Must be called by all
+    /// nodes at the same SPMD point.
+    pub fn build(ctx: &mut NodeCtx, lm: &LocalMatrix, part: &BlockPartition) -> Self {
+        let nodes = ctx.size();
+        let rank = ctx.rank();
+        debug_assert_eq!(rank, part.owner_of(lm.range.start));
+
+        // Group own ghost needs by owner: contiguous segments of the
+        // sorted ghost column list.
+        let mut requests: Vec<Vec<u64>> = vec![Vec::new(); nodes];
+        let mut recv_ghost_range: Vec<Range<usize>> = vec![0..0; nodes];
+        {
+            let gc = &lm.ghost_cols;
+            let mut pos = 0usize;
+            while pos < gc.len() {
+                let owner = part.owner_of(gc[pos]);
+                let end_of_owner = part.range(owner).end;
+                let mut end = pos;
+                while end < gc.len() && gc[end] < end_of_owner {
+                    end += 1;
+                }
+                recv_ghost_range[owner] = pos..end;
+                requests[owner].extend(gc[pos..end].iter().map(|&g| g as u64));
+                pos = end;
+            }
+        }
+
+        // Owners learn who needs what: the send lists S_ik.
+        let incoming = ctx.alltoallv_u64(requests);
+        let my_start = lm.range.start;
+        let mut send_natural: Vec<Vec<usize>> = Vec::with_capacity(nodes);
+        for (k, req) in incoming.into_iter().enumerate() {
+            if k == rank {
+                send_natural.push(Vec::new());
+                continue;
+            }
+            send_natural.push(
+                req.into_iter()
+                    .map(|g| {
+                        let g = g as usize;
+                        debug_assert!(lm.range.contains(&g), "request outside owned range");
+                        g - my_start
+                    })
+                    .collect(),
+            );
+        }
+
+        ScatterPlan {
+            rank,
+            nodes,
+            my_start,
+            my_len: lm.range.len(),
+            send_natural,
+            send_extra: vec![Vec::new(); nodes],
+            recv_ghost_range,
+            recv_extra: vec![Vec::new(); nodes],
+        }
+    }
+
+    /// After `send_extra` is filled, announce the extras to their receivers
+    /// so they can size and index their retention stores. Collective.
+    pub fn announce_extras(&mut self, ctx: &mut NodeCtx) {
+        let sends: Vec<Vec<u64>> = self
+            .send_extra
+            .iter()
+            .map(|offs| offs.iter().map(|&o| (self.my_start + o) as u64).collect())
+            .collect();
+        let incoming = ctx.alltoallv_u64(sends);
+        self.recv_extra = incoming
+            .into_iter()
+            .map(|v| v.into_iter().map(|g| g as usize).collect())
+            .collect();
+    }
+
+    /// True if any peer receives traffic from us in SpMV.
+    pub fn sends_anything(&self) -> bool {
+        self.send_natural.iter().any(|s| !s.is_empty())
+            || self.send_extra.iter().any(|s| !s.is_empty())
+    }
+
+    /// Total extra elements per iteration (the overhead term of Sec. 4.2).
+    pub fn extra_elems(&self) -> usize {
+        self.send_extra.iter().map(Vec::len).sum()
+    }
+
+    /// Exchange ghost values of `v_loc` and deposit received copies into
+    /// the retention store (if given): the fused SpMV-scatter +
+    /// redundancy distribution of one PCG iteration.
+    ///
+    /// `ghosts` must have one slot per ghost column. When `retention` is
+    /// `Some`, both natural ghosts and extras are recorded as redundant
+    /// copies of the sender's block.
+    pub fn exchange(
+        &self,
+        ctx: &mut NodeCtx,
+        v_loc: &[f64],
+        ghosts: &mut [f64],
+        mut retention: Option<&mut Retention>,
+    ) {
+        debug_assert_eq!(v_loc.len(), self.my_len);
+        // Post all sends first (asynchronous channels: no deadlock).
+        for k in 0..self.nodes {
+            if k == self.rank {
+                continue;
+            }
+            let nat = &self.send_natural[k];
+            let ext = &self.send_extra[k];
+            if nat.is_empty() && ext.is_empty() {
+                continue;
+            }
+            let mut buf = Vec::with_capacity(nat.len() + ext.len());
+            buf.extend(nat.iter().map(|&o| v_loc[o]));
+            buf.extend(ext.iter().map(|&o| v_loc[o]));
+            if nat.is_empty() {
+                // This link exists only for redundancy: the extra-latency
+                // case of the paper's Sec. 4.2 analysis.
+                ctx.stats_mut().record_extra_latency();
+            }
+            ctx.send_with_phases(
+                k,
+                TAG_SPMV,
+                Payload::F64s(buf),
+                &[(CommPhase::Spmv, nat.len()), (CommPhase::Redundancy, ext.len())],
+            );
+        }
+        // Receive in deterministic peer order.
+        for k in 0..self.nodes {
+            if k == self.rank {
+                continue;
+            }
+            let ghost_range = self.recv_ghost_range[k].clone();
+            let n_ext = self.recv_extra[k].len();
+            if ghost_range.is_empty() && n_ext == 0 {
+                continue;
+            }
+            let data = ctx.recv(k, TAG_SPMV).into_f64s();
+            debug_assert_eq!(data.len(), ghost_range.len() + n_ext);
+            let (nat_vals, ext_vals) = data.split_at(ghost_range.len());
+            ghosts[ghost_range].copy_from_slice(nat_vals);
+            if let Some(ret) = retention.as_deref_mut() {
+                ret.store(k, nat_vals, ext_vals);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parcomm::{Cluster, ClusterConfig};
+    use sparsemat::gen::poisson2d;
+    use sparsemat::Csr;
+    use std::sync::Arc;
+
+    fn build_plans(a: Arc<Csr>, nodes: usize) -> Vec<(ScatterPlan, LocalMatrix)> {
+        let n = a.n_rows();
+        Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            let part = BlockPartition::new(n, ctx.size());
+            let lm = LocalMatrix::build(&a, &part, ctx.rank());
+            let plan = ScatterPlan::build(ctx, &lm, &part);
+            (plan, lm)
+        })
+    }
+
+    #[test]
+    fn send_and_recv_lists_are_symmetric() {
+        let a = Arc::new(poisson2d(6, 6));
+        let plans = build_plans(a, 4);
+        for (i, (plan_i, _)) in plans.iter().enumerate() {
+            for (k, (plan_k, _)) in plans.iter().enumerate() {
+                if i == k {
+                    continue;
+                }
+                // What i sends to k == what k expects from i.
+                let sent: Vec<usize> = plan_i.send_natural[k]
+                    .iter()
+                    .map(|&o| o + plan_i.my_start)
+                    .collect();
+                let expected: Vec<usize> = {
+                    let (_, lm_k) = &plans[k];
+                    let r = plan_k.recv_ghost_range[i].clone();
+                    lm_k.ghost_cols[r].to_vec()
+                };
+                assert_eq!(sent, expected, "i={i} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exchange_delivers_ghosts() {
+        let a = Arc::new(poisson2d(6, 6));
+        let n = 36;
+        let out = Cluster::run(ClusterConfig::new(3), move |ctx| {
+            let part = BlockPartition::new(n, ctx.size());
+            let lm = LocalMatrix::build(&a, &part, ctx.rank());
+            let plan = ScatterPlan::build(ctx, &lm, &part);
+            // Global vector x[i] = i².
+            let v_loc: Vec<f64> = lm.range.clone().map(|i| (i * i) as f64).collect();
+            let mut ghosts = vec![f64::NAN; lm.ghost_cols.len()];
+            plan.exchange(ctx, &v_loc, &mut ghosts, None);
+            (lm.ghost_cols.clone(), ghosts)
+        });
+        for (cols, ghosts) in out {
+            for (g, v) in cols.iter().zip(&ghosts) {
+                assert_eq!(*v, (g * g) as f64);
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_spmv_through_plan_matches_sequential() {
+        let a = Arc::new(poisson2d(7, 5));
+        let n = 35;
+        let a2 = a.clone();
+        let out = Cluster::run(ClusterConfig::new(5), move |ctx| {
+            let part = BlockPartition::new(n, ctx.size());
+            let lm = LocalMatrix::build(&a2, &part, ctx.rank());
+            let plan = ScatterPlan::build(ctx, &lm, &part);
+            let x_loc: Vec<f64> = lm.range.clone().map(|i| (i as f64 * 0.31).cos()).collect();
+            let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+            plan.exchange(ctx, &x_loc, &mut ghosts, None);
+            let mut y = vec![0.0; lm.n_local()];
+            lm.spmv(&x_loc, &ghosts, &mut y);
+            y
+        });
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.31).cos()).collect();
+        let y_seq = a.mul_vec(&x);
+        let y_dist: Vec<f64> = out.into_iter().flatten().collect();
+        for (d, s) in y_dist.iter().zip(&y_seq) {
+            assert!((d - s).abs() < 1e-14);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # krylov — sequential iterative solvers
+//!
+//! The reference (non-distributed) solvers of the reproduction: these are
+//! the baselines the distributed ESR solver is validated against, and the
+//! inner solvers used during reconstruction.
+//!
+//! * [`pcg()`](cg::pcg) — the preconditioned conjugate gradient method, literally the
+//!   paper's Alg. 1;
+//! * [`cg()`](cg::cg) — unpreconditioned CG;
+//! * [`spcg()`](spcg::spcg) — split-preconditioned CG (`M = L Lᵀ`), one of the variants
+//!   the ESR literature distinguishes (Pachajoa et al. 2018, Alg. 5);
+//! * [`bicgstab()`](bicgstab::bicgstab) — preconditioned BiCGSTAB (the paper's Sec. 1 lists it
+//!   among the methods the ESR extension applies to);
+//! * [`stationary`] — Jacobi, Gauss–Seidel, SOR, SSOR iterations.
+
+// Indexed loops over several parallel arrays are the clearest form for
+// the numeric kernels in this crate; iterator-zip pyramids obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bicgstab;
+pub mod cg;
+pub mod report;
+pub mod spcg;
+pub mod stationary;
+
+pub use bicgstab::bicgstab;
+pub use cg::{cg, pcg};
+pub use report::{SolveReport, StopReason};
+pub use spcg::spcg;
+pub use stationary::{gauss_seidel, jacobi_iter, sor, ssor_iter, StationaryReport};

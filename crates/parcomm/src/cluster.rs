@@ -1,0 +1,425 @@
+//! The SPMD cluster harness.
+//!
+//! [`Cluster::run`] spawns one OS thread per simulated compute node, wires
+//! up the mailboxes, and executes the same program on every node — the SPMD
+//! model of MPI. Per-node results are collected in rank order.
+//!
+//! The paper runs one MPI process per node (Sec. 7.1, "we use only one
+//! process per node"), so a node ≡ a rank here too.
+
+use std::thread;
+
+use crate::comm::NodeCtx;
+use crate::fault::{FailureScript, FaultOracle};
+use crate::mailbox::Mailbox;
+use crate::vclock::{CostModel, VClock};
+
+/// Cluster-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of compute nodes N.
+    pub nodes: usize,
+    /// Latency–bandwidth–flop cost model for the virtual clock.
+    pub cost: CostModel,
+    /// Scheduled node failures (empty for failure-free runs).
+    pub script: FailureScript,
+}
+
+impl ClusterConfig {
+    /// A failure-free cluster of `nodes` nodes with the default cost model.
+    pub fn new(nodes: usize) -> Self {
+        ClusterConfig {
+            nodes,
+            cost: CostModel::default(),
+            script: FailureScript::none(),
+        }
+    }
+
+    /// Set the failure script.
+    pub fn with_script(mut self, script: FailureScript) -> Self {
+        self.script = script;
+        self
+    }
+
+    /// Set the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+/// The simulated parallel computer.
+pub struct Cluster;
+
+impl Cluster {
+    /// Run `program` on every node of a cluster described by `config`;
+    /// returns the per-node results in rank order.
+    ///
+    /// `program` is the SPMD node program: it receives this node's
+    /// [`NodeCtx`] and runs to completion. A panic on any node aborts the
+    /// run (the panic is propagated with its rank).
+    pub fn run<T, F>(config: ClusterConfig, program: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> T + Sync,
+    {
+        let n = config.nodes;
+        assert!(n >= 1, "cluster needs at least one node");
+        let oracle = FaultOracle::new(config.script.clone());
+
+        // Wire mailboxes: every node gets the senders of all nodes.
+        let mut mailboxes = Vec::with_capacity(n);
+        let mut outboxes = Vec::with_capacity(n);
+        for rank in 0..n {
+            let (mb, tx) = Mailbox::new(rank);
+            mailboxes.push(mb);
+            outboxes.push(tx);
+        }
+
+        let program = &program;
+        let results: Vec<T> = thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n);
+            for (rank, mb) in mailboxes.into_iter().enumerate() {
+                let outboxes = outboxes.clone();
+                let oracle = oracle.clone();
+                let cost = config.cost;
+                handles.push(
+                    thread::Builder::new()
+                        .name(format!("node-{rank}"))
+                        // The solver recursion depth is shallow, but large
+                        // local vectors live on the heap; default stack is
+                        // plenty. Set explicitly for predictability.
+                        .stack_size(4 * 1024 * 1024)
+                        .spawn_scoped(s, move || {
+                            // Keep abort handles so a panic on this node
+                            // tears the whole cluster down immediately
+                            // instead of stranding peers in recv.
+                            let abort_outboxes = outboxes.clone();
+                            let result = std::panic::catch_unwind(
+                                std::panic::AssertUnwindSafe(|| {
+                                    let mut ctx = NodeCtx::new(
+                                        rank,
+                                        n,
+                                        mb,
+                                        outboxes,
+                                        oracle,
+                                        VClock::new(cost),
+                                    );
+                                    program(&mut ctx)
+                                }),
+                            );
+                            match result {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    for (dest, tx) in abort_outboxes.iter().enumerate() {
+                                        if dest != rank {
+                                            let _ = tx.send(crate::payload::Message {
+                                                src: rank,
+                                                tag: crate::tag::Tag::ABORT,
+                                                payload: crate::payload::Payload::Empty,
+                                                arrival_vtime: 0.0,
+                                            });
+                                        }
+                                    }
+                                    std::panic::resume_unwind(e)
+                                }
+                            }
+                        })
+                        .expect("failed to spawn node thread"),
+                );
+            }
+            // Join all nodes; if any panicked, report the *root cause*
+            // (a real panic) rather than a secondary "peer aborted" one.
+            let mut values = Vec::with_capacity(n);
+            let mut panics: Vec<(usize, String)> = Vec::new();
+            for (rank, h) in handles.into_iter().enumerate() {
+                match h.join() {
+                    Ok(v) => values.push(v),
+                    Err(e) => {
+                        let msg = e
+                            .downcast_ref::<String>()
+                            .map(String::as_str)
+                            .or_else(|| e.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>")
+                            .to_string();
+                        panics.push((rank, msg));
+                    }
+                }
+            }
+            if let Some((rank, msg)) = panics
+                .iter()
+                .find(|(_, m)| !m.contains("aborted"))
+                .or_else(|| panics.first())
+            {
+                panic!("node {rank} panicked: {msg}");
+            }
+            values
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::ReduceOp;
+    use crate::payload::Payload;
+    use crate::stats::CommPhase;
+
+    #[test]
+    fn ranks_and_size() {
+        let out = Cluster::run(ClusterConfig::new(5), |ctx| (ctx.rank(), ctx.size()));
+        assert_eq!(out, vec![(0, 5), (1, 5), (2, 5), (3, 5), (4, 5)]);
+    }
+
+    #[test]
+    fn p2p_ring() {
+        let out = Cluster::run(ClusterConfig::new(4), |ctx| {
+            let next = (ctx.rank() + 1) % ctx.size();
+            let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+            ctx.send(next, 7, Payload::F64(ctx.rank() as f64), CommPhase::Other);
+            ctx.recv(prev, 7).into_f64()
+        });
+        assert_eq!(out, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn allreduce_sum_all_sizes() {
+        for n in 1..=9 {
+            let out = Cluster::run(ClusterConfig::new(n), |ctx| {
+                ctx.allreduce_sum((ctx.rank() + 1) as f64)
+            });
+            let expect = (n * (n + 1) / 2) as f64;
+            assert!(out.iter().all(|&x| x == expect), "n={n}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn allreduce_max_min() {
+        let out = Cluster::run(ClusterConfig::new(6), |ctx| {
+            let mx = ctx.allreduce_max(ctx.rank() as f64);
+            let mn = ctx.allreduce_min(ctx.rank() as f64);
+            (mx, mn)
+        });
+        assert!(out.iter().all(|&(mx, mn)| mx == 5.0 && mn == 0.0));
+    }
+
+    #[test]
+    fn allreduce_vec_elementwise() {
+        let out = Cluster::run(ClusterConfig::new(3), |ctx| {
+            ctx.allreduce_vec(ReduceOp::Sum, vec![ctx.rank() as f64, 1.0])
+        });
+        assert!(out.iter().all(|v| v == &vec![3.0, 3.0]));
+    }
+
+    #[test]
+    fn allreduce_is_deterministic_across_runs() {
+        // Sum of values whose FP addition is order-sensitive.
+        let run = || {
+            Cluster::run(ClusterConfig::new(7), |ctx| {
+                let x = 1.0 / (ctx.rank() as f64 + 3.0) * 1e10 + 1e-10;
+                ctx.allreduce_sum(x)
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "tree reduction must be bitwise reproducible");
+        // All nodes agree within a run.
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        for n in [1, 2, 3, 5, 8] {
+            let out = Cluster::run(ClusterConfig::new(n), |ctx| {
+                let root = ctx.size() - 1;
+                let payload = if ctx.rank() == root {
+                    Payload::F64s(vec![42.0, 7.0])
+                } else {
+                    Payload::Empty
+                };
+                ctx.bcast(root, payload).into_f64s()
+            });
+            assert!(out.iter().all(|v| v == &vec![42.0, 7.0]), "n={n}");
+        }
+    }
+
+    #[test]
+    fn allgatherv_f64_varying_lengths() {
+        let out = Cluster::run(ClusterConfig::new(4), |ctx| {
+            let mine = vec![ctx.rank() as f64; ctx.rank()]; // rank r sends r copies
+            ctx.allgatherv_f64(mine)
+        });
+        for v in out {
+            assert_eq!(v.len(), 4);
+            for (r, part) in v.iter().enumerate() {
+                assert_eq!(part.len(), r);
+                assert!(part.iter().all(|&x| x == r as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn allgatherv_u64() {
+        let out = Cluster::run(ClusterConfig::new(3), |ctx| {
+            ctx.allgatherv_u64(vec![ctx.rank() as u64 * 10, 1])
+        });
+        for v in out {
+            assert_eq!(v, vec![vec![0, 1], vec![10, 1], vec![20, 1]]);
+        }
+    }
+
+    #[test]
+    fn alltoallv_u64_exchanges() {
+        let out = Cluster::run(ClusterConfig::new(3), |ctx| {
+            // Send [my_rank, dest] to each dest.
+            let sends: Vec<Vec<u64>> = (0..3)
+                .map(|d| vec![ctx.rank() as u64, d as u64])
+                .collect();
+            ctx.alltoallv_u64(sends)
+        });
+        for (me, recvd) in out.iter().enumerate() {
+            for (src, v) in recvd.iter().enumerate() {
+                assert_eq!(v, &vec![src as u64, me as u64]);
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_pairs_exchanges() {
+        let out = Cluster::run(ClusterConfig::new(3), |ctx| {
+            let sends: Vec<Vec<(u64, f64)>> = (0..3)
+                .map(|d| vec![(d as u64, ctx.rank() as f64)])
+                .collect();
+            ctx.alltoallv_pairs(sends, CommPhase::Recovery)
+        });
+        for (me, recvd) in out.iter().enumerate() {
+            for (src, v) in recvd.iter().enumerate() {
+                assert_eq!(v, &vec![(me as u64, src as f64)]);
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_syncs_vclocks() {
+        let out = Cluster::run(ClusterConfig::new(4), |ctx| {
+            // Rank 2 does expensive local work before the barrier.
+            if ctx.rank() == 2 {
+                ctx.clock_mut().advance(1.0);
+            }
+            ctx.barrier();
+            ctx.vtime()
+        });
+        // Everyone's clock must be at least the slow node's time.
+        assert!(out.iter().all(|&t| t >= 1.0), "{out:?}");
+    }
+
+    #[test]
+    fn gatherv_on_root_only() {
+        let out = Cluster::run(ClusterConfig::new(3), |ctx| {
+            ctx.gatherv_f64(1, vec![ctx.rank() as f64])
+        });
+        assert!(out[0].is_none());
+        assert!(out[2].is_none());
+        assert_eq!(
+            out[1].as_ref().unwrap(),
+            &vec![vec![0.0], vec![1.0], vec![2.0]]
+        );
+    }
+
+    #[test]
+    fn group_collectives() {
+        let out = Cluster::run(ClusterConfig::new(5), |ctx| {
+            // Odd ranks form a group; evens idle.
+            if ctx.rank() % 2 == 1 {
+                let mut g = ctx.group(&[1, 3]);
+                let s = g.allreduce_sum(ctx, ctx.rank() as f64);
+                let gathered = g.allgatherv_f64(ctx, vec![ctx.rank() as f64]);
+                Some((s, gathered))
+            } else {
+                None
+            }
+        });
+        for r in [1usize, 3] {
+            let (s, gathered) = out[r].clone().unwrap();
+            assert_eq!(s, 4.0);
+            assert_eq!(gathered, vec![vec![1.0], vec![3.0]]);
+        }
+    }
+
+    #[test]
+    fn group_alltoallv_pairs() {
+        let out = Cluster::run(ClusterConfig::new(4), |ctx| {
+            if ctx.rank() >= 1 && ctx.rank() <= 3 {
+                let mut g = ctx.group(&[1, 2, 3]);
+                let sends: Vec<Vec<(u64, f64)>> = (0..3)
+                    .map(|i| vec![(i as u64, ctx.rank() as f64)])
+                    .collect();
+                Some(g.alltoallv_pairs(ctx, sends, CommPhase::Recovery))
+            } else {
+                None
+            }
+        });
+        // Member with group index i receives (i, src_rank) from each member.
+        for (rank, res) in out.iter().enumerate() {
+            if let Some(recvd) = res {
+                let my_index = rank - 1;
+                for (j, v) in recvd.iter().enumerate() {
+                    let src_rank = j + 1;
+                    assert_eq!(v, &vec![(my_index as u64, src_rank as f64)]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_track_phases() {
+        let out = Cluster::run(ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Payload::F64s(vec![0.0; 10]), CommPhase::Spmv);
+                ctx.send(1, 2, Payload::F64s(vec![0.0; 3]), CommPhase::Redundancy);
+            } else {
+                ctx.recv(0, 1);
+                ctx.recv(0, 2);
+            }
+            (
+                ctx.stats().elems(CommPhase::Spmv),
+                ctx.stats().elems(CommPhase::Redundancy),
+            )
+        });
+        assert_eq!(out[0], (10, 3));
+        assert_eq!(out[1], (0, 0)); // receives are counted at the sender
+    }
+
+    #[test]
+    fn vclock_charges_messages() {
+        let cost = CostModel {
+            lambda: 1.0,
+            mu: 0.1,
+            gamma: 0.0,
+        };
+        let out = Cluster::run(ClusterConfig::new(2).with_cost(cost), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 1, Payload::F64s(vec![0.0; 10]), CommPhase::Spmv);
+            } else {
+                ctx.recv(0, 1);
+            }
+            ctx.vtime()
+        });
+        // Sender: λ + 10µ = 2.0. Receiver absorbs the same arrival stamp.
+        assert_eq!(out[0], 2.0);
+        assert_eq!(out[1], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "node 1 panicked")]
+    fn node_panic_propagates() {
+        Cluster::run(ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+            // Rank 0 must not block forever on a dead peer in this test:
+            // it does no communication.
+        });
+    }
+}

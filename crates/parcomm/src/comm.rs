@@ -1,0 +1,538 @@
+//! The per-node communicator handle: point-to-point messaging and
+//! deterministic collectives.
+//!
+//! Collectives use **binomial trees with a structure fixed by (root, size)**,
+//! so floating-point reductions are bitwise reproducible across runs — the
+//! reduction order never depends on message timing. This mirrors what
+//! MPI implementations provide on a fixed topology and is essential for the
+//! reproducibility of the numerical experiments.
+
+use std::collections::HashMap;
+
+use crate::fault::{FailAt, FaultOracle};
+use crate::group::Group;
+use crate::mailbox::{Mailbox, Outbox};
+use crate::payload::{Message, Payload};
+use crate::stats::{CommPhase, CommStats};
+use crate::tag::{op, Tag};
+use crate::vclock::VClock;
+
+/// Element-wise reduction operators over `f64` buffers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise maximum.
+    Max,
+    /// Element-wise minimum.
+    Min,
+}
+
+impl ReduceOp {
+    pub(crate) fn combine(self, acc: &mut [f64], other: &[f64]) {
+        debug_assert_eq!(acc.len(), other.len(), "reduction length mismatch");
+        match self {
+            ReduceOp::Sum => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    *a += *b;
+                }
+            }
+            ReduceOp::Max => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    if *b > *a {
+                        *a = *b;
+                    }
+                }
+            }
+            ReduceOp::Min => {
+                for (a, b) in acc.iter_mut().zip(other) {
+                    if *b < *a {
+                        *a = *b;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A node's view of the cluster: rank, mailbox, peers, clock, statistics,
+/// and the failure oracle. Exactly one `NodeCtx` exists per node thread.
+pub struct NodeCtx {
+    rank: usize,
+    size: usize,
+    mailbox: Mailbox,
+    outboxes: Vec<Outbox>,
+    oracle: FaultOracle,
+    clock: VClock,
+    stats: CommStats,
+    coll_seq: u64,
+    group_counters: HashMap<Vec<usize>, u32>,
+}
+
+impl NodeCtx {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        mailbox: Mailbox,
+        outboxes: Vec<Outbox>,
+        oracle: FaultOracle,
+        clock: VClock,
+    ) -> Self {
+        NodeCtx {
+            rank,
+            size,
+            mailbox,
+            outboxes,
+            oracle,
+            clock,
+            stats: CommStats::new(),
+            coll_seq: 0,
+            group_counters: HashMap::new(),
+        }
+    }
+
+    /// This node's rank in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send `payload` to `dest` with a user tag, charged to `phase`.
+    pub fn send(&mut self, dest: usize, tag: u32, payload: Payload, phase: CommPhase) {
+        self.send_tag(dest, Tag::user(tag), payload, phase);
+    }
+
+    pub(crate) fn send_tag(&mut self, dest: usize, tag: Tag, payload: Payload, phase: CommPhase) {
+        debug_assert!(dest < self.size, "send to rank {} of {}", dest, self.size);
+        debug_assert_ne!(dest, self.rank, "self-send is a protocol bug");
+        let elems = payload.elems();
+        self.stats.record_send(phase, elems);
+        let arrival_vtime = self.clock.stamp_send(elems);
+        let msg = Message {
+            src: self.rank,
+            tag,
+            payload,
+            arrival_vtime,
+        };
+        // A closed channel means the peer thread panicked; propagate.
+        self.outboxes[dest]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("rank {}: peer {} is gone", self.rank, dest));
+    }
+
+    /// Send one physical message whose elements belong to several
+    /// accounting phases (e.g. natural SpMV traffic plus appended
+    /// redundancy copies — the paper's latency-avoidance optimization:
+    /// one message, one λ, split bookkeeping). The `split` counts must sum
+    /// to the payload's element count.
+    pub fn send_with_phases(
+        &mut self,
+        dest: usize,
+        tag: u32,
+        payload: Payload,
+        split: &[(CommPhase, usize)],
+    ) {
+        debug_assert_eq!(
+            split.iter().map(|&(_, n)| n).sum::<usize>(),
+            payload.elems(),
+            "phase split must cover the payload"
+        );
+        let mut first = true;
+        for &(phase, elems) in split {
+            if first {
+                self.stats.record_send(phase, elems);
+                first = false;
+            } else {
+                // Count elements without double-counting the message.
+                let msgs_before = self.stats.msgs(phase);
+                self.stats.record_send(phase, elems);
+                // record_send bumped the message counter; compensate so
+                // message counts reflect physical messages.
+                debug_assert_eq!(self.stats.msgs(phase), msgs_before + 1);
+                self.stats.uncount_msg(phase);
+            }
+        }
+        let elems = payload.elems();
+        let arrival_vtime = self.clock.stamp_send(elems);
+        let msg = Message {
+            src: self.rank,
+            tag: Tag::user(tag),
+            payload,
+            arrival_vtime,
+        };
+        self.outboxes[dest]
+            .send(msg)
+            .unwrap_or_else(|_| panic!("rank {}: peer {} is gone", self.rank, dest));
+    }
+
+    /// Blocking receive of a user-tagged message from `src`.
+    pub fn recv(&mut self, src: usize, tag: u32) -> Payload {
+        self.recv_tag(src, Tag::user(tag)).payload
+    }
+
+    pub(crate) fn recv_tag(&mut self, src: usize, tag: Tag) -> Message {
+        let m = self.mailbox.recv(src, tag);
+        self.clock.absorb_arrival(m.arrival_vtime);
+        m
+    }
+
+    /// Blocking receive of a user-tagged message from any source.
+    pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
+        let m = self.mailbox.recv_any(Tag::user(tag));
+        self.clock.absorb_arrival(m.arrival_vtime);
+        (m.src, m.payload)
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives (deterministic binomial trees)
+    // ------------------------------------------------------------------
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.coll_seq;
+        self.coll_seq += 1;
+        s
+    }
+
+    /// Synchronize all nodes (and their virtual clocks).
+    pub fn barrier(&mut self) {
+        let seq = self.next_seq();
+        self.tree_reduce_root(0, ReduceOp::Sum, Vec::new(), Tag::coll(op::BARRIER, seq));
+        self.tree_bcast_from(0, Payload::Empty, Tag::coll(op::BCAST, seq));
+    }
+
+    /// Broadcast `payload` from `root`; every node returns the payload.
+    pub fn bcast(&mut self, root: usize, payload: Payload) -> Payload {
+        let seq = self.next_seq();
+        self.tree_bcast_from(root, payload, Tag::coll(op::BCAST, seq))
+    }
+
+    /// All-reduce a scalar.
+    pub fn allreduce_sum(&mut self, x: f64) -> f64 {
+        self.allreduce_vec(ReduceOp::Sum, vec![x])[0]
+    }
+
+    /// All-reduce max of a scalar.
+    pub fn allreduce_max(&mut self, x: f64) -> f64 {
+        self.allreduce_vec(ReduceOp::Max, vec![x])[0]
+    }
+
+    /// All-reduce min of a scalar.
+    pub fn allreduce_min(&mut self, x: f64) -> f64 {
+        self.allreduce_vec(ReduceOp::Min, vec![x])[0]
+    }
+
+    /// Element-wise all-reduce of an `f64` buffer (all nodes pass equal
+    /// lengths; the result is bitwise identical on every node).
+    pub fn allreduce_vec(&mut self, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
+        let seq = self.next_seq();
+        let reduced = self.tree_reduce_root(0, opr, x, Tag::coll(op::REDUCE, seq));
+        let payload = if self.rank == 0 {
+            Payload::F64s(reduced)
+        } else {
+            Payload::Empty // replaced by the broadcast
+        };
+        self.tree_bcast_from(0, payload, Tag::coll(op::BCAST, seq))
+            .into_f64s()
+    }
+
+    /// Gather variable-length `f64` buffers on `root` (rank order).
+    /// Non-roots return `None`.
+    pub fn gatherv_f64(&mut self, root: usize, x: Vec<f64>) -> Option<Vec<Vec<f64>>> {
+        let seq = self.next_seq();
+        let tag = Tag::coll(op::GATHER, seq);
+        if self.rank == root {
+            let mut out: Vec<Vec<f64>> = Vec::with_capacity(self.size);
+            for r in 0..self.size {
+                if r == root {
+                    out.push(x.clone());
+                } else {
+                    out.push(self.recv_tag(r, tag).payload.into_f64s());
+                }
+            }
+            Some(out)
+        } else {
+            self.send_tag(root, tag, Payload::F64s(x), CommPhase::Other);
+            None
+        }
+    }
+
+    /// All-gather variable-length `f64` buffers; result indexed by rank.
+    pub fn allgatherv_f64(&mut self, x: Vec<f64>) -> Vec<Vec<f64>> {
+        let gathered = self.gatherv_f64(0, x);
+        self.bcast_vecs_f64(0, gathered)
+    }
+
+    /// All-gather variable-length `u64` buffers; result indexed by rank.
+    pub fn allgatherv_u64(&mut self, x: Vec<u64>) -> Vec<Vec<u64>> {
+        let seq = self.next_seq();
+        let tag = Tag::coll(op::GATHER, seq);
+        let gathered: Option<Vec<Vec<u64>>> = if self.rank == 0 {
+            let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
+            for r in 0..self.size {
+                if r == 0 {
+                    out.push(x.clone());
+                } else {
+                    out.push(self.recv_tag(r, tag).payload.into_u64s());
+                }
+            }
+            Some(out)
+        } else {
+            self.send_tag(0, tag, Payload::U64s(x), CommPhase::Other);
+            None
+        };
+        // Broadcast counts then flattened data.
+        let counts = self.bcast(
+            0,
+            match &gathered {
+                Some(vs) => Payload::U64s(vs.iter().map(|v| v.len() as u64).collect()),
+                None => Payload::Empty,
+            },
+        );
+        let flat = self.bcast(
+            0,
+            match gathered {
+                Some(vs) => Payload::U64s(vs.into_iter().flatten().collect()),
+                None => Payload::Empty,
+            },
+        );
+        split_by_counts(flat.into_u64s(), &counts.into_u64s())
+    }
+
+    fn bcast_vecs_f64(&mut self, root: usize, vecs: Option<Vec<Vec<f64>>>) -> Vec<Vec<f64>> {
+        let counts = self.bcast(
+            root,
+            match &vecs {
+                Some(vs) => Payload::U64s(vs.iter().map(|v| v.len() as u64).collect()),
+                None => Payload::Empty,
+            },
+        );
+        let flat = self.bcast(
+            root,
+            match vecs {
+                Some(vs) => Payload::F64s(vs.into_iter().flatten().collect()),
+                None => Payload::Empty,
+            },
+        );
+        let counts = counts.into_u64s();
+        let flat = flat.into_f64s();
+        let mut out = Vec::with_capacity(counts.len());
+        let mut off = 0usize;
+        for c in counts {
+            let c = c as usize;
+            out.push(flat[off..off + c].to_vec());
+            off += c;
+        }
+        out
+    }
+
+    /// Personalized all-to-all of index lists: `sends[k]` goes to rank `k`;
+    /// returns the lists received from every rank (own slot passed through).
+    /// Every pair exchanges a message (possibly empty) — used for one-time
+    /// plan setup, where symmetric knowledge is simplest and N ≤ a few
+    /// hundred.
+    pub fn alltoallv_u64(&mut self, mut sends: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+        assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
+        let seq = self.next_seq();
+        let tag = Tag::coll(op::ALLTOALL, seq);
+        let own = std::mem::take(&mut sends[self.rank]);
+        for dst in 0..self.size {
+            if dst != self.rank {
+                let data = std::mem::take(&mut sends[dst]);
+                self.send_tag(dst, tag, Payload::U64s(data), CommPhase::Setup);
+            }
+        }
+        let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == self.rank {
+                out.push(own.clone());
+            } else {
+                out.push(self.recv_tag(src, tag).payload.into_u64s());
+            }
+        }
+        out
+    }
+
+    /// Personalized all-to-all of `(index, value)` pair lists, charged to
+    /// `phase` (recovery gathers use this).
+    pub fn alltoallv_pairs(
+        &mut self,
+        mut sends: Vec<Vec<(u64, f64)>>,
+        phase: CommPhase,
+    ) -> Vec<Vec<(u64, f64)>> {
+        assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
+        let seq = self.next_seq();
+        let tag = Tag::coll(op::ALLTOALL, seq);
+        let own = std::mem::take(&mut sends[self.rank]);
+        for dst in 0..self.size {
+            if dst != self.rank {
+                let data = std::mem::take(&mut sends[dst]);
+                self.send_tag(dst, tag, Payload::Pairs(data), phase);
+            }
+        }
+        let mut out: Vec<Vec<(u64, f64)>> = Vec::with_capacity(self.size);
+        for src in 0..self.size {
+            if src == self.rank {
+                out.push(own.clone());
+            } else {
+                out.push(self.recv_tag(src, tag).payload.into_pairs());
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Binomial-tree primitives
+    // ------------------------------------------------------------------
+
+    /// Reduce onto `root` over a binomial tree; returns the reduced buffer
+    /// on `root` and the (meaningless) local buffer elsewhere.
+    fn tree_reduce_root(
+        &mut self,
+        root: usize,
+        opr: ReduceOp,
+        mut acc: Vec<f64>,
+        tag: Tag,
+    ) -> Vec<f64> {
+        let n = self.size;
+        if n == 1 {
+            return acc;
+        }
+        let vrank = (self.rank + n - root) % n; // virtual rank with root at 0
+        let mut mask = 1usize;
+        while mask < n {
+            if vrank & mask != 0 {
+                // Send partial result to parent and stop participating.
+                let parent = (vrank - mask + root) % n;
+                self.send_tag(parent, tag, Payload::F64s(acc.clone()), CommPhase::Reduction);
+                break;
+            } else if vrank + mask < n {
+                // Receive from child; fixed order (increasing mask) keeps
+                // the combination order deterministic.
+                let child = (vrank + mask + root) % n;
+                let part = self.recv_tag(child, tag).payload.into_f64s();
+                opr.combine(&mut acc, &part);
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    /// Broadcast from `root` over a binomial tree.
+    fn tree_bcast_from(&mut self, root: usize, payload: Payload, tag: Tag) -> Payload {
+        let n = self.size;
+        if n == 1 {
+            return payload;
+        }
+        let vrank = (self.rank + n - root) % n;
+        // Find the highest power of two ≤ n.
+        let mut top = 1usize;
+        while top << 1 < n {
+            top <<= 1;
+        }
+        let data: Payload = if vrank == 0 {
+            payload
+        } else {
+            // Receive from parent: clear lowest set bit of vrank.
+            let parent_v = vrank & (vrank - 1);
+            let parent = (parent_v + root) % n;
+            self.recv_tag(parent, tag).payload
+        };
+        // Forward to children (bits below our lowest set bit), farthest
+        // subtree first so it starts as early as possible.
+        let lowbit = if vrank == 0 { top << 1 } else { vrank & vrank.wrapping_neg() };
+        let mut mask = top;
+        while mask > 0 {
+            if mask < lowbit {
+                let child_v = vrank | mask;
+                if child_v < n {
+                    let child = (child_v + root) % n;
+                    self.send_tag(child, tag, data.clone(), CommPhase::Reduction);
+                }
+            }
+            mask >>= 1;
+        }
+        data
+    }
+
+    // ------------------------------------------------------------------
+    // Groups, faults, metrics
+    // ------------------------------------------------------------------
+
+    /// Create a sub-communicator over `ranks` (must contain this rank; all
+    /// members must call with the same set at the same SPMD point).
+    pub fn group(&mut self, ranks: &[usize]) -> Group {
+        Group::create(self, ranks)
+    }
+
+    pub(crate) fn group_creation_counter(&mut self, members: &[usize]) -> u32 {
+        let c = self
+            .group_counters
+            .entry(members.to_vec())
+            .or_insert(0);
+        let v = *c;
+        *c += 1;
+        v
+    }
+
+    /// Consult the failure oracle at a boundary; all nodes receive the same
+    /// answer (simulates ULFM failure notification + agreement).
+    pub fn poll_failures(&self, boundary: FailAt) -> Vec<usize> {
+        self.oracle.poll(boundary)
+    }
+
+    /// The failure oracle handle.
+    pub fn oracle(&self) -> &FaultOracle {
+        &self.oracle
+    }
+
+    /// Current virtual time on this node.
+    pub fn vtime(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Mutable access to the virtual clock (compute-cost accounting).
+    pub fn clock_mut(&mut self) -> &mut VClock {
+        &mut self.clock
+    }
+
+    /// The virtual clock.
+    pub fn clock(&self) -> &VClock {
+        &self.clock
+    }
+
+    /// Communication statistics of this node.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (e.g. recording extra-latency events).
+    pub fn stats_mut(&mut self) -> &mut CommStats {
+        &mut self.stats
+    }
+
+    /// Reset clock and statistics (between timed experiment sections);
+    /// collective sequence numbers are preserved (they must stay aligned).
+    pub fn reset_metrics(&mut self) {
+        self.clock.reset();
+        self.stats.reset();
+    }
+}
+
+fn split_by_counts(flat: Vec<u64>, counts: &[u64]) -> Vec<Vec<u64>> {
+    let mut out = Vec::with_capacity(counts.len());
+    let mut off = 0usize;
+    for &c in counts {
+        let c = c as usize;
+        out.push(flat[off..off + c].to_vec());
+        off += c;
+    }
+    out
+}

@@ -1,0 +1,239 @@
+//! ULFM-like failure injection, detection, and notification.
+//!
+//! The MPI extension *User Level Failure Mitigation* (paper Sec. 1.1.1)
+//! provides: detection of node failures, consistent notification of the
+//! surviving nodes about *which* nodes failed, and a mechanism for providing
+//! replacement nodes. We reproduce those semantics with a shared, read-only
+//! [`FailureScript`] consulted at well-defined algorithm boundaries:
+//!
+//! * because the solver is SPMD, every node reaches the same boundary with
+//!   the same identifier, so all nodes agree on the announced failures
+//!   without an explicit agreement protocol (this stands in for
+//!   ULFM's `MPI_Comm_agree`);
+//! * the *failed* node itself learns of its failure at the boundary, poisons
+//!   its dynamic state with NaN ([`poison`]) and continues in the
+//!   **replacement node** role — exactly the simulation methodology of the
+//!   paper (Sec. 6), which keeps ranks alive and re-purposes them;
+//! * failures scheduled *inside* a recovery ([`FailAt::RecoverySubstep`])
+//!   model **overlapping failures**: the reconstruction is aborted and
+//!   restarted with the enlarged failed set (paper Sec. 4.1).
+
+use std::sync::Arc;
+
+/// The algorithm boundary at which a failure becomes visible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FailAt {
+    /// Detected at the post-SpMV boundary of solver iteration `j`
+    /// (0-based). At this point redundant copies of `p(j)` and `p(j-1)`
+    /// exist, which is what the ESR reconstruction requires.
+    Iteration(u64),
+    /// Detected during the recovery triggered at iteration
+    /// `after_iteration`, before recovery substep `substep` completes —
+    /// an *overlapping* failure.
+    RecoverySubstep {
+        /// The iteration whose boundary started the interrupted recovery.
+        after_iteration: u64,
+        /// The recovery substep about to begin when the failure hits.
+        substep: u32,
+    },
+}
+
+/// One failure event: the boundary and the ranks that fail there.
+#[derive(Clone, Debug)]
+pub struct FailureEvent {
+    /// The boundary at which the failure is detected.
+    pub when: FailAt,
+    /// The ranks that fail there (distinct).
+    pub ranks: Vec<usize>,
+}
+
+/// A deterministic schedule of node failures for one solver run.
+#[derive(Clone, Debug, Default)]
+pub struct FailureScript {
+    events: Vec<FailureEvent>,
+}
+
+impl FailureScript {
+    /// A failure-free run.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Script with the given events.
+    pub fn new(events: Vec<FailureEvent>) -> Self {
+        let s = FailureScript { events };
+        s.validate();
+        s
+    }
+
+    /// Convenience: `count` simultaneous failures of contiguous ranks
+    /// starting at `first_rank`, detected at iteration `iteration`. This is
+    /// the paper's experimental setup (Sec. 7.1: failures "placed in
+    /// contiguous ranks", starting at rank 0 or rank N/2).
+    pub fn simultaneous(iteration: u64, first_rank: usize, count: usize, nodes: usize) -> Self {
+        let ranks = (0..count).map(|i| (first_rank + i) % nodes).collect();
+        FailureScript::new(vec![FailureEvent {
+            when: FailAt::Iteration(iteration),
+            ranks,
+        }])
+    }
+
+    fn validate(&self) {
+        for e in &self.events {
+            assert!(!e.ranks.is_empty(), "failure event with no ranks");
+            let mut sorted = e.ranks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), e.ranks.len(), "duplicate rank in failure event");
+        }
+    }
+
+    /// All events in the script.
+    pub fn events(&self) -> &[FailureEvent] {
+        &self.events
+    }
+
+    /// Ranks that fail exactly at `boundary` (consistent on every caller).
+    pub fn failures_at(&self, boundary: FailAt) -> Vec<usize> {
+        let mut out: Vec<usize> = self
+            .events
+            .iter()
+            .filter(|e| e.when == boundary)
+            .flat_map(|e| e.ranks.iter().copied())
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Total number of distinct ranks failing anywhere in the script.
+    pub fn total_failed_ranks(&self) -> usize {
+        let mut all: Vec<usize> = self
+            .events
+            .iter()
+            .flat_map(|e| e.ranks.iter().copied())
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        all.len()
+    }
+
+    /// True if no failures are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Shared failure oracle; nodes consult it at boundaries. Read-only after
+/// construction, hence trivially consistent across nodes (the ULFM
+/// "agreement" comes for free from SPMD determinism).
+#[derive(Clone, Debug)]
+pub struct FaultOracle {
+    script: Arc<FailureScript>,
+}
+
+impl FaultOracle {
+    /// Wrap a failure script for shared consultation.
+    pub fn new(script: FailureScript) -> Self {
+        FaultOracle {
+            script: Arc::new(script),
+        }
+    }
+
+    /// Ranks newly failed at this boundary.
+    pub fn poll(&self, boundary: FailAt) -> Vec<usize> {
+        self.script.failures_at(boundary)
+    }
+
+    /// The underlying script.
+    pub fn script(&self) -> &FailureScript {
+        &self.script
+    }
+}
+
+/// Poison a buffer that belonged to a failed node. Recovery code must never
+/// read these values; NaN propagation makes any violation visible in tests
+/// (a reconstructed state containing NaN fails every accuracy assertion).
+pub fn poison(buf: &mut [f64]) {
+    for x in buf.iter_mut() {
+        *x = f64::NAN;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simultaneous_wraps_ranks() {
+        let s = FailureScript::simultaneous(10, 6, 4, 8);
+        let f = s.failures_at(FailAt::Iteration(10));
+        assert_eq!(f, vec![0, 1, 6, 7]);
+        assert_eq!(s.total_failed_ranks(), 4);
+    }
+
+    #[test]
+    fn failures_only_at_matching_boundary() {
+        let s = FailureScript::simultaneous(10, 0, 2, 8);
+        assert!(s.failures_at(FailAt::Iteration(9)).is_empty());
+        assert_eq!(s.failures_at(FailAt::Iteration(10)).len(), 2);
+        assert!(s
+            .failures_at(FailAt::RecoverySubstep {
+                after_iteration: 10,
+                substep: 0
+            })
+            .is_empty());
+    }
+
+    #[test]
+    fn overlapping_events_are_distinct_boundaries() {
+        let s = FailureScript::new(vec![
+            FailureEvent {
+                when: FailAt::Iteration(5),
+                ranks: vec![1],
+            },
+            FailureEvent {
+                when: FailAt::RecoverySubstep {
+                    after_iteration: 5,
+                    substep: 2,
+                },
+                ranks: vec![3],
+            },
+        ]);
+        assert_eq!(s.failures_at(FailAt::Iteration(5)), vec![1]);
+        assert_eq!(
+            s.failures_at(FailAt::RecoverySubstep {
+                after_iteration: 5,
+                substep: 2
+            }),
+            vec![3]
+        );
+        assert_eq!(s.total_failed_ranks(), 2);
+    }
+
+    #[test]
+    fn oracle_is_consistent_across_clones() {
+        let o = FaultOracle::new(FailureScript::simultaneous(3, 2, 2, 16));
+        let o2 = o.clone();
+        assert_eq!(
+            o.poll(FailAt::Iteration(3)),
+            o2.poll(FailAt::Iteration(3))
+        );
+    }
+
+    #[test]
+    fn poison_sets_nan() {
+        let mut v = vec![1.0, 2.0];
+        poison(&mut v);
+        assert!(v.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn duplicate_ranks_rejected() {
+        FailureScript::new(vec![FailureEvent {
+            when: FailAt::Iteration(0),
+            ranks: vec![1, 1],
+        }]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Sub-communicators.
+//!
+//! During recovery from `ψ` simultaneous failures, the `ψ` replacement nodes
+//! cooperate to solve the linear system `A_{If,If} x_If = w` (paper Sec. 4.1:
+//! "additional communication between the ψ replacement nodes is necessary").
+//! A [`Group`] gives them a private collective context, like an MPI
+//! sub-communicator obtained from `MPI_Comm_split`.
+
+use crate::comm::{NodeCtx, ReduceOp};
+use crate::payload::Payload;
+use crate::stats::CommPhase;
+use crate::tag::{op, Tag};
+
+/// A sub-communicator over a subset of cluster ranks.
+///
+/// All members must create the group with the same member set at the same
+/// SPMD point, and must issue group collectives in the same order.
+pub struct Group {
+    members: Vec<usize>,
+    my_index: usize,
+    gid: u32,
+    seq: u32,
+}
+
+impl Group {
+    pub(crate) fn create(ctx: &mut NodeCtx, ranks: &[usize]) -> Group {
+        let mut members = ranks.to_vec();
+        members.sort_unstable();
+        members.dedup();
+        let my_index = members
+            .iter()
+            .position(|&r| r == ctx.rank())
+            .expect("creating a group that does not contain this rank");
+        // All members derive the same id from the member set and a local
+        // per-set creation counter (consistent because creations are SPMD).
+        let counter = ctx.group_creation_counter(&members);
+        let gid = fnv1a(&members) ^ counter.wrapping_mul(0x9E37_79B9);
+        Group {
+            members,
+            my_index,
+            gid,
+            seq: 0,
+        }
+    }
+
+    /// Number of members.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// This node's index within the group (`0..size`).
+    pub fn index(&self) -> usize {
+        self.my_index
+    }
+
+    /// Global ranks of the members, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Group barrier.
+    pub fn barrier(&mut self, ctx: &mut NodeCtx) {
+        let seq = self.next_seq();
+        let acc = self.tree_reduce_root(ctx, ReduceOp::Sum, Vec::new(), seq);
+        let payload = if self.my_index == 0 {
+            Payload::F64s(acc)
+        } else {
+            Payload::Empty
+        };
+        self.tree_bcast(ctx, payload, seq);
+    }
+
+    /// Group all-reduce of a scalar sum.
+    pub fn allreduce_sum(&mut self, ctx: &mut NodeCtx, x: f64) -> f64 {
+        self.allreduce_vec(ctx, ReduceOp::Sum, vec![x])[0]
+    }
+
+    /// Group all-reduce max of a scalar.
+    pub fn allreduce_max(&mut self, ctx: &mut NodeCtx, x: f64) -> f64 {
+        self.allreduce_vec(ctx, ReduceOp::Max, vec![x])[0]
+    }
+
+    /// Group element-wise all-reduce.
+    pub fn allreduce_vec(&mut self, ctx: &mut NodeCtx, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
+        let seq = self.next_seq();
+        let acc = self.tree_reduce_root(ctx, opr, x, seq);
+        let payload = if self.my_index == 0 {
+            Payload::F64s(acc)
+        } else {
+            Payload::Empty
+        };
+        self.tree_bcast(ctx, payload, seq).into_f64s()
+    }
+
+    /// Personalized all-to-all of pair lists among members;
+    /// `sends[i]` goes to group index `i`.
+    pub fn alltoallv_pairs(
+        &mut self,
+        ctx: &mut NodeCtx,
+        mut sends: Vec<Vec<(u64, f64)>>,
+        phase: CommPhase,
+    ) -> Vec<Vec<(u64, f64)>> {
+        assert_eq!(sends.len(), self.size());
+        let seq = self.next_seq();
+        let tag = Tag::group(self.gid, op::ALLTOALL, seq);
+        let own = std::mem::take(&mut sends[self.my_index]);
+        for i in 0..self.size() {
+            if i != self.my_index {
+                let data = std::mem::take(&mut sends[i]);
+                ctx.send_tag(self.members[i], tag, Payload::Pairs(data), phase);
+            }
+        }
+        let mut out = Vec::with_capacity(self.size());
+        for i in 0..self.size() {
+            if i == self.my_index {
+                out.push(own.clone());
+            } else {
+                out.push(ctx.recv_tag(self.members[i], tag).payload.into_pairs());
+            }
+        }
+        out
+    }
+
+    /// All-gather variable-length `f64` buffers within the group.
+    pub fn allgatherv_f64(&mut self, ctx: &mut NodeCtx, x: Vec<f64>) -> Vec<Vec<f64>> {
+        let seq = self.next_seq();
+        let tag = Tag::group(self.gid, op::GATHER, seq);
+        // Gather on group index 0.
+        let gathered: Option<Vec<Vec<f64>>> = if self.my_index == 0 {
+            let mut out = Vec::with_capacity(self.size());
+            for i in 0..self.size() {
+                if i == 0 {
+                    out.push(x.clone());
+                } else {
+                    out.push(ctx.recv_tag(self.members[i], tag).payload.into_f64s());
+                }
+            }
+            Some(out)
+        } else {
+            ctx.send_tag(self.members[0], tag, Payload::F64s(x), CommPhase::Recovery);
+            None
+        };
+        // Broadcast counts, then data.
+        let seq_counts = self.next_seq();
+        let counts = self.tree_bcast(
+            ctx,
+            match &gathered {
+                Some(vs) => Payload::U64s(vs.iter().map(|v| v.len() as u64).collect()),
+                None => Payload::Empty,
+            },
+            seq_counts,
+        );
+        let seq_flat = self.next_seq();
+        let flat = self.tree_bcast(
+            ctx,
+            match gathered {
+                Some(vs) => Payload::F64s(vs.into_iter().flatten().collect()),
+                None => Payload::Empty,
+            },
+            seq_flat,
+        );
+        let counts = counts.into_u64s();
+        let flat = flat.into_f64s();
+        let mut out = Vec::with_capacity(counts.len());
+        let mut off = 0usize;
+        for c in counts {
+            let c = c as usize;
+            out.push(flat[off..off + c].to_vec());
+            off += c;
+        }
+        out
+    }
+
+    // Binomial tree over group indices (root = index 0).
+
+    fn tree_reduce_root(
+        &self,
+        ctx: &mut NodeCtx,
+        opr: ReduceOp,
+        mut acc: Vec<f64>,
+        seq: u32,
+    ) -> Vec<f64> {
+        let n = self.size();
+        if n == 1 {
+            return acc;
+        }
+        let tag = Tag::group(self.gid, op::REDUCE, seq);
+        let v = self.my_index;
+        let mut mask = 1usize;
+        while mask < n {
+            if v & mask != 0 {
+                let parent = self.members[v - mask];
+                ctx.send_tag(parent, tag, Payload::F64s(acc.clone()), CommPhase::Recovery);
+                break;
+            } else if v + mask < n {
+                let child = self.members[v + mask];
+                let part = ctx.recv_tag(child, tag).payload.into_f64s();
+                opr.combine(&mut acc, &part);
+            }
+            mask <<= 1;
+        }
+        acc
+    }
+
+    fn tree_bcast(&self, ctx: &mut NodeCtx, payload: Payload, seq: u32) -> Payload {
+        let n = self.size();
+        if n == 1 {
+            return payload;
+        }
+        let tag = Tag::group(self.gid, op::BCAST, seq);
+        let v = self.my_index;
+        let mut top = 1usize;
+        while top << 1 < n {
+            top <<= 1;
+        }
+        let data = if v == 0 {
+            payload
+        } else {
+            let parent = self.members[v & (v - 1)];
+            ctx.recv_tag(parent, tag).payload
+        };
+        let lowbit = if v == 0 { top << 1 } else { v & v.wrapping_neg() };
+        let mut mask = top;
+        while mask > 0 {
+            if mask < lowbit {
+                let child_v = v | mask;
+                if child_v < n {
+                    ctx.send_tag(self.members[child_v], tag, data.clone(), CommPhase::Recovery);
+                }
+            }
+            mask >>= 1;
+        }
+        data
+    }
+}
+
+fn fnv1a(members: &[usize]) -> u32 {
+    let mut h: u32 = 0x811C_9DC5;
+    for &m in members {
+        for b in (m as u64).to_le_bytes() {
+            h ^= b as u32;
+            h = h.wrapping_mul(0x0100_0193);
+        }
+    }
+    h
+}

@@ -1,0 +1,52 @@
+//! # parcomm — a simulated distributed-memory parallel computer
+//!
+//! This crate is the substrate beneath the ESR-PCG reproduction of
+//! Pachajoa et al., *"How to Make the Preconditioned Conjugate Gradient
+//! Method Resilient Against Multiple Node Failures"* (ICPP 2019).
+//!
+//! The paper runs on MPI (with ULFM-style fault tolerance assumed) on 128
+//! physical nodes. Here, every **node** of the parallel computer is an OS
+//! thread with strictly private state and a mailbox; all interaction happens
+//! through explicit message passing, mirroring the MPI programming model:
+//!
+//! * point-to-point [`NodeCtx::send`] / [`NodeCtx::recv`] with
+//!   `(source, tag)` matching,
+//! * deterministic collectives ([`NodeCtx::allreduce_sum`],
+//!   [`NodeCtx::allgatherv_f64`], [`NodeCtx::alltoallv_u64`], …) built on
+//!   point-to-point messages over binomial trees,
+//! * sub-communicators ([`NodeCtx::group`]) used by replacement nodes during
+//!   cooperative state reconstruction,
+//! * a ULFM-like [`fault::FaultOracle`] that detects node failures, notifies
+//!   all surviving nodes consistently, and provisions replacement nodes,
+//! * a **virtual BSP clock** ([`vclock`]) implementing the latency–bandwidth
+//!   cost model of the paper's Sec. 4.2 (`λ` per message, `µ` per vector
+//!   element, `γ` per flop), so that 128-node experiments produce meaningful
+//!   timing *shapes* even on a 2-core host.
+//!
+//! Failures are *simulated* exactly as in the paper (Sec. 6): a failed
+//! node's dynamic data is poisoned (NaN) and the node thread continues in
+//! the *replacement node* role. Tests rely on the poisoning to prove that
+//! recovery never reads lost data.
+
+// Indexed loops over several parallel arrays are the clearest form for
+// the numeric kernels in this crate; iterator-zip pyramids obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cluster;
+pub mod comm;
+pub mod fault;
+pub mod group;
+pub mod mailbox;
+pub mod payload;
+pub mod stats;
+pub mod tag;
+pub mod vclock;
+
+pub use cluster::{Cluster, ClusterConfig};
+pub use comm::NodeCtx;
+pub use fault::{FailAt, FailureEvent, FailureScript, FaultOracle};
+pub use group::Group;
+pub use payload::Payload;
+pub use stats::{CommPhase, CommStats};
+pub use tag::Tag;
+pub use vclock::{CostModel, VClock};

@@ -1,0 +1,136 @@
+//! Message payloads.
+//!
+//! MPI messages are untyped byte buffers; we use a small enum instead so the
+//! solver code stays type-safe without a serialization dependency. The
+//! variants cover everything the ESR-PCG algorithms exchange: scalar
+//! reductions, contiguous vector blocks, index lists for communication-plan
+//! setup, and sparse `(global index, value)` pairs during reconstruction.
+
+/// A message payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    /// No data (barriers, pure synchronization).
+    Empty,
+    /// A single scalar (dot-product partial results, `β`, `α`, …).
+    F64(f64),
+    /// A contiguous block of floating-point values.
+    F64s(Vec<f64>),
+    /// A list of global indices (plan setup, failed-rank announcements).
+    U64s(Vec<u64>),
+    /// Sparse `(global index, value)` pairs (redundant-copy recovery).
+    Pairs(Vec<(u64, f64)>),
+}
+
+impl Payload {
+    /// Number of "vector elements" this payload counts as in the
+    /// latency–bandwidth model of the paper (Sec. 4.2). Index lists and
+    /// pairs are charged at one element per entry (pairs carry an index and
+    /// a value but travel once; charging 2 would double-count the setup-only
+    /// index traffic — recovery cost is dominated by values).
+    pub fn elems(&self) -> usize {
+        match self {
+            Payload::Empty => 0,
+            Payload::F64(_) => 1,
+            Payload::F64s(v) => v.len(),
+            Payload::U64s(v) => v.len(),
+            Payload::Pairs(v) => v.len(),
+        }
+    }
+
+    /// Unwrap a scalar payload.
+    ///
+    /// # Panics
+    /// Panics if the payload is not `F64`; a mismatch is a protocol bug.
+    pub fn into_f64(self) -> f64 {
+        match self {
+            Payload::F64(x) => x,
+            other => panic!("protocol error: expected F64, got {:?}", other.kind()),
+        }
+    }
+
+    /// Unwrap a vector payload.
+    pub fn into_f64s(self) -> Vec<f64> {
+        match self {
+            Payload::F64s(v) => v,
+            Payload::F64(x) => vec![x],
+            Payload::Empty => Vec::new(),
+            other => panic!("protocol error: expected F64s, got {:?}", other.kind()),
+        }
+    }
+
+    /// Unwrap an index-list payload.
+    pub fn into_u64s(self) -> Vec<u64> {
+        match self {
+            Payload::U64s(v) => v,
+            Payload::Empty => Vec::new(),
+            other => panic!("protocol error: expected U64s, got {:?}", other.kind()),
+        }
+    }
+
+    /// Unwrap an index–value pair payload.
+    pub fn into_pairs(self) -> Vec<(u64, f64)> {
+        match self {
+            Payload::Pairs(v) => v,
+            Payload::Empty => Vec::new(),
+            other => panic!("protocol error: expected Pairs, got {:?}", other.kind()),
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Payload::Empty => "Empty",
+            Payload::F64(_) => "F64",
+            Payload::F64s(_) => "F64s",
+            Payload::U64s(_) => "U64s",
+            Payload::Pairs(_) => "Pairs",
+        }
+    }
+}
+
+/// A message in flight: source rank, matching tag, payload, and the virtual
+/// time at which it arrives at the receiver (see [`crate::vclock`]).
+#[derive(Clone, Debug)]
+pub struct Message {
+    /// Sending rank.
+    pub src: usize,
+    /// Matching tag.
+    pub tag: crate::tag::Tag,
+    /// The data.
+    pub payload: Payload,
+    /// Virtual arrival time at the destination under the λ/µ cost model.
+    pub arrival_vtime: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elems_counts_entries() {
+        assert_eq!(Payload::Empty.elems(), 0);
+        assert_eq!(Payload::F64(1.0).elems(), 1);
+        assert_eq!(Payload::F64s(vec![1.0; 7]).elems(), 7);
+        assert_eq!(Payload::U64s(vec![3; 4]).elems(), 4);
+        assert_eq!(Payload::Pairs(vec![(0, 1.0); 5]).elems(), 5);
+    }
+
+    #[test]
+    fn into_f64s_accepts_scalar_and_empty() {
+        assert_eq!(Payload::F64(2.5).into_f64s(), vec![2.5]);
+        assert!(Payload::Empty.into_f64s().is_empty());
+        assert_eq!(Payload::F64s(vec![1.0, 2.0]).into_f64s(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol error")]
+    fn into_f64_rejects_vectors() {
+        let _ = Payload::F64s(vec![1.0]).into_f64();
+    }
+
+    #[test]
+    fn into_pairs_roundtrip() {
+        let p = vec![(7u64, 1.5), (9u64, -2.0)];
+        assert_eq!(Payload::Pairs(p.clone()).into_pairs(), p);
+        assert!(Payload::Empty.into_pairs().is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Communication statistics, partitioned by algorithm phase.
+//!
+//! The paper's evaluation separates the *undisturbed* redundancy overhead
+//! (extra elements appended to SpMV messages, Table 2 columns 3–5) from the
+//! *reconstruction* cost (Table 2 columns 7–9). Tagging every send with a
+//! [`CommPhase`] lets the benchmark harness compute both, and lets the
+//! Sec. 4.2 analysis compare measured redundancy traffic against the
+//! theoretical bounds.
+
+/// Which algorithm phase a message belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CommPhase {
+    /// Plan construction and other one-time setup.
+    Setup,
+    /// Ghost exchange required by SpMV regardless of resilience.
+    Spmv,
+    /// Extra elements sent only to maintain φ redundant copies (Eqn. 6).
+    Redundancy,
+    /// Scalar reductions (dot products, norms).
+    Reduction,
+    /// State reconstruction after failures (paper Alg. 2).
+    Recovery,
+    /// Everything else.
+    Other,
+}
+
+const NPHASES: usize = 6;
+
+fn phase_index(p: CommPhase) -> usize {
+    match p {
+        CommPhase::Setup => 0,
+        CommPhase::Spmv => 1,
+        CommPhase::Redundancy => 2,
+        CommPhase::Reduction => 3,
+        CommPhase::Recovery => 4,
+        CommPhase::Other => 5,
+    }
+}
+
+/// Per-phase message/element counters for one node.
+#[derive(Clone, Debug, Default)]
+pub struct CommStats {
+    msgs: [u64; NPHASES],
+    elems: [u64; NPHASES],
+    /// Messages that opened a link no other traffic in the same round used
+    /// (the paper's "extra latency" case, Sec. 4.2).
+    extra_latency_msgs: u64,
+}
+
+impl CommStats {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sent message of `elems` vector elements in `phase`.
+    pub fn record_send(&mut self, phase: CommPhase, elems: usize) {
+        let i = phase_index(phase);
+        self.msgs[i] += 1;
+        self.elems[i] += elems as u64;
+    }
+
+    /// Record that a redundancy message needed its own link (extra λ).
+    pub fn record_extra_latency(&mut self) {
+        self.extra_latency_msgs += 1;
+    }
+
+    /// Remove one message (not its elements) from `phase` — used when a
+    /// logically separate payload piggybacks on an existing message.
+    pub fn uncount_msg(&mut self, phase: CommPhase) {
+        let i = phase_index(phase);
+        debug_assert!(self.msgs[i] > 0);
+        self.msgs[i] -= 1;
+    }
+
+    /// Messages sent in `phase`.
+    pub fn msgs(&self, phase: CommPhase) -> u64 {
+        self.msgs[phase_index(phase)]
+    }
+
+    /// Elements sent in `phase`.
+    pub fn elems(&self, phase: CommPhase) -> u64 {
+        self.elems[phase_index(phase)]
+    }
+
+    /// Total messages across phases.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total elements across phases.
+    pub fn total_elems(&self) -> u64 {
+        self.elems.iter().sum()
+    }
+
+    /// Redundancy messages that paid their own latency.
+    pub fn extra_latency_msgs(&self) -> u64 {
+        self.extra_latency_msgs
+    }
+
+    /// Merge another node's counters into this one (cluster-wide totals).
+    pub fn merge(&mut self, other: &CommStats) {
+        for i in 0..NPHASES {
+            self.msgs[i] += other.msgs[i];
+            self.elems[i] += other.elems[i];
+        }
+        self.extra_latency_msgs += other.extra_latency_msgs;
+    }
+
+    /// Reset all counters (between timed experiment sections).
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_by_phase() {
+        let mut s = CommStats::new();
+        s.record_send(CommPhase::Spmv, 100);
+        s.record_send(CommPhase::Spmv, 50);
+        s.record_send(CommPhase::Redundancy, 7);
+        assert_eq!(s.msgs(CommPhase::Spmv), 2);
+        assert_eq!(s.elems(CommPhase::Spmv), 150);
+        assert_eq!(s.msgs(CommPhase::Redundancy), 1);
+        assert_eq!(s.elems(CommPhase::Redundancy), 7);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_elems(), 157);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = CommStats::new();
+        a.record_send(CommPhase::Recovery, 10);
+        let mut b = CommStats::new();
+        b.record_send(CommPhase::Recovery, 5);
+        b.record_extra_latency();
+        a.merge(&b);
+        assert_eq!(a.elems(CommPhase::Recovery), 15);
+        assert_eq!(a.extra_latency_msgs(), 1);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut s = CommStats::new();
+        s.record_send(CommPhase::Other, 3);
+        s.reset();
+        assert_eq!(s.total_msgs(), 0);
+        assert_eq!(s.total_elems(), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Message tags.
+//!
+//! Tags disambiguate concurrent communication streams, like MPI tags plus
+//! MPI's internal collective contexts. The 64-bit tag space is split into:
+//!
+//! * **user** tags — point-to-point solver traffic (SpMV ghost exchange,
+//!   redundancy copies, recovery gathers), identified by a small `u32`;
+//! * **collective** tags — internal to `parcomm` collectives. Every
+//!   collective call on a communicator consumes one *sequence number*; since
+//!   the programs are SPMD, all ranks issue collectives in the same order
+//!   and the sequence numbers agree without negotiation;
+//! * **group** tags — collectives on sub-communicators, additionally scoped
+//!   by a group id that member ranks derive identically from the member set.
+
+/// A message tag (total order, cheap copy).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tag(pub u64);
+
+const KIND_USER: u64 = 0;
+const KIND_COLL: u64 = 1;
+const KIND_GROUP: u64 = 2;
+
+impl Tag {
+    /// The out-of-band abort tag: broadcast by a panicking node so peers
+    /// fail fast instead of waiting for the deadlock timeout.
+    pub const ABORT: Tag = Tag(u64::MAX);
+
+    /// A user (application-level) point-to-point tag.
+    pub fn user(t: u32) -> Self {
+        Tag((KIND_USER << 62) | t as u64)
+    }
+
+    /// An internal collective tag: `op` identifies the collective kind,
+    /// `seq` the per-communicator collective sequence number.
+    pub fn coll(op: u8, seq: u64) -> Self {
+        debug_assert!(seq < (1 << 48), "collective sequence overflow");
+        Tag((KIND_COLL << 62) | ((op as u64) << 48) | (seq & ((1 << 48) - 1)))
+    }
+
+    /// A sub-communicator collective tag, scoped by `gid`.
+    pub fn group(gid: u32, op: u8, seq: u32) -> Self {
+        Tag((KIND_GROUP << 62) | ((gid as u64) << 30) | ((op as u64) << 22) | seq as u64)
+    }
+}
+
+/// Collective operation identifiers (for tag scoping only).
+pub mod op {
+    /// Barrier synchronization.
+    pub const BARRIER: u8 = 1;
+    /// Broadcast.
+    pub const BCAST: u8 = 2;
+    /// Reduction.
+    pub const REDUCE: u8 = 3;
+    /// Gather / all-gather.
+    pub const GATHER: u8 = 4;
+    /// Personalized all-to-all.
+    pub const ALLTOALL: u8 = 5;
+    /// Scatter.
+    pub const SCATTER: u8 = 6;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_spaces_disjoint() {
+        // A user tag can never collide with a collective or group tag.
+        let u = Tag::user(42);
+        let c = Tag::coll(op::BARRIER, 42);
+        let g = Tag::group(0, op::BARRIER, 42);
+        assert_ne!(u, c);
+        assert_ne!(u, g);
+        assert_ne!(c, g);
+    }
+
+    #[test]
+    fn collective_sequences_distinct() {
+        assert_ne!(Tag::coll(op::BCAST, 1), Tag::coll(op::BCAST, 2));
+        assert_ne!(Tag::coll(op::BCAST, 1), Tag::coll(op::REDUCE, 1));
+    }
+
+    #[test]
+    fn group_ids_scope_tags() {
+        assert_ne!(Tag::group(1, op::GATHER, 5), Tag::group(2, op::GATHER, 5));
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based tests: every collective must agree with its sequential
+//! reference for arbitrary inputs and cluster sizes.
+
+use proptest::prelude::*;
+
+use parcomm::comm::ReduceOp;
+use parcomm::{Cluster, ClusterConfig, CommPhase, Payload};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_sum_matches_sequential(
+        nodes in 1usize..9,
+        values in proptest::collection::vec(-1e6f64..1e6, 9),
+    ) {
+        let vals = values.clone();
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            ctx.allreduce_sum(vals[ctx.rank()])
+        });
+        // All nodes agree bitwise.
+        prop_assert!(out.windows(2).all(|w| w[0] == w[1]));
+        // And the value equals a sum of the inputs up to fp reassociation.
+        let expect: f64 = values[..nodes].iter().sum();
+        prop_assert!((out[0] - expect).abs() <= 1e-6 * (1.0 + expect.abs()));
+    }
+
+    #[test]
+    fn allreduce_minmax_exact(
+        nodes in 1usize..9,
+        values in proptest::collection::vec(-1e6f64..1e6, 9),
+    ) {
+        let vals = values.clone();
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            (
+                ctx.allreduce_max(vals[ctx.rank()]),
+                ctx.allreduce_min(vals[ctx.rank()]),
+            )
+        });
+        let mx = values[..nodes].iter().copied().fold(f64::MIN, f64::max);
+        let mn = values[..nodes].iter().copied().fold(f64::MAX, f64::min);
+        prop_assert!(out.iter().all(|&(a, b)| a == mx && b == mn));
+    }
+
+    #[test]
+    fn bcast_from_any_root(nodes in 1usize..9, root_seed in 0usize..9, len in 0usize..12) {
+        let root = root_seed % nodes;
+        let data: Vec<f64> = (0..len).map(|i| i as f64 * 1.5).collect();
+        let expect = data.clone();
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            let payload = if ctx.rank() == root {
+                Payload::F64s(data.clone())
+            } else {
+                Payload::Empty
+            };
+            ctx.bcast(root, payload).into_f64s()
+        });
+        prop_assert!(out.iter().all(|v| v == &expect));
+    }
+
+    #[test]
+    fn allgatherv_collects_in_rank_order(nodes in 1usize..8, base in 0usize..5) {
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            // Rank r contributes r + base values of value r.
+            let mine = vec![ctx.rank() as f64; ctx.rank() + base];
+            ctx.allgatherv_f64(mine)
+        });
+        for per_node in out {
+            prop_assert_eq!(per_node.len(), nodes);
+            for (r, part) in per_node.iter().enumerate() {
+                prop_assert_eq!(part.len(), r + base);
+                prop_assert!(part.iter().all(|&v| v == r as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn alltoallv_is_a_transpose(nodes in 2usize..7, seed in any::<u64>()) {
+        // sends[i][k] = f(i, k); after the exchange node k holds f(i, k)
+        // from every i: the matrix of messages is transposed.
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            let me = ctx.rank() as u64;
+            let sends: Vec<Vec<u64>> = (0..ctx.size())
+                .map(|k| vec![seed % 97, me * 100 + k as u64])
+                .collect();
+            ctx.alltoallv_u64(sends)
+        });
+        for (k, received) in out.iter().enumerate() {
+            for (i, msg) in received.iter().enumerate() {
+                prop_assert_eq!(msg[1], (i * 100 + k) as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn vclock_monotone_under_communication(nodes in 2usize..7) {
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            let t0 = ctx.vtime();
+            ctx.barrier();
+            let t1 = ctx.vtime();
+            ctx.allreduce_sum(1.0);
+            let t2 = ctx.vtime();
+            (t0, t1, t2)
+        });
+        for (t0, t1, t2) in out {
+            prop_assert!(t0 <= t1 && t1 <= t2);
+        }
+    }
+}
+
+#[test]
+fn reduce_vec_ops_cover_all_variants() {
+    for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
+        let out = Cluster::run(ClusterConfig::new(4), move |ctx| {
+            ctx.allreduce_vec(op, vec![ctx.rank() as f64, -(ctx.rank() as f64)])
+        });
+        let expect = match op {
+            ReduceOp::Sum => vec![6.0, -6.0],
+            ReduceOp::Max => vec![3.0, 0.0],
+            ReduceOp::Min => vec![0.0, -3.0],
+        };
+        assert!(out.iter().all(|v| v == &expect), "{op:?}");
+    }
+}
+
+#[test]
+fn split_phase_send_accounting() {
+    // One physical message, elements split across two accounting phases.
+    let out = Cluster::run(ClusterConfig::new(2), |ctx| {
+        if ctx.rank() == 0 {
+            ctx.send_with_phases(
+                1,
+                7,
+                Payload::F64s(vec![0.0; 10]),
+                &[(CommPhase::Spmv, 6), (CommPhase::Redundancy, 4)],
+            );
+        } else {
+            ctx.recv(0, 7);
+        }
+        (
+            ctx.stats().msgs(CommPhase::Spmv),
+            ctx.stats().elems(CommPhase::Spmv),
+            ctx.stats().msgs(CommPhase::Redundancy),
+            ctx.stats().elems(CommPhase::Redundancy),
+        )
+    });
+    assert_eq!(out[0], (1, 6, 0, 4), "one message, split elements");
+}

@@ -1,0 +1,228 @@
+//! IC(0): incomplete Cholesky with zero fill-in.
+//!
+//! The symmetric counterpart of ILU(0): `A ≈ L Lᵀ` with `L` restricted to
+//! the lower-triangular pattern of `A`. Also serves as the split
+//! preconditioner `M = L Lᵀ` for the split-preconditioned CG variant
+//! (the `krylov` crate's SPCG; paper Sec. 1 lists SPCG among the methods the ESR
+//! extension applies to).
+
+use crate::traits::{PrecondError, Preconditioner};
+use sparsemat::Csr;
+
+/// Zero-fill incomplete Cholesky factor `L` (lower triangular, CSR rows).
+#[derive(Clone, Debug)]
+pub struct Ic0 {
+    /// Lower-triangular factor on A's lower pattern (diagonal included).
+    l: Csr,
+    /// Transpose of `l`, precomputed for the backward solve.
+    lt: Csr,
+}
+
+impl Ic0 {
+    /// Factor the lower triangle of `a`. Fails if a pivot becomes
+    /// non-positive (IC(0) can break down on general SPD matrices; it is
+    /// guaranteed for M-matrices, which all generators in `sparsemat::gen`
+    /// produce).
+    pub fn new(a: &Csr) -> Result<Self, PrecondError> {
+        if a.n_rows() != a.n_cols() {
+            return Err(PrecondError::Shape(format!(
+                "ic0 needs square, got {}x{}",
+                a.n_rows(),
+                a.n_cols()
+            )));
+        }
+        let n = a.n_rows();
+        // Extract the lower triangle pattern/values.
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for r in 0..n {
+            let (cols, vs) = a.row(r);
+            for (c, v) in cols.iter().zip(vs) {
+                if *c <= r {
+                    col_idx.push(*c);
+                    vals.push(*v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+            // The algorithm relies on the diagonal being present (and, per
+            // CSR ordering, last in each lower-triangular row).
+            if col_idx.last() != Some(&r) {
+                return Err(PrecondError::Breakdown(r));
+            }
+        }
+
+        // Row-oriented IC(0): for each row i and each k < i in pattern,
+        //   L(i,k) = (A(i,k) - Σ_j L(i,j) L(k,j)) / L(k,k),  j < k in both
+        //   L(i,i) = sqrt(A(i,i) - Σ_j L(i,j)²)
+        for i in 0..n {
+            let (ri_start, ri_end) = (row_ptr[i], row_ptr[i + 1]);
+            for p in ri_start..ri_end {
+                let k = col_idx[p];
+                if k < i {
+                    // Sparse dot of L-rows i and k over columns < k.
+                    let mut s = vals[p];
+                    let (mut pi, mut pk) = (ri_start, row_ptr[k]);
+                    let (pi_end, pk_end) = (p, row_ptr[k + 1] - 1); // exclude (k,k)
+                    while pi < pi_end && pk < pk_end {
+                        let (ci, ck) = (col_idx[pi], col_idx[pk]);
+                        match ci.cmp(&ck) {
+                            std::cmp::Ordering::Less => pi += 1,
+                            std::cmp::Ordering::Greater => pk += 1,
+                            std::cmp::Ordering::Equal => {
+                                s -= vals[pi] * vals[pk];
+                                pi += 1;
+                                pk += 1;
+                            }
+                        }
+                    }
+                    let lkk = vals[row_ptr[k + 1] - 1]; // diag is last in row k
+                    if lkk == 0.0 || !lkk.is_finite() {
+                        return Err(PrecondError::Breakdown(k));
+                    }
+                    vals[p] = s / lkk;
+                } else {
+                    // Diagonal entry (last in the sorted lower row).
+                    let mut s = vals[p];
+                    for q in ri_start..p {
+                        s -= vals[q] * vals[q];
+                    }
+                    if s <= 0.0 || !s.is_finite() {
+                        return Err(PrecondError::Breakdown(i));
+                    }
+                    vals[p] = s.sqrt();
+                }
+            }
+        }
+        let l = Csr::from_parts(n, n, row_ptr, col_idx, vals);
+        let lt = l.transpose();
+        Ok(Ic0 { l, lt })
+    }
+
+    /// The lower factor `L`.
+    pub fn l(&self) -> &Csr {
+        &self.l
+    }
+
+    /// Forward solve `L y = b`.
+    pub fn solve_lower(&self, x: &mut [f64]) {
+        let n = self.l.n_rows();
+        for i in 0..n {
+            let (cols, vals) = self.l.row(i);
+            let mut s = x[i];
+            // All columns < i, then the diagonal (last).
+            for (c, v) in cols.iter().zip(vals).take(cols.len() - 1) {
+                s -= v * x[*c];
+            }
+            x[i] = s / vals[cols.len() - 1];
+        }
+    }
+
+    /// Backward solve `Lᵀ x = y`.
+    pub fn solve_upper(&self, x: &mut [f64]) {
+        let n = self.lt.n_rows();
+        for i in (0..n).rev() {
+            let (cols, vals) = self.lt.row(i);
+            // Diagonal first (columns ≥ i in Lᵀ row i).
+            let mut s = x[i];
+            for (c, v) in cols.iter().zip(vals).skip(1) {
+                s -= v * x[*c];
+            }
+            x[i] = s / vals[0];
+        }
+    }
+
+    /// Flops of one apply.
+    pub fn solve_flops(&self) -> usize {
+        4 * self.l.nnz()
+    }
+}
+
+impl Preconditioner for Ic0 {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        z.copy_from_slice(r);
+        self.solve_lower(z);
+        self.solve_upper(z);
+    }
+
+    fn dim(&self) -> usize {
+        self.l.n_rows()
+    }
+
+    fn flops_per_apply(&self) -> usize {
+        self.solve_flops()
+    }
+
+    fn name(&self) -> &'static str {
+        "ic0"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sparsemat::gen::{banded_spd, poisson2d, rhs_for_ones};
+    use sparsemat::vecops::norm2;
+
+    #[test]
+    fn exact_on_tridiagonal() {
+        let a = banded_spd(20, 1, 1.0, 5);
+        let f = Ic0::new(&a).unwrap();
+        let b = rhs_for_ones(&a);
+        let mut x = b.clone();
+        f.solve_lower(&mut x);
+        f.solve_upper(&mut x);
+        for xi in &x {
+            assert!((xi - 1.0).abs() < 1e-10, "{xi}");
+        }
+    }
+
+    #[test]
+    fn factor_matches_full_cholesky_on_dense_pattern() {
+        // A fully dense SPD pattern drops nothing: IC(0) == Cholesky.
+        let d = sparsemat::Dense::from_rows(3, 3, &[4.0, 1.0, 0.5, 1.0, 3.0, 1.0, 0.5, 1.0, 2.0]);
+        let mut coo = sparsemat::Coo::new(3, 3);
+        for r in 0..3 {
+            for c in 0..3 {
+                coo.push(r, c, d[(r, c)]);
+            }
+        }
+        let f = Ic0::new(&coo.to_csr()).unwrap();
+        let chol = d.cholesky().unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let mut x = b.clone();
+        f.solve_lower(&mut x);
+        f.solve_upper(&mut x);
+        let xd = chol.solve(&b);
+        for (a, b) in x.iter().zip(&xd) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn approximates_poisson() {
+        let a = poisson2d(10, 10);
+        let f = Ic0::new(&a).unwrap();
+        let b = rhs_for_ones(&a);
+        let mut z = vec![0.0; 100];
+        f.apply(&b, &mut z);
+        let mut r = a.mul_vec(&z);
+        for (ri, bi) in r.iter_mut().zip(&b) {
+            *ri -= bi;
+        }
+        assert!(norm2(&r) / norm2(&b) < 0.5);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let mut coo = sparsemat::Coo::new(2, 2);
+        coo.push(0, 0, 1.0);
+        coo.push_sym(0, 1, 2.0);
+        coo.push(1, 1, 1.0);
+        assert!(matches!(
+            Ic0::new(&coo.to_csr()),
+            Err(PrecondError::Breakdown(_))
+        ));
+    }
+}

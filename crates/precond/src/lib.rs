@@ -1,0 +1,41 @@
+//! # precond — preconditioners and local factorizations
+//!
+//! The paper's solver setup (Sec. 6): *"We use a block Jacobi as a
+//! preconditioner during the regular operation of the solver, solving the
+//! preconditioner blocks exactly"*, and *"an approximate solver based on ILU
+//! factorization for the blocks"* inside the reconstruction. This crate
+//! provides those pieces and the standard alternatives the ESR literature
+//! distinguishes (Jacobi, SSOR, split preconditioners):
+//!
+//! * [`Preconditioner`] — the apply-interface `z ≈ M⁻¹ r`;
+//! * [`Jacobi`] — diagonal scaling;
+//! * [`BlockJacobi`] — block-diagonal solves with exact sparse LDLᵀ or
+//!   approximate ILU(0)/IC(0) per block;
+//! * [`SparseLdl`] — an up-looking sparse LDLᵀ factorization (elimination
+//!   tree based, in the style of Davis's LDL) for *exact* block solves;
+//! * [`Ilu0`] / [`Ic0`] — zero-fill incomplete LU / Cholesky;
+//! * [`Ssor`] — symmetric successive overrelaxation;
+//! * [`ExplicitPrec`] — a preconditioner *given as an explicit sparse
+//!   matrix* `P = M⁻¹`, the form assumed by the paper's Alg. 2.
+
+// Indexed loops over several parallel arrays are the clearest form for
+// the numeric kernels in this crate; iterator-zip pyramids obscure the math.
+#![allow(clippy::needless_range_loop)]
+
+pub mod block_jacobi;
+pub mod explicit;
+pub mod ic;
+pub mod ilu;
+pub mod jacobi;
+pub mod ldl;
+pub mod ssor;
+pub mod traits;
+
+pub use block_jacobi::{BlockJacobi, BlockSolver};
+pub use explicit::ExplicitPrec;
+pub use ic::Ic0;
+pub use ilu::Ilu0;
+pub use jacobi::Jacobi;
+pub use ldl::SparseLdl;
+pub use ssor::Ssor;
+pub use traits::{Identity, PrecondError, Preconditioner};

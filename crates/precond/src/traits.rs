@@ -1,0 +1,95 @@
+//! The preconditioner interface.
+
+/// Errors during preconditioner construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrecondError {
+    /// A pivot became non-positive (matrix not SPD, or incomplete
+    /// factorization breakdown); payload is the failing row/column.
+    Breakdown(usize),
+    /// The matrix shape does not fit the preconditioner's requirements.
+    Shape(String),
+}
+
+impl std::fmt::Display for PrecondError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrecondError::Breakdown(i) => {
+                write!(f, "factorization breakdown at pivot {i}")
+            }
+            PrecondError::Shape(m) => write!(f, "shape error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for PrecondError {}
+
+/// A preconditioner application `z ≈ M⁻¹ r` (the paper's `P = M⁻¹`).
+///
+/// Implementations must be deterministic: the ESR reconstruction replays
+/// preconditioner applications and compares states across runs.
+pub trait Preconditioner: Send + Sync {
+    /// Apply: `z ← M⁻¹ r`. `r` and `z` have the preconditioner's dimension.
+    fn apply(&self, r: &[f64], z: &mut [f64]);
+
+    /// Dimension n of the preconditioned operator.
+    fn dim(&self) -> usize;
+
+    /// Approximate flop count of one application (virtual-clock accounting).
+    fn flops_per_apply(&self) -> usize;
+
+    /// Short display name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// The identity preconditioner (plain CG).
+#[derive(Clone, Debug)]
+pub struct Identity {
+    n: usize,
+}
+
+impl Identity {
+    /// Identity of dimension `n`.
+    pub fn new(n: usize) -> Self {
+        Identity { n }
+    }
+}
+
+impl Preconditioner for Identity {
+    fn apply(&self, r: &[f64], z: &mut [f64]) {
+        debug_assert_eq!(r.len(), self.n);
+        z.copy_from_slice(r);
+    }
+
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn flops_per_apply(&self) -> usize {
+        0
+    }
+
+    fn name(&self) -> &'static str {
+        "identity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_copies() {
+        let p = Identity::new(3);
+        let mut z = vec![0.0; 3];
+        p.apply(&[1.0, 2.0, 3.0], &mut z);
+        assert_eq!(z, vec![1.0, 2.0, 3.0]);
+        assert_eq!(p.dim(), 3);
+        assert_eq!(p.flops_per_apply(), 0);
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = PrecondError::Breakdown(5);
+        assert!(e.to_string().contains("pivot 5"));
+    }
+}

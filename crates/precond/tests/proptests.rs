@@ -1,0 +1,111 @@
+//! Property-based tests of the factorizations and preconditioners.
+
+use proptest::prelude::*;
+
+use precond::{BlockJacobi, BlockSolver, Ic0, Ilu0, Jacobi, Preconditioner, SparseLdl, Ssor};
+use sparsemat::gen::banded_spd;
+use sparsemat::vecops::{dot, norm2};
+use sparsemat::Csr;
+
+fn residual(a: &Csr, x: &[f64], b: &[f64]) -> f64 {
+    let mut r = a.mul_vec(x);
+    for (ri, bi) in r.iter_mut().zip(b) {
+        *ri -= bi;
+    }
+    norm2(&r) / norm2(b).max(1e-300)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact LDLᵀ factorization solves any generated SPD system to
+    /// machine precision.
+    #[test]
+    fn ldl_solves_exactly(seed in any::<u64>(), n in 5usize..60, bw in 1usize..6) {
+        let a = banded_spd(n, bw, 0.7, seed);
+        let f = SparseLdl::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.17).sin()).collect();
+        let x = f.solve(&b);
+        prop_assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    /// LDLᵀ agrees with the dense Cholesky oracle.
+    #[test]
+    fn ldl_matches_dense(seed in any::<u64>(), n in 4usize..25) {
+        let a = banded_spd(n, 3, 0.8, seed);
+        let sparse = SparseLdl::new(&a).unwrap();
+        let dense = a.to_dense().cholesky().unwrap();
+        let b: Vec<f64> = (0..n).map(|i| 1.0 + (i % 3) as f64).collect();
+        let xs = sparse.solve(&b);
+        let xd = dense.solve(&b);
+        for (s, d) in xs.iter().zip(&xd) {
+            prop_assert!((s - d).abs() < 1e-9);
+        }
+    }
+
+    /// Incomplete factorizations never *worsen* the residual of a single
+    /// preconditioned step (they approximate A⁻¹).
+    #[test]
+    fn incomplete_factorizations_contract(seed in any::<u64>(), n in 8usize..60) {
+        let a = banded_spd(n, 3, 0.6, seed);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7 % 11) as f64) - 5.0).collect();
+        for (name, z) in [
+            ("ilu0", Ilu0::new(&a).unwrap().solve(&b)),
+            ("ic0", {
+                let f = Ic0::new(&a).unwrap();
+                let mut x = b.clone();
+                f.solve_lower(&mut x);
+                f.solve_upper(&mut x);
+                x
+            }),
+        ] {
+            prop_assert!(
+                residual(&a, &z, &b) < 1.0,
+                "{name} failed to contract"
+            );
+        }
+    }
+
+    /// Every preconditioner application is a symmetric positive definite
+    /// operator — required for PCG correctness.
+    #[test]
+    fn preconditioners_are_spd_operators(seed in any::<u64>(), n in 8usize..40) {
+        let a = banded_spd(n, 2, 0.7, seed);
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.29).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).cos()).collect();
+        let jacobi = Jacobi::new(&a).unwrap();
+        let ssor = Ssor::new(&a, 1.1).unwrap();
+        let bj = BlockJacobi::with_blocks(&a, 3.min(n), BlockSolver::ExactLdl).unwrap();
+        let ldl = SparseLdl::new(&a).unwrap();
+        let precs: [&dyn Preconditioner; 4] = [&jacobi, &ssor, &bj, &ldl];
+        for m in precs {
+            let mut mx = vec![0.0; n];
+            let mut my = vec![0.0; n];
+            m.apply(&x, &mut mx);
+            m.apply(&y, &mut my);
+            let sym_err = (dot(&y, &mx) - dot(&x, &my)).abs();
+            prop_assert!(
+                sym_err <= 1e-9 * (1.0 + dot(&y, &mx).abs()),
+                "{} not symmetric: {sym_err}",
+                m.name()
+            );
+            prop_assert!(dot(&x, &mx) > 0.0, "{} not positive", m.name());
+        }
+    }
+
+    /// Block Jacobi with one block per row degenerates to Jacobi.
+    #[test]
+    fn block_jacobi_single_rows_is_jacobi(seed in any::<u64>(), n in 4usize..20) {
+        let a = banded_spd(n, 2, 0.8, seed);
+        let bj = BlockJacobi::with_blocks(&a, n, BlockSolver::ExactLdl).unwrap();
+        let j = Jacobi::new(&a).unwrap();
+        let r: Vec<f64> = (0..n).map(|i| i as f64 - 2.0).collect();
+        let mut z1 = vec![0.0; n];
+        let mut z2 = vec![0.0; n];
+        bj.apply(&r, &mut z1);
+        j.apply(&r, &mut z2);
+        for (a, b) in z1.iter().zip(&z2) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

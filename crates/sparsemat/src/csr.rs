@@ -1,0 +1,425 @@
+//! Compressed sparse row matrices.
+//!
+//! The canonical storage format of the library: sorted column indices in
+//! every row, explicit zeros allowed (pattern and values are separate
+//! concerns — communication plans depend on the pattern).
+
+use crate::coo::Coo;
+
+/// A sparse matrix in CSR format.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Csr {
+    n_rows: usize,
+    n_cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl Csr {
+    /// Assemble from raw parts, validating the invariants.
+    pub fn from_parts(
+        n_rows: usize,
+        n_cols: usize,
+        row_ptr: Vec<usize>,
+        col_idx: Vec<usize>,
+        vals: Vec<f64>,
+    ) -> Self {
+        assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
+        assert_eq!(col_idx.len(), vals.len(), "col/val length mismatch");
+        assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
+        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
+        debug_assert!(
+            (0..n_rows).all(|r| {
+                let s = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+                s.windows(2).all(|w| w[0] < w[1]) && s.iter().all(|&c| c < n_cols)
+            }),
+            "columns sorted, unique, in range"
+        );
+        Csr {
+            n_rows,
+            n_cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        Csr::from_parts(
+            n,
+            n,
+            (0..=n).collect(),
+            (0..n).collect(),
+            vec![1.0; n],
+        )
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.col_idx.len()
+    }
+
+    /// The row pointer array (`n_rows + 1` entries).
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// All column indices, row-major.
+    pub fn col_idx(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// All values, row-major.
+    pub fn vals(&self) -> &[f64] {
+        &self.vals
+    }
+
+    /// Mutable values (pattern-preserving updates).
+    pub fn vals_mut(&mut self) -> &mut [f64] {
+        &mut self.vals
+    }
+
+    /// Column indices and values of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+        let span = self.row_ptr[r]..self.row_ptr[r + 1];
+        (&self.col_idx[span.clone()], &self.vals[span])
+    }
+
+    /// Value at `(r, c)`, zero if not stored.
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        let (cols, vals) = self.row(r);
+        match cols.binary_search(&c) {
+            Ok(k) => vals[k],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// `y ← A·x`.
+    pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols, "spmv x length");
+        assert_eq!(y.len(), self.n_rows, "spmv y length");
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            y[r] = acc;
+        }
+    }
+
+    /// `y ← y + A·x`.
+    pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c];
+            }
+            y[r] += acc;
+        }
+    }
+
+    /// Allocate-and-return variant of [`Csr::spmv`].
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n_rows];
+        self.spmv(x, &mut y);
+        y
+    }
+
+    /// Flop count of one SpMV (2 per stored entry).
+    pub fn spmv_flops(&self) -> usize {
+        2 * self.nnz()
+    }
+
+    /// The main diagonal (zero where not stored).
+    pub fn diag(&self) -> Vec<f64> {
+        (0..self.n_rows.min(self.n_cols))
+            .map(|i| self.get(i, i))
+            .collect()
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Csr {
+        let mut counts = vec![0usize; self.n_cols + 1];
+        for &c in &self.col_idx {
+            counts[c + 1] += 1;
+        }
+        for i in 0..self.n_cols {
+            counts[i + 1] += counts[i];
+        }
+        let mut row_ptr = counts.clone();
+        let mut col_idx = vec![0usize; self.nnz()];
+        let mut vals = vec![0.0; self.nnz()];
+        let mut next = counts;
+        for r in 0..self.n_rows {
+            let (cols, vs) = self.row(r);
+            for (c, v) in cols.iter().zip(vs) {
+                let slot = next[*c];
+                col_idx[slot] = r;
+                vals[slot] = *v;
+                next[*c] += 1;
+            }
+        }
+        // Rows of the transpose are built in increasing source-row order,
+        // so columns are already sorted.
+        row_ptr.truncate(self.n_cols + 1);
+        Csr::from_parts(self.n_cols, self.n_rows, row_ptr, col_idx, vals)
+    }
+
+    /// Max absolute asymmetry `|A - Aᵀ|∞`; 0 for structurally and
+    /// numerically symmetric matrices.
+    pub fn asymmetry(&self) -> f64 {
+        let t = self.transpose();
+        let mut worst = 0.0f64;
+        for r in 0..self.n_rows {
+            let (c1, v1) = self.row(r);
+            let (c2, v2) = t.row(r);
+            // Merge the two sorted rows.
+            let (mut i, mut j) = (0, 0);
+            while i < c1.len() || j < c2.len() {
+                if j >= c2.len() || (i < c1.len() && c1[i] < c2[j]) {
+                    worst = worst.max(v1[i].abs());
+                    i += 1;
+                } else if i >= c1.len() || c2[j] < c1[i] {
+                    worst = worst.max(v2[j].abs());
+                    j += 1;
+                } else {
+                    worst = worst.max((v1[i] - v2[j]).abs());
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        worst
+    }
+
+    /// True if `‖A - Aᵀ‖∞ ≤ tol`.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        self.n_rows == self.n_cols && self.asymmetry() <= tol
+    }
+
+    /// Symmetric permutation `P A Pᵀ`: entry `(i, j)` moves to
+    /// `(perm[i], perm[j])` (i.e. `perm` maps old index → new index).
+    pub fn permute_sym(&self, perm: &[usize]) -> Csr {
+        assert_eq!(self.n_rows, self.n_cols, "symmetric permute needs square");
+        assert_eq!(perm.len(), self.n_rows);
+        let mut inv = vec![usize::MAX; perm.len()];
+        for (old, &new) in perm.iter().enumerate() {
+            assert!(inv[new] == usize::MAX, "perm is not a bijection");
+            inv[new] = old;
+        }
+        let mut coo = Coo::with_capacity(self.n_rows, self.n_cols, self.nnz());
+        for new_r in 0..self.n_rows {
+            let old_r = inv[new_r];
+            let (cols, vals) = self.row(old_r);
+            for (c, v) in cols.iter().zip(vals) {
+                coo.push(new_r, perm[*c], *v);
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// Extract the submatrix with the given (sorted, unique, global) rows
+    /// and columns; indices are renumbered to `0..rows.len()` /
+    /// `0..cols.len()`. Used for `A_{If,If}` and `P_{If,If}` in the
+    /// reconstruction (paper Alg. 2, lines 6 and 8).
+    pub fn extract(&self, rows: &[usize], cols: &[usize]) -> Csr {
+        debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        let mut col_map = vec![usize::MAX; self.n_cols];
+        for (new, &old) in cols.iter().enumerate() {
+            col_map[old] = new;
+        }
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for &r in rows {
+            let (cs, vs) = self.row(r);
+            for (c, v) in cs.iter().zip(vs) {
+                let nc = col_map[*c];
+                if nc != usize::MAX {
+                    col_idx.push(nc);
+                    vals.push(*v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts(rows.len(), cols.len(), row_ptr, col_idx, vals)
+    }
+
+    /// Extract rows (renumbered `0..rows.len()`) keeping **all** columns.
+    pub fn extract_rows(&self, rows: &[usize]) -> Csr {
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        let mut col_idx = Vec::new();
+        let mut vals = Vec::new();
+        row_ptr.push(0);
+        for &r in rows {
+            let (cs, vs) = self.row(r);
+            col_idx.extend_from_slice(cs);
+            vals.extend_from_slice(vs);
+            row_ptr.push(col_idx.len());
+        }
+        Csr::from_parts(rows.len(), self.n_cols, row_ptr, col_idx, vals)
+    }
+
+    /// Bandwidth: `max |i - j|` over stored entries.
+    pub fn bandwidth(&self) -> usize {
+        let mut bw = 0usize;
+        for r in 0..self.n_rows {
+            let (cols, _) = self.row(r);
+            for &c in cols {
+                bw = bw.max(r.abs_diff(c));
+            }
+        }
+        bw
+    }
+
+    /// Dense representation (test oracle; panics on large matrices).
+    pub fn to_dense(&self) -> crate::dense::Dense {
+        assert!(
+            self.n_rows * self.n_cols <= 16_000_000,
+            "to_dense on a large matrix"
+        );
+        let mut d = crate::dense::Dense::zeros(self.n_rows, self.n_cols);
+        for r in 0..self.n_rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                d[(r, *c)] = *v;
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        // [ 2 -1  0 ]
+        // [-1  2 -1 ]
+        // [ 0 -1  2 ]
+        let mut c = Coo::new(3, 3);
+        for i in 0..3 {
+            c.push(i, i, 2.0);
+        }
+        c.push_sym(0, 1, -1.0);
+        c.push_sym(1, 2, -1.0);
+        c.to_csr()
+    }
+
+    #[test]
+    fn spmv_tridiag() {
+        let a = sample();
+        let y = a.mul_vec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![0.0, 0.0, 4.0]);
+    }
+
+    #[test]
+    fn spmv_add_accumulates() {
+        let a = sample();
+        let mut y = vec![1.0; 3];
+        a.spmv_add(&[1.0, 2.0, 3.0], &mut y);
+        assert_eq!(y, vec![1.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut c = Coo::new(3, 4);
+        c.push(0, 3, 1.0);
+        c.push(2, 1, 5.0);
+        c.push(1, 0, -2.0);
+        let a = c.to_csr();
+        let t = a.transpose();
+        assert_eq!(t.n_rows(), 4);
+        assert_eq!(t.get(3, 0), 1.0);
+        assert_eq!(t.get(1, 2), 5.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        assert!(sample().is_symmetric(0.0));
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 1.0);
+        c.push(1, 0, 1.0 + 1e-3);
+        let a = c.to_csr();
+        assert!(!a.is_symmetric(1e-6));
+        assert!(a.is_symmetric(1e-2));
+    }
+
+    #[test]
+    fn asymmetry_counts_missing_mirror() {
+        let mut c = Coo::new(2, 2);
+        c.push(0, 1, 3.0); // no (1,0) entry at all
+        let a = c.to_csr();
+        assert_eq!(a.asymmetry(), 3.0);
+    }
+
+    #[test]
+    fn permute_sym_reverses() {
+        let a = sample();
+        let perm = vec![2, 1, 0];
+        let p = a.permute_sym(&perm);
+        // Tridiagonal structure is preserved under reversal.
+        assert_eq!(p.get(0, 0), 2.0);
+        assert_eq!(p.get(0, 1), -1.0);
+        assert_eq!(p.get(0, 2), 0.0);
+        assert!(p.is_symmetric(0.0));
+        // Round-trip back.
+        assert_eq!(p.permute_sym(&perm), a);
+    }
+
+    #[test]
+    fn extract_submatrix() {
+        let a = sample();
+        let s = a.extract(&[0, 2], &[0, 2]);
+        assert_eq!(s.n_rows(), 2);
+        assert_eq!(s.get(0, 0), 2.0);
+        assert_eq!(s.get(0, 1), 0.0);
+        assert_eq!(s.get(1, 1), 2.0);
+        let off = a.extract(&[0, 2], &[1]);
+        assert_eq!(off.get(0, 0), -1.0);
+        assert_eq!(off.get(1, 0), -1.0);
+    }
+
+    #[test]
+    fn extract_rows_keeps_columns() {
+        let a = sample();
+        let s = a.extract_rows(&[1]);
+        assert_eq!(s.n_rows(), 1);
+        assert_eq!(s.n_cols(), 3);
+        assert_eq!(s.row(0), (&[0usize, 1, 2][..], &[-1.0, 2.0, -1.0][..]));
+    }
+
+    #[test]
+    fn diag_and_bandwidth() {
+        let a = sample();
+        assert_eq!(a.diag(), vec![2.0, 2.0, 2.0]);
+        assert_eq!(a.bandwidth(), 1);
+        assert_eq!(Csr::identity(5).bandwidth(), 0);
+    }
+
+    #[test]
+    fn get_missing_is_zero() {
+        let a = sample();
+        assert_eq!(a.get(0, 2), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! 3-DOF structural-mechanics analog generators (wide-band patterns).
+//!
+//! The paper's largest matrices (Emilia_923, Geo_1438, Serena, audikw_1)
+//! are 3-D structural problems with three degrees of freedom per mesh node
+//! and 40–80 nonzeros per row concentrated in a wide band around the
+//! diagonal — the *favourable* pattern class for the ESR redundancy scheme
+//! (paper Secs. 5 and 7.2: high natural multiplicity, band ≥ ⌈φn/2N⌉).
+//!
+//! `elasticity3d` reproduces this class: a regular 3-D grid, 3 DOF per grid
+//! point, symmetric random 3×3 coupling blocks on a chosen neighbour
+//! stencil, and a strictly diagonally dominant diagonal block.
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::rng::Rng;
+
+/// Which neighbour set couples grid points.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockStencil {
+    /// 6 face neighbours (7-point): ~21 nnz/row.
+    Faces7,
+    /// faces + in-plane edge diagonals (15-point): ~45 nnz/row —
+    /// Emilia_923-like (**M5'**).
+    Edges15,
+    /// faces + all edge diagonals (19-point): ~57 nnz/row —
+    /// Geo_1438/Serena-like (**M6'**, **M7'**).
+    Edges19,
+    /// full 3×3×3 neighbourhood (27-point): ~81 nnz/row —
+    /// audikw_1-like (**M8'**, the densest band of the test set).
+    Full27,
+}
+
+impl BlockStencil {
+    /// Half-stencil offsets; the symmetric counterparts are implied.
+    fn offsets(self) -> Vec<(i64, i64, i64)> {
+        let faces = vec![(1, 0, 0), (0, 1, 0), (0, 0, 1)];
+        let edges_xy = vec![(1, 1, 0), (1, -1, 0)];
+        let edges_xz = vec![(1, 0, 1), (1, 0, -1)];
+        let edges_yz = vec![(0, 1, 1), (0, 1, -1)];
+        let corners = vec![(1, 1, 1), (1, 1, -1), (1, -1, 1), (1, -1, -1)];
+        let mut o = faces;
+        match self {
+            BlockStencil::Faces7 => {}
+            BlockStencil::Edges15 => {
+                o.extend(edges_xy);
+                o.extend(edges_xz);
+            }
+            BlockStencil::Edges19 => {
+                o.extend(edges_xy);
+                o.extend(edges_xz);
+                o.extend(edges_yz);
+            }
+            BlockStencil::Full27 => {
+                o.extend(edges_xy);
+                o.extend(edges_xz);
+                o.extend(edges_yz);
+                o.extend(corners);
+            }
+        }
+        o
+    }
+}
+
+/// A 3-D elasticity-like SPD operator: `nx·ny·nz` grid points × `dof`
+/// unknowns each (`n = nx·ny·nz·dof`). `stiffness_jitter > 0` varies the
+/// per-element coupling strength (Serena-like heterogeneous media).
+pub fn elasticity3d(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    dof: usize,
+    stencil: BlockStencil,
+    stiffness_jitter: f64,
+    seed: u64,
+) -> Csr {
+    assert!(dof >= 1);
+    let points = nx * ny * nz;
+    let n = points * dof;
+    let offsets = stencil.offsets();
+    let mut rng = Rng::new(seed);
+    let mut coo = Coo::with_capacity(n, n, (2 * offsets.len() + 1) * dof * dof * points);
+    let pidx = |x: i64, y: i64, z: i64| (z as usize * ny + y as usize) * nx + x as usize;
+    let inside = |x: i64, y: i64, z: i64| {
+        x >= 0 && y >= 0 && z >= 0 && (x as usize) < nx && (y as usize) < ny && (z as usize) < nz
+    };
+    // Row sums of absolute off-diagonal values, for the dominant diagonal.
+    let mut rowsum = vec![0.0f64; n];
+    let mut block = vec![0.0f64; dof * dof];
+    for z in 0..nz as i64 {
+        for y in 0..ny as i64 {
+            for x in 0..nx as i64 {
+                let p = pidx(x, y, z);
+                // Intra-point dof coupling (full dof×dof diagonal blocks,
+                // as in assembled elasticity operators).
+                for a in 0..dof {
+                    for b in (a + 1)..dof {
+                        let v = -0.3 * rng.range_f64(0.5, 1.0);
+                        coo.push_sym(p * dof + a, p * dof + b, v);
+                        rowsum[p * dof + a] += v.abs();
+                        rowsum[p * dof + b] += v.abs();
+                    }
+                }
+                for &(ox, oy, oz) in &offsets {
+                    let (xx, yy, zz) = (x + ox, y + oy, z + oz);
+                    if !inside(xx, yy, zz) {
+                        continue;
+                    }
+                    let q = pidx(xx, yy, zz);
+                    // Element stiffness scale for this edge.
+                    let scale = 1.0 + stiffness_jitter * (rng.next_f64() - 0.5);
+                    // Symmetric dof×dof coupling block C = Cᵀ.
+                    for a in 0..dof {
+                        for b in a..dof {
+                            let base = if a == b { -1.0 } else { -0.25 };
+                            let v = base * scale * rng.range_f64(0.5, 1.0);
+                            block[a * dof + b] = v;
+                            block[b * dof + a] = v;
+                        }
+                    }
+                    // A[(p,a),(q,b)] = C[a,b]; A[(q,b),(p,a)] mirrors it,
+                    // so the assembled matrix is symmetric.
+                    for a in 0..dof {
+                        for b in 0..dof {
+                            let v = block[a * dof + b];
+                            coo.push_sym(p * dof + a, q * dof + b, v);
+                            rowsum[p * dof + a] += v.abs();
+                            rowsum[q * dof + b] += v.abs();
+                        }
+                    }
+                }
+            }
+        }
+    }
+    for (i, &s) in rowsum.iter().enumerate() {
+        coo.push(i, i, s + 0.01 * s.max(1.0));
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_spd_and_symmetric() {
+        for stencil in [
+            BlockStencil::Faces7,
+            BlockStencil::Edges15,
+            BlockStencil::Edges19,
+            BlockStencil::Full27,
+        ] {
+            let a = elasticity3d(3, 3, 3, 3, stencil, 0.2, 5);
+            assert_eq!(a.n_rows(), 81);
+            assert!(a.is_symmetric(1e-14), "{stencil:?}");
+            assert!(a.to_dense().is_spd(), "{stencil:?}");
+        }
+    }
+
+    #[test]
+    fn nnz_per_row_grows_with_stencil() {
+        let avg = |s: BlockStencil| {
+            let a = elasticity3d(4, 4, 4, 3, s, 0.0, 1);
+            a.nnz() as f64 / a.n_rows() as f64
+        };
+        let a7 = avg(BlockStencil::Faces7);
+        let a15 = avg(BlockStencil::Edges15);
+        let a19 = avg(BlockStencil::Edges19);
+        let a27 = avg(BlockStencil::Full27);
+        assert!(a7 < a15 && a15 < a19 && a19 < a27, "{a7} {a15} {a19} {a27}");
+        // Interior rows of Full27 reach 81 nnz (27 points × 3 dof).
+        let a = elasticity3d(5, 5, 5, 3, BlockStencil::Full27, 0.0, 1);
+        let max_row = (0..a.n_rows()).map(|r| a.row(r).0.len()).max().unwrap();
+        assert_eq!(max_row, 81);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = elasticity3d(3, 3, 2, 2, BlockStencil::Edges19, 0.3, 9);
+        let b = elasticity3d(3, 3, 2, 2, BlockStencil::Edges19, 0.3, 9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn single_dof_reduces_to_scalar_stencil() {
+        let a = elasticity3d(4, 4, 4, 1, BlockStencil::Faces7, 0.0, 3);
+        assert_eq!(a.n_rows(), 64);
+        let max_row = (0..a.n_rows()).map(|r| a.row(r).0.len()).max().unwrap();
+        assert_eq!(max_row, 7);
+    }
+
+    #[test]
+    fn diagonal_blocks_are_full() {
+        // Row (P, 0) couples to (P, 1) and (P, 2) within the same point.
+        let a = elasticity3d(3, 3, 3, 3, BlockStencil::Faces7, 0.0, 4);
+        assert_ne!(a.get(0, 1), 0.0);
+        assert_ne!(a.get(0, 2), 0.0);
+    }
+}

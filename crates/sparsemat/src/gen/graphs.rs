@@ -1,0 +1,237 @@
+//! Irregular-graph generators (unstructured and scattered patterns).
+//!
+//! Two pattern classes from the paper's test set are *not* banded:
+//!
+//! * **thermal2** — an unstructured FEM mesh: irregular but spatially local,
+//!   so a locality-preserving node ordering still yields a quasi-banded
+//!   matrix ([`mesh_laplacian_2d`] with [`MeshOrdering::Hilbert`]);
+//! * **G3_circuit** — a circuit: mostly short-range connections plus
+//!   genuinely long-range couplings that no ordering can localize
+//!   ([`circuit_like`]). This is the paper's worst case — reconstruction
+//!   after failures at the *center* of the index range costs up to 55%
+//!   (Table 2, M3).
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+use crate::rng::Rng;
+
+/// Node ordering for mesh generators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeshOrdering {
+    /// Row-major grid sweep: banded.
+    Natural,
+    /// Hilbert space-filling curve: excellent locality, irregular band.
+    Hilbert,
+    /// Random permutation: fully scattered (stress test).
+    Random,
+}
+
+/// Graph Laplacian (+ small diagonal shift) of a jittered 2-D mesh:
+/// `nx·ny` points, each connected to grid neighbours that survive a random
+/// thinning, plus next-nearest links. Unstructured-FEM analog (**M4'**).
+pub fn mesh_laplacian_2d(nx: usize, ny: usize, ordering: MeshOrdering, seed: u64) -> Csr {
+    let n = nx * ny;
+    let mut rng = Rng::new(seed);
+
+    // Node numbering per the requested ordering.
+    let number: Vec<usize> = match ordering {
+        MeshOrdering::Natural => (0..n).collect(),
+        MeshOrdering::Hilbert => {
+            let side = (nx.max(ny)).next_power_of_two();
+            let mut keys: Vec<(u64, usize)> = (0..n)
+                .map(|i| {
+                    let (x, y) = (i % nx, i / nx);
+                    (hilbert_d(side as u64, x as u64, y as u64), i)
+                })
+                .collect();
+            keys.sort_unstable();
+            let mut num = vec![0usize; n];
+            for (new, &(_, old)) in keys.iter().enumerate() {
+                num[old] = new;
+            }
+            num
+        }
+        MeshOrdering::Random => {
+            let mut num: Vec<usize> = (0..n).collect();
+            rng.shuffle(&mut num);
+            num
+        }
+    };
+
+    let idx = |x: usize, y: usize| y * nx + x;
+    let mut coo = Coo::with_capacity(n, n, 8 * n);
+    let mut degree = vec![0.0f64; n];
+    let add_edge = |coo: &mut Coo, degree: &mut [f64], a: usize, b: usize, w: f64| {
+        let (na, nb) = (number[a], number[b]);
+        coo.push_sym(na, nb, -w);
+        degree[na] += w;
+        degree[nb] += w;
+    };
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            // Grid edges survive with probability 0.85 (irregular mesh).
+            if x + 1 < nx && rng.chance(0.85) {
+                add_edge(&mut coo, &mut degree, i, idx(x + 1, y), rng.range_f64(0.5, 1.5));
+            }
+            if y + 1 < ny && rng.chance(0.85) {
+                add_edge(&mut coo, &mut degree, i, idx(x, y + 1), rng.range_f64(0.5, 1.5));
+            }
+            // Occasional diagonal braces (triangulation flavour).
+            if x + 1 < nx && y + 1 < ny && rng.chance(0.4) {
+                add_edge(&mut coo, &mut degree, i, idx(x + 1, y + 1), rng.range_f64(0.3, 1.0));
+            }
+            if x >= 1 && y + 1 < ny && rng.chance(0.4) {
+                add_edge(&mut coo, &mut degree, i, idx(x - 1, y + 1), rng.range_f64(0.3, 1.0));
+            }
+        }
+    }
+    for (i, &d) in degree.iter().enumerate() {
+        coo.push(i, i, d + 0.02 * d.max(1.0));
+    }
+    coo.to_csr()
+}
+
+/// Circuit-topology analog (**M3'**): `n` nodes, short-range connections
+/// within a `window`, plus a fraction `long_range` of links to uniformly
+/// random distant nodes. Symmetric diagonally dominant Laplacian-like
+/// matrix; the long-range links make the pattern *scattered* — the
+/// unfavourable case for ESR redundancy (paper Secs. 5, 7.2).
+pub fn circuit_like(n: usize, window: usize, long_range: f64, seed: u64) -> Csr {
+    assert!(n >= 4 && window >= 1);
+    let mut rng = Rng::new(seed);
+    let mut coo = Coo::with_capacity(n, n, 6 * n);
+    let mut degree = vec![0.0f64; n];
+    for i in 0..n {
+        // 1–2 short-range links (rail/neighbour wiring).
+        let links = 1 + rng.below(2);
+        for _ in 0..links {
+            let off = 1 + rng.below(window);
+            let j = (i + off) % n;
+            let w = rng.range_f64(0.5, 2.0);
+            coo.push_sym(i, j, -w);
+            degree[i] += w;
+            degree[j] += w;
+        }
+        // Occasional long-range link (global net: clock, power).
+        if rng.chance(long_range) {
+            let j = rng.below(n);
+            if j != i {
+                let w = rng.range_f64(0.1, 0.5);
+                coo.push_sym(i, j, -w);
+                degree[i] += w;
+                degree[j] += w;
+            }
+        }
+    }
+    for (i, &d) in degree.iter().enumerate() {
+        coo.push(i, i, d + 0.05 * d.max(1.0));
+    }
+    coo.to_csr()
+}
+
+/// Map `(x, y)` on a `side × side` grid (power of two) to its distance
+/// along the Hilbert curve. Classic bit-twiddling construction.
+fn hilbert_d(side: u64, mut x: u64, mut y: u64) -> u64 {
+    let mut rx: u64;
+    let mut ry: u64;
+    let mut d: u64 = 0;
+    let mut s = side / 2;
+    while s > 0 {
+        rx = u64::from((x & s) > 0);
+        ry = u64::from((y & s) > 0);
+        d += s * s * ((3 * rx) ^ ry);
+        // Rotate/flip the quadrant.
+        if ry == 0 {
+            if rx == 1 {
+                x = side - 1 - x;
+                y = side - 1 - y;
+            }
+            std::mem::swap(&mut x, &mut y);
+        }
+        s /= 2;
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_is_spd_all_orderings() {
+        for ord in [MeshOrdering::Natural, MeshOrdering::Hilbert, MeshOrdering::Random] {
+            let a = mesh_laplacian_2d(6, 6, ord, 3);
+            assert_eq!(a.n_rows(), 36);
+            assert!(a.is_symmetric(1e-14), "{ord:?}");
+            assert!(a.to_dense().is_spd(), "{ord:?}");
+        }
+    }
+
+    #[test]
+    fn orderings_change_bandwidth() {
+        let nat = mesh_laplacian_2d(16, 16, MeshOrdering::Natural, 3).bandwidth();
+        let rnd = mesh_laplacian_2d(16, 16, MeshOrdering::Random, 3).bandwidth();
+        assert!(nat < rnd, "natural {nat} should beat random {rnd}");
+    }
+
+    #[test]
+    fn circuit_is_spd_with_long_range() {
+        let a = circuit_like(100, 4, 0.2, 11);
+        assert!(a.is_symmetric(1e-14));
+        assert!(a.to_dense().is_spd());
+        // Long-range links give near-full bandwidth.
+        assert!(a.bandwidth() > 50, "bandwidth {}", a.bandwidth());
+    }
+
+    #[test]
+    fn circuit_degree_is_sparse() {
+        let a = circuit_like(1000, 8, 0.05, 1);
+        let avg = a.nnz() as f64 / a.n_rows() as f64;
+        assert!(avg > 3.0 && avg < 9.0, "avg nnz/row {avg}");
+    }
+
+    #[test]
+    fn hilbert_visits_every_cell_once() {
+        let side = 8u64;
+        let mut seen = vec![false; (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                let d = hilbert_d(side, x, y) as usize;
+                assert!(!seen[d], "duplicate hilbert distance {d}");
+                seen[d] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn hilbert_neighbours_are_close() {
+        // Consecutive curve positions are grid neighbours — the locality
+        // property the M4' ordering relies on.
+        let side = 16u64;
+        let mut pos = vec![(0u64, 0u64); (side * side) as usize];
+        for x in 0..side {
+            for y in 0..side {
+                pos[hilbert_d(side, x, y) as usize] = (x, y);
+            }
+        }
+        for w in pos.windows(2) {
+            let dx = w[0].0.abs_diff(w[1].0);
+            let dy = w[0].1.abs_diff(w[1].1);
+            assert_eq!(dx + dy, 1, "curve jumps from {:?} to {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn generators_deterministic() {
+        assert_eq!(
+            circuit_like(50, 3, 0.1, 2),
+            circuit_like(50, 3, 0.1, 2)
+        );
+        assert_eq!(
+            mesh_laplacian_2d(5, 5, MeshOrdering::Hilbert, 2),
+            mesh_laplacian_2d(5, 5, MeshOrdering::Hilbert, 2)
+        );
+    }
+}

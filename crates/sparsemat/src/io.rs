@@ -1,0 +1,246 @@
+//! Matrix Market I/O.
+//!
+//! The paper's test matrices come from the SuiteSparse collection, which
+//! distributes Matrix Market files. The synthetic suite stands in by
+//! default (DESIGN.md), but this reader lets the original matrices be
+//! dropped into the benchmarks unchanged when available.
+//!
+//! Supported: `matrix coordinate real|integer|pattern general|symmetric`.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+/// Errors from Matrix Market parsing.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content, with a human-readable reason.
+    Parse(String),
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "I/O error: {e}"),
+            MmError::Parse(m) => write!(f, "Matrix Market parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> MmError {
+    MmError::Parse(msg.into())
+}
+
+/// Read a Matrix Market file.
+pub fn read_matrix_market(path: impl AsRef<Path>) -> Result<Csr, MmError> {
+    read_matrix_market_from(BufReader::new(File::open(path)?))
+}
+
+/// Read Matrix Market content from any reader.
+pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<Csr, MmError> {
+    let mut lines = BufReader::new(reader).lines();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let header = lines
+        .next()
+        .ok_or_else(|| parse_err("empty file"))??;
+    let h: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
+        return Err(parse_err(format!("bad header: {header}")));
+    }
+    if h[2] != "coordinate" {
+        return Err(parse_err("only coordinate format is supported"));
+    }
+    let pattern = match h[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(parse_err(format!("unsupported field type: {other}"))),
+    };
+    let symmetric = match h[4].as_str() {
+        "general" => false,
+        "symmetric" => true,
+        other => return Err(parse_err(format!("unsupported symmetry: {other}"))),
+    };
+
+    // Skip comments, read size line.
+    let size_line = loop {
+        let line = lines
+            .next()
+            .ok_or_else(|| parse_err("missing size line"))??;
+        let t = line.trim();
+        if !t.is_empty() && !t.starts_with('%') {
+            break t.to_string();
+        }
+    };
+    let dims: Vec<usize> = size_line
+        .split_whitespace()
+        .map(|t| t.parse().map_err(|_| parse_err(format!("bad size: {t}"))))
+        .collect::<Result<_, _>>()?;
+    if dims.len() != 3 {
+        return Err(parse_err("size line must be `rows cols nnz`"));
+    }
+    let (nr, nc, nnz) = (dims[0], dims[1], dims[2]);
+
+    let mut coo = Coo::with_capacity(nr, nc, if symmetric { 2 * nnz } else { nnz });
+    let mut seen = 0usize;
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing row"))?
+            .parse()
+            .map_err(|_| parse_err(format!("bad row in: {t}")))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err("missing col"))?
+            .parse()
+            .map_err(|_| parse_err(format!("bad col in: {t}")))?;
+        let v: f64 = if pattern {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err("missing value"))?
+                .parse()
+                .map_err(|_| parse_err(format!("bad value in: {t}")))?
+        };
+        if r < 1 || r > nr || c < 1 || c > nc {
+            return Err(parse_err(format!("index out of range: {t}")));
+        }
+        // Matrix Market is 1-based.
+        if symmetric {
+            coo.push_sym(r - 1, c - 1, v);
+        } else {
+            coo.push(r - 1, c - 1, v);
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(format!("expected {nnz} entries, found {seen}")));
+    }
+    Ok(coo.to_csr())
+}
+
+/// Write `a` as `matrix coordinate real general` (or `symmetric` when the
+/// matrix is numerically symmetric: only the lower triangle is stored).
+pub fn write_matrix_market(a: &Csr, path: impl AsRef<Path>) -> Result<(), MmError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    let symmetric = a.is_symmetric(0.0);
+    if symmetric {
+        let lower: usize = (0..a.n_rows())
+            .map(|r| a.row(r).0.iter().filter(|&&c| c <= r).count())
+            .sum();
+        writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
+        writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), lower)?;
+        for r in 0..a.n_rows() {
+            let (cols, vals) = a.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                if *c <= r {
+                    writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+                }
+            }
+        }
+    } else {
+        writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+        writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), a.nnz())?;
+        for r in 0..a.n_rows() {
+            let (cols, vals) = a.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
+            }
+        }
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::poisson2d;
+
+    #[test]
+    fn parse_general() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    % a comment\n\
+                    2 3 3\n\
+                    1 1 1.5\n\
+                    2 3 -2.0\n\
+                    1 2 4\n";
+        let a = read_matrix_market_from(text.as_bytes()).unwrap();
+        assert_eq!(a.n_rows(), 2);
+        assert_eq!(a.n_cols(), 3);
+        assert_eq!(a.get(0, 0), 1.5);
+        assert_eq!(a.get(0, 1), 4.0);
+        assert_eq!(a.get(1, 2), -2.0);
+    }
+
+    #[test]
+    fn parse_symmetric_expands() {
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n\
+                    2 2 2\n\
+                    1 1 2.0\n\
+                    2 1 -1.0\n";
+        let a = read_matrix_market_from(text.as_bytes()).unwrap();
+        assert_eq!(a.get(0, 1), -1.0);
+        assert_eq!(a.get(1, 0), -1.0);
+        assert!(a.is_symmetric(0.0));
+    }
+
+    #[test]
+    fn parse_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    2 2 1\n\
+                    2 1\n";
+        let a = read_matrix_market_from(text.as_bytes()).unwrap();
+        assert_eq!(a.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn rejects_bad_headers() {
+        assert!(read_matrix_market_from("nonsense\n1 1 0\n".as_bytes()).is_err());
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix array real general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+        assert!(read_matrix_market_from(
+            "%%MatrixMarket matrix coordinate complex general\n1 1 0\n".as_bytes()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_count_and_range() {
+        let short = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_matrix_market_from(short.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(read_matrix_market_from(oob.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn roundtrip_via_tempfile() {
+        let a = poisson2d(5, 4);
+        let path = std::env::temp_dir().join("esr_sparsemat_io_test.mtx");
+        write_matrix_market(&a, &path).unwrap();
+        let b = read_matrix_market(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Block-row data distribution.
+//!
+//! The paper (Sec. 1.1.2) distributes all matrices and vectors in blocks of
+//! contiguous rows: "every node owns blocks of n/N contiguous rows (if
+//! n = cN …, otherwise some nodes own ⌊n/N⌋ and others ⌈n/N⌉ rows)". The
+//! first `n mod N` nodes get the larger blocks.
+
+use std::ops::Range;
+
+/// A contiguous block-row partition of `0..n` over `nodes` ranks.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPartition {
+    n: usize,
+    nodes: usize,
+    starts: Vec<usize>, // len nodes + 1, starts[k]..starts[k+1] = rank k
+}
+
+impl BlockPartition {
+    /// Partition `n` rows over `nodes` ranks.
+    pub fn new(n: usize, nodes: usize) -> Self {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(n >= nodes, "fewer rows than nodes");
+        let base = n / nodes;
+        let extra = n % nodes;
+        let mut starts = Vec::with_capacity(nodes + 1);
+        let mut s = 0;
+        starts.push(0);
+        for k in 0..nodes {
+            s += base + usize::from(k < extra);
+            starts.push(s);
+        }
+        debug_assert_eq!(s, n);
+        BlockPartition { n, nodes, starts }
+    }
+
+    /// Total number of rows `n`.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of ranks `N`.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The global index range `Iₖ` owned by `rank`.
+    #[inline]
+    pub fn range(&self, rank: usize) -> Range<usize> {
+        self.starts[rank]..self.starts[rank + 1]
+    }
+
+    /// Number of rows owned by `rank`.
+    #[inline]
+    pub fn len_of(&self, rank: usize) -> usize {
+        self.starts[rank + 1] - self.starts[rank]
+    }
+
+    /// Largest block size `⌈n/N⌉` (the paper's bound unit in Sec. 4.2).
+    pub fn max_block(&self) -> usize {
+        self.n.div_ceil(self.nodes)
+    }
+
+    /// The rank owning global index `i`.
+    #[inline]
+    pub fn owner_of(&self, i: usize) -> usize {
+        debug_assert!(i < self.n);
+        // starts is sorted; partition_point returns the first start > i.
+        self.starts.partition_point(|&s| s <= i) - 1
+    }
+
+    /// Offset of global index `i` within its owner's block.
+    #[inline]
+    pub fn local_of(&self, i: usize) -> usize {
+        i - self.starts[self.owner_of(i)]
+    }
+
+    /// Union of ranges of several ranks, as a sorted global index list
+    /// (the failed set `If = I_{f1} ∪ … ∪ I_{fψ}` of paper Sec. 4.1).
+    pub fn union_of(&self, ranks: &[usize]) -> Vec<usize> {
+        let mut sorted = ranks.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut out = Vec::with_capacity(sorted.iter().map(|&r| self.len_of(r)).sum());
+        for r in sorted {
+            out.extend(self.range(r));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split() {
+        let p = BlockPartition::new(12, 4);
+        for k in 0..4 {
+            assert_eq!(p.len_of(k), 3);
+        }
+        assert_eq!(p.range(2), 6..9);
+    }
+
+    #[test]
+    fn uneven_split_puts_extra_first() {
+        let p = BlockPartition::new(10, 4); // 3,3,2,2
+        assert_eq!(p.len_of(0), 3);
+        assert_eq!(p.len_of(1), 3);
+        assert_eq!(p.len_of(2), 2);
+        assert_eq!(p.len_of(3), 2);
+        assert_eq!(p.max_block(), 3);
+        // Every index owned exactly once.
+        let mut seen = [0; 10];
+        for k in 0..4 {
+            for i in p.range(k) {
+                seen[i] += 1;
+                assert_eq!(p.owner_of(i), k);
+                assert_eq!(p.local_of(i), i - p.range(k).start);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn union_is_sorted_and_deduped() {
+        let p = BlockPartition::new(9, 3);
+        assert_eq!(p.union_of(&[2, 0, 2]), vec![0, 1, 2, 6, 7, 8]);
+    }
+
+    #[test]
+    fn single_node_owns_all() {
+        let p = BlockPartition::new(5, 1);
+        assert_eq!(p.range(0), 0..5);
+        assert_eq!(p.owner_of(4), 0);
+    }
+
+    #[test]
+    fn owner_of_boundaries() {
+        let p = BlockPartition::new(100, 7);
+        for i in 0..100 {
+            let o = p.owner_of(i);
+            assert!(p.range(o).contains(&i));
+        }
+    }
+}

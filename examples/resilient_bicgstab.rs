@@ -1,0 +1,49 @@
+//! ESR beyond PCG: the paper (Sec. 1) claims its multi-failure extension
+//! also applies to preconditioned BiCGSTAB and the stationary methods.
+//! This example exercises both generalizations.
+//!
+//! ```sh
+//! cargo run --release --example resilient_bicgstab
+//! ```
+
+use esr_core::{run_bicgstab, run_jacobi, Problem, SolverConfig};
+use parcomm::{CostModel, FailureScript};
+use sparsemat::gen::poisson2d;
+
+fn main() {
+    let nodes = 8;
+    let a = poisson2d(48, 48);
+    println!("system: 2-D Poisson, n = {}, on {} nodes\n", a.n_rows(), nodes);
+    let problem = Problem::with_ones_solution(a);
+    let cost = CostModel::default();
+
+    // --- resilient BiCGSTAB: two failures at iteration 20 ----------------
+    let script = FailureScript::simultaneous(20, 3, 2, nodes);
+    let bicg = run_bicgstab(&problem, nodes, &SolverConfig::resilient(2), cost, script);
+    let err = bicg.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+    println!("ESR-BiCGSTAB (φ = 2, 2 simultaneous failures):");
+    println!(
+        "  converged in {} iterations, {} ranks reconstructed, max|x-1| = {err:.2e}",
+        bicg.iterations, bicg.ranks_recovered
+    );
+    assert!(bicg.converged && err < 1e-6);
+
+    // --- resilient stationary Jacobi: the original Chen (2011) setting ---
+    let mut cfg = SolverConfig::resilient(2);
+    cfg.rel_tol = 1e-7;
+    cfg.max_iter = 100_000;
+    let script = FailureScript::simultaneous(200, 1, 2, nodes);
+    let jac = run_jacobi(&problem, nodes, &cfg, cost, script);
+    let err = jac.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+    println!("\nESR-Jacobi iteration (φ = 2, 2 simultaneous failures):");
+    println!(
+        "  converged in {} sweeps, {} ranks reconstructed, max|x-1| = {err:.2e}",
+        jac.iterations, jac.ranks_recovered
+    );
+    println!(
+        "  (stationary ESR reconstructs by pure copy — the iterate x is the\n\
+         \x20  scattered vector, so recovery needs no linear solve at all)"
+    );
+    assert!(jac.converged && err < 1e-4);
+    println!("\nok: ESR protects BiCGSTAB and stationary methods as claimed");
+}

@@ -1,0 +1,77 @@
+//! Structural-mechanics workload (the paper's favourable case).
+//!
+//! The M5'–M8' class — 3-DOF elasticity operators with wide, dense bands —
+//! is where ESR shines: most search-direction elements already travel to
+//! several neighbours during SpMV, so keeping φ redundant copies costs
+//! almost nothing (paper Secs. 5, 7.2 and Fig. 1/Fig. 3).
+//!
+//! This example sweeps φ ∈ {1, 3, 8} with failures at the *center* ranks,
+//! reproducing the shape of the paper's Fig. 1 on a laptop-scale problem.
+//!
+//! ```sh
+//! cargo run --release --example structural_mechanics
+//! ```
+
+use esr_core::{analysis, run_pcg, BackupStrategy, Problem, SolverConfig};
+use parcomm::{CostModel, FailureScript};
+use sparsemat::gen::{elasticity3d, BlockStencil};
+use sparsemat::BlockPartition;
+
+fn main() {
+    let nodes = 16;
+    let cost = CostModel::default();
+
+    // Emilia_923-like block stencil (M5' class), laptop scale.
+    let a = elasticity3d(14, 14, 14, 3, BlockStencil::Edges15, 0.0, 0xE5D2);
+    println!(
+        "system: 3-DOF elasticity (M5' class), n = {}, nnz = {} ({:.1} nnz/row)",
+        a.n_rows(),
+        a.nnz(),
+        a.nnz() as f64 / a.n_rows() as f64
+    );
+    let part = BlockPartition::new(a.n_rows(), nodes);
+    let problem = Problem::with_random_rhs(a.clone(), 7);
+
+    let reference = run_pcg(
+        &problem,
+        nodes,
+        &SolverConfig::reference(),
+        cost,
+        FailureScript::none(),
+    );
+    println!(
+        "\nreference t0: {:.3} ms ({} iterations)\n",
+        reference.vtime * 1e3,
+        reference.iterations
+    );
+    println!("phi | undisturbed      | with phi failures at center ranks");
+    println!("    | time      ovh    | time      ovh     reconstruction");
+    println!("----+------------------+----------------------------------");
+
+    for phi in [1usize, 3, 8] {
+        let cfg = SolverConfig::resilient(phi);
+        let undisturbed = run_pcg(&problem, nodes, &cfg, cost, FailureScript::none());
+        let fail_at = (reference.iterations / 2) as u64;
+        let script = FailureScript::simultaneous(fail_at, nodes / 2, phi, nodes);
+        let disturbed = run_pcg(&problem, nodes, &cfg, cost, script);
+        assert!(undisturbed.converged && disturbed.converged);
+        println!(
+            "  {phi} | {:7.3}ms {:5.1}% | {:7.3}ms {:6.1}%  {:7.4} ms",
+            undisturbed.vtime * 1e3,
+            100.0 * (undisturbed.vtime / reference.vtime - 1.0),
+            disturbed.vtime * 1e3,
+            100.0 * (disturbed.vtime / reference.vtime - 1.0),
+            disturbed.vtime_recovery * 1e3,
+        );
+        // Show how much of the redundancy was already free (Sec. 5).
+        let pred = analysis::predict_overhead(&a, &part, phi, &BackupStrategy::Minimal, &cost);
+        println!(
+            "    |   extra elements/iteration: {} (latency-free: {})",
+            pred.total_extra_elems, pred.latency_free
+        );
+    }
+    println!(
+        "\nWide-band structural matrices keep the overhead low because most\n\
+         elements already travel during SpMV — the paper's favourable case."
+    );
+}

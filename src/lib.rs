@@ -1,0 +1,39 @@
+//! # esr-suite — the ESR-PCG reproduction, in one crate
+//!
+//! Umbrella over the full stack reproducing Pachajoa et al., *"How to Make
+//! the Preconditioned Conjugate Gradient Method Resilient Against Multiple
+//! Node Failures"* (ICPP 2019). See the repository's README.md for a tour
+//! and DESIGN.md for the architecture.
+//!
+//! ## Example: survive two simultaneous node failures
+//!
+//! ```
+//! use esr_suite::core::{run_pcg, Problem, SolverConfig};
+//! use esr_suite::parcomm::{CostModel, FailureScript};
+//!
+//! // An SPD system with known solution x = 1.
+//! let a = esr_suite::sparsemat::gen::poisson2d(16, 16);
+//! let problem = Problem::with_ones_solution(a);
+//!
+//! // Tolerate up to φ = 2 simultaneous failures; inject ψ = 2 at
+//! // iteration 5, contiguous ranks starting at rank 1, on 6 nodes.
+//! let script = FailureScript::simultaneous(5, 1, 2, 6);
+//! let result = run_pcg(
+//!     &problem,
+//!     6,
+//!     &SolverConfig::resilient(2),
+//!     CostModel::default(),
+//!     script,
+//! );
+//!
+//! assert!(result.converged);
+//! assert_eq!(result.ranks_recovered, 2);
+//! let err = result.x.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
+//! assert!(err < 1e-6, "state was reconstructed exactly: {err}");
+//! ```
+
+pub use esr_core as core;
+pub use krylov;
+pub use parcomm;
+pub use precond;
+pub use sparsemat;

@@ -1,0 +1,362 @@
+//! End-to-end failure-injection tests across the full stack: every failure
+//! scenario of the paper's evaluation (Sec. 7.1) plus the corner cases the
+//! algorithm must handle.
+
+use esr_core::{run_pcg, BackupStrategy, PrecondConfig, Problem, SolverConfig};
+use parcomm::{CostModel, FailAt, FailureEvent, FailureScript};
+use precond::{BlockJacobi, BlockSolver};
+use sparsemat::gen::{self, poisson2d, poisson3d};
+use sparsemat::BlockPartition;
+use std::sync::Arc;
+
+fn max_err_ones(res: &esr_core::ExperimentResult) -> f64 {
+    res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max)
+}
+
+fn cost() -> CostModel {
+    CostModel::default()
+}
+
+#[test]
+fn failure_at_each_progress_point() {
+    // The paper injects at 20%, 50%, 80% of the reference progress.
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    let reference = run_pcg(
+        &problem,
+        8,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
+    assert!(reference.converged);
+    for pct in [0.2, 0.5, 0.8] {
+        let at = ((reference.iterations as f64 * pct) as u64).max(1);
+        let script = FailureScript::simultaneous(at, 4, 3, 8);
+        let res = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
+        assert!(res.converged, "pct={pct}");
+        assert_eq!(res.recoveries, 1, "pct={pct}");
+        assert!(max_err_ones(&res) < 1e-6, "pct={pct} err={}", max_err_ones(&res));
+    }
+}
+
+#[test]
+fn failure_at_iteration_zero() {
+    // Edge case: no p(j-1) exists yet (z(0) = p(0), β undefined).
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(0, 1, 2, 6);
+    let res = run_pcg(&problem, 6, &SolverConfig::resilient(2), cost(), script);
+    assert!(res.converged);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn psi_less_than_phi() {
+    // Tolerating φ=3 but only ψ=1 node fails.
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(5, 3, 1, 6);
+    let res = run_pcg(&problem, 6, &SolverConfig::resilient(3), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.ranks_recovered, 1);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn two_separate_failure_events() {
+    // Sequential (non-overlapping) failures at different iterations: the
+    // redundancy self-heals after each recovery, so a later event is
+    // recoverable even with φ=1.
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::new(vec![
+        FailureEvent {
+            when: FailAt::Iteration(4),
+            ranks: vec![2],
+        },
+        FailureEvent {
+            when: FailAt::Iteration(11),
+            ranks: vec![5],
+        },
+    ]);
+    let res = run_pcg(&problem, 8, &SolverConfig::resilient(1), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 2);
+    assert_eq!(res.ranks_recovered, 2);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn repeated_failure_of_same_rank() {
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::new(vec![
+        FailureEvent {
+            when: FailAt::Iteration(3),
+            ranks: vec![1],
+        },
+        FailureEvent {
+            when: FailAt::Iteration(9),
+            ranks: vec![1],
+        },
+    ]);
+    let res = run_pcg(&problem, 4, &SolverConfig::resilient(1), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 2);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn overlapping_failure_during_recovery() {
+    // A second node fails while the first reconstruction is in progress
+    // (paper Sec. 4.1: restart with the enlarged failed set).
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    for substep in 0..4 {
+        let script = FailureScript::new(vec![
+            FailureEvent {
+                when: FailAt::Iteration(6),
+                ranks: vec![2],
+            },
+            FailureEvent {
+                when: FailAt::RecoverySubstep {
+                    after_iteration: 6,
+                    substep,
+                },
+                ranks: vec![3],
+            },
+        ]);
+        let res = run_pcg(&problem, 8, &SolverConfig::resilient(2), cost(), script);
+        assert!(res.converged, "substep={substep}");
+        assert_eq!(res.recoveries, 1, "substep={substep}");
+        assert_eq!(res.ranks_recovered, 2, "substep={substep}");
+        assert!(
+            max_err_ones(&res) < 1e-6,
+            "substep={substep} err={}",
+            max_err_ones(&res)
+        );
+    }
+}
+
+#[test]
+fn cascading_overlapping_failures() {
+    // Failures at two different recovery substeps: two restarts.
+    let a = poisson2d(18, 18);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::new(vec![
+        FailureEvent {
+            when: FailAt::Iteration(5),
+            ranks: vec![0],
+        },
+        FailureEvent {
+            when: FailAt::RecoverySubstep {
+                after_iteration: 5,
+                substep: 1,
+            },
+            ranks: vec![4],
+        },
+        FailureEvent {
+            when: FailAt::RecoverySubstep {
+                after_iteration: 5,
+                substep: 2,
+            },
+            ranks: vec![7],
+        },
+    ]);
+    let res = run_pcg(&problem, 9, &SolverConfig::resilient(3), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.ranks_recovered, 3);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn full_block_strategy_survives() {
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let mut cfg = SolverConfig::resilient(2);
+    cfg.resilience.as_mut().unwrap().strategy = BackupStrategy::FullBlock;
+    let script = FailureScript::simultaneous(5, 1, 2, 6);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    assert!(res.converged);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn consecutive_ring_strategy_survives() {
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let mut cfg = SolverConfig::resilient(3);
+    cfg.resilience.as_mut().unwrap().strategy = BackupStrategy::MinimalConsecutive;
+    let script = FailureScript::simultaneous(5, 2, 3, 6);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.ranks_recovered, 3);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn checkpoint_restart_baseline_survives_failures() {
+    use esr_core::{run_checkpoint_restart, CrConfig};
+    let a = poisson2d(14, 14);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(9, 1, 2, 7);
+    let cr = CrConfig {
+        interval: 4,
+        copies: 2,
+    };
+    let res = run_checkpoint_restart(
+        &problem,
+        7,
+        &SolverConfig::resilient(2),
+        &cr,
+        cost(),
+        script,
+    );
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 1);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn ilu_inner_solver_matches_paper_setup() {
+    // The paper's PETSc implementation uses ILU for the reconstruction
+    // blocks instead of an exact factorization.
+    let a = poisson2d(14, 14);
+    let problem = Problem::with_ones_solution(a);
+    let mut cfg = SolverConfig::resilient(3);
+    cfg.resilience.as_mut().unwrap().recovery.exact_block_precond = false;
+    let script = FailureScript::simultaneous(6, 2, 3, 7);
+    let res = run_pcg(&problem, 7, &cfg, cost(), script);
+    assert!(res.converged);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn explicit_p_reconstruction_with_coupling() {
+    // P-given variant (paper Alg. 2 lines 5-6) with a preconditioner that
+    // couples across node boundaries: blocks misaligned with the
+    // partition, so P_{If,I\If} ≠ 0 and the full gather + distributed
+    // P-solve path runs.
+    let a = poisson2d(12, 12); // n = 144 over 6 nodes: blocks of 24
+    let bj = BlockJacobi::with_blocks(&a, 4, BlockSolver::ExactLdl).unwrap(); // blocks of 36
+    let p = bj.to_explicit_inverse(&a);
+    let problem = Problem::with_ones_solution(a);
+    let cfg = SolverConfig {
+        precond: PrecondConfig::ExplicitP(Arc::new(p)),
+        ..SolverConfig::resilient(2)
+    };
+    let script = FailureScript::simultaneous(5, 2, 2, 6);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.ranks_recovered, 2);
+    assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
+}
+
+#[test]
+fn esr_state_matches_failure_free_state() {
+    // The reconstruction is *exact*: with exact local solves, a run with
+    // failures converges in (almost exactly) the same number of
+    // iterations to (almost exactly) the same residual as the clean run.
+    let a = poisson3d(8, 8, 8);
+    let problem = Problem::with_random_rhs(a, 42);
+    let clean = run_pcg(
+        &problem,
+        8,
+        &SolverConfig::resilient(3),
+        cost(),
+        FailureScript::none(),
+    );
+    let script = FailureScript::simultaneous(10, 3, 3, 8);
+    let failed = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
+    assert!(clean.converged && failed.converged);
+    assert!(
+        clean.iterations.abs_diff(failed.iterations) <= 2,
+        "clean {} vs failed {}",
+        clean.iterations,
+        failed.iterations
+    );
+    let max_diff = clean
+        .x
+        .iter()
+        .zip(&failed.x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let scale = clean.x.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    assert!(
+        max_diff / scale < 1e-6,
+        "solutions diverged: {max_diff} (scale {scale})"
+    );
+}
+
+#[test]
+fn wraparound_failure_ranks() {
+    // Contiguous failed ranks that wrap around the ring (N-1, 0).
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(4, 5, 2, 6); // ranks 5, 0
+    let res = run_pcg(&problem, 6, &SolverConfig::resilient(2), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.ranks_recovered, 2);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn uneven_partition_with_failures() {
+    // n not divisible by N: some nodes own ⌈n/N⌉, others ⌊n/N⌋ rows.
+    let a = poisson2d(13, 11); // n = 143 over 7 nodes
+    let problem = Problem::with_ones_solution(a);
+    let part = BlockPartition::new(143, 7);
+    assert_ne!(part.len_of(0), part.len_of(6));
+    let script = FailureScript::simultaneous(5, 0, 2, 7);
+    let res = run_pcg(&problem, 7, &SolverConfig::resilient(2), cost(), script);
+    assert!(res.converged);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn all_paper_matrix_classes_survive_failures() {
+    // Tiny instances of all eight Table-1 analogs survive 2 simultaneous
+    // failures with φ=2.
+    for id in gen::suite::all_ids() {
+        let a = gen::generate(id, 0.0005);
+        let n = a.n_rows();
+        let problem = Problem::with_ones_solution(a);
+        let script = FailureScript::simultaneous(2, 1, 2, 4);
+        let mut cfg = SolverConfig::resilient(2);
+        cfg.max_iter = 20_000;
+        let res = run_pcg(&problem, 4, &cfg, cost(), script);
+        assert!(res.converged, "{id:?} (n={n}) did not converge");
+        assert_eq!(res.recoveries, 1, "{id:?}");
+        assert!(
+            max_err_ones(&res) < 1e-5,
+            "{id:?} err={}",
+            max_err_ones(&res)
+        );
+    }
+}
+
+#[test]
+fn more_failures_than_phi_is_unrecoverable() {
+    // ψ > φ must be detected and reported, not silently mis-recovered.
+    let a = poisson2d(10, 10);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(4, 0, 3, 5); // ψ=3 > φ=1
+    let result = std::panic::catch_unwind(|| {
+        run_pcg(&problem, 5, &SolverConfig::resilient(1), cost(), script)
+    });
+    assert!(result.is_err(), "ψ > φ must fail loudly");
+}
+
+#[test]
+fn failures_with_eight_simultaneous_nodes() {
+    // The paper's largest scenario: ψ = φ = 8.
+    let a = poisson2d(24, 24);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(6, 4, 8, 16);
+    let res = run_pcg(&problem, 16, &SolverConfig::resilient(8), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.ranks_recovered, 8);
+    assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
+}
