@@ -73,7 +73,11 @@ fn main() {
         let mut recs = Vec::new();
         for exact in [true, false] {
             let mut cfg = SolverConfig::resilient(3);
-            cfg.resilience.as_mut().unwrap().recovery.exact_block_precond = exact;
+            cfg.resilience
+                .as_mut()
+                .unwrap()
+                .recovery
+                .exact_block_precond = exact;
             let res = run_failure_case(
                 &cfgb,
                 &problem,
@@ -86,7 +90,12 @@ fn main() {
             assert!(res.converged);
             recs.push(100.0 * res.vtime_recovery / reference.vtime);
         }
-        println!("{:<4} {:>13.2}% {:>13.2}%", format!("{id:?}"), recs[0], recs[1]);
+        println!(
+            "{:<4} {:>13.2}% {:>13.2}%",
+            format!("{id:?}"),
+            recs[0],
+            recs[1]
+        );
         csv.push(format!("inner,{id:?},{:.4},{:.4}", recs[0], recs[1]));
     }
 
@@ -122,7 +131,10 @@ fn main() {
         );
         assert!(res.converged);
         let ovh = 100.0 * (res.vtime / t0.vtime - 1.0);
-        println!("    {label:>8}: undisturbed overhead {ovh:+.1}% (t0 {:.3} ms)", t0.vtime * 1e3);
+        println!(
+            "    {label:>8}: undisturbed overhead {ovh:+.1}% (t0 {:.3} ms)",
+            t0.vtime * 1e3
+        );
         csv.push(format!("rcm,{label},{:.3},", ovh));
     }
     write_csv("ablation.csv", "ablation,case,v1,v2,v3", &csv);

@@ -18,7 +18,15 @@ fn main() {
     banner("Analysis — redundancy traffic vs. Sec. 4.2 bounds", &cfgb);
     println!(
         "{:<4} {:>3} | {:>11} {:>11} {:>11} | {:>12} {:>8} | {:>10} {:>9}",
-        "ID", "φ", "lower [µs]", "model [µs]", "upper [µs]", "extras/iter", "lat-free", "measured", "cov m≥φ"
+        "ID",
+        "φ",
+        "lower [µs]",
+        "model [µs]",
+        "upper [µs]",
+        "extras/iter",
+        "lat-free",
+        "measured",
+        "cov m≥φ"
     );
 
     let mut csv = Vec::new();

@@ -48,7 +48,13 @@ fn main() {
         let solver = SolverConfig::resilient(psi);
 
         // ESR.
-        let esr_u = run_pcg(&problem, cfgb.nodes, &solver, cfgb.cost, FailureScript::none());
+        let esr_u = run_pcg(
+            &problem,
+            cfgb.nodes,
+            &solver,
+            cfgb.cost,
+            FailureScript::none(),
+        );
         let esr_f = run_pcg(&problem, cfgb.nodes, &solver, cfgb.cost, script.clone());
         assert!(esr_u.converged && esr_f.converged);
 
@@ -78,14 +84,8 @@ fn main() {
             cfgb.cost,
             FailureScript::none(),
         );
-        let cr20_f = run_checkpoint_restart(
-            &problem,
-            cfgb.nodes,
-            &solver,
-            &cr20,
-            cfgb.cost,
-            script,
-        );
+        let cr20_f =
+            run_checkpoint_restart(&problem, cfgb.nodes, &solver, &cr20, cfgb.cost, script);
         assert!(cr5_u.converged && cr20_u.converged && cr20_f.converged);
 
         let pct = |t: f64| 100.0 * (t / t0 - 1.0);

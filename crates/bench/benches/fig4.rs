@@ -28,7 +28,10 @@ fn main() {
         reference.vtime * 1e3,
         reference.iterations
     );
-    println!("{:>9} | {:>12} | {:>14} | {:>10}", "progress", "time [ms]", "rec time [ms]", "iters");
+    println!(
+        "{:>9} | {:>12} | {:>14} | {:>10}",
+        "progress", "time [ms]", "rec time [ms]", "iters"
+    );
     let solver = SolverConfig::resilient(3);
     let mut csv = Vec::new();
     for &pr in &cfgb.progress {

@@ -15,14 +15,26 @@ const PHIS: [usize; 3] = [1, 3, 8];
 
 fn main() {
     let cfgb = BenchConfig::from_env();
-    banner("Table 2 — runtime overheads of multi-failure ESR-PCG", &cfgb);
+    banner(
+        "Table 2 — runtime overheads of multi-failure ESR-PCG",
+        &cfgb,
+    );
 
     let mut csv = Vec::new();
     println!(
         "{:<4} {:>9} | {:>7} {:>7} {:>7} | {:<6} | {:>13} {:>13} {:>13} | {:>13} {:>13} {:>13}",
-        "ID", "t0[ms]", "ovh φ1", "ovh φ3", "ovh φ8", "loc",
-        "rec ψ=1 [%]", "rec ψ=3 [%]", "rec ψ=8 [%]",
-        "ovh ψ=1 [%]", "ovh ψ=3 [%]", "ovh ψ=8 [%]"
+        "ID",
+        "t0[ms]",
+        "ovh φ1",
+        "ovh φ3",
+        "ovh φ8",
+        "loc",
+        "rec ψ=1 [%]",
+        "rec ψ=3 [%]",
+        "rec ψ=8 [%]",
+        "ovh ψ=1 [%]",
+        "ovh ψ=3 [%]",
+        "ovh ψ=8 [%]"
     );
 
     for &id in &cfgb.matrices {

@@ -49,7 +49,12 @@ fn main() {
                 }
             }
         }
-        println!("{:<4} {:>14.2e} {:>14.2e}", format!("{id:?}"), max_esr, delta_pcg);
+        println!(
+            "{:<4} {:>14.2e} {:>14.2e}",
+            format!("{id:?}"),
+            max_esr,
+            delta_pcg
+        );
         csv.push(format!("{id:?},{max_esr:e},{delta_pcg:e}"));
     }
     write_csv("table3.csv", "id,max_delta_esr,delta_pcg", &csv);

@@ -54,15 +54,8 @@ pub fn figure(fig_name: &str, caption: &str, id: PaperMatrix, loc: FailLocation)
         let mut times = Vec::new();
         let mut ovhs = Vec::new();
         for &pr in &cfgb.progress {
-            let res = run_failure_case(
-                &cfgb,
-                &problem,
-                &solver,
-                phi,
-                loc,
-                pr,
-                reference.iterations,
-            );
+            let res =
+                run_failure_case(&cfgb, &problem, &solver, phi, loc, pr, reference.iterations);
             assert!(res.converged);
             times.push(res.vtime * 1e3);
             ovhs.push(100.0 * (res.vtime / t0 - 1.0));
@@ -80,7 +73,11 @@ pub fn figure(fig_name: &str, caption: &str, id: PaperMatrix, loc: FailLocation)
         );
         csv.push(format!(
             "{phi},{:.6},{:.3},{:.6},{:.3},{:.3}",
-            undisturbed.vtime, u_ovh, tm / 1e3, om, os
+            undisturbed.vtime,
+            u_ovh,
+            tm / 1e3,
+            om,
+            os
         ));
     }
     write_csv(

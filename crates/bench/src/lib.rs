@@ -146,8 +146,7 @@ pub fn run_failure_case(
 pub fn write_csv(name: &str, header: &str, rows: &[String]) {
     // Benches run with the package directory as CWD; anchor at the
     // workspace root so all results land in one place.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/esr-results");
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/esr-results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(name);
     let mut out = String::with_capacity(rows.len() * 64 + header.len() + 1);

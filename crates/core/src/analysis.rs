@@ -69,14 +69,7 @@ pub fn predict_overhead(
             .iter()
             .map(|sk| sk.iter().map(|&g| g - start).collect())
             .collect();
-        let extras = compute_extra_sends(
-            i,
-            nodes,
-            phi,
-            strategy,
-            part.len_of(i),
-            &send_natural,
-        );
+        let extras = compute_extra_sends(i, nodes, phi, strategy, part.len_of(i), &send_natural);
         let targets = targets_for(strategy, i, nodes, phi);
         for (k1, &d) in targets.iter().enumerate() {
             let cnt = extras[d].len();
@@ -151,7 +144,13 @@ mod tests {
         // so φ=1 redundancy is completely free — no extras, no latency.
         let a = elasticity3d(6, 6, 6, 3, BlockStencil::Full27, 0.0, 1);
         let part = BlockPartition::new(a.n_rows(), 6);
-        let p = predict_overhead(&a, &part, 1, &BackupStrategy::Minimal, &CostModel::default());
+        let p = predict_overhead(
+            &a,
+            &part,
+            1,
+            &BackupStrategy::Minimal,
+            &CostModel::default(),
+        );
         assert!(p.latency_free, "{:?}", p.extra_latency_round);
         // The strict all-links criterion fails only at the band's ends
         // (rank N-1's ring-wrap backup target 0 shares no band entries).
@@ -187,7 +186,13 @@ mod tests {
         // Scattered pattern with high multiplicity: φ=1 extras are rare.
         let a = circuit_like(400, 40, 0.5, 3);
         let part = BlockPartition::new(400, 16);
-        let p = predict_overhead(&a, &part, 1, &BackupStrategy::Minimal, &CostModel::default());
+        let p = predict_overhead(
+            &a,
+            &part,
+            1,
+            &BackupStrategy::Minimal,
+            &CostModel::default(),
+        );
         let n_per_node = 25.0;
         let avg_extra = p.total_extra_elems as f64 / 16.0;
         assert!(

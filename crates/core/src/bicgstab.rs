@@ -182,8 +182,21 @@ pub fn esr_bicgstab_node(
                     has_prev: false,
                 };
                 recover_bicgstab(
-                    ctx, &env, &prec, &failed, &mut alpha, &mut x, &mut r, &mut p, &mut v,
-                    &mut s, &mut phat, &mut shat, &mut ghosts, &mut ret_p, &mut ret_s,
+                    ctx,
+                    &env,
+                    &prec,
+                    &failed,
+                    &mut alpha,
+                    &mut x,
+                    &mut r,
+                    &mut p,
+                    &mut v,
+                    &mut s,
+                    &mut phat,
+                    &mut shat,
+                    &mut ghosts,
+                    &mut ret_p,
+                    &mut ret_s,
                 );
                 recoveries += 1;
                 ranks_recovered += failed.len();
@@ -200,10 +213,7 @@ pub fn esr_bicgstab_node(
         // t = A ŝ
         lm.spmv(&shat, &ghosts, &mut t);
         ctx.clock_mut().advance_flops(lm.spmv_flops());
-        let tt_ts = ctx.allreduce_vec(
-            parcomm::comm::ReduceOp::Sum,
-            vec![dot(&t, &t), dot(&t, &s)],
-        );
+        let tt_ts = ctx.allreduce_vec(parcomm::comm::ReduceOp::Sum, vec![dot(&t, &t), dot(&t, &s)]);
         ctx.clock_mut().advance_flops(4 * nloc);
         let (tt, ts) = (tt_ts[0], tt_ts[1]);
         if tt <= 0.0 || !tt.is_finite() {
@@ -418,10 +428,9 @@ mod tests {
         let a = problem.a.clone();
         let b = problem.b.clone();
         let cfg = cfg.clone();
-        Cluster::run(
-            ClusterConfig::new(nodes).with_script(script),
-            move |ctx| esr_bicgstab_node(ctx, &a, &b, &cfg),
-        )
+        Cluster::run(ClusterConfig::new(nodes).with_script(script), move |ctx| {
+            esr_bicgstab_node(ctx, &a, &b, &cfg)
+        })
     }
 
     fn max_err_to_ones(outs: &[NodeOutcome]) -> f64 {
@@ -435,9 +444,18 @@ mod tests {
     fn failure_free_solves() {
         let a = poisson2d(12, 12);
         let problem = Problem::with_ones_solution(a);
-        let outs = run(&problem, 4, &SolverConfig::reference(), FailureScript::none());
+        let outs = run(
+            &problem,
+            4,
+            &SolverConfig::reference(),
+            FailureScript::none(),
+        );
         assert!(outs[0].converged);
-        assert!(max_err_to_ones(&outs) < 1e-6, "err {}", max_err_to_ones(&outs));
+        assert!(
+            max_err_to_ones(&outs) < 1e-6,
+            "err {}",
+            max_err_to_ones(&outs)
+        );
     }
 
     #[test]
@@ -448,7 +466,11 @@ mod tests {
         let outs = run(&problem, 4, &SolverConfig::resilient(1), script);
         assert!(outs[0].converged);
         assert_eq!(outs[0].recoveries, 1);
-        assert!(max_err_to_ones(&outs) < 1e-6, "err {}", max_err_to_ones(&outs));
+        assert!(
+            max_err_to_ones(&outs) < 1e-6,
+            "err {}",
+            max_err_to_ones(&outs)
+        );
     }
 
     #[test]
@@ -459,7 +481,11 @@ mod tests {
         let outs = run(&problem, 7, &SolverConfig::resilient(2), script);
         assert!(outs[0].converged);
         assert_eq!(outs[0].ranks_recovered, 2);
-        assert!(max_err_to_ones(&outs) < 1e-6, "err {}", max_err_to_ones(&outs));
+        assert!(
+            max_err_to_ones(&outs) < 1e-6,
+            "err {}",
+            max_err_to_ones(&outs)
+        );
     }
 
     #[test]

@@ -250,8 +250,7 @@ pub fn cr_pcg_node(
                 } else {
                     // Survivors answer any fetch requests addressed to them.
                     for &f in &failed {
-                        if holders_of[f].contains(&rank)
-                        {
+                        if holders_of[f].contains(&rank) {
                             // Only respond if actually asked: the failed
                             // rank picks its first *surviving* holder.
                             let first_surviving = holders_of[f]
@@ -260,10 +259,8 @@ pub fn cr_pcg_node(
                                 .find(|h| failed.binary_search(h).is_err());
                             if first_surviving == Some(rank) {
                                 ctx.recv(f, TAG_FETCH_REQ);
-                                let data = held[f]
-                                    .as_ref()
-                                    .map(|c| c.data.clone())
-                                    .unwrap_or_default();
+                                let data =
+                                    held[f].as_ref().map(|c| c.data.clone()).unwrap_or_default();
                                 ctx.send(
                                     f,
                                     TAG_FETCH_RESP,

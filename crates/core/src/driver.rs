@@ -113,7 +113,14 @@ pub fn run_bicgstab(
     cost: CostModel,
     script: FailureScript,
 ) -> ExperimentResult {
-    run_with(problem, nodes, cfg, cost, script, crate::bicgstab::esr_bicgstab_node)
+    run_with(
+        problem,
+        nodes,
+        cfg,
+        cost,
+        script,
+        crate::bicgstab::esr_bicgstab_node,
+    )
 }
 
 /// Run the (resilient) distributed Jacobi iteration (paper Sec. 1
@@ -125,7 +132,14 @@ pub fn run_jacobi(
     cost: CostModel,
     script: FailureScript,
 ) -> ExperimentResult {
-    run_with(problem, nodes, cfg, cost, script, crate::stationary::esr_jacobi_node)
+    run_with(
+        problem,
+        nodes,
+        cfg,
+        cost,
+        script,
+        crate::stationary::esr_jacobi_node,
+    )
 }
 
 /// Run the checkpoint/restart baseline (paper Sec. 1.2's comparator class;

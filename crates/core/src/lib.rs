@@ -39,10 +39,8 @@ pub mod retention;
 pub mod scatter;
 pub mod stationary;
 
-pub use config::{
-    BackupStrategy, PrecondConfig, RecoveryConfig, ResilienceConfig, SolverConfig,
-};
 pub use checkpoint::CrConfig;
+pub use config::{BackupStrategy, PrecondConfig, RecoveryConfig, ResilienceConfig, SolverConfig};
 pub use driver::{
     run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, ExperimentResult, Problem,
 };

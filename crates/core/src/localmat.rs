@@ -81,12 +81,7 @@ impl LocalMatrix {
     /// `offdiag · ghosts` with ghost columns belonging to `excluded`
     /// (sorted global indices) zeroed — computes `A_{Iᵢ, I\If} x_{I\If}`
     /// during reconstruction, where `If`-columns must not contribute.
-    pub fn offdiag_mul_excluding(
-        &self,
-        ghosts: &[f64],
-        excluded: &[usize],
-        y: &mut [f64],
-    ) {
+    pub fn offdiag_mul_excluding(&self, ghosts: &[f64], excluded: &[usize], y: &mut [f64]) {
         debug_assert_eq!(ghosts.len(), self.ghost_cols.len());
         let mut masked = ghosts.to_vec();
         for (pos, g) in self.ghost_cols.iter().enumerate() {
@@ -165,9 +160,6 @@ mod tests {
         let part = BlockPartition::new(64, 4);
         let lm = LocalMatrix::build(&a, &part, 2);
         assert!(lm.ghost_cols.windows(2).all(|w| w[0] < w[1]));
-        assert!(lm
-            .ghost_cols
-            .iter()
-            .all(|g| !lm.range.contains(g)));
+        assert!(lm.ghost_cols.iter().all(|g| !lm.range.contains(g)));
     }
 }

@@ -156,7 +156,12 @@ pub fn recover(
             .expect("at least one survivor");
         if rank == lowest_surv {
             for &f in &failed {
-                ctx.send(f, tag(seq, OFF_BETA), Payload::F64(*st.beta_prev), CommPhase::Recovery);
+                ctx.send(
+                    f,
+                    tag(seq, OFF_BETA),
+                    Payload::F64(*st.beta_prev),
+                    CommPhase::Recovery,
+                );
             }
         } else if am_failed {
             *st.beta_prev = ctx.recv(lowest_surv, tag(seq, OFF_BETA)).into_f64();
@@ -175,7 +180,10 @@ pub fn recover(
                 ctx.send(
                     f,
                     tag(seq, OFF_PPREV),
-                    Payload::Pairs(st.retention.collect_range(Gen::Prev, range.start, range.end)),
+                    Payload::Pairs(
+                        st.retention
+                            .collect_range(Gen::Prev, range.start, range.end),
+                    ),
                     CommPhase::Recovery,
                 );
             }
@@ -259,14 +267,8 @@ pub fn recover(
                     v[i] = st.z[i] - v[i];
                 }
                 // Solve P_{If,If} r_If = v over the replacement group.
-                let (r_new, iters) = solve_failed_system(
-                    ctx,
-                    env,
-                    &failed,
-                    &if_indices,
-                    &p_full,
-                    v,
-                );
+                let (r_new, iters) =
+                    solve_failed_system(ctx, env, &failed, &if_indices, &p_full, v);
                 inner_iterations += iters;
                 st.r.copy_from_slice(&r_new);
             }
@@ -302,8 +304,7 @@ pub fn recover(
             for i in 0..nloc {
                 w[i] = env.b_loc[i] - st.r[i] - w[i];
             }
-            let (x_new, iters) =
-                solve_failed_system(ctx, env, &failed, &if_indices, env.a, w);
+            let (x_new, iters) = solve_failed_system(ctx, env, &failed, &if_indices, env.a, w);
             inner_iterations += iters;
             st.x.copy_from_slice(&x_new);
         }
@@ -431,13 +432,15 @@ pub(crate) fn solve_failed_system(
         Ilu(Ilu0),
     }
     let prec = if env.cfg.exact_block_precond {
-        BlockPrec::Exact(SparseLdl::new(&block).unwrap_or_else(|e| {
-            panic!("rank {rank}: reconstruction block not SPD: {e}")
-        }))
+        BlockPrec::Exact(
+            SparseLdl::new(&block)
+                .unwrap_or_else(|e| panic!("rank {rank}: reconstruction block not SPD: {e}")),
+        )
     } else {
-        BlockPrec::Ilu(Ilu0::new(&block).unwrap_or_else(|e| {
-            panic!("rank {rank}: reconstruction block ILU breakdown: {e}")
-        }))
+        BlockPrec::Ilu(
+            Ilu0::new(&block)
+                .unwrap_or_else(|e| panic!("rank {rank}: reconstruction block ILU breakdown: {e}")),
+        )
     };
     let apply_prec = |p: &BlockPrec, r: &[f64], z: &mut [f64]| {
         z.copy_from_slice(r);

@@ -29,7 +29,10 @@ use crate::config::BackupStrategy;
 /// # Panics
 /// Panics unless `1 ≤ phi < nodes` (the paper requires `φ < N`).
 pub fn backup_targets(i: usize, nodes: usize, phi: usize) -> Vec<usize> {
-    assert!(phi >= 1 && phi < nodes, "need 1 ≤ φ < N (φ={phi}, N={nodes})");
+    assert!(
+        phi >= 1 && phi < nodes,
+        "need 1 ≤ φ < N (φ={phi}, N={nodes})"
+    );
     (1..=phi)
         .map(|k| {
             if k % 2 == 1 {
@@ -44,17 +47,15 @@ pub fn backup_targets(i: usize, nodes: usize, phi: usize) -> Vec<usize> {
 /// Consecutive-ring targets `d_ik = (i + k) mod N` — the ablation
 /// alternative to Eqn. (5).
 pub fn backup_targets_consecutive(i: usize, nodes: usize, phi: usize) -> Vec<usize> {
-    assert!(phi >= 1 && phi < nodes, "need 1 ≤ φ < N (φ={phi}, N={nodes})");
+    assert!(
+        phi >= 1 && phi < nodes,
+        "need 1 ≤ φ < N (φ={phi}, N={nodes})"
+    );
     (1..=phi).map(|k| (i + k) % nodes).collect()
 }
 
 /// The targets a strategy places its copies on.
-pub fn targets_for(
-    strategy: &BackupStrategy,
-    i: usize,
-    nodes: usize,
-    phi: usize,
-) -> Vec<usize> {
+pub fn targets_for(strategy: &BackupStrategy, i: usize, nodes: usize, phi: usize) -> Vec<usize> {
     match strategy {
         BackupStrategy::Minimal | BackupStrategy::FullBlock => backup_targets(i, nodes, phi),
         BackupStrategy::MinimalConsecutive => backup_targets_consecutive(i, nodes, phi),
@@ -210,15 +211,21 @@ mod tests {
         let my_len = 6;
         // Mixed natural traffic.
         let send_natural = vec![
-            vec![],          // self (rank 0)
-            vec![0, 1],      // to node 1
-            vec![1],         // to node 2
-            vec![],          // to node 3
-            vec![5],         // to node 4
+            vec![],     // self (rank 0)
+            vec![0, 1], // to node 1
+            vec![1],    // to node 2
+            vec![],     // to node 3
+            vec![5],    // to node 4
         ];
         for phi in 1..5 {
-            let extra =
-                compute_extra_sends(0, nodes, phi, &BackupStrategy::Minimal, my_len, &send_natural);
+            let extra = compute_extra_sends(
+                0,
+                nodes,
+                phi,
+                &BackupStrategy::Minimal,
+                my_len,
+                &send_natural,
+            );
             assert_eq!(
                 check_coverage(0, nodes, phi, my_len, &send_natural, &extra),
                 None,
@@ -245,8 +252,14 @@ mod tests {
             all.clone(),
         ];
         for phi in 1..=3 {
-            let extra =
-                compute_extra_sends(0, nodes, phi, &BackupStrategy::Minimal, my_len, &send_natural);
+            let extra = compute_extra_sends(
+                0,
+                nodes,
+                phi,
+                &BackupStrategy::Minimal,
+                my_len,
+                &send_natural,
+            );
             let total: usize = extra.iter().map(Vec::len).sum();
             assert_eq!(total, 0, "φ={phi} should be free");
         }
@@ -296,8 +309,14 @@ mod tests {
         let nodes = 4;
         let my_len = 5;
         let send_natural = vec![vec![], vec![0], vec![], vec![]];
-        let extra =
-            compute_extra_sends(0, nodes, 2, &BackupStrategy::FullBlock, my_len, &send_natural);
+        let extra = compute_extra_sends(
+            0,
+            nodes,
+            2,
+            &BackupStrategy::FullBlock,
+            my_len,
+            &send_natural,
+        );
         // Targets: d_01 = 1, d_02 = 3. To node 1: everything except the
         // naturally-sent {0}; to node 3: everything.
         assert_eq!(extra[1], vec![1, 2, 3, 4]);
@@ -312,11 +331,17 @@ mod tests {
             .map(|k| (0..my_len).filter(|s| (s + k) % 3 == 0 && k != 0).collect())
             .collect();
         for phi in 1..nodes {
-            let min_total: usize =
-                compute_extra_sends(0, nodes, phi, &BackupStrategy::Minimal, my_len, &send_natural)
-                    .iter()
-                    .map(Vec::len)
-                    .sum();
+            let min_total: usize = compute_extra_sends(
+                0,
+                nodes,
+                phi,
+                &BackupStrategy::Minimal,
+                my_len,
+                &send_natural,
+            )
+            .iter()
+            .map(Vec::len)
+            .sum();
             let full_total: usize = compute_extra_sends(
                 0,
                 nodes,
@@ -398,22 +423,21 @@ mod tests {
             "consecutive opens a silent link: {con:?}"
         );
         // Both still guarantee coverage.
-        assert_eq!(check_coverage(3, nodes, 2, my_len, &send_natural, &alt), None);
-        assert_eq!(check_coverage(3, nodes, 2, my_len, &send_natural, &con), None);
+        assert_eq!(
+            check_coverage(3, nodes, 2, my_len, &send_natural, &alt),
+            None
+        );
+        assert_eq!(
+            check_coverage(3, nodes, 2, my_len, &send_natural, &con),
+            None
+        );
     }
 
     #[test]
     fn coverage_holds_for_consecutive_strategy() {
         let nodes = 6;
         let my_len = 5;
-        let send_natural = vec![
-            vec![],
-            vec![0, 2],
-            vec![],
-            vec![1],
-            vec![],
-            vec![4],
-        ];
+        let send_natural = vec![vec![], vec![0, 2], vec![], vec![1], vec![], vec![4]];
         for phi in 1..nodes {
             let extra = compute_extra_sends(
                 0,

@@ -167,7 +167,10 @@ impl ScatterPlan {
                 k,
                 TAG_SPMV,
                 Payload::F64s(buf),
-                &[(CommPhase::Spmv, nat.len()), (CommPhase::Redundancy, ext.len())],
+                &[
+                    (CommPhase::Spmv, nat.len()),
+                    (CommPhase::Redundancy, ext.len()),
+                ],
             );
         }
         // Receive in deterministic peer order.

@@ -202,10 +202,9 @@ mod tests {
         let a = problem.a.clone();
         let b = problem.b.clone();
         let cfg = cfg.clone();
-        Cluster::run(
-            ClusterConfig::new(nodes).with_script(script),
-            move |ctx| esr_jacobi_node(ctx, &a, &b, &cfg),
-        )
+        Cluster::run(ClusterConfig::new(nodes).with_script(script), move |ctx| {
+            esr_jacobi_node(ctx, &a, &b, &cfg)
+        })
     }
 
     fn max_err_to_ones(outs: &[NodeOutcome]) -> f64 {

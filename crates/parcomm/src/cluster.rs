@@ -95,8 +95,8 @@ impl Cluster {
                             // tears the whole cluster down immediately
                             // instead of stranding peers in recv.
                             let abort_outboxes = outboxes.clone();
-                            let result = std::panic::catch_unwind(
-                                std::panic::AssertUnwindSafe(|| {
+                            let result =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     let mut ctx = NodeCtx::new(
                                         rank,
                                         n,
@@ -106,8 +106,7 @@ impl Cluster {
                                         VClock::new(cost),
                                     );
                                     program(&mut ctx)
-                                }),
-                            );
+                                }));
                             match result {
                                 Ok(v) => v,
                                 Err(e) => {
@@ -273,9 +272,7 @@ mod tests {
     fn alltoallv_u64_exchanges() {
         let out = Cluster::run(ClusterConfig::new(3), |ctx| {
             // Send [my_rank, dest] to each dest.
-            let sends: Vec<Vec<u64>> = (0..3)
-                .map(|d| vec![ctx.rank() as u64, d as u64])
-                .collect();
+            let sends: Vec<Vec<u64>> = (0..3).map(|d| vec![ctx.rank() as u64, d as u64]).collect();
             ctx.alltoallv_u64(sends)
         });
         for (me, recvd) in out.iter().enumerate() {

@@ -411,7 +411,12 @@ impl NodeCtx {
             if vrank & mask != 0 {
                 // Send partial result to parent and stop participating.
                 let parent = (vrank - mask + root) % n;
-                self.send_tag(parent, tag, Payload::F64s(acc.clone()), CommPhase::Reduction);
+                self.send_tag(
+                    parent,
+                    tag,
+                    Payload::F64s(acc.clone()),
+                    CommPhase::Reduction,
+                );
                 break;
             } else if vrank + mask < n {
                 // Receive from child; fixed order (increasing mask) keeps
@@ -447,7 +452,11 @@ impl NodeCtx {
         };
         // Forward to children (bits below our lowest set bit), farthest
         // subtree first so it starts as early as possible.
-        let lowbit = if vrank == 0 { top << 1 } else { vrank & vrank.wrapping_neg() };
+        let lowbit = if vrank == 0 {
+            top << 1
+        } else {
+            vrank & vrank.wrapping_neg()
+        };
         let mut mask = top;
         while mask > 0 {
             if mask < lowbit {
@@ -473,10 +482,7 @@ impl NodeCtx {
     }
 
     pub(crate) fn group_creation_counter(&mut self, members: &[usize]) -> u32 {
-        let c = self
-            .group_counters
-            .entry(members.to_vec())
-            .or_insert(0);
+        let c = self.group_counters.entry(members.to_vec()).or_insert(0);
         let v = *c;
         *c += 1;
         v

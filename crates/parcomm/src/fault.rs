@@ -84,7 +84,11 @@ impl FailureScript {
             let mut sorted = e.ranks.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), e.ranks.len(), "duplicate rank in failure event");
+            assert_eq!(
+                sorted.len(),
+                e.ranks.len(),
+                "duplicate rank in failure event"
+            );
         }
     }
 
@@ -215,10 +219,7 @@ mod tests {
     fn oracle_is_consistent_across_clones() {
         let o = FaultOracle::new(FailureScript::simultaneous(3, 2, 2, 16));
         let o2 = o.clone();
-        assert_eq!(
-            o.poll(FailAt::Iteration(3)),
-            o2.poll(FailAt::Iteration(3))
-        );
+        assert_eq!(o.poll(FailAt::Iteration(3)), o2.poll(FailAt::Iteration(3)));
     }
 
     #[test]

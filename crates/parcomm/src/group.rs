@@ -225,13 +225,22 @@ impl Group {
             let parent = self.members[v & (v - 1)];
             ctx.recv_tag(parent, tag).payload
         };
-        let lowbit = if v == 0 { top << 1 } else { v & v.wrapping_neg() };
+        let lowbit = if v == 0 {
+            top << 1
+        } else {
+            v & v.wrapping_neg()
+        };
         let mut mask = top;
         while mask > 0 {
             if mask < lowbit {
                 let child_v = v | mask;
                 if child_v < n {
-                    ctx.send_tag(self.members[child_v], tag, data.clone(), CommPhase::Recovery);
+                    ctx.send_tag(
+                        self.members[child_v],
+                        tag,
+                        data.clone(),
+                        CommPhase::Recovery,
+                    );
                 }
             }
             mask >>= 1;

@@ -6,7 +6,7 @@
 //! non-matching messages in a pending list — the standard MPI unexpected-
 //! message queue.
 
-use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
 use std::time::Duration;
 
 use crate::payload::Message;

@@ -71,13 +71,15 @@ impl BlockJacobi {
         part: &BlockPartition,
         solver: BlockSolver,
     ) -> Result<Self, PrecondError> {
-        let starts: Vec<usize> = (0..=part.nodes()).map(|k| {
-            if k == part.nodes() {
-                part.n()
-            } else {
-                part.range(k).start
-            }
-        }).collect();
+        let starts: Vec<usize> = (0..=part.nodes())
+            .map(|k| {
+                if k == part.nodes() {
+                    part.n()
+                } else {
+                    part.range(k).start
+                }
+            })
+            .collect();
         Self::from_starts(a, starts, solver)
     }
 

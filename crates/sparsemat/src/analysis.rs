@@ -167,7 +167,11 @@ mod tests {
         let an = analyze(&a, &part);
         assert_eq!(an.rc_sizes, vec![8, 0, 0, 8]);
         // Narrow band: neighbours-only communication.
-        assert!(an.spmv_degree.iter().all(|&d| d <= 2), "{:?}", an.spmv_degree);
+        assert!(
+            an.spmv_degree.iter().all(|&d| d <= 2),
+            "{:?}",
+            an.spmv_degree
+        );
     }
 
     #[test]

@@ -47,13 +47,7 @@ impl Csr {
 
     /// `n × n` identity.
     pub fn identity(n: usize) -> Self {
-        Csr::from_parts(
-            n,
-            n,
-            (0..=n).collect(),
-            (0..n).collect(),
-            vec![1.0; n],
-        )
+        Csr::from_parts(n, n, (0..=n).collect(), (0..n).collect(), vec![1.0; n])
     }
 
     /// Number of rows.

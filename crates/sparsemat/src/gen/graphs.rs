@@ -72,17 +72,41 @@ pub fn mesh_laplacian_2d(nx: usize, ny: usize, ordering: MeshOrdering, seed: u64
             let i = idx(x, y);
             // Grid edges survive with probability 0.85 (irregular mesh).
             if x + 1 < nx && rng.chance(0.85) {
-                add_edge(&mut coo, &mut degree, i, idx(x + 1, y), rng.range_f64(0.5, 1.5));
+                add_edge(
+                    &mut coo,
+                    &mut degree,
+                    i,
+                    idx(x + 1, y),
+                    rng.range_f64(0.5, 1.5),
+                );
             }
             if y + 1 < ny && rng.chance(0.85) {
-                add_edge(&mut coo, &mut degree, i, idx(x, y + 1), rng.range_f64(0.5, 1.5));
+                add_edge(
+                    &mut coo,
+                    &mut degree,
+                    i,
+                    idx(x, y + 1),
+                    rng.range_f64(0.5, 1.5),
+                );
             }
             // Occasional diagonal braces (triangulation flavour).
             if x + 1 < nx && y + 1 < ny && rng.chance(0.4) {
-                add_edge(&mut coo, &mut degree, i, idx(x + 1, y + 1), rng.range_f64(0.3, 1.0));
+                add_edge(
+                    &mut coo,
+                    &mut degree,
+                    i,
+                    idx(x + 1, y + 1),
+                    rng.range_f64(0.3, 1.0),
+                );
             }
             if x >= 1 && y + 1 < ny && rng.chance(0.4) {
-                add_edge(&mut coo, &mut degree, i, idx(x - 1, y + 1), rng.range_f64(0.3, 1.0));
+                add_edge(
+                    &mut coo,
+                    &mut degree,
+                    i,
+                    idx(x - 1, y + 1),
+                    rng.range_f64(0.3, 1.0),
+                );
             }
         }
     }
@@ -160,7 +184,11 @@ mod tests {
 
     #[test]
     fn mesh_is_spd_all_orderings() {
-        for ord in [MeshOrdering::Natural, MeshOrdering::Hilbert, MeshOrdering::Random] {
+        for ord in [
+            MeshOrdering::Natural,
+            MeshOrdering::Hilbert,
+            MeshOrdering::Random,
+        ] {
             let a = mesh_laplacian_2d(6, 6, ord, 3);
             assert_eq!(a.n_rows(), 36);
             assert!(a.is_symmetric(1e-14), "{ord:?}");
@@ -225,10 +253,7 @@ mod tests {
 
     #[test]
     fn generators_deterministic() {
-        assert_eq!(
-            circuit_like(50, 3, 0.1, 2),
-            circuit_like(50, 3, 0.1, 2)
-        );
+        assert_eq!(circuit_like(50, 3, 0.1, 2), circuit_like(50, 3, 0.1, 2));
         assert_eq!(
             mesh_laplacian_2d(5, 5, MeshOrdering::Hilbert, 2),
             mesh_laplacian_2d(5, 5, MeshOrdering::Hilbert, 2)

@@ -54,9 +54,7 @@ pub fn read_matrix_market_from<R: Read>(reader: R) -> Result<Csr, MmError> {
     let mut lines = BufReader::new(reader).lines();
 
     // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
-    let header = lines
-        .next()
-        .ok_or_else(|| parse_err("empty file"))??;
+    let header = lines.next().ok_or_else(|| parse_err("empty file"))??;
     let h: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
     if h.len() < 5 || h[0] != "%%matrixmarket" || h[1] != "matrix" {
         return Err(parse_err(format!("bad header: {header}")));

@@ -112,14 +112,7 @@ pub fn mean_row_bandwidth(a: &Csr) -> f64 {
         return 0.0;
     }
     let total: usize = (0..a.n_rows())
-        .map(|r| {
-            a.row(r)
-                .0
-                .iter()
-                .map(|&c| r.abs_diff(c))
-                .max()
-                .unwrap_or(0)
-        })
+        .map(|r| a.row(r).0.iter().map(|&c| r.abs_diff(c)).max().unwrap_or(0))
         .sum();
     total as f64 / a.n_rows() as f64
 }

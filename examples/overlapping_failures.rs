@@ -13,7 +13,11 @@ use sparsemat::gen::poisson2d;
 fn main() {
     let nodes = 12;
     let a = poisson2d(64, 64);
-    println!("system: 2-D Poisson, n = {}, on {} nodes", a.n_rows(), nodes);
+    println!(
+        "system: 2-D Poisson, n = {}, on {} nodes",
+        a.n_rows(),
+        nodes
+    );
     let problem = Problem::with_ones_solution(a);
 
     // φ = 3 tolerates the full cascade: rank 4 fails at iteration 30;
@@ -57,7 +61,10 @@ fn main() {
     println!("iterations     : {}", res.iterations);
     println!("recovery events: {} (one cascade)", res.recoveries);
     println!("ranks recovered: {}", res.ranks_recovered);
-    println!("reconstruction : {:.3} ms modeled", res.vtime_recovery * 1e3);
+    println!(
+        "reconstruction : {:.3} ms modeled",
+        res.vtime_recovery * 1e3
+    );
     println!("max |x - 1|    : {err:.2e}");
     assert!(res.converged && res.ranks_recovered == 3 && err < 1e-6);
     println!("\nok: the cascade of overlapping failures was fully absorbed");

@@ -14,11 +14,7 @@ fn main() {
 
     // A 3-D Poisson system (the M1' pattern class of the paper).
     let a = poisson3d(24, 24, 24);
-    println!(
-        "system: 3-D Poisson, n = {}, nnz = {}",
-        a.n_rows(),
-        a.nnz()
-    );
+    println!("system: 3-D Poisson, n = {}, nnz = {}", a.n_rows(), a.nnz());
     let problem = Problem::with_ones_solution(a);
 
     // 1. Reference run: plain (non-resilient) PCG — the paper's t0.

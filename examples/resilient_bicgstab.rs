@@ -13,7 +13,11 @@ use sparsemat::gen::poisson2d;
 fn main() {
     let nodes = 8;
     let a = poisson2d(48, 48);
-    println!("system: 2-D Poisson, n = {}, on {} nodes\n", a.n_rows(), nodes);
+    println!(
+        "system: 2-D Poisson, n = {}, on {} nodes\n",
+        a.n_rows(),
+        nodes
+    );
     let problem = Problem::with_ones_solution(a);
     let cost = CostModel::default();
 

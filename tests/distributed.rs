@@ -15,7 +15,13 @@ fn cost() -> CostModel {
 fn single_node_cluster_works() {
     let a = poisson2d(10, 10);
     let problem = Problem::with_ones_solution(a);
-    let res = run_pcg(&problem, 1, &SolverConfig::reference(), cost(), FailureScript::none());
+    let res = run_pcg(
+        &problem,
+        1,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
     assert!(res.converged);
     // Exact block Jacobi on one node == a direct solve: 1-2 iterations.
     assert!(res.iterations <= 2, "iterations {}", res.iterations);
@@ -31,7 +37,13 @@ fn iterations_agree_across_node_counts() {
     let problem = Problem::with_random_rhs(a, 17);
     let mut prev_iters = 0;
     for nodes in [2usize, 4, 8] {
-        let res = run_pcg(&problem, nodes, &SolverConfig::reference(), cost(), FailureScript::none());
+        let res = run_pcg(
+            &problem,
+            nodes,
+            &SolverConfig::reference(),
+            cost(),
+            FailureScript::none(),
+        );
         assert!(res.converged, "N={nodes}");
         assert!(
             res.iterations >= prev_iters,
@@ -51,13 +63,8 @@ fn redundancy_traffic_matches_analysis() {
     let a = poisson2d(16, 16);
     let part = BlockPartition::new(256, 8);
     for phi in [1usize, 3] {
-        let predicted = analysis::predict_overhead(
-            &a,
-            &part,
-            phi,
-            &BackupStrategy::Minimal,
-            &cost(),
-        );
+        let predicted =
+            analysis::predict_overhead(&a, &part, phi, &BackupStrategy::Minimal, &cost());
         let problem = Problem::with_ones_solution(a.clone());
         let res = run_pcg(
             &problem,
@@ -83,7 +90,13 @@ fn undisturbed_overhead_grows_with_phi() {
     // the number of redundant copies.
     let a = poisson3d(8, 8, 8);
     let problem = Problem::with_random_rhs(a, 5);
-    let t0 = run_pcg(&problem, 8, &SolverConfig::reference(), cost(), FailureScript::none());
+    let t0 = run_pcg(
+        &problem,
+        8,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
     let mut prev = t0.vtime;
     for phi in [1usize, 3, 7] {
         let res = run_pcg(
@@ -125,7 +138,13 @@ fn plain_cg_and_jacobi_variants_work_distributed() {
 fn vclock_separates_setup_from_solve() {
     let a = poisson2d(12, 12);
     let problem = Problem::with_ones_solution(a);
-    let res = run_pcg(&problem, 4, &SolverConfig::reference(), cost(), FailureScript::none());
+    let res = run_pcg(
+        &problem,
+        4,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
     assert!(res.vtime_setup > 0.0);
     assert!(res.vtime > 0.0);
     assert_eq!(res.vtime_recovery, 0.0);
@@ -137,8 +156,20 @@ fn vtime_is_deterministic_across_runs() {
     // thread scheduling: repeated runs agree bitwise.
     let a = poisson2d(10, 10);
     let problem = Problem::with_ones_solution(a);
-    let r1 = run_pcg(&problem, 5, &SolverConfig::resilient(2), cost(), FailureScript::none());
-    let r2 = run_pcg(&problem, 5, &SolverConfig::resilient(2), cost(), FailureScript::none());
+    let r1 = run_pcg(
+        &problem,
+        5,
+        &SolverConfig::resilient(2),
+        cost(),
+        FailureScript::none(),
+    );
+    let r2 = run_pcg(
+        &problem,
+        5,
+        &SolverConfig::resilient(2),
+        cost(),
+        FailureScript::none(),
+    );
     assert_eq!(r1.vtime, r2.vtime);
     assert_eq!(r1.iterations, r2.iterations);
     assert_eq!(r1.solver_residual, r2.solver_residual);
@@ -162,7 +193,13 @@ fn suite_matrices_solve_distributed() {
 fn wall_and_virtual_time_both_recorded() {
     let a = poisson2d(8, 8);
     let problem = Problem::with_ones_solution(a);
-    let res = run_pcg(&problem, 2, &SolverConfig::reference(), cost(), FailureScript::none());
+    let res = run_pcg(
+        &problem,
+        2,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
     assert!(res.wall.as_nanos() > 0);
     assert!(res.vtime > 0.0);
 }

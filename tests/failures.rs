@@ -36,7 +36,11 @@ fn failure_at_each_progress_point() {
         let res = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
         assert!(res.converged, "pct={pct}");
         assert_eq!(res.recoveries, 1, "pct={pct}");
-        assert!(max_err_ones(&res) < 1e-6, "pct={pct} err={}", max_err_ones(&res));
+        assert!(
+            max_err_ones(&res) < 1e-6,
+            "pct={pct} err={}",
+            max_err_ones(&res)
+        );
     }
 }
 
@@ -226,7 +230,11 @@ fn ilu_inner_solver_matches_paper_setup() {
     let a = poisson2d(14, 14);
     let problem = Problem::with_ones_solution(a);
     let mut cfg = SolverConfig::resilient(3);
-    cfg.resilience.as_mut().unwrap().recovery.exact_block_precond = false;
+    cfg.resilience
+        .as_mut()
+        .unwrap()
+        .recovery
+        .exact_block_precond = false;
     let script = FailureScript::simultaneous(6, 2, 3, 7);
     let res = run_pcg(&problem, 7, &cfg, cost(), script);
     assert!(res.converged);

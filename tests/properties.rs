@@ -11,24 +11,19 @@ use sparsemat::{BlockPartition, Coo};
 
 /// Random natural-send pattern: for each peer, a random subset of the
 /// owned offsets.
-fn send_pattern(
-    nodes: usize,
-    my_len: usize,
-) -> impl Strategy<Value = Vec<Vec<usize>>> {
-    proptest::collection::vec(
-        proptest::collection::vec(0..my_len, 0..=my_len),
-        nodes,
-    )
-    .prop_map(move |mut raw| {
-        for (k, list) in raw.iter_mut().enumerate() {
-            list.sort_unstable();
-            list.dedup();
-            if k == 0 {
-                list.clear(); // rank 0 is "self" in the tests below
+fn send_pattern(nodes: usize, my_len: usize) -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(0..my_len, 0..=my_len), nodes).prop_map(
+        move |mut raw| {
+            for (k, list) in raw.iter_mut().enumerate() {
+                list.sort_unstable();
+                list.dedup();
+                if k == 0 {
+                    list.clear(); // rank 0 is "self" in the tests below
+                }
             }
-        }
-        raw
-    })
+            raw
+        },
+    )
 }
 
 proptest! {

@@ -1,0 +1,95 @@
+//! Smoke test for the public re-export surface.
+//!
+//! The examples and the crate-level doctest reach everything through either
+//! the umbrella paths (`esr_suite::core`, `esr_suite::parcomm`, …) or the
+//! member crates directly (`esr_core`, `parcomm`, …). This test constructs
+//! each entry point through both spellings so a refactor that silently drops
+//! a re-export breaks here — a fast unit test — instead of only in
+//! `cargo build --examples` or the doctest.
+
+use esr_suite::core::{Problem, SolverConfig};
+use esr_suite::parcomm::{CostModel, FailureScript};
+use esr_suite::precond::{
+    BlockJacobi, BlockSolver, ExplicitPrec, Ic0, Identity, Ilu0, Jacobi, Preconditioner, SparseLdl,
+    Ssor,
+};
+use esr_suite::sparsemat::{gen, BlockPartition};
+
+#[test]
+fn umbrella_paths_match_member_crates() {
+    // The umbrella modules are the member crates, not parallel copies.
+    let via_umbrella = esr_suite::parcomm::CostModel::default();
+    let via_member: parcomm::CostModel = via_umbrella;
+    let _ = via_member;
+
+    let a = esr_suite::sparsemat::gen::poisson2d(4, 4);
+    let b: sparsemat::Csr = a;
+    let _ = b;
+}
+
+#[test]
+fn failure_script_and_cost_model_construct() {
+    // The exact calls the doctest and examples/overlapping_failures.rs use.
+    let script = FailureScript::simultaneous(5, 1, 2, 6);
+    let _ = script;
+    let none = FailureScript::none();
+    let _ = none;
+    let cost = CostModel::default();
+    assert!(cost.msg_cost(10) > 0.0);
+}
+
+#[test]
+fn block_partition_constructs() {
+    let part = BlockPartition::new(100, 7);
+    let covered: usize = (0..7).map(|k| part.len_of(k)).sum();
+    assert_eq!(covered, 100);
+}
+
+#[test]
+fn every_precond_variant_constructs_through_public_paths() {
+    let a = gen::banded_spd(24, 3, 0.7, 42);
+
+    let variants: Vec<(&str, Box<dyn Preconditioner>)> = vec![
+        ("identity", Box::new(Identity::new(a.n_rows()))),
+        ("jacobi", Box::new(Jacobi::new(&a).unwrap())),
+        (
+            "block_jacobi",
+            Box::new(BlockJacobi::with_blocks(&a, 4, BlockSolver::ExactLdl).unwrap()),
+        ),
+        ("ldl", Box::new(SparseLdl::new(&a).unwrap())),
+        ("ilu0", Box::new(Ilu0::new(&a).unwrap())),
+        ("ic0", Box::new(Ic0::new(&a).unwrap())),
+        ("ssor", Box::new(Ssor::new(&a, 1.2).unwrap())),
+        ("explicit", Box::new(ExplicitPrec::jacobi_of(&a).unwrap())),
+    ];
+
+    let r: Vec<f64> = (0..a.n_rows()).map(|i| (i as f64 * 0.3).sin()).collect();
+    for (name, m) in &variants {
+        let mut z = vec![0.0; a.n_rows()];
+        m.apply(&r, &mut z);
+        assert!(
+            z.iter().all(|v| v.is_finite()),
+            "{name} produced non-finite output"
+        );
+    }
+}
+
+#[test]
+fn resilient_solve_through_umbrella_paths_only() {
+    // A miniature version of the crate-level doctest, kept as a plain test
+    // so the public API contract is enforced even when doctests are skipped.
+    let a = esr_suite::sparsemat::gen::poisson2d(8, 8);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(3, 1, 2, 4);
+    let result = esr_suite::core::run_pcg(
+        &problem,
+        4,
+        &SolverConfig::resilient(2),
+        CostModel::default(),
+        script,
+    );
+    assert!(result.converged);
+    assert_eq!(result.ranks_recovered, 2);
+    let err = result.x.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
+    assert!(err < 1e-6, "reconstruction not exact: {err}");
+}

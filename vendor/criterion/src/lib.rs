@@ -1,0 +1,182 @@
+//! # criterion (offline shim)
+//!
+//! A minimal, dependency-free stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API used by
+//! `crates/bench/benches/micro.rs`. The build environment cannot reach a
+//! crates registry, so the real crate is unavailable; this shim keeps the
+//! bench source unchanged and still produces useful wall-clock numbers.
+//!
+//! Measurement model: per benchmark, a short warm-up, then timed batches
+//! until ~`measurement_time` has elapsed; reports mean time per iteration
+//! and the spread across batches. No statistical analysis, no HTML reports,
+//! no comparison against saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (the real crate's is a
+/// compiler-fence wrapper; std's is the supported equivalent).
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::WarmUp {
+                until: self.warm_up_time,
+            },
+            batches: Vec::new(),
+        };
+        f(&mut b); // warm-up pass
+        b.mode = Mode::Measure {
+            budget: self.measurement_time,
+        };
+        f(&mut b); // measurement pass
+        b.report(id);
+        self
+    }
+}
+
+enum Mode {
+    WarmUp { until: Duration },
+    Measure { budget: Duration },
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+    /// (iterations, elapsed) per timed batch.
+    batches: Vec<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Time the routine. Runs it in growing batches so that per-iteration
+    /// timer overhead is amortized, matching the real crate's contract that
+    /// the closure may be called many times.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        match self.mode {
+            Mode::WarmUp { until } => {
+                let start = Instant::now();
+                while start.elapsed() < until {
+                    black_box(routine());
+                }
+            }
+            Mode::Measure { budget } => {
+                let start = Instant::now();
+                let mut batch: u64 = 1;
+                while start.elapsed() < budget {
+                    let t0 = Instant::now();
+                    for _ in 0..batch {
+                        black_box(routine());
+                    }
+                    self.batches.push((batch, t0.elapsed()));
+                    if batch < 1 << 20 {
+                        batch *= 2;
+                    }
+                }
+            }
+        }
+    }
+
+    fn report(&self, id: &str) {
+        let iters: u64 = self.batches.iter().map(|(n, _)| n).sum();
+        if iters == 0 {
+            println!("{id:<40} (no measurements)");
+            return;
+        }
+        let total: Duration = self.batches.iter().map(|(_, t)| *t).sum();
+        let mean = total.as_nanos() as f64 / iters as f64;
+        let per_batch: Vec<f64> = self
+            .batches
+            .iter()
+            .map(|(n, t)| t.as_nanos() as f64 / *n as f64)
+            .collect();
+        let lo = per_batch.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = per_batch.iter().copied().fold(0.0_f64, f64::max);
+        println!(
+            "{id:<40} time: [{} {} {}]  ({iters} iterations)",
+            fmt_ns(lo),
+            fmt_ns(mean),
+            fmt_ns(hi),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.3} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.3} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// `criterion_group!(name, target, ...)` — defines `fn name()` running each
+/// target against a fresh default [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// `criterion_main!(group, ...)` — the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            // Keep bench binaries well-behaved under `cargo test`, which
+            // passes libtest flags; a bench run takes no arguments.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(10));
+        c.bench_function("spin", |b| b.iter(|| (0..100u64).sum::<u64>()));
+    }
+}

@@ -1,0 +1,76 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Anything usable as the size argument of [`vec`]: an exact length, a
+/// half-open range, or an inclusive range.
+pub trait IntoSizeRange {
+    /// Pick a concrete length.
+    fn pick(&self, rng: &mut TestRng) -> usize;
+}
+
+impl IntoSizeRange for usize {
+    fn pick(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl IntoSizeRange for Range<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.generate(rng)
+    }
+}
+
+impl IntoSizeRange for RangeInclusive<usize> {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.generate(rng)
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: IntoSizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.pick(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec(element, size)`.
+pub fn vec<S: Strategy, R: IntoSizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_and_ranged_sizes() {
+        let mut rng = TestRng::for_case(7, 0);
+        for _ in 0..200 {
+            assert_eq!(vec(0usize..4, 9usize).generate(&mut rng).len(), 9);
+            let v = vec(0usize..4, 2usize..6).generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+            let w = vec(0usize..4, 0usize..=3).generate(&mut rng);
+            assert!(w.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn nested_vec_composes() {
+        let mut rng = TestRng::for_case(8, 0);
+        let v = vec(vec(0usize..5, 0usize..=5), 4usize).generate(&mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|inner| inner.len() <= 5));
+    }
+}

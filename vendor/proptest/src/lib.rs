@@ -1,0 +1,169 @@
+//! # proptest (offline shim)
+//!
+//! A minimal, dependency-free re-implementation of the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API that this workspace's
+//! property suites use. The build environment has no network access to a
+//! crates registry, so the real crate cannot be fetched; this shim keeps the
+//! test sources byte-identical to what they would be against real proptest
+//! (same imports, same macros) while remaining self-contained.
+//!
+//! Supported surface:
+//!
+//! * [`proptest!`] with an optional `#![proptest_config(..)]` inner
+//!   attribute and `arg in strategy` test signatures;
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//!   [`prop_assume!`];
+//! * [`strategy::Strategy`] with `prop_map`, implemented for integer and
+//!   float ranges (half-open and inclusive), tuples up to arity 6, and
+//!   [`prelude::any`] for the primitive types;
+//! * [`collection::vec`] with exact, half-open, or inclusive size ranges;
+//! * [`strategy::Just`];
+//! * [`test_runner::ProptestConfig::with_cases`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the case index and the
+//!   per-test RNG seed; cases are deterministic per (test name, case index),
+//!   so failures reproduce exactly on re-run.
+//! * **No persistence files**, no fork, no timeout.
+//! * Value generation is uniform over the requested range rather than
+//!   proptest's bias-toward-edge-cases distributions.
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+mod rng;
+
+pub use rng::TestRng;
+
+/// Assert a boolean condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            panic!($($fmt)*);
+        }
+    };
+}
+
+/// Assert equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`,\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(*lhs == *rhs, $($fmt)*);
+    }};
+}
+
+/// Assert inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  left: `{:?}`,\n right: `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+///
+/// Expands to an early `Err(Reject)` return from the per-case closure the
+/// [`proptest!`] macro wraps each body in, so it is only valid at the top
+/// level of a `proptest!` test body — which matches real proptest's
+/// requirement that the assume happen before the expensive part of a case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ..) { body }`
+/// becomes a `#[test]` running `body` over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_define! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_define! {
+            @cfg($crate::test_runner::ProptestConfig::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_define {
+    (@cfg($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let __seed = $crate::TestRng::seed_for(stringify!($name));
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::TestRng::for_case(__seed, __case);
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat),
+                            &mut __rng,
+                        );
+                    )*
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(
+                            || -> ::std::result::Result<
+                                (),
+                                $crate::test_runner::TestCaseError,
+                            > {
+                                $body
+                                ::std::result::Result::Ok(())
+                            },
+                        ),
+                    );
+                    match __outcome {
+                        ::std::result::Result::Ok(::std::result::Result::Ok(())) => {}
+                        // Rejected by prop_assume!: skip, try the next case.
+                        ::std::result::Result::Ok(::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        )) => {}
+                        ::std::result::Result::Err(__payload) => {
+                            eprintln!(
+                                "proptest (shim): test `{}` failed at case {} \
+                                 (seed {:#018x}); cases are deterministic, \
+                                 re-running reproduces this failure",
+                                stringify!($name),
+                                __case,
+                                __seed,
+                            );
+                            ::std::panic::resume_unwind(__payload);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,10 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{Any, Arbitrary, Just, Strategy};
+pub use crate::test_runner::{ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+/// The canonical strategy for "any value of type `T`".
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any::default()
+}

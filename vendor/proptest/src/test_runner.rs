@@ -1,0 +1,30 @@
+//! Runner configuration and per-case control flow.
+
+/// Configuration for a `proptest!` block.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; the suites in this workspace always
+        // set an explicit count, so this only matters for new tests.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case ended without completing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed: the inputs don't satisfy the precondition and
+    /// the case is silently discarded.
+    Reject,
+}
