@@ -1,0 +1,196 @@
+//! Machine-readable perf report: `BENCH_comm.json` + `BENCH_pcg.json`.
+//!
+//! Establishes the performance trajectory of the communication hot path so
+//! this and every future PR has a number attached. Two artifacts land in
+//! `target/esr-results/` (override with `ESR_RESULTS_DIR`):
+//!
+//! * **`BENCH_comm.json`** — the all-reduce microbenchmark across cluster
+//!   sizes: virtual time per call, communication rounds on the critical
+//!   path, and message/element counts.
+//! * **`BENCH_pcg.json`** — reference PCG (failure-free) across cluster
+//!   sizes: virtual time per iteration, all-reduces per iteration, and the
+//!   reduction-phase traffic.
+//!
+//! Both embed the pre-overhaul numbers (reduce-to-root + broadcast
+//! all-reduce, 3 reductions per PCG iteration) measured on the same
+//! machine/model as `baseline`, so the before/after is part of the
+//! artifact.
+//!
+//! Knobs: `ESR_REPORT_NODES` (comma list, default `4,8,13,16,32,64`) and
+//! the usual `ESR_SCALE`. CI runs this at small N as a smoke gate.
+
+use std::time::Instant;
+
+use esr_bench::{write_json, BenchConfig};
+use esr_core::{run_pcg, SolverConfig};
+use parcomm::comm::ReduceOp;
+use parcomm::{Cluster, ClusterConfig, CommPhase, FailureScript};
+use sparsemat::gen::suite::PaperMatrix;
+
+/// Pre-PR reference numbers (reduce+bcast all-reduce, 3 reductions/iter),
+/// captured with the default cost model before the overhaul. Virtual times
+/// are deterministic, so these are exact, not sampled.
+/// (nodes, vtime_per_call, msgs_per_call)
+const BASELINE_COMM: &[(usize, f64, f64)] = &[
+    (4, 4.006e-6, 6.0),
+    (8, 6.010e-6, 14.0),
+    (13, 7.011e-6, 24.0),
+    (16, 8.013e-6, 30.0),
+    (32, 1.002e-5, 62.0),
+    (64, 1.202e-5, 126.0),
+];
+
+/// (nodes, iterations, vtime_per_iter) for reference PCG on M1 at the
+/// default scale; allreduces/iter was 3 by construction.
+const BASELINE_PCG: &[(usize, usize, f64)] = &[
+    (4, 25, 1.2635e-4),
+    (8, 31, 5.8778e-5),
+    (13, 39, 3.5105e-5),
+    (16, 43, 2.9346e-5),
+];
+
+fn report_nodes() -> Vec<usize> {
+    match std::env::var("ESR_REPORT_NODES") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("bad ESR_REPORT_NODES"))
+            .collect(),
+        _ => vec![4, 8, 13, 16, 32, 64],
+    }
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:e}")
+    } else {
+        "null".into()
+    }
+}
+
+fn comm_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
+    const CALLS: usize = 100;
+    let mut cases = Vec::new();
+    for &n in nodes {
+        let wall = Instant::now();
+        let out = Cluster::run(ClusterConfig::new(n).with_cost(cfgb.cost), move |ctx| {
+            ctx.reset_metrics();
+            for i in 0..CALLS {
+                ctx.allreduce_vec(ReduceOp::Sum, vec![i as f64, 1.0]);
+            }
+            (
+                ctx.vtime(),
+                ctx.stats().allreduces(),
+                ctx.stats().allreduce_rounds(),
+                ctx.stats().total_msgs(),
+                ctx.stats().total_elems(),
+            )
+        });
+        let wall_ms = wall.elapsed().as_secs_f64() * 1e3;
+        let vtime = out.iter().map(|o| o.0).fold(0.0, f64::max);
+        let rounds_max = out.iter().map(|o| o.2 / o.1).max().unwrap();
+        let msgs: u64 = out.iter().map(|o| o.3).sum();
+        let elems: u64 = out.iter().map(|o| o.4).sum();
+        let baseline = BASELINE_COMM
+            .iter()
+            .find(|b| b.0 == n)
+            .map(|&(_, vt, msgs)| {
+                format!(
+                    r#", "baseline_reduce_bcast": {{"vtime_per_call": {}, "msgs_per_call": {}, "rounds": {}}}"#,
+                    json_f(vt),
+                    json_f(msgs),
+                    2 * (usize::BITS - (n - 1).leading_zeros())
+                )
+            })
+            .unwrap_or_default();
+        cases.push(format!(
+            r#"    {{"nodes": {n}, "calls": {CALLS}, "vtime_per_call": {}, "rounds_per_call": {rounds_max}, "msgs_per_call": {}, "elems_per_call": {}, "wall_ms": {}{baseline}}}"#,
+            json_f(vtime / CALLS as f64),
+            json_f(msgs as f64 / CALLS as f64),
+            json_f(elems as f64 / CALLS as f64),
+            json_f(wall_ms),
+        ));
+        println!(
+            "comm N={n:3}  vtime/call {:.3e}s  rounds {rounds_max}  msgs/call {:.1}",
+            vtime / CALLS as f64,
+            msgs as f64 / CALLS as f64
+        );
+    }
+    format!(
+        "{{\n  \"schema\": \"esr-bench/comm/v1\",\n  \"collective\": \"allreduce_vec(len=2)\",\n  \"algorithm\": \"recursive-doubling (fold-in/out on non-pow2)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_f(cfgb.cost.lambda),
+        json_f(cfgb.cost.mu),
+        json_f(cfgb.cost.gamma),
+        cases.join(",\n")
+    )
+}
+
+fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
+    let mut cases = Vec::new();
+    for &n in nodes {
+        let problem = cfgb.problem(PaperMatrix::M1);
+        let r = run_pcg(
+            &problem,
+            n,
+            &SolverConfig::reference(),
+            cfgb.cost,
+            FailureScript::none(),
+        );
+        assert!(r.converged, "reference PCG must converge (N={n})");
+        let iters = r.iterations as f64;
+        // Every rank issues the same collective sequence, so calls/iter is
+        // uniform; rounds differ per rank (folded-out ranks take only 2 on
+        // non-power-of-two sizes), so report the critical-path maximum.
+        let ar_per_iter = r.per_node[0].stats.allreduces() as f64 / iters;
+        let rounds_per_ar = r
+            .per_node
+            .iter()
+            .map(|o| o.stats.allreduce_rounds() as f64 / o.stats.allreduces() as f64)
+            .fold(0.0, f64::max);
+        let baseline = BASELINE_PCG
+            .iter()
+            .find(|b| b.0 == n)
+            .map(|&(_, bi, bvt)| {
+                format!(
+                    r#", "baseline_reduce_bcast": {{"iterations": {bi}, "vtime_per_iter": {}, "allreduces_per_iter": 3.0}}"#,
+                    json_f(bvt)
+                )
+            })
+            .unwrap_or_default();
+        cases.push(format!(
+            r#"    {{"nodes": {n}, "iterations": {}, "vtime_total": {}, "vtime_per_iter": {}, "allreduces_per_iter": {}, "rounds_per_allreduce": {}, "reduction_msgs": {}, "reduction_elems": {}, "total_msgs": {}, "total_elems": {}, "wall_ms": {}{baseline}}}"#,
+            r.iterations,
+            json_f(r.vtime),
+            json_f(r.vtime / iters),
+            json_f(ar_per_iter),
+            json_f(rounds_per_ar),
+            r.stats.msgs(CommPhase::Reduction),
+            r.stats.elems(CommPhase::Reduction),
+            r.stats.total_msgs(),
+            r.stats.total_elems(),
+            json_f(r.wall.as_secs_f64() * 1e3),
+        ));
+        println!(
+            "pcg  N={n:3}  iters {:3}  vtime/iter {:.4e}s  allreduces/iter {:.2}  rounds/allreduce {:.1}",
+            r.iterations,
+            r.vtime / iters,
+            ar_per_iter,
+            rounds_per_ar
+        );
+    }
+    format!(
+        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_f(cfgb.scale),
+        json_f(cfgb.cost.lambda),
+        json_f(cfgb.cost.mu),
+        json_f(cfgb.cost.gamma),
+        cases.join(",\n")
+    )
+}
+
+fn main() {
+    let cfgb = BenchConfig::from_env();
+    let nodes = report_nodes();
+    println!("== collective/PCG perf report (N = {nodes:?}) ==");
+    write_json("BENCH_comm.json", &comm_report(&cfgb, &nodes));
+    write_json("BENCH_pcg.json", &pcg_report(&cfgb, &nodes));
+}

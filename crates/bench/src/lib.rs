@@ -142,13 +142,28 @@ pub fn run_failure_case(
     run_pcg(problem, cfgb.nodes, solver, cfgb.cost, script)
 }
 
-/// Write a CSV file under the workspace's `target/esr-results/`.
-pub fn write_csv(name: &str, header: &str, rows: &[String]) {
-    // Benches run with the package directory as CWD; anchor at the
-    // workspace root so all results land in one place.
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/esr-results");
+/// Results directory: `ESR_RESULTS_DIR` if set, else the workspace's
+/// `target/esr-results/`. Benches run with the package directory as CWD,
+/// so the default is anchored at the workspace root.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = match std::env::var("ESR_RESULTS_DIR") {
+        Ok(d) if !d.trim().is_empty() => std::path::PathBuf::from(d),
+        _ => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/esr-results"),
+    };
     std::fs::create_dir_all(&dir).expect("create results dir");
-    let path = dir.join(name);
+    dir
+}
+
+/// Write a machine-readable report (the `BENCH_*.json` artifacts).
+pub fn write_json(name: &str, content: &str) {
+    let path = results_dir().join(name);
+    std::fs::write(&path, content).expect("write json");
+    println!("[json] wrote {}", path.display());
+}
+
+/// Write a CSV file under the results directory.
+pub fn write_csv(name: &str, header: &str, rows: &[String]) {
+    let path = results_dir().join(name);
     let mut out = String::with_capacity(rows.len() * 64 + header.len() + 1);
     out.push_str(header);
     out.push('\n');

@@ -29,6 +29,7 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
+use parcomm::comm::ReduceOp;
 use parcomm::fault::poison;
 use parcomm::{CommPhase, FailAt, NodeCtx, Payload};
 use sparsemat::vecops::{axpy, dot};
@@ -104,10 +105,16 @@ pub fn esr_bicgstab_node(
     let mut t = vec![0.0; nloc];
     let mut ghosts = vec![0.0; lm.ghost_cols.len()];
 
-    let r0_sq = ctx.allreduce_sum(dot(&r, &r));
+    // ‖r(0)‖² and ρ(0) = r̂0ᵀr(0) travel in one fused length-2 all-reduce.
+    let init = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&r, &r), dot(&rhat0, &r)]);
+    let r0_sq = init[0];
     let r0_norm = r0_sq.sqrt();
     let target_sq = cfg.rel_tol * cfg.rel_tol * r0_sq;
-    let mut rho = ctx.allreduce_sum(dot(&rhat0, &r));
+    let mut rho = init[1];
+    // ρ for the *next* iteration's p-update, fused with the convergence
+    // reduction at the end of each iteration (both are dots against the
+    // just-updated r) — three global reductions per iteration, not four.
+    let mut rho_next = rho;
     let mut alpha = 0.0f64;
     let mut omega = 0.0f64;
 
@@ -122,9 +129,9 @@ pub fn esr_bicgstab_node(
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
-        // p update (j > 0): p = r + β (p − ω v)
+        // p update (j > 0): p = r + β (p − ω v); ρ(j) was carried from the
+        // previous iteration's fused reduction.
         if j > 0 {
-            let rho_next = ctx.allreduce_sum(dot(&rhat0, &r));
             if rho_next.abs() < f64::MIN_POSITIVE {
                 panic!("rank {rank}: BiCGSTAB breakdown (ρ = 0) at iteration {j}");
             }
@@ -213,7 +220,7 @@ pub fn esr_bicgstab_node(
         // t = A ŝ
         lm.spmv(&shat, &ghosts, &mut t);
         ctx.clock_mut().advance_flops(lm.spmv_flops());
-        let tt_ts = ctx.allreduce_vec(parcomm::comm::ReduceOp::Sum, vec![dot(&t, &t), dot(&t, &s)]);
+        let tt_ts = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&t, &t), dot(&t, &s)]);
         ctx.clock_mut().advance_flops(4 * nloc);
         let (tt, ts) = (tt_ts[0], tt_ts[1]);
         if tt <= 0.0 || !tt.is_finite() {
@@ -228,8 +235,11 @@ pub fn esr_bicgstab_node(
         ctx.clock_mut().advance_flops(6 * nloc);
 
         iterations += 1;
-        residual_sq = ctx.allreduce_sum(dot(&r, &r));
-        ctx.clock_mut().advance_flops(2 * nloc);
+        // Fused: convergence test ‖r‖² + the next iteration's ρ = r̂0ᵀr.
+        let rr_rho = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&r, &r), dot(&rhat0, &r)]);
+        ctx.clock_mut().advance_flops(4 * nloc);
+        residual_sq = rr_rho[0];
+        rho_next = rr_rho[1];
         if residual_sq <= target_sq {
             converged = true;
         }
@@ -313,13 +323,13 @@ fn recover_bicgstab(
             ctx.send(
                 f,
                 TAG_PHAT,
-                Payload::Pairs(ret_p.collect_range(Gen::Cur, range.start, range.end)),
+                Payload::pairs(ret_p.collect_range(Gen::Cur, range.start, range.end)),
                 CommPhase::Recovery,
             );
             ctx.send(
                 f,
                 TAG_SHAT,
-                Payload::Pairs(ret_s.collect_range(Gen::Cur, range.start, range.end)),
+                Payload::pairs(ret_s.collect_range(Gen::Cur, range.start, range.end)),
                 CommPhase::Recovery,
             );
         }

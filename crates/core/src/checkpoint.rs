@@ -180,11 +180,15 @@ pub fn cr_pcg_node(
                 iteration: j,
                 data: pack(&x, &r, &z, &p, beta_prev, rz),
             };
+            // One shared buffer fans out to every partner (Arc bump per
+            // send, no per-destination deep copy; each message still pays
+            // the full λ + s·µ).
+            let shared = std::sync::Arc::new(own_ckpt.data.clone());
             for &d in &my_partners {
                 ctx.send(
                     d,
                     TAG_CKPT,
-                    Payload::F64s(own_ckpt.data.clone()),
+                    Payload::f64s_shared(shared.clone()),
                     CommPhase::Redundancy,
                 );
             }
@@ -264,7 +268,7 @@ pub fn cr_pcg_node(
                                 ctx.send(
                                     f,
                                     TAG_FETCH_RESP,
-                                    Payload::F64s(data),
+                                    Payload::f64s(data),
                                     CommPhase::Recovery,
                                 );
                             }

@@ -27,6 +27,7 @@
 
 use std::collections::HashSet;
 
+use parcomm::comm::ReduceOp;
 use parcomm::fault::poison;
 use parcomm::{CommPhase, FailAt, NodeCtx, Payload};
 use precond::{Ilu0, SparseLdl};
@@ -174,13 +175,13 @@ pub fn recover(
                 ctx.send(
                     f,
                     tag(seq, OFF_PCUR),
-                    Payload::Pairs(st.retention.collect_range(Gen::Cur, range.start, range.end)),
+                    Payload::pairs(st.retention.collect_range(Gen::Cur, range.start, range.end)),
                     CommPhase::Recovery,
                 );
                 ctx.send(
                     f,
                     tag(seq, OFF_PPREV),
-                    Payload::Pairs(
+                    Payload::pairs(
                         st.retention
                             .collect_range(Gen::Prev, range.start, range.end),
                     ),
@@ -378,7 +379,7 @@ pub(crate) fn gather_failed_ghosts(
                 continue;
             }
             let req = std::mem::take(&mut requests[s]);
-            ctx.send(s, tag_req, Payload::U64s(req), CommPhase::Recovery);
+            ctx.send(s, tag_req, Payload::u64s(req), CommPhase::Recovery);
         }
         let mut ghosts = vec![0.0; ghost_cols.len()];
         for s in 0..ctx.size() {
@@ -401,7 +402,7 @@ pub(crate) fn gather_failed_ghosts(
                 .into_iter()
                 .map(|g| (g, v_loc[g as usize - my_start]))
                 .collect();
-            ctx.send(f, tag_resp, Payload::Pairs(resp), CommPhase::Recovery);
+            ctx.send(f, tag_resp, Payload::pairs(resp), CommPhase::Recovery);
         }
         None
     }
@@ -459,8 +460,11 @@ pub(crate) fn solve_failed_system(
     let mut z = vec![0.0; nloc];
     apply_prec(&prec, &r, &mut z);
     let mut p = z.clone();
-    let mut rz = group.allreduce_sum(ctx, dot(&r, &z));
-    let rn0_sq = group.allreduce_sum(ctx, dot(&r, &r));
+    // Fused: ‖r‖² and rᵀz in one group all-reduce (same 2-reductions-per-
+    // iteration scheme as the outer PCG).
+    let init = group.allreduce_vec(ctx, ReduceOp::Sum, vec![dot(&r, &r), dot(&r, &z)]);
+    let rn0_sq = init[0];
+    let mut rz = init[1];
     if rn0_sq <= f64::MIN_POSITIVE {
         return (x, 0);
     }
@@ -484,12 +488,12 @@ pub(crate) fn solve_failed_system(
         axpy(alpha, &p, &mut x);
         axpy(-alpha, &u, &mut r);
         ctx.clock_mut().advance_flops(4 * nloc);
-        let rn_sq = group.allreduce_sum(ctx, dot(&r, &r));
-        if rn_sq <= target_sq {
+        apply_prec(&prec, &r, &mut z);
+        let rr_rz = group.allreduce_vec(ctx, ReduceOp::Sum, vec![dot(&r, &r), dot(&r, &z)]);
+        if rr_rz[0] <= target_sq {
             break;
         }
-        apply_prec(&prec, &r, &mut z);
-        let rz_next = group.allreduce_sum(ctx, dot(&r, &z));
+        let rz_next = rr_rz[1];
         let beta = rz_next / rz;
         rz = rz_next;
         xpay(&z, beta, &mut p);

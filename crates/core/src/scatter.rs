@@ -166,7 +166,7 @@ impl ScatterPlan {
             ctx.send_with_phases(
                 k,
                 TAG_SPMV,
-                Payload::F64s(buf),
+                Payload::f64s(buf),
                 &[
                     (CommPhase::Spmv, nat.len()),
                     (CommPhase::Redundancy, ext.len()),

@@ -121,7 +121,7 @@ pub fn esr_jacobi_node(
                         ctx.send(
                             f,
                             TAG_XCOPY,
-                            Payload::Pairs(retention.collect_range(Gen::Cur, fr.start, fr.end)),
+                            Payload::pairs(retention.collect_range(Gen::Cur, fr.start, fr.end)),
                             CommPhase::Recovery,
                         );
                     }

@@ -233,7 +233,7 @@ mod tests {
             let out = Cluster::run(ClusterConfig::new(n), |ctx| {
                 let root = ctx.size() - 1;
                 let payload = if ctx.rank() == root {
-                    Payload::F64s(vec![42.0, 7.0])
+                    Payload::f64s(vec![42.0, 7.0])
                 } else {
                     Payload::Empty
                 };
@@ -373,8 +373,8 @@ mod tests {
     fn stats_track_phases() {
         let out = Cluster::run(ClusterConfig::new(2), |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 1, Payload::F64s(vec![0.0; 10]), CommPhase::Spmv);
-                ctx.send(1, 2, Payload::F64s(vec![0.0; 3]), CommPhase::Redundancy);
+                ctx.send(1, 1, Payload::f64s(vec![0.0; 10]), CommPhase::Spmv);
+                ctx.send(1, 2, Payload::f64s(vec![0.0; 3]), CommPhase::Redundancy);
             } else {
                 ctx.recv(0, 1);
                 ctx.recv(0, 2);
@@ -397,7 +397,7 @@ mod tests {
         };
         let out = Cluster::run(ClusterConfig::new(2).with_cost(cost), |ctx| {
             if ctx.rank() == 0 {
-                ctx.send(1, 1, Payload::F64s(vec![0.0; 10]), CommPhase::Spmv);
+                ctx.send(1, 1, Payload::f64s(vec![0.0; 10]), CommPhase::Spmv);
             } else {
                 ctx.recv(0, 1);
             }

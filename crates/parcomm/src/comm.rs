@@ -1,10 +1,13 @@
 //! The per-node communicator handle: point-to-point messaging and
 //! deterministic collectives.
 //!
-//! Collectives use **binomial trees with a structure fixed by (root, size)**,
-//! so floating-point reductions are bitwise reproducible across runs — the
-//! reduction order never depends on message timing. This mirrors what
-//! MPI implementations provide on a fixed topology and is essential for the
+//! Collectives have a **structure fixed by (root, size)**, so floating-point
+//! reductions are bitwise reproducible across runs — the reduction order
+//! never depends on message timing. Broadcast and gather use binomial trees;
+//! all-reduce uses **recursive doubling** (⌈log₂N⌉ rounds, no root
+//! bottleneck; non-power-of-two sizes fold the surplus ranks in before and
+//! out after the doubling phase, +2 rounds). This mirrors what MPI
+//! implementations provide on a fixed topology and is essential for the
 //! reproducibility of the numerical experiments.
 
 use std::collections::HashMap;
@@ -53,6 +56,42 @@ impl ReduceOp {
             }
         }
     }
+}
+
+/// Element types that can travel in a [`Payload`] buffer variant. Lets the
+/// ragged-buffer logic (broadcast counts, then flattened data, then split)
+/// be written once for both `f64` and `u64`.
+pub(crate) trait PayloadElem: Clone {
+    fn wrap(v: Vec<Self>) -> Payload;
+    fn unwrap(p: Payload) -> Vec<Self>;
+}
+
+impl PayloadElem for f64 {
+    fn wrap(v: Vec<f64>) -> Payload {
+        Payload::f64s(v)
+    }
+    fn unwrap(p: Payload) -> Vec<f64> {
+        p.into_f64s()
+    }
+}
+
+impl PayloadElem for u64 {
+    fn wrap(v: Vec<u64>) -> Payload {
+        Payload::u64s(v)
+    }
+    fn unwrap(p: Payload) -> Vec<u64> {
+        p.into_u64s()
+    }
+}
+
+/// Split a flattened buffer back into per-rank pieces of the given lengths.
+pub(crate) fn split_by_counts<T>(flat: Vec<T>, counts: &[u64]) -> Vec<Vec<T>> {
+    debug_assert_eq!(flat.len() as u64, counts.iter().sum::<u64>());
+    let mut it = flat.into_iter();
+    counts
+        .iter()
+        .map(|&c| it.by_ref().take(c as usize).collect())
+        .collect()
 }
 
 /// A node's view of the cluster: rank, mailbox, peers, clock, statistics,
@@ -192,7 +231,7 @@ impl NodeCtx {
     }
 
     // ------------------------------------------------------------------
-    // Collectives (deterministic binomial trees)
+    // Collectives
     // ------------------------------------------------------------------
 
     fn next_seq(&mut self) -> u64 {
@@ -201,11 +240,23 @@ impl NodeCtx {
         s
     }
 
-    /// Synchronize all nodes (and their virtual clocks).
+    /// Synchronize all nodes (and their virtual clocks). Implemented as a
+    /// zero-length recursive-doubling exchange, so every node transitively
+    /// absorbs every other node's clock in ⌈log₂N⌉(+2) rounds.
     pub fn barrier(&mut self) {
         let seq = self.next_seq();
-        self.tree_reduce_root(0, ReduceOp::Sum, Vec::new(), Tag::coll(op::BARRIER, seq));
-        self.tree_bcast_from(0, Payload::Empty, Tag::coll(op::BCAST, seq));
+        let tag = Tag::coll(op::BARRIER, seq);
+        let (rank, size) = (self.rank, self.size);
+        rd_allreduce(
+            self,
+            rank,
+            size,
+            None,
+            tag,
+            CommPhase::Reduction,
+            ReduceOp::Sum,
+            Vec::new(),
+        );
     }
 
     /// Broadcast `payload` from `root`; every node returns the payload.
@@ -231,16 +282,19 @@ impl NodeCtx {
 
     /// Element-wise all-reduce of an `f64` buffer (all nodes pass equal
     /// lengths; the result is bitwise identical on every node).
+    ///
+    /// Recursive doubling: ⌈log₂N⌉ rounds (+2 on non-power-of-two sizes),
+    /// every node sends and receives one buffer per round — no root
+    /// bottleneck, and half the rounds of the former reduce-to-root +
+    /// broadcast implementation. The pairing and combination order are
+    /// fixed functions of (rank, size), so the result is deterministic.
     pub fn allreduce_vec(&mut self, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
         let seq = self.next_seq();
-        let reduced = self.tree_reduce_root(0, opr, x, Tag::coll(op::REDUCE, seq));
-        let payload = if self.rank == 0 {
-            Payload::F64s(reduced)
-        } else {
-            Payload::Empty // replaced by the broadcast
-        };
-        self.tree_bcast_from(0, payload, Tag::coll(op::BCAST, seq))
-            .into_f64s()
+        let tag = Tag::coll(op::ALLREDUCE, seq);
+        let (rank, size) = (self.rank, self.size);
+        let (acc, rounds) = rd_allreduce(self, rank, size, None, tag, CommPhase::Reduction, opr, x);
+        self.stats.record_allreduce(rounds);
+        acc
     }
 
     /// Gather variable-length `f64` buffers on `root` (rank order).
@@ -249,17 +303,18 @@ impl NodeCtx {
         let seq = self.next_seq();
         let tag = Tag::coll(op::GATHER, seq);
         if self.rank == root {
+            let mut own = Some(x);
             let mut out: Vec<Vec<f64>> = Vec::with_capacity(self.size);
             for r in 0..self.size {
                 if r == root {
-                    out.push(x.clone());
+                    out.push(own.take().expect("own slot filled once"));
                 } else {
                     out.push(self.recv_tag(r, tag).payload.into_f64s());
                 }
             }
             Some(out)
         } else {
-            self.send_tag(root, tag, Payload::F64s(x), CommPhase::Other);
+            self.send_tag(root, tag, Payload::f64s(x), CommPhase::Other);
             None
         }
     }
@@ -267,7 +322,7 @@ impl NodeCtx {
     /// All-gather variable-length `f64` buffers; result indexed by rank.
     pub fn allgatherv_f64(&mut self, x: Vec<f64>) -> Vec<Vec<f64>> {
         let gathered = self.gatherv_f64(0, x);
-        self.bcast_vecs_f64(0, gathered)
+        self.bcast_ragged(0, gathered)
     }
 
     /// All-gather variable-length `u64` buffers; result indexed by rank.
@@ -275,62 +330,46 @@ impl NodeCtx {
         let seq = self.next_seq();
         let tag = Tag::coll(op::GATHER, seq);
         let gathered: Option<Vec<Vec<u64>>> = if self.rank == 0 {
+            let mut own = Some(x);
             let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
             for r in 0..self.size {
                 if r == 0 {
-                    out.push(x.clone());
+                    out.push(own.take().expect("own slot filled once"));
                 } else {
                     out.push(self.recv_tag(r, tag).payload.into_u64s());
                 }
             }
             Some(out)
         } else {
-            self.send_tag(0, tag, Payload::U64s(x), CommPhase::Other);
+            self.send_tag(0, tag, Payload::u64s(x), CommPhase::Other);
             None
         };
-        // Broadcast counts then flattened data.
-        let counts = self.bcast(
-            0,
-            match &gathered {
-                Some(vs) => Payload::U64s(vs.iter().map(|v| v.len() as u64).collect()),
-                None => Payload::Empty,
-            },
-        );
-        let flat = self.bcast(
-            0,
-            match gathered {
-                Some(vs) => Payload::U64s(vs.into_iter().flatten().collect()),
-                None => Payload::Empty,
-            },
-        );
-        split_by_counts(flat.into_u64s(), &counts.into_u64s())
+        self.bcast_ragged(0, gathered)
     }
 
-    fn bcast_vecs_f64(&mut self, root: usize, vecs: Option<Vec<Vec<f64>>>) -> Vec<Vec<f64>> {
+    /// Broadcast ragged per-rank buffers from `root`: counts first, then the
+    /// flattened data, then split back. One implementation for every element
+    /// type that fits in a payload (the logic used to be triplicated).
+    fn bcast_ragged<T: PayloadElem>(
+        &mut self,
+        root: usize,
+        vecs: Option<Vec<Vec<T>>>,
+    ) -> Vec<Vec<T>> {
         let counts = self.bcast(
             root,
             match &vecs {
-                Some(vs) => Payload::U64s(vs.iter().map(|v| v.len() as u64).collect()),
+                Some(vs) => Payload::u64s(vs.iter().map(|v| v.len() as u64).collect()),
                 None => Payload::Empty,
             },
         );
         let flat = self.bcast(
             root,
             match vecs {
-                Some(vs) => Payload::F64s(vs.into_iter().flatten().collect()),
+                Some(vs) => T::wrap(vs.into_iter().flatten().collect()),
                 None => Payload::Empty,
             },
         );
-        let counts = counts.into_u64s();
-        let flat = flat.into_f64s();
-        let mut out = Vec::with_capacity(counts.len());
-        let mut off = 0usize;
-        for c in counts {
-            let c = c as usize;
-            out.push(flat[off..off + c].to_vec());
-            off += c;
-        }
-        out
+        split_by_counts(T::unwrap(flat), &counts.into_u64s())
     }
 
     /// Personalized all-to-all of index lists: `sends[k]` goes to rank `k`;
@@ -342,17 +381,17 @@ impl NodeCtx {
         assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLTOALL, seq);
-        let own = std::mem::take(&mut sends[self.rank]);
+        let mut own = Some(std::mem::take(&mut sends[self.rank]));
         for dst in 0..self.size {
             if dst != self.rank {
                 let data = std::mem::take(&mut sends[dst]);
-                self.send_tag(dst, tag, Payload::U64s(data), CommPhase::Setup);
+                self.send_tag(dst, tag, Payload::u64s(data), CommPhase::Setup);
             }
         }
         let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
         for src in 0..self.size {
             if src == self.rank {
-                out.push(own.clone());
+                out.push(own.take().expect("own slot filled once"));
             } else {
                 out.push(self.recv_tag(src, tag).payload.into_u64s());
             }
@@ -370,17 +409,17 @@ impl NodeCtx {
         assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLTOALL, seq);
-        let own = std::mem::take(&mut sends[self.rank]);
+        let mut own = Some(std::mem::take(&mut sends[self.rank]));
         for dst in 0..self.size {
             if dst != self.rank {
                 let data = std::mem::take(&mut sends[dst]);
-                self.send_tag(dst, tag, Payload::Pairs(data), phase);
+                self.send_tag(dst, tag, Payload::pairs(data), phase);
             }
         }
         let mut out: Vec<Vec<(u64, f64)>> = Vec::with_capacity(self.size);
         for src in 0..self.size {
             if src == self.rank {
-                out.push(own.clone());
+                out.push(own.take().expect("own slot filled once"));
             } else {
                 out.push(self.recv_tag(src, tag).payload.into_pairs());
             }
@@ -389,48 +428,11 @@ impl NodeCtx {
     }
 
     // ------------------------------------------------------------------
-    // Binomial-tree primitives
+    // Binomial-tree broadcast primitive
     // ------------------------------------------------------------------
 
-    /// Reduce onto `root` over a binomial tree; returns the reduced buffer
-    /// on `root` and the (meaningless) local buffer elsewhere.
-    fn tree_reduce_root(
-        &mut self,
-        root: usize,
-        opr: ReduceOp,
-        mut acc: Vec<f64>,
-        tag: Tag,
-    ) -> Vec<f64> {
-        let n = self.size;
-        if n == 1 {
-            return acc;
-        }
-        let vrank = (self.rank + n - root) % n; // virtual rank with root at 0
-        let mut mask = 1usize;
-        while mask < n {
-            if vrank & mask != 0 {
-                // Send partial result to parent and stop participating.
-                let parent = (vrank - mask + root) % n;
-                self.send_tag(
-                    parent,
-                    tag,
-                    Payload::F64s(acc.clone()),
-                    CommPhase::Reduction,
-                );
-                break;
-            } else if vrank + mask < n {
-                // Receive from child; fixed order (increasing mask) keeps
-                // the combination order deterministic.
-                let child = (vrank + mask + root) % n;
-                let part = self.recv_tag(child, tag).payload.into_f64s();
-                opr.combine(&mut acc, &part);
-            }
-            mask <<= 1;
-        }
-        acc
-    }
-
-    /// Broadcast from `root` over a binomial tree.
+    /// Broadcast from `root` over a binomial tree. The per-child
+    /// `data.clone()` is an `Arc` bump, not a buffer copy.
     fn tree_bcast_from(&mut self, root: usize, payload: Payload, tag: Tag) -> Payload {
         let n = self.size;
         if n == 1 {
@@ -532,13 +534,129 @@ impl NodeCtx {
     }
 }
 
-fn split_by_counts(flat: Vec<u64>, counts: &[u64]) -> Vec<Vec<u64>> {
-    let mut out = Vec::with_capacity(counts.len());
-    let mut off = 0usize;
-    for &c in counts {
-        let c = c as usize;
-        out.push(flat[off..off + c].to_vec());
-        off += c;
+/// Deterministic recursive-doubling all-reduce over `n` participants.
+///
+/// `my_index` is this node's participant index; `members` maps participant
+/// indices to global ranks (`None` ⇒ identity, i.e. the world communicator).
+/// Returns the reduced buffer — **bitwise identical on every participant** —
+/// and the number of communication rounds this participant took part in.
+///
+/// The standard MPICH scheme, fixed pairing so reductions are reproducible:
+///
+/// 1. **Fold-in** (non-power-of-two only): the first `2·rem` indices pair up
+///    `(2k, 2k+1)`; evens push their buffer to the odd neighbour and sit
+///    out. `pof2 = n − rem` participants remain.
+/// 2. **Doubling**: `log₂(pof2)` rounds; in round `mask` each participant
+///    exchanges its partial with `index ⊕ mask` and both combine. Partial
+///    results are always combined lower-index-group first, so after every
+///    round both partners hold bitwise-identical buffers.
+/// 3. **Fold-out**: the odd fold-in indices return the finished result to
+///    their even neighbours.
+///
+/// Within one call every ordered pair of participants exchanges at most one
+/// message, so a single tag covers all rounds.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn rd_allreduce(
+    ctx: &mut NodeCtx,
+    my_index: usize,
+    n: usize,
+    members: Option<&[usize]>,
+    tag: Tag,
+    phase: CommPhase,
+    opr: ReduceOp,
+    x: Vec<f64>,
+) -> (Vec<f64>, usize) {
+    if n == 1 {
+        return (x, 0);
     }
-    out
+    let rank_of = |i: usize| members.map_or(i, |m| m[i]);
+    let mut acc = x;
+    let pof2 = prev_power_of_two(n);
+    let rem = n - pof2;
+    let mut rounds = 0usize;
+
+    // Phase 1: fold-in.
+    let newidx = if my_index < 2 * rem {
+        rounds += 1;
+        if my_index.is_multiple_of(2) {
+            let peer = rank_of(my_index + 1);
+            ctx.send_tag(peer, tag, Payload::f64s(acc.clone()), phase);
+            None // folded out until phase 3
+        } else {
+            let theirs = ctx.recv_tag(rank_of(my_index - 1), tag).payload.into_f64s();
+            acc = combined(opr, theirs, &acc); // lower index first
+            Some(my_index / 2)
+        }
+    } else {
+        Some(my_index - rem)
+    };
+
+    // Phase 2: doubling among the pof2 survivors. `orig` maps a doubling
+    // index back to the participant index holding it.
+    if let Some(v) = newidx {
+        let orig = |d: usize| if d < rem { 2 * d + 1 } else { d + rem };
+        let mut mask = 1usize;
+        while mask < pof2 {
+            let peer = rank_of(orig(v ^ mask));
+            ctx.send_tag(peer, tag, Payload::f64s(acc.clone()), phase);
+            let theirs = ctx.recv_tag(peer, tag).payload.into_f64s();
+            if v & mask == 0 {
+                opr.combine(&mut acc, &theirs);
+            } else {
+                acc = combined(opr, theirs, &acc);
+            }
+            mask <<= 1;
+            rounds += 1;
+        }
+    }
+
+    // Phase 3: fold-out.
+    if my_index < 2 * rem {
+        rounds += 1;
+        if my_index % 2 == 1 {
+            let peer = rank_of(my_index - 1);
+            ctx.send_tag(peer, tag, Payload::f64s(acc.clone()), phase);
+        } else {
+            acc = ctx.recv_tag(rank_of(my_index + 1), tag).payload.into_f64s();
+        }
+    }
+    (acc, rounds)
+}
+
+/// `lower ⊕ higher` with the lower-index group as the left operand — the
+/// canonical combination order every participant applies identically.
+fn combined(opr: ReduceOp, mut lower: Vec<f64>, higher: &[f64]) -> Vec<f64> {
+    opr.combine(&mut lower, higher);
+    lower
+}
+
+/// Largest power of two ≤ `n` (`n ≥ 1`).
+fn prev_power_of_two(n: usize) -> usize {
+    debug_assert!(n >= 1);
+    if n.is_power_of_two() {
+        n
+    } else {
+        n.next_power_of_two() >> 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prev_power_of_two_bounds() {
+        assert_eq!(prev_power_of_two(1), 1);
+        assert_eq!(prev_power_of_two(2), 2);
+        assert_eq!(prev_power_of_two(3), 2);
+        assert_eq!(prev_power_of_two(13), 8);
+        assert_eq!(prev_power_of_two(16), 16);
+        assert_eq!(prev_power_of_two(64), 64);
+    }
+
+    #[test]
+    fn split_by_counts_partitions() {
+        let out = split_by_counts(vec![1u64, 2, 3, 4, 5], &[2, 0, 3]);
+        assert_eq!(out, vec![vec![1, 2], vec![], vec![3, 4, 5]]);
+    }
 }

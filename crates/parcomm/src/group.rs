@@ -5,8 +5,12 @@
 //! "additional communication between the ψ replacement nodes is necessary").
 //! A [`Group`] gives them a private collective context, like an MPI
 //! sub-communicator obtained from `MPI_Comm_split`.
+//!
+//! Group all-reduces use the same recursive-doubling algorithm as the world
+//! communicator (see [`crate::comm`]), over group indices instead of global
+//! ranks — recovery's inner solves get the ⌈log₂ψ⌉-round cost too.
 
-use crate::comm::{NodeCtx, ReduceOp};
+use crate::comm::{rd_allreduce, split_by_counts, NodeCtx, ReduceOp};
 use crate::payload::Payload;
 use crate::stats::CommPhase;
 use crate::tag::{op, Tag};
@@ -64,16 +68,20 @@ impl Group {
         s
     }
 
-    /// Group barrier.
+    /// Group barrier (zero-length recursive-doubling exchange).
     pub fn barrier(&mut self, ctx: &mut NodeCtx) {
         let seq = self.next_seq();
-        let acc = self.tree_reduce_root(ctx, ReduceOp::Sum, Vec::new(), seq);
-        let payload = if self.my_index == 0 {
-            Payload::F64s(acc)
-        } else {
-            Payload::Empty
-        };
-        self.tree_bcast(ctx, payload, seq);
+        let tag = Tag::group(self.gid, op::BARRIER, seq);
+        rd_allreduce(
+            ctx,
+            self.my_index,
+            self.members.len(),
+            Some(&self.members),
+            tag,
+            CommPhase::Recovery,
+            ReduceOp::Sum,
+            Vec::new(),
+        );
     }
 
     /// Group all-reduce of a scalar sum.
@@ -86,16 +94,23 @@ impl Group {
         self.allreduce_vec(ctx, ReduceOp::Max, vec![x])[0]
     }
 
-    /// Group element-wise all-reduce.
+    /// Group element-wise all-reduce (recursive doubling over group
+    /// indices; bitwise identical on every member).
     pub fn allreduce_vec(&mut self, ctx: &mut NodeCtx, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
         let seq = self.next_seq();
-        let acc = self.tree_reduce_root(ctx, opr, x, seq);
-        let payload = if self.my_index == 0 {
-            Payload::F64s(acc)
-        } else {
-            Payload::Empty
-        };
-        self.tree_bcast(ctx, payload, seq).into_f64s()
+        let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
+        let (acc, rounds) = rd_allreduce(
+            ctx,
+            self.my_index,
+            self.members.len(),
+            Some(&self.members),
+            tag,
+            CommPhase::Recovery,
+            opr,
+            x,
+        );
+        ctx.stats_mut().record_allreduce(rounds);
+        acc
     }
 
     /// Personalized all-to-all of pair lists among members;
@@ -109,17 +124,17 @@ impl Group {
         assert_eq!(sends.len(), self.size());
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLTOALL, seq);
-        let own = std::mem::take(&mut sends[self.my_index]);
+        let mut own = Some(std::mem::take(&mut sends[self.my_index]));
         for i in 0..self.size() {
             if i != self.my_index {
                 let data = std::mem::take(&mut sends[i]);
-                ctx.send_tag(self.members[i], tag, Payload::Pairs(data), phase);
+                ctx.send_tag(self.members[i], tag, Payload::pairs(data), phase);
             }
         }
         let mut out = Vec::with_capacity(self.size());
         for i in 0..self.size() {
             if i == self.my_index {
-                out.push(own.clone());
+                out.push(own.take().expect("own slot filled once"));
             } else {
                 out.push(ctx.recv_tag(self.members[i], tag).payload.into_pairs());
             }
@@ -133,17 +148,18 @@ impl Group {
         let tag = Tag::group(self.gid, op::GATHER, seq);
         // Gather on group index 0.
         let gathered: Option<Vec<Vec<f64>>> = if self.my_index == 0 {
+            let mut own = Some(x);
             let mut out = Vec::with_capacity(self.size());
             for i in 0..self.size() {
                 if i == 0 {
-                    out.push(x.clone());
+                    out.push(own.take().expect("own slot filled once"));
                 } else {
                     out.push(ctx.recv_tag(self.members[i], tag).payload.into_f64s());
                 }
             }
             Some(out)
         } else {
-            ctx.send_tag(self.members[0], tag, Payload::F64s(x), CommPhase::Recovery);
+            ctx.send_tag(self.members[0], tag, Payload::f64s(x), CommPhase::Recovery);
             None
         };
         // Broadcast counts, then data.
@@ -151,7 +167,7 @@ impl Group {
         let counts = self.tree_bcast(
             ctx,
             match &gathered {
-                Some(vs) => Payload::U64s(vs.iter().map(|v| v.len() as u64).collect()),
+                Some(vs) => Payload::u64s(vs.iter().map(|v| v.len() as u64).collect()),
                 None => Payload::Empty,
             },
             seq_counts,
@@ -160,53 +176,16 @@ impl Group {
         let flat = self.tree_bcast(
             ctx,
             match gathered {
-                Some(vs) => Payload::F64s(vs.into_iter().flatten().collect()),
+                Some(vs) => Payload::f64s(vs.into_iter().flatten().collect()),
                 None => Payload::Empty,
             },
             seq_flat,
         );
-        let counts = counts.into_u64s();
-        let flat = flat.into_f64s();
-        let mut out = Vec::with_capacity(counts.len());
-        let mut off = 0usize;
-        for c in counts {
-            let c = c as usize;
-            out.push(flat[off..off + c].to_vec());
-            off += c;
-        }
-        out
+        split_by_counts(flat.into_f64s(), &counts.into_u64s())
     }
 
-    // Binomial tree over group indices (root = index 0).
-
-    fn tree_reduce_root(
-        &self,
-        ctx: &mut NodeCtx,
-        opr: ReduceOp,
-        mut acc: Vec<f64>,
-        seq: u32,
-    ) -> Vec<f64> {
-        let n = self.size();
-        if n == 1 {
-            return acc;
-        }
-        let tag = Tag::group(self.gid, op::REDUCE, seq);
-        let v = self.my_index;
-        let mut mask = 1usize;
-        while mask < n {
-            if v & mask != 0 {
-                let parent = self.members[v - mask];
-                ctx.send_tag(parent, tag, Payload::F64s(acc.clone()), CommPhase::Recovery);
-                break;
-            } else if v + mask < n {
-                let child = self.members[v + mask];
-                let part = ctx.recv_tag(child, tag).payload.into_f64s();
-                opr.combine(&mut acc, &part);
-            }
-            mask <<= 1;
-        }
-        acc
-    }
+    // Binomial broadcast tree over group indices (root = index 0). The
+    // per-child `data.clone()` is an `Arc` bump, not a buffer copy.
 
     fn tree_bcast(&self, ctx: &mut NodeCtx, payload: Payload, seq: u32) -> Payload {
         let n = self.size();

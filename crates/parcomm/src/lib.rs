@@ -13,7 +13,8 @@
 //!   `(source, tag)` matching,
 //! * deterministic collectives ([`NodeCtx::allreduce_sum`],
 //!   [`NodeCtx::allgatherv_f64`], [`NodeCtx::alltoallv_u64`], …) built on
-//!   point-to-point messages over binomial trees,
+//!   point-to-point messages — recursive doubling for all-reduce,
+//!   binomial trees for broadcast/gather,
 //! * sub-communicators ([`NodeCtx::group`]) used by replacement nodes during
 //!   cooperative state reconstruction,
 //! * a ULFM-like [`fault::FaultOracle`] that detects node failures, notifies
@@ -43,7 +44,7 @@ pub mod tag;
 pub mod vclock;
 
 pub use cluster::{Cluster, ClusterConfig};
-pub use comm::NodeCtx;
+pub use comm::{NodeCtx, ReduceOp};
 pub use fault::{FailAt, FailureEvent, FailureScript, FaultOracle};
 pub use group::Group;
 pub use payload::Payload;

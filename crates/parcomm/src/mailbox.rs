@@ -55,7 +55,11 @@ impl Mailbox {
             .iter()
             .position(|m| m.src == src && m.tag == tag)
         {
-            return self.pending.swap_remove(pos);
+            // Order-preserving removal: `swap_remove` would move the last
+            // buffered message into this slot, so a later receive for the
+            // same `(src, tag)` would match messages out of arrival order —
+            // an MPI non-overtaking violation.
+            return self.pending.remove(pos);
         }
         loop {
             match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
@@ -84,7 +88,7 @@ impl Mailbox {
     /// message so the caller learns the source.
     pub fn recv_any(&mut self, tag: Tag) -> Message {
         if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
-            return self.pending.swap_remove(pos);
+            return self.pending.remove(pos);
         }
         loop {
             match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
@@ -149,6 +153,39 @@ mod tests {
         tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
         assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
         assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
+    }
+
+    #[test]
+    fn fifo_preserved_with_three_buffered_same_key() {
+        // Regression: with ≥3 messages of the same (src, tag) parked in the
+        // pending queue, `swap_remove` matched the *third* before the
+        // second. Force all three into pending by receiving an unrelated
+        // message first, then drain them and demand arrival order.
+        let (mut mb, tx) = Mailbox::new(0);
+        tx.send(msg(1, Tag::user(7), 1.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 3.0)).unwrap();
+        tx.send(msg(2, Tag::user(9), 99.0)).unwrap();
+        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(99.0));
+        assert_eq!(mb.pending_len(), 3);
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(3.0));
+        assert_eq!(mb.pending_len(), 0);
+    }
+
+    #[test]
+    fn recv_any_fifo_with_buffered_same_key() {
+        // Same regression through the any-source path.
+        let (mut mb, tx) = Mailbox::new(0);
+        tx.send(msg(1, Tag::user(7), 1.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 3.0)).unwrap();
+        tx.send(msg(2, Tag::user(9), 99.0)).unwrap();
+        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(99.0));
+        assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(3.0));
     }
 
     #[test]

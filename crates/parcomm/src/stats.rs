@@ -45,6 +45,11 @@ pub struct CommStats {
     /// Messages that opened a link no other traffic in the same round used
     /// (the paper's "extra latency" case, Sec. 4.2).
     extra_latency_msgs: u64,
+    /// All-reduce collective calls this node participated in.
+    allreduces: u64,
+    /// Total communication rounds across those all-reduce calls (the
+    /// critical-path depth: ⌈log₂N⌉, +2 on non-power-of-two sizes).
+    allreduce_rounds: u64,
 }
 
 impl CommStats {
@@ -63,6 +68,12 @@ impl CommStats {
     /// Record that a redundancy message needed its own link (extra λ).
     pub fn record_extra_latency(&mut self) {
         self.extra_latency_msgs += 1;
+    }
+
+    /// Record one all-reduce call that took `rounds` communication rounds.
+    pub fn record_allreduce(&mut self, rounds: usize) {
+        self.allreduces += 1;
+        self.allreduce_rounds += rounds as u64;
     }
 
     /// Remove one message (not its elements) from `phase` — used when a
@@ -98,6 +109,17 @@ impl CommStats {
         self.extra_latency_msgs
     }
 
+    /// All-reduce calls this node participated in.
+    pub fn allreduces(&self) -> u64 {
+        self.allreduces
+    }
+
+    /// Total rounds across all all-reduce calls (divide by
+    /// [`CommStats::allreduces`] for the per-call critical-path depth).
+    pub fn allreduce_rounds(&self) -> u64 {
+        self.allreduce_rounds
+    }
+
     /// Merge another node's counters into this one (cluster-wide totals).
     pub fn merge(&mut self, other: &CommStats) {
         for i in 0..NPHASES {
@@ -105,6 +127,8 @@ impl CommStats {
             self.elems[i] += other.elems[i];
         }
         self.extra_latency_msgs += other.extra_latency_msgs;
+        self.allreduces += other.allreduces;
+        self.allreduce_rounds += other.allreduce_rounds;
     }
 
     /// Reset all counters (between timed experiment sections).

@@ -57,6 +57,10 @@ pub mod op {
     pub const ALLTOALL: u8 = 5;
     /// Scatter.
     pub const SCATTER: u8 = 6;
+    /// Recursive-doubling all-reduce (one tag covers all of its rounds:
+    /// within one call every ordered pair of ranks exchanges at most one
+    /// message, so rounds cannot be confused).
+    pub const ALLREDUCE: u8 = 7;
 }
 
 #[cfg(test)]

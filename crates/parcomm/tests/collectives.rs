@@ -49,7 +49,7 @@ proptest! {
         let expect = data.clone();
         let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
             let payload = if ctx.rank() == root {
-                Payload::F64s(data.clone())
+                Payload::f64s(data.clone())
             } else {
                 Payload::Empty
             };
@@ -108,6 +108,126 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn allreduce_bitwise_identical_across_ranks_and_runs(
+        nodes in 1usize..14,
+        values in proptest::collection::vec(-1e12f64..1e12, 14),
+    ) {
+        // The determinism contract the recursive-doubling algorithm must
+        // keep: every rank returns the *bitwise* same buffer, and two
+        // independent cluster runs agree bitwise too. The inputs are large
+        // enough that any timing-dependent reassociation would show.
+        let run = || {
+            let vals = values.clone();
+            Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+                let x = vals[ctx.rank()] * 1e-3 + 1.0 / (ctx.rank() as f64 + 0.7);
+                ctx.allreduce_vec(ReduceOp::Sum, vec![x, x * 0.3, -x])
+            })
+        };
+        let a = run();
+        let b = run();
+        for v in &a {
+            prop_assert_eq!(v.len(), 3);
+            for (x, y) in v.iter().zip(&a[0]) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "ranks disagree");
+            }
+        }
+        for (va, vb) in a.iter().zip(&b) {
+            for (x, y) in va.iter().zip(vb) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "runs disagree");
+            }
+        }
+    }
+}
+
+#[test]
+fn collectives_at_nonpow2_sizes_with_nonzero_roots() {
+    // N = 3, 5, 13 exercise the fold-in/fold-out pre/post phases of the
+    // recursive-doubling all-reduce (13 also has a multi-level doubling
+    // phase), and the non-zero roots exercise the rotated broadcast trees.
+    for n in [3usize, 5, 13] {
+        let out = Cluster::run(ClusterConfig::new(n), move |ctx| {
+            let sum = ctx.allreduce_sum((ctx.rank() + 1) as f64);
+            let mx = ctx.allreduce_max(ctx.rank() as f64);
+            let mn = ctx.allreduce_min(ctx.rank() as f64 - 1.0);
+            let root = n - 1;
+            let payload = if ctx.rank() == root {
+                Payload::f64s(vec![2.5, -1.0, 4.0])
+            } else {
+                Payload::Empty
+            };
+            let bc = ctx.bcast(root, payload).into_f64s();
+            let root2 = n / 2;
+            let gathered = ctx.gatherv_f64(root2, vec![ctx.rank() as f64; 2]);
+            (sum, mx, mn, bc, gathered)
+        });
+        let expect_sum = (n * (n + 1) / 2) as f64;
+        for (rank, (sum, mx, mn, bc, gathered)) in out.into_iter().enumerate() {
+            assert_eq!(sum, expect_sum, "n={n}");
+            assert_eq!(mx, (n - 1) as f64, "n={n}");
+            assert_eq!(mn, -1.0, "n={n}");
+            assert_eq!(bc, vec![2.5, -1.0, 4.0], "n={n}");
+            if rank == n / 2 {
+                let g = gathered.expect("root holds the gather");
+                assert_eq!(g.len(), n);
+                for (r, part) in g.iter().enumerate() {
+                    assert_eq!(part, &vec![r as f64; 2], "n={n}");
+                }
+            } else {
+                assert!(gathered.is_none());
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_rounds_match_recursive_doubling_depth() {
+    // ⌈log₂N⌉ rounds on powers of two, +2 (fold-in + fold-out) otherwise —
+    // the critical-path depth the ISSUE's cost accounting relies on.
+    for (n, expect_rounds) in [
+        (2usize, 1u64),
+        (4, 2),
+        (8, 3),
+        (16, 4),
+        (3, 3),
+        (5, 4),
+        (13, 5),
+    ] {
+        let out = Cluster::run(ClusterConfig::new(n), |ctx| {
+            ctx.allreduce_sum(1.0);
+            (ctx.stats().allreduces(), ctx.stats().allreduce_rounds())
+        });
+        assert!(out.iter().all(|&(calls, _)| calls == 1), "n={n}");
+        let max_rounds = out.iter().map(|&(_, r)| r).max().unwrap();
+        assert_eq!(max_rounds, expect_rounds, "n={n}");
+    }
+}
+
+#[test]
+fn group_allreduce_on_nonpow2_group_is_bitwise_uniform() {
+    // A 5-member group inside a 7-node cluster: the recovery-path
+    // sub-communicator shape (non-power-of-two, non-contiguous ranks).
+    let out = Cluster::run(ClusterConfig::new(7), |ctx| {
+        let members = [0usize, 2, 3, 5, 6];
+        if members.contains(&ctx.rank()) {
+            let mut g = ctx.group(&members);
+            let x = 1.0 / (ctx.rank() as f64 + 3.0) * 1e10 + 1e-10;
+            Some(g.allreduce_vec(ctx, ReduceOp::Sum, vec![x, -x]))
+        } else {
+            None
+        }
+    });
+    let results: Vec<_> = out.into_iter().flatten().collect();
+    assert_eq!(results.len(), 5);
+    for v in &results {
+        assert_eq!(v[0].to_bits(), results[0][0].to_bits());
+        assert_eq!(v[1].to_bits(), results[0][1].to_bits());
+    }
+}
+
 #[test]
 fn reduce_vec_ops_cover_all_variants() {
     for op in [ReduceOp::Sum, ReduceOp::Max, ReduceOp::Min] {
@@ -131,7 +251,7 @@ fn split_phase_send_accounting() {
             ctx.send_with_phases(
                 1,
                 7,
-                Payload::F64s(vec![0.0; 10]),
+                Payload::f64s(vec![0.0; 10]),
                 &[(CommPhase::Spmv, 6), (CommPhase::Redundancy, 4)],
             );
         } else {
