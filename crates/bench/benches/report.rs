@@ -1,20 +1,26 @@
-//! Machine-readable perf report: `BENCH_comm.json` + `BENCH_pcg.json`.
+//! Machine-readable perf report: `BENCH_comm.json` + `BENCH_pcg.json` +
+//! `BENCH_pipecg.json`.
 //!
 //! Establishes the performance trajectory of the communication hot path so
-//! this and every future PR has a number attached. Two artifacts land in
+//! this and every future PR has a number attached. Three artifacts land in
 //! `target/esr-results/` (override with `ESR_RESULTS_DIR`):
 //!
 //! * **`BENCH_comm.json`** — the all-reduce microbenchmark across cluster
 //!   sizes: virtual time per call, communication rounds on the critical
 //!   path, and message/element counts.
 //! * **`BENCH_pcg.json`** — reference PCG (failure-free) across cluster
-//!   sizes: virtual time per iteration, all-reduces per iteration, and the
-//!   reduction-phase traffic.
+//!   sizes: virtual time per iteration, all-reduces per iteration, the
+//!   reduction-phase traffic, and the exposed (send + stall) communication
+//!   time split.
+//! * **`BENCH_pipecg.json`** — pipelined vs blocking PCG: vtime per
+//!   iteration and the exposed/hidden reduction time per iteration. At
+//!   N ≥ 16 the pipelined solver's exposed reduction time must come in
+//!   strictly below blocking PCG's (asserted here, so CI gates on it).
 //!
-//! Both embed the pre-overhaul numbers (reduce-to-root + broadcast
-//! all-reduce, 3 reductions per PCG iteration) measured on the same
-//! machine/model as `baseline`, so the before/after is part of the
-//! artifact.
+//! `BENCH_comm`/`BENCH_pcg` embed the pre-overhaul numbers
+//! (reduce-to-root + broadcast all-reduce, 3 reductions per PCG iteration)
+//! measured on the same machine/model as `baseline`, so the before/after
+//! is part of the artifact.
 //!
 //! Knobs: `ESR_REPORT_NODES` (comma list, default `4,8,13,16,32,64`) and
 //! the usual `ESR_SCALE`. CI runs this at small N as a smoke gate.
@@ -22,7 +28,7 @@
 use std::time::Instant;
 
 use esr_bench::{write_json, BenchConfig};
-use esr_core::{run_pcg, SolverConfig};
+use esr_core::{run_pcg, run_pipecg, ExperimentResult, SolverConfig};
 use parcomm::comm::ReduceOp;
 use parcomm::{Cluster, ClusterConfig, CommPhase, FailureScript};
 use sparsemat::gen::suite::PaperMatrix;
@@ -124,8 +130,9 @@ fn comm_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
     )
 }
 
-fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
+fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, ExperimentResult)>) {
     let mut cases = Vec::new();
+    let mut results = Vec::new();
     for &n in nodes {
         let problem = cfgb.problem(PaperMatrix::M1);
         let r = run_pcg(
@@ -157,7 +164,7 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
             })
             .unwrap_or_default();
         cases.push(format!(
-            r#"    {{"nodes": {n}, "iterations": {}, "vtime_total": {}, "vtime_per_iter": {}, "allreduces_per_iter": {}, "rounds_per_allreduce": {}, "reduction_msgs": {}, "reduction_elems": {}, "total_msgs": {}, "total_elems": {}, "wall_ms": {}{baseline}}}"#,
+            r#"    {{"nodes": {n}, "iterations": {}, "vtime_total": {}, "vtime_per_iter": {}, "allreduces_per_iter": {}, "rounds_per_allreduce": {}, "reduction_msgs": {}, "reduction_elems": {}, "total_msgs": {}, "total_elems": {}, "exposed_reduction_vtime_per_iter": {}, "reduction_wait_vtime_per_iter": {}, "wall_ms": {}{baseline}}}"#,
             r.iterations,
             json_f(r.vtime),
             json_f(r.vtime / iters),
@@ -167,6 +174,8 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
             r.stats.elems(CommPhase::Reduction),
             r.stats.total_msgs(),
             r.stats.total_elems(),
+            json_f(r.exposed_vtime_per_iter(CommPhase::Reduction)),
+            json_f(r.wait_vtime_per_iter(CommPhase::Reduction)),
             json_f(r.wall.as_secs_f64() * 1e3),
         ));
         println!(
@@ -176,9 +185,79 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
             ar_per_iter,
             rounds_per_ar
         );
+        results.push((n, r));
+    }
+    let json = format!(
+        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_f(cfgb.scale),
+        json_f(cfgb.cost.lambda),
+        json_f(cfgb.cost.mu),
+        json_f(cfgb.cost.gamma),
+        cases.join(",\n")
+    );
+    (json, results)
+}
+
+/// The pipelined-vs-blocking comparison; `blocking_results` are the solves
+/// `pcg_report` already ran on the identical configuration (reused — the
+/// large-N blocking solves dominate the harness's wall time).
+fn pipecg_report(
+    cfgb: &BenchConfig,
+    nodes: &[usize],
+    blocking_results: &[(usize, ExperimentResult)],
+) -> String {
+    let mut cases = Vec::new();
+    for &n in nodes {
+        let problem = cfgb.problem(PaperMatrix::M1);
+        let blocking = &blocking_results
+            .iter()
+            .find(|(bn, _)| *bn == n)
+            .expect("pcg_report covers the same node list")
+            .1;
+        let piped = run_pipecg(
+            &problem,
+            n,
+            &SolverConfig::reference(),
+            cfgb.cost,
+            FailureScript::none(),
+        );
+        assert!(piped.converged, "pipelined PCG must converge (N={n})");
+        let eb = blocking.exposed_vtime_per_iter(CommPhase::Reduction);
+        let ep = piped.exposed_vtime_per_iter(CommPhase::Reduction);
+        let hidden = piped.hidden_vtime_per_iter(CommPhase::Reduction);
+        // The latency-hiding contract of the ISSUE's acceptance criteria:
+        // at N ≥ 16 the pipelined solver exposes strictly less reduction
+        // time per iteration than the blocking solver.
+        if n >= 16 {
+            assert!(
+                ep < eb,
+                "N={n}: pipelined exposed reduction {ep:.3e} !< blocking {eb:.3e}"
+            );
+        }
+        cases.push(format!(
+            r#"    {{"nodes": {n}, "pipelined": {{"iterations": {}, "vtime_per_iter": {}, "exposed_reduction_vtime_per_iter": {}, "hidden_reduction_vtime_per_iter": {}, "allreduces_per_iter": {}}}, "blocking": {{"iterations": {}, "vtime_per_iter": {}, "exposed_reduction_vtime_per_iter": {}, "allreduces_per_iter": {}}}, "exposed_reduction_ratio": {}}}"#,
+            piped.iterations,
+            json_f(piped.vtime / piped.iterations as f64),
+            json_f(ep),
+            json_f(hidden),
+            json_f(piped.per_node[0].stats.allreduces() as f64 / piped.iterations as f64),
+            blocking.iterations,
+            json_f(blocking.vtime / blocking.iterations as f64),
+            json_f(eb),
+            json_f(blocking.per_node[0].stats.allreduces() as f64 / blocking.iterations as f64),
+            json_f(ep / eb),
+        ));
+        println!(
+            "pipecg N={n:3}  iters {:3}  vtime/iter {:.4e}s  exposed-red/iter {:.3e}s (blocking {:.3e}s)  hidden/iter {:.3e}s",
+            piped.iterations,
+            piped.vtime / piped.iterations as f64,
+            ep,
+            eb,
+            hidden
+        );
     }
     format!(
-        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"esr-bench/pipecg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"pipelined PCG (1 overlapped iallreduce/iter) vs blocking PCG (2 allreduces/iter)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_f(cfgb.scale),
         json_f(cfgb.cost.lambda),
         json_f(cfgb.cost.mu),
@@ -192,5 +271,10 @@ fn main() {
     let nodes = report_nodes();
     println!("== collective/PCG perf report (N = {nodes:?}) ==");
     write_json("BENCH_comm.json", &comm_report(&cfgb, &nodes));
-    write_json("BENCH_pcg.json", &pcg_report(&cfgb, &nodes));
+    let (pcg_json, pcg_results) = pcg_report(&cfgb, &nodes);
+    write_json("BENCH_pcg.json", &pcg_json);
+    write_json(
+        "BENCH_pipecg.json",
+        &pipecg_report(&cfgb, &nodes, &pcg_results),
+    );
 }

@@ -313,7 +313,9 @@ fn recover_bicgstab(
             ctx.send(f, TAG_ALPHA, Payload::F64(*alpha), CommPhase::Recovery);
         }
     } else if am_failed {
-        *alpha = ctx.recv(lowest_surv, TAG_ALPHA).into_f64();
+        *alpha = ctx
+            .recv_phase(lowest_surv, TAG_ALPHA, CommPhase::Recovery)
+            .into_f64();
     }
 
     // Retained copies of p̂_If and ŝ_If.
@@ -340,12 +342,18 @@ fn recover_bicgstab(
             if failed.binary_search(&src).is_ok() {
                 continue;
             }
-            for (g, val) in ctx.recv(src, TAG_PHAT).into_pairs() {
+            for (g, val) in ctx
+                .recv_phase(src, TAG_PHAT, CommPhase::Recovery)
+                .into_pairs()
+            {
                 let o = g as usize - my_start;
                 phat[o] = val;
                 got_p[o] = true;
             }
-            for (g, val) in ctx.recv(src, TAG_SHAT).into_pairs() {
+            for (g, val) in ctx
+                .recv_phase(src, TAG_SHAT, CommPhase::Recovery)
+                .into_pairs()
+            {
                 let o = g as usize - my_start;
                 shat[o] = val;
                 got_s[o] = true;

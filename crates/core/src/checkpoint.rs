@@ -193,7 +193,9 @@ pub fn cr_pcg_node(
                 );
             }
             for &c in &my_clients {
-                let data = ctx.recv(c, TAG_CKPT).into_f64s();
+                let data = ctx
+                    .recv_phase(c, TAG_CKPT, CommPhase::Redundancy)
+                    .into_f64s();
                 held[c] = Some(Checkpoint { iteration: j, data });
             }
         }
@@ -241,7 +243,8 @@ pub fn cr_pcg_node(
                         Payload::Empty,
                         CommPhase::Recovery,
                     );
-                    let resp = ctx.recv(surviving_holder, TAG_FETCH_RESP);
+                    let resp =
+                        ctx.recv_phase(surviving_holder, TAG_FETCH_RESP, CommPhase::Recovery);
                     let data = resp.into_f64s();
                     assert!(
                         !data.is_empty(),
@@ -262,7 +265,7 @@ pub fn cr_pcg_node(
                                 .copied()
                                 .find(|h| failed.binary_search(h).is_err());
                             if first_surviving == Some(rank) {
-                                ctx.recv(f, TAG_FETCH_REQ);
+                                ctx.recv_phase(f, TAG_FETCH_REQ, CommPhase::Recovery);
                                 let data =
                                     held[f].as_ref().map(|c| c.data.clone()).unwrap_or_default();
                                 ctx.send(

@@ -16,6 +16,7 @@
 //! | Eqns. (2)–(6): `S_ik`, `mᵢ(s)`, `d_ik`, `Rᶜᵢₖ` (Secs. 3–4) | [`redundancy`] |
 //! | Retention of `p(j)`, `p(j-1)` copies (Sec. 2.2) | [`retention`] |
 //! | Alg. 2 generalized to `ψ ≤ φ` failures (Sec. 4.1) | [`recovery`] |
+//! | Communication-hiding pipelined PCG + its ESR (arXiv:1912.09230) | [`pipecg`], [`pipe_recovery`] |
 //! | Preconditioner variants (M-given / P-given) | [`precsetup`] |
 //! | Communication-overhead bounds (Sec. 4.2, Sec. 5) | [`analysis`] |
 //! | Experiment orchestration (Secs. 6–7) | [`driver`] |
@@ -32,6 +33,8 @@ pub mod config;
 pub mod driver;
 pub mod localmat;
 pub mod pcg;
+pub mod pipe_recovery;
+pub mod pipecg;
 pub mod precsetup;
 pub mod recovery;
 pub mod redundancy;
@@ -42,6 +45,7 @@ pub mod stationary;
 pub use checkpoint::CrConfig;
 pub use config::{BackupStrategy, PrecondConfig, RecoveryConfig, ResilienceConfig, SolverConfig};
 pub use driver::{
-    run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, ExperimentResult, Problem,
+    run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, run_pipecg, ExperimentResult,
+    Problem,
 };
 pub use pcg::NodeOutcome;

@@ -1,0 +1,391 @@
+//! State reconstruction for the **pipelined** PCG — the ESR extension of
+//! Levonyak, Pacher & Gansterer (arXiv:1912.09230) adapted to the
+//! Ghysels–Vanroose recurrences of [`crate::pipecg`].
+//!
+//! The pipelined solver carries four auxiliary vectors beyond PCG's
+//! `(x, r, z, p)`, but they are all tied to `u` and `p` by the invariants
+//!
+//! ```text
+//! r = M u,   w = A u,   s = A p,   q = M⁻¹ s,   z = A q,
+//! ```
+//!
+//! so redundant copies of **u(j)** and **p(j-1)** (distributed with the
+//! `m`-ghost exchange, see [`crate::scatter::PipeBackups`]) are enough to
+//! reconstruct everything:
+//!
+//! 1. replicated scalars `γ(j-1)`, `α(j-1)` from the lowest survivor;
+//! 2. `u_If` and `p(j-1)_If` from the survivors' retained copies;
+//! 3. `r_If = M_{If,If} u_If` — local, because the pipelined solver
+//!    requires a block-diagonal (M-given) preconditioner;
+//! 4. `x_If` exactly as in the blocking ESR (gather surviving `x`, solve
+//!    `A_{If,If} x_If = b_If − r_If − A_{If,I\If} x_{I\If}` cooperatively);
+//! 5. `w_If = (A u)_If`, `s_If = (A p)_If`, `q_If = M⁻¹_{If,If} s_If`,
+//!    `z_If = (A q)_If`: ghost values of `u`, `p`, `q` outside `I_f` come
+//!    from survivors, the `A_{If,If}`-coupled parts from a group
+//!    all-gather among the replacement nodes.
+//!
+//! Overlapping failures use the same four substep boundaries and
+//! restart-with-enlarged-set protocol as the blocking recovery
+//! (paper Sec. 4.1), so [`parcomm::FailAt::RecoverySubstep`] scripts apply
+//! unchanged.
+
+use std::collections::HashSet;
+
+use parcomm::fault::poison;
+use parcomm::{CommPhase, NodeCtx, Payload};
+use sparsemat::Csr;
+
+use crate::precsetup::NodePrecond;
+use crate::recovery::{
+    assemble_block, gather_failed_ghosts, poll_overlap, solve_failed_system, tag, RecoveryEnv,
+    RecoveryReport,
+};
+use crate::retention::{Gen, Retention};
+
+// Tag offsets inside the per-attempt window of `recovery::tag` (stride 16;
+// the blocking and pipelined protocols never run in the same solve).
+const OFF_SCALARS: u32 = 0;
+const OFF_UCUR: u32 = 1;
+const OFF_PPREV: u32 = 2;
+const OFF_REQ_X: u32 = 3;
+const OFF_RESP_X: u32 = 4;
+const OFF_REQ_U: u32 = 5;
+const OFF_RESP_U: u32 = 6;
+const OFF_REQ_P: u32 = 7;
+const OFF_RESP_P: u32 = 8;
+const OFF_REQ_Q: u32 = 9;
+const OFF_RESP_Q: u32 = 10;
+
+/// The mutable pipelined-solver state being reconstructed.
+pub struct PipeSolverState<'a> {
+    /// The iterate block `x(j)_Iᵢ`.
+    pub x: &'a mut [f64],
+    /// The residual block `r(j)_Iᵢ`.
+    pub r: &'a mut [f64],
+    /// `u(j) = M⁻¹ r(j)`.
+    pub u: &'a mut [f64],
+    /// `w(j) = A u(j)`.
+    pub w: &'a mut [f64],
+    /// The search direction `p(j-1)_Iᵢ`.
+    pub p: &'a mut [f64],
+    /// `s(j-1) = A p(j-1)`.
+    pub s: &'a mut [f64],
+    /// `q(j-1) = M⁻¹ s(j-1)`.
+    pub q: &'a mut [f64],
+    /// `z(j-1) = A q(j-1)`.
+    pub z: &'a mut [f64],
+    /// Ghost values of `m(j)` from the last exchange.
+    pub ghosts: &'a mut [f64],
+    /// Redundant copies of `u(j)`.
+    pub ret_u: &'a mut Retention,
+    /// Redundant copies of `p(j-1)`.
+    pub ret_p: &'a mut Retention,
+    /// The replicated scalar `γ(j-1) = r(j-1)ᵀu(j-1)`.
+    pub gamma_prev: &'a mut f64,
+    /// The replicated scalar `α(j-1)`.
+    pub alpha_prev: &'a mut f64,
+}
+
+/// Run the pipelined recovery protocol. All nodes call this at the same
+/// post-exchange boundary with the same `initial_failed` set.
+#[allow(clippy::too_many_arguments)]
+pub fn recover_pipelined(
+    ctx: &mut NodeCtx,
+    env: &RecoveryEnv,
+    prec: &mut NodePrecond,
+    initial_failed: &[usize],
+    handled: &mut HashSet<(u64, u32)>,
+    recovery_seq: &mut u32,
+    st: &mut PipeSolverState,
+) -> RecoveryReport {
+    assert!(
+        !prec.is_explicit_p(),
+        "pipelined PCG requires a block-diagonal (M-given) preconditioner"
+    );
+    let mut failed = initial_failed.to_vec();
+    failed.sort_unstable();
+    failed.dedup();
+    let mut attempts = 0usize;
+
+    'attempt: loop {
+        attempts += 1;
+        let seq = *recovery_seq;
+        *recovery_seq += 1;
+        assert!(
+            failed.len() < ctx.size(),
+            "all {} nodes failed — nothing left to recover from",
+            ctx.size()
+        );
+        let rank = ctx.rank();
+        let am_failed = failed.binary_search(&rank).is_ok();
+        let if_indices = env.part.union_of(&failed);
+        let nloc = env.lm.n_local();
+        let my_start = env.lm.range.start;
+
+        if am_failed {
+            // The node failure: all dynamic data of this rank is lost.
+            poison(st.x);
+            poison(st.r);
+            poison(st.u);
+            poison(st.w);
+            poison(st.p);
+            poison(st.s);
+            poison(st.q);
+            poison(st.z);
+            poison(st.ghosts);
+            st.ret_u.poison();
+            st.ret_p.poison();
+            *st.gamma_prev = f64::NAN;
+            *st.alpha_prev = f64::NAN;
+        }
+
+        // ---- substep 0: before any recovery communication ------------
+        if poll_overlap(ctx, env, 0, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        // ---- γ(j-1), α(j-1): replicated scalars from the lowest survivor
+        let lowest_surv = (0..ctx.size())
+            .find(|r| failed.binary_search(r).is_err())
+            .expect("at least one survivor");
+        if rank == lowest_surv {
+            for &f in &failed {
+                ctx.send(
+                    f,
+                    tag(seq, OFF_SCALARS),
+                    Payload::f64s(vec![*st.gamma_prev, *st.alpha_prev]),
+                    CommPhase::Recovery,
+                );
+            }
+        } else if am_failed {
+            let sc = ctx
+                .recv_phase(lowest_surv, tag(seq, OFF_SCALARS), CommPhase::Recovery)
+                .into_f64s();
+            *st.gamma_prev = sc[0];
+            *st.alpha_prev = sc[1];
+        }
+
+        // ---- redundant copies of u(j), p(j-1) → replacements ----------
+        if !am_failed {
+            for &f in &failed {
+                let range = env.part.range(f);
+                ctx.send(
+                    f,
+                    tag(seq, OFF_UCUR),
+                    Payload::pairs(st.ret_u.collect_range(Gen::Cur, range.start, range.end)),
+                    CommPhase::Recovery,
+                );
+                ctx.send(
+                    f,
+                    tag(seq, OFF_PPREV),
+                    Payload::pairs(st.ret_p.collect_range(Gen::Cur, range.start, range.end)),
+                    CommPhase::Recovery,
+                );
+            }
+        } else {
+            let u_new = assemble_block(
+                ctx,
+                &failed,
+                nloc,
+                my_start,
+                tag(seq, OFF_UCUR),
+                "u(j)",
+                true,
+            )
+            .expect("u(j) copies are mandatory");
+            let p_new = assemble_block(
+                ctx,
+                &failed,
+                nloc,
+                my_start,
+                tag(seq, OFF_PPREV),
+                "p(j-1)",
+                env.has_prev,
+            );
+            st.u.copy_from_slice(&u_new);
+            // r_If = M_{If,If} u_If — local because M is block-diagonal.
+            prec.m_forward_local(env.lm, st.u, st.r);
+            ctx.clock_mut().advance_flops(env.lm.diag.spmv_flops());
+            if let Some(p_new) = p_new {
+                st.p.copy_from_slice(&p_new);
+            } else {
+                // Iteration 0: no search direction exists yet; the solver's
+                // β = 0 branch re-initializes p, s, q, z from u and w.
+                st.p.fill(0.0);
+                st.s.fill(0.0);
+                st.q.fill(0.0);
+                st.z.fill(0.0);
+            }
+        }
+
+        // ---- substep 1: after copy gathering --------------------------
+        if poll_overlap(ctx, env, 1, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        // ---- x reconstruction (Alg. 2 lines 7–8, unchanged) ------------
+        let mut inner_iterations = 0usize;
+        let ghost_x = gather_failed_ghosts(
+            ctx,
+            env.part,
+            &failed,
+            am_failed,
+            &env.lm.ghost_cols,
+            st.x,
+            my_start,
+            tag(seq, OFF_REQ_X),
+            tag(seq, OFF_RESP_X),
+        );
+        if am_failed {
+            // w = b_If − r_If − A_{If,I\If} x_{I\If}
+            let mut rhs = vec![0.0; nloc];
+            env.lm
+                .offdiag_mul_excluding(&ghost_x.unwrap(), &if_indices, &mut rhs);
+            ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
+            for i in 0..nloc {
+                rhs[i] = env.b_loc[i] - st.r[i] - rhs[i];
+            }
+            let (x_new, iters) = solve_failed_system(ctx, env, &failed, &if_indices, env.a, rhs);
+            inner_iterations += iters;
+            st.x.copy_from_slice(&x_new);
+        }
+
+        // ---- substep 2: after x reconstruction -------------------------
+        if poll_overlap(ctx, env, 2, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        // ---- auxiliary recurrence vectors ------------------------------
+        // Replacements rebuild w, s, q, z from the invariants; survivors
+        // only answer ghost requests. The A_{If,If}-coupled contributions
+        // come from a group all-gather among the replacements.
+        let rows: Vec<usize> = env.lm.range.clone().collect();
+        let sub = if am_failed {
+            Some(env.a.extract(&rows, &if_indices))
+        } else {
+            None
+        };
+        let mut group = if am_failed {
+            Some(ctx.group(&failed))
+        } else {
+            None
+        };
+
+        // w_If = (A u)_If
+        let ghost_u = gather_failed_ghosts(
+            ctx,
+            env.part,
+            &failed,
+            am_failed,
+            &env.lm.ghost_cols,
+            st.u,
+            my_start,
+            tag(seq, OFF_REQ_U),
+            tag(seq, OFF_RESP_U),
+        );
+        if am_failed {
+            apply_full_row(
+                ctx,
+                sub.as_ref().unwrap(),
+                group.as_mut().unwrap(),
+                env,
+                &if_indices,
+                st.u,
+                &ghost_u.unwrap(),
+                st.w,
+            );
+        }
+
+        if env.has_prev {
+            // s_If = (A p)_If, then q_If = M⁻¹_{If,If} s_If (local).
+            let ghost_p = gather_failed_ghosts(
+                ctx,
+                env.part,
+                &failed,
+                am_failed,
+                &env.lm.ghost_cols,
+                st.p,
+                my_start,
+                tag(seq, OFF_REQ_P),
+                tag(seq, OFF_RESP_P),
+            );
+            if am_failed {
+                apply_full_row(
+                    ctx,
+                    sub.as_ref().unwrap(),
+                    group.as_mut().unwrap(),
+                    env,
+                    &if_indices,
+                    st.p,
+                    &ghost_p.unwrap(),
+                    st.s,
+                );
+                prec.apply(ctx, st.s, st.q);
+            }
+            // z_If = (A q)_If
+            let ghost_q = gather_failed_ghosts(
+                ctx,
+                env.part,
+                &failed,
+                am_failed,
+                &env.lm.ghost_cols,
+                st.q,
+                my_start,
+                tag(seq, OFF_REQ_Q),
+                tag(seq, OFF_RESP_Q),
+            );
+            if am_failed {
+                apply_full_row(
+                    ctx,
+                    sub.as_ref().unwrap(),
+                    group.as_mut().unwrap(),
+                    env,
+                    &if_indices,
+                    st.q,
+                    &ghost_q.unwrap(),
+                    st.z,
+                );
+            }
+        }
+        drop(group);
+
+        // ---- substep 3: failures during the rebuild --------------------
+        if poll_overlap(ctx, env, 3, handled, &mut failed) {
+            continue 'attempt;
+        }
+
+        return RecoveryReport {
+            total_failed: failed.len(),
+            attempts,
+            inner_iterations,
+        };
+    }
+}
+
+/// `out = (A v)_Iᵢ` on a replacement node: the `A_{If,If}`-coupled part
+/// from a group all-gather of the replacements' blocks, the rest from the
+/// survivor ghost values (failed columns excluded — they are covered by
+/// the gathered full block).
+#[allow(clippy::too_many_arguments)]
+fn apply_full_row(
+    ctx: &mut NodeCtx,
+    sub: &Csr,
+    group: &mut parcomm::Group,
+    env: &RecoveryEnv,
+    if_indices: &[usize],
+    v_loc: &[f64],
+    ghost_v: &[f64],
+    out: &mut [f64],
+) {
+    let parts = group.allgatherv_f64(ctx, v_loc.to_vec());
+    let v_full: Vec<f64> = parts.into_iter().flatten().collect();
+    debug_assert_eq!(v_full.len(), if_indices.len());
+    sub.spmv(&v_full, out);
+    ctx.clock_mut().advance_flops(sub.spmv_flops());
+    let mut off = vec![0.0; out.len()];
+    env.lm.offdiag_mul_excluding(ghost_v, if_indices, &mut off);
+    ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
+    for (o, d) in out.iter_mut().zip(&off) {
+        *o += d;
+    }
+}

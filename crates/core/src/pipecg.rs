@@ -1,0 +1,280 @@
+//! The resilient distributed **pipelined** PCG node program —
+//! communication-hiding PCG (Ghysels–Vanroose recurrences) with the ESR
+//! resilience of Levonyak, Pacher & Gansterer (arXiv:1912.09230) woven in.
+//!
+//! Differences from the blocking [`crate::pcg`] solver:
+//!
+//! * the two dependent reductions per iteration are fused into **one**
+//!   length-3 all-reduce (`γ = rᵀu`, `δ = wᵀu`, `‖r‖²`), issued with
+//!   [`parcomm::NodeCtx::iallreduce_vec`] *before* the preconditioner
+//!   application, ghost exchange, and SpMV — all of which are independent
+//!   of the reduction result, so their cost hides the reduction's flight
+//!   time on the overlap-aware virtual clock;
+//! * the ghost exchange scatters `m(j) = M⁻¹ w(j)` and piggybacks
+//!   redundant copies of `u(j)` and `p(j-1)` (the two vectors from which
+//!   the whole pipelined state is reconstructible — see
+//!   [`crate::pipe_recovery`]);
+//! * the ULFM boundary is polled at the same post-exchange point; a
+//!   failure first drains the in-flight reduction (its values are from the
+//!   pre-failure state and are simply discarded), then reconstructs and
+//!   restarts the interrupted iteration.
+//!
+//! Requires a block-diagonal (M-given) preconditioner — `None`, `Jacobi`,
+//! or `BlockJacobiExact`. The P-given `ExplicitP` variant applies `P` with
+//! its own ghost exchange, which would serialize against the overlapped
+//! reduction and reintroduce the latency the method exists to hide; it is
+//! rejected at setup.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use parcomm::comm::ReduceOp;
+use parcomm::{FailAt, NodeCtx};
+use sparsemat::vecops::{axpy, dot, xpay};
+use sparsemat::{BlockPartition, Csr};
+
+use crate::config::SolverConfig;
+use crate::localmat::LocalMatrix;
+use crate::pcg::NodeOutcome;
+use crate::pipe_recovery::{self, PipeSolverState};
+use crate::precsetup::NodePrecond;
+use crate::recovery::RecoveryEnv;
+use crate::redundancy;
+use crate::retention::Retention;
+use crate::scatter::{PipeBackups, ScatterPlan};
+
+/// The SPMD node program: solve `A x = b` with (optionally resilient)
+/// pipelined PCG.
+pub fn esr_pipecg_node(
+    ctx: &mut NodeCtx,
+    a: &Arc<Csr>,
+    b: &Arc<Vec<f64>>,
+    cfg: &SolverConfig,
+) -> NodeOutcome {
+    let n = a.n_rows();
+    assert_eq!(b.len(), n, "rhs length");
+    let rank = ctx.rank();
+    let part = BlockPartition::new(n, ctx.size());
+
+    // ---- setup: local rows, communication plans, preconditioner --------
+    let lm = LocalMatrix::build(a, &part, rank);
+    let mut plan = ScatterPlan::build(ctx, &lm, &part);
+    if let Some(res) = &cfg.resilience {
+        plan.send_extra = redundancy::compute_extra_sends(
+            rank,
+            ctx.size(),
+            res.phi,
+            &res.strategy,
+            lm.n_local(),
+            &plan.send_natural,
+        );
+        plan.announce_extras(ctx);
+    }
+    let mut ret_u = Retention::build(&plan, &lm.ghost_cols);
+    let mut ret_p = Retention::build(&plan, &lm.ghost_cols);
+    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
+        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    assert!(
+        !prec.is_explicit_p(),
+        "rank {rank}: pipelined PCG requires a block-diagonal (M-given) preconditioner \
+         (None, Jacobi, or BlockJacobiExact), not ExplicitP"
+    );
+    ctx.barrier();
+    let vtime_setup = ctx.vtime();
+    ctx.reset_metrics();
+
+    // ---- initial state: x(0) = 0, u(0) = M⁻¹r(0), w(0) = A u(0) --------
+    let nloc = lm.n_local();
+    let range = lm.range.clone();
+    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let mut x = vec![0.0; nloc];
+    let mut r = b_loc.clone(); // r(0) = b − A·0
+    let mut u = vec![0.0; nloc];
+    prec.apply(ctx, &r, &mut u);
+    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+    // The w(0) = A u(0) bootstrap needs one plain ghost exchange of u.
+    plan.exchange(ctx, &u, &mut ghosts, None);
+    let mut w = vec![0.0; nloc];
+    lm.spmv(&u, &ghosts, &mut w);
+    ctx.clock_mut().advance_flops(lm.spmv_flops());
+
+    let r0_sq = ctx.allreduce_sum(dot(&r, &r));
+    ctx.clock_mut().advance_flops(2 * nloc);
+    let r0_norm = r0_sq.sqrt();
+    let target_sq = cfg.rel_tol * cfg.rel_tol * r0_sq;
+
+    let mut z = vec![0.0; nloc];
+    let mut q = vec![0.0; nloc];
+    let mut s = vec![0.0; nloc];
+    let mut p = vec![0.0; nloc];
+    let mut mbuf = vec![0.0; nloc];
+    let mut nbuf = vec![0.0; nloc];
+    let mut gamma_prev = 0.0f64;
+    let mut alpha_prev = 0.0f64;
+
+    let mut iterations = 0usize;
+    let mut residual_sq = r0_sq;
+    let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut vtime_recovery = 0.0f64;
+    let mut recoveries = 0usize;
+    let mut ranks_recovered = 0usize;
+    let mut handled_iter: HashSet<u64> = HashSet::new();
+    let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
+    let mut recovery_seq: u32 = 0;
+    let resilient = cfg.resilience.is_some();
+
+    while !converged && iterations < cfg.max_iter {
+        let j = iterations as u64;
+
+        // The single fused reduction of the iteration, overlapped with
+        // everything below until the wait.
+        ctx.clock_mut().advance_flops(6 * nloc);
+        let red_req =
+            ctx.iallreduce_vec(ReduceOp::Sum, vec![dot(&r, &u), dot(&w, &u), dot(&r, &r)]);
+
+        // m(j) = M⁻¹ w(j) — independent of the reduction result.
+        prec.apply(ctx, &w, &mut mbuf);
+
+        // Ghost exchange of m(j), with redundant copies of u(j), p(j-1)
+        // appended. The rotation per scatter expires stale generations (and
+        // the post-recovery restart re-scatters, restoring lost copies).
+        if resilient {
+            ret_u.rotate();
+            ret_p.rotate();
+            plan.exchange_pipelined(
+                ctx,
+                &mbuf,
+                &mut ghosts,
+                Some(PipeBackups {
+                    u_loc: &u,
+                    p_loc: if j > 0 { Some(&p) } else { None },
+                    ret_u: &mut ret_u,
+                    ret_p: &mut ret_p,
+                }),
+            );
+            ret_u.finish_generation();
+            if j > 0 {
+                ret_p.finish_generation();
+            }
+        } else {
+            plan.exchange_pipelined(ctx, &mbuf, &mut ghosts, None);
+        }
+
+        // ULFM failure boundary (paper Sec. 1.1.1): consistent notification.
+        if resilient && !handled_iter.contains(&j) {
+            handled_iter.insert(j);
+            let failed = ctx.poll_failures(FailAt::Iteration(j));
+            if !failed.is_empty() {
+                // Drain the overlapped reduction first: its values stem
+                // from the pre-failure state and are discarded — the
+                // restart recomputes them from the reconstructed state.
+                let _ = red_req.wait(ctx);
+                let t0 = ctx.vtime();
+                let res = cfg.resilience.as_ref().unwrap();
+                let env = RecoveryEnv {
+                    a,
+                    b_loc: &b_loc,
+                    part: &part,
+                    lm: &lm,
+                    cfg: &res.recovery,
+                    iteration: j,
+                    has_prev: j > 0,
+                };
+                let mut st = PipeSolverState {
+                    x: &mut x,
+                    r: &mut r,
+                    u: &mut u,
+                    w: &mut w,
+                    p: &mut p,
+                    s: &mut s,
+                    q: &mut q,
+                    z: &mut z,
+                    ghosts: &mut ghosts,
+                    ret_u: &mut ret_u,
+                    ret_p: &mut ret_p,
+                    gamma_prev: &mut gamma_prev,
+                    alpha_prev: &mut alpha_prev,
+                };
+                let report = pipe_recovery::recover_pipelined(
+                    ctx,
+                    &env,
+                    &mut prec,
+                    &failed,
+                    &mut handled_sub,
+                    &mut recovery_seq,
+                    &mut st,
+                );
+                recoveries += 1;
+                ranks_recovered += report.total_failed;
+                vtime_recovery += ctx.vtime() - t0;
+                // Restart the interrupted iteration: re-scatter m(j) (which
+                // also restores redundancy) and re-reduce from the
+                // reconstructed state.
+                continue;
+            }
+        }
+
+        // n(j) = A m(j) — the SpMV the reduction hides behind.
+        lm.spmv(&mbuf, &ghosts, &mut nbuf);
+        ctx.clock_mut().advance_flops(lm.spmv_flops());
+
+        let red = red_req.wait(ctx);
+        let (gamma, delta) = (red[0], red[1]);
+        residual_sq = red[2];
+        if residual_sq <= target_sq {
+            converged = true;
+            break;
+        }
+
+        let alpha;
+        if iterations == 0 {
+            if delta <= 0.0 || !delta.is_finite() {
+                panic!("rank {rank}: pipelined PCG breakdown at iteration {j} (δ = {delta})");
+            }
+            alpha = gamma / delta;
+            z.copy_from_slice(&nbuf);
+            q.copy_from_slice(&mbuf);
+            s.copy_from_slice(&w);
+            p.copy_from_slice(&u);
+        } else {
+            let beta = gamma / gamma_prev;
+            // In exact arithmetic δ − β γ / α(j-1) = pᵀA p.
+            let denom = delta - beta * gamma / alpha_prev;
+            if denom <= 0.0 || !denom.is_finite() {
+                panic!("rank {rank}: pipelined PCG breakdown at iteration {j} (pᵀAp = {denom})");
+            }
+            alpha = gamma / denom;
+            xpay(&nbuf, beta, &mut z); // z = n + β z
+            xpay(&mbuf, beta, &mut q); // q = m + β q
+            xpay(&w, beta, &mut s); //    s = w + β s
+            xpay(&u, beta, &mut p); //    p = u + β p
+        }
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &s, &mut r);
+        axpy(-alpha, &q, &mut u);
+        axpy(-alpha, &z, &mut w);
+        // Four axpy updates always; the four xpay recurrences only from
+        // iteration 1 on (iteration 0 initializes by copy, zero flops).
+        ctx.clock_mut()
+            .advance_flops(if iterations == 0 { 8 } else { 16 } * nloc);
+        gamma_prev = gamma;
+        alpha_prev = alpha;
+        iterations += 1;
+    }
+
+    NodeOutcome {
+        rank,
+        x_loc: x,
+        range_start: range.start,
+        iterations,
+        residual_norm: residual_sq.sqrt(),
+        initial_residual_norm: r0_norm,
+        converged,
+        vtime_total: ctx.vtime(),
+        vtime_recovery,
+        recoveries,
+        ranks_recovered,
+        stats: ctx.stats().clone(),
+        vtime_setup,
+    }
+}

@@ -51,7 +51,7 @@ const OFF_RESP_X: u32 = 4;
 const OFF_REQ_R: u32 = 5;
 const OFF_RESP_R: u32 = 6;
 
-fn tag(seq: u32, off: u32) -> u32 {
+pub(crate) fn tag(seq: u32, off: u32) -> u32 {
     TAG_BASE + seq * TAG_STRIDE + off
 }
 
@@ -165,7 +165,9 @@ pub fn recover(
                 );
             }
         } else if am_failed {
-            *st.beta_prev = ctx.recv(lowest_surv, tag(seq, OFF_BETA)).into_f64();
+            *st.beta_prev = ctx
+                .recv_phase(lowest_surv, tag(seq, OFF_BETA), CommPhase::Recovery)
+                .into_f64();
         }
 
         // ---- redundant copies of p(j), p(j-1) → replacements ----------
@@ -189,44 +191,30 @@ pub fn recover(
                 );
             }
         } else {
-            let mut p_cur = vec![0.0; nloc];
-            let mut got_cur = vec![false; nloc];
-            let mut p_prev = vec![0.0; nloc];
-            let mut got_prev = vec![false; nloc];
-            for s in 0..ctx.size() {
-                if failed.binary_search(&s).is_ok() {
-                    continue;
-                }
-                for (g, v) in ctx.recv(s, tag(seq, OFF_PCUR)).into_pairs() {
-                    let o = g as usize - my_start;
-                    p_cur[o] = v;
-                    got_cur[o] = true;
-                }
-                for (g, v) in ctx.recv(s, tag(seq, OFF_PPREV)).into_pairs() {
-                    let o = g as usize - my_start;
-                    p_prev[o] = v;
-                    got_prev[o] = true;
-                }
-            }
-            if let Some(o) = got_cur.iter().position(|&g| !g) {
-                panic!(
-                    "rank {rank}: unrecoverable — no surviving copy of p(j)[{}]; \
-                     more simultaneous failures than φ?",
-                    my_start + o
-                );
-            }
-            if env.has_prev {
-                if let Some(o) = got_prev.iter().position(|&g| !g) {
-                    panic!(
-                        "rank {rank}: unrecoverable — no surviving copy of p(j-1)[{}]; \
-                         more simultaneous failures than φ?",
-                        my_start + o
-                    );
-                }
-            }
+            let p_cur = assemble_block(
+                ctx,
+                &failed,
+                nloc,
+                my_start,
+                tag(seq, OFF_PCUR),
+                "p(j)",
+                true,
+            )
+            .expect("p(j) copies are mandatory");
+            let p_prev = assemble_block(
+                ctx,
+                &failed,
+                nloc,
+                my_start,
+                tag(seq, OFF_PPREV),
+                "p(j-1)",
+                env.has_prev,
+            );
             // p(j) restored; z(j) = p(j) − β(j-1) p(j-1)  [Alg. 2 line 4].
             st.p.copy_from_slice(&p_cur);
             if env.has_prev {
+                let p_prev =
+                    p_prev.expect("complete when has_prev (assemble_block panics otherwise)");
                 let beta = *st.beta_prev;
                 for i in 0..nloc {
                     st.z[i] = p_cur[i] - beta * p_prev[i];
@@ -323,9 +311,49 @@ pub fn recover(
     }
 }
 
+/// Replacement-side assembly of one reconstructed block from the
+/// `(global index, value)` pair lists sent by every survivor. Panics on a
+/// coverage gap when `required` (more simultaneous failures than φ);
+/// returns `None` on a gap otherwise (e.g. no `p(j-1)` exists yet at
+/// iteration 0). Shared by the blocking and pipelined recovery protocols.
+pub(crate) fn assemble_block(
+    ctx: &mut NodeCtx,
+    failed: &[usize],
+    nloc: usize,
+    my_start: usize,
+    tag: u32,
+    what: &str,
+    required: bool,
+) -> Option<Vec<f64>> {
+    let mut vals = vec![0.0; nloc];
+    let mut got = vec![false; nloc];
+    for s in 0..ctx.size() {
+        if failed.binary_search(&s).is_ok() {
+            continue;
+        }
+        for (g, v) in ctx.recv_phase(s, tag, CommPhase::Recovery).into_pairs() {
+            let o = g as usize - my_start;
+            vals[o] = v;
+            got[o] = true;
+        }
+    }
+    if let Some(o) = got.iter().position(|&g| !g) {
+        if required {
+            panic!(
+                "rank {}: unrecoverable — no surviving copy of {what}[{}]; \
+                 more simultaneous failures than φ?",
+                ctx.rank(),
+                my_start + o
+            );
+        }
+        return None;
+    }
+    Some(vals)
+}
+
 /// Check the overlap boundary `(iteration, substep)`; merge any newly
 /// failed ranks into `failed` and report whether a restart is needed.
-fn poll_overlap(
+pub(crate) fn poll_overlap(
     ctx: &NodeCtx,
     env: &RecoveryEnv,
     substep: u32,
@@ -386,7 +414,10 @@ pub(crate) fn gather_failed_ghosts(
             if s == ctx.rank() || failed.binary_search(&s).is_ok() {
                 continue;
             }
-            for (g, v) in ctx.recv(s, tag_resp).into_pairs() {
+            for (g, v) in ctx
+                .recv_phase(s, tag_resp, CommPhase::Recovery)
+                .into_pairs()
+            {
                 let pos = ghost_cols
                     .binary_search(&(g as usize))
                     .expect("response for unrequested index");
@@ -397,7 +428,7 @@ pub(crate) fn gather_failed_ghosts(
     } else {
         // Survivors answer every replacement (requests may be empty).
         for &f in failed {
-            let req = ctx.recv(f, tag_req).into_u64s();
+            let req = ctx.recv_phase(f, tag_req, CommPhase::Recovery).into_u64s();
             let resp: Vec<(u64, f64)> = req
                 .into_iter()
                 .map(|g| (g, v_loc[g as usize - my_start]))

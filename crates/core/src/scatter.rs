@@ -20,6 +20,27 @@ use crate::retention::Retention;
 /// User message tag for SpMV ghost exchange (with appended redundancy).
 pub const TAG_SPMV: u32 = 10;
 
+/// Redundant-copy payloads appended to a pipelined-PCG ghost exchange.
+///
+/// The pipelined solver scatters `m(j) = M⁻¹ w(j)` for its SpMV, but its
+/// ESR reconstruction needs copies of **u(j)** and **p(j-1)** (every other
+/// recurrence vector follows from those two via `s = Ap`, `q = M⁻¹s`,
+/// `z = Aq` — see `crate::pipe_recovery`). So the backup traffic carries
+/// values of `u` and `p` at the same covering index sets (natural ∪ extra)
+/// the blocking solver uses for `p`, appended to the `m`-ghost messages:
+/// still one message and one λ per link.
+pub struct PipeBackups<'a> {
+    /// The owned block of `u(j)`.
+    pub u_loc: &'a [f64],
+    /// The owned block of `p(j-1)` (`None` at iteration 0, where no search
+    /// direction exists yet).
+    pub p_loc: Option<&'a [f64]>,
+    /// Retention store receiving the `u` copies.
+    pub ret_u: &'a mut Retention,
+    /// Retention store receiving the `p` copies.
+    pub ret_p: &'a mut Retention,
+}
+
 /// The per-node communication plan.
 #[derive(Clone, Debug)]
 pub struct ScatterPlan {
@@ -183,12 +204,101 @@ impl ScatterPlan {
             if ghost_range.is_empty() && n_ext == 0 {
                 continue;
             }
-            let data = ctx.recv(k, TAG_SPMV).into_f64s();
+            let data = ctx.recv_phase(k, TAG_SPMV, CommPhase::Spmv).into_f64s();
             debug_assert_eq!(data.len(), ghost_range.len() + n_ext);
             let (nat_vals, ext_vals) = data.split_at(ghost_range.len());
             ghosts[ghost_range].copy_from_slice(nat_vals);
             if let Some(ret) = retention.as_deref_mut() {
                 ret.store(k, nat_vals, ext_vals);
+            }
+        }
+    }
+
+    /// The pipelined-PCG variant of [`ScatterPlan::exchange`]: scatter the
+    /// SpMV operand `m_loc` (natural ghosts only — `m` itself needs no
+    /// backups) and piggyback redundant copies of `u(j)` and `p(j-1)` on
+    /// the same messages. Per link the payload is
+    /// `m[nat] ++ u[nat ∪ ext] ++ p[nat ∪ ext]`, so the per-iteration
+    /// redundancy cost is `2·(|S_ik| + |Rᶜᵢₖ|)` elements but **zero extra
+    /// messages** wherever natural traffic exists — the same
+    /// latency-avoidance argument as the blocking solver's (Sec. 4.2),
+    /// which is what keeps communication hiding worthwhile.
+    pub fn exchange_pipelined(
+        &self,
+        ctx: &mut NodeCtx,
+        m_loc: &[f64],
+        ghosts: &mut [f64],
+        mut backups: Option<PipeBackups<'_>>,
+    ) {
+        debug_assert_eq!(m_loc.len(), self.my_len);
+        let has_p = backups.as_ref().is_some_and(|b| b.p_loc.is_some());
+        // Post all sends first (asynchronous channels: no deadlock).
+        for k in 0..self.nodes {
+            if k == self.rank {
+                continue;
+            }
+            let nat = &self.send_natural[k];
+            let ext = &self.send_extra[k];
+            if nat.is_empty() && ext.is_empty() {
+                continue;
+            }
+            let per_vec = nat.len() + ext.len();
+            let mut buf = Vec::with_capacity(nat.len() + 2 * per_vec);
+            buf.extend(nat.iter().map(|&o| m_loc[o]));
+            let mut backup_elems = 0;
+            if let Some(b) = &backups {
+                buf.extend(nat.iter().map(|&o| b.u_loc[o]));
+                buf.extend(ext.iter().map(|&o| b.u_loc[o]));
+                backup_elems += per_vec;
+                if let Some(p_loc) = b.p_loc {
+                    buf.extend(nat.iter().map(|&o| p_loc[o]));
+                    buf.extend(ext.iter().map(|&o| p_loc[o]));
+                    backup_elems += per_vec;
+                }
+            }
+            if nat.is_empty() {
+                // This link exists only for redundancy: the extra-latency
+                // case of the paper's Sec. 4.2 analysis.
+                ctx.stats_mut().record_extra_latency();
+            }
+            ctx.send_with_phases(
+                k,
+                TAG_SPMV,
+                Payload::f64s(buf),
+                &[
+                    (CommPhase::Spmv, nat.len()),
+                    (CommPhase::Redundancy, backup_elems),
+                ],
+            );
+        }
+        // Receive in deterministic peer order.
+        for k in 0..self.nodes {
+            if k == self.rank {
+                continue;
+            }
+            let ghost_range = self.recv_ghost_range[k].clone();
+            let n_nat = ghost_range.len();
+            let n_ext = self.recv_extra[k].len();
+            if n_nat == 0 && n_ext == 0 {
+                continue;
+            }
+            let per_vec = n_nat + n_ext;
+            let data = ctx.recv_phase(k, TAG_SPMV, CommPhase::Spmv).into_f64s();
+            let expect = n_nat
+                + if backups.is_some() {
+                    per_vec * if has_p { 2 } else { 1 }
+                } else {
+                    0
+                };
+            debug_assert_eq!(data.len(), expect);
+            ghosts[ghost_range].copy_from_slice(&data[..n_nat]);
+            if let Some(b) = backups.as_mut() {
+                let u_part = &data[n_nat..n_nat + per_vec];
+                b.ret_u.store(k, &u_part[..n_nat], &u_part[n_nat..]);
+                if has_p {
+                    let p_part = &data[n_nat + per_vec..];
+                    b.ret_p.store(k, &p_part[..n_nat], &p_part[n_nat..]);
+                }
             }
         }
     }

@@ -131,7 +131,10 @@ pub fn esr_jacobi_node(
                         if failed.binary_search(&src).is_ok() {
                             continue;
                         }
-                        for (g, val) in ctx.recv(src, TAG_XCOPY).into_pairs() {
+                        for (g, val) in ctx
+                            .recv_phase(src, TAG_XCOPY, CommPhase::Recovery)
+                            .into_pairs()
+                        {
                             let o = g as usize - range.start;
                             x[o] = val;
                             got[o] = true;

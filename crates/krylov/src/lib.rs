@@ -7,6 +7,9 @@
 //! * [`pcg()`](cg::pcg) — the preconditioned conjugate gradient method, literally the
 //!   paper's Alg. 1;
 //! * [`cg()`](cg::cg) — unpreconditioned CG;
+//! * [`pipecg()`](pipecg::pipecg) — pipelined (communication-hiding) PCG in the
+//!   Ghysels–Vanroose recurrence form, the numerical reference for the
+//!   resilient communication-hiding solver (Levonyak et al., arXiv:1912.09230);
 //! * [`spcg()`](spcg::spcg) — split-preconditioned CG (`M = L Lᵀ`), one of the variants
 //!   the ESR literature distinguishes (Pachajoa et al. 2018, Alg. 5);
 //! * [`bicgstab()`](bicgstab::bicgstab) — preconditioned BiCGSTAB (the paper's Sec. 1 lists it
@@ -19,12 +22,14 @@
 
 pub mod bicgstab;
 pub mod cg;
+pub mod pipecg;
 pub mod report;
 pub mod spcg;
 pub mod stationary;
 
 pub use bicgstab::bicgstab;
 pub use cg::{cg, pcg};
+pub use pipecg::pipecg;
 pub use report::{SolveReport, StopReason};
 pub use spcg::spcg;
 pub use stationary::{gauss_seidel, jacobi_iter, sor, ssor_iter, StationaryReport};

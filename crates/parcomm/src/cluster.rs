@@ -65,6 +65,9 @@ impl Cluster {
     {
         let n = config.nodes;
         assert!(n >= 1, "cluster needs at least one node");
+        // A script naming ranks the cluster does not have would be silently
+        // inert — reject it here, where the size is known.
+        config.script.validate_for_cluster(n);
         let oracle = FaultOracle::new(config.script.clone());
 
         // Wire mailboxes: every node gets the senders of all nodes.
@@ -406,6 +409,18 @@ mod tests {
         // Sender: λ + 10µ = 2.0. Receiver absorbs the same arrival stamp.
         assert_eq!(out[0], 2.0);
         assert_eq!(out[1], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds for a cluster of 8 nodes")]
+    fn out_of_bounds_failure_script_rejected() {
+        // A script naming rank 9 on an 8-node cluster would be silently
+        // inert; Cluster::run must reject it when the size is known.
+        let script = crate::fault::FailureScript::new(vec![crate::fault::FailureEvent {
+            when: crate::fault::FailAt::Iteration(3),
+            ranks: vec![9],
+        }]);
+        Cluster::run(ClusterConfig::new(8).with_script(script), |_| ());
     }
 
     #[test]

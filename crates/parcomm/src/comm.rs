@@ -16,6 +16,7 @@ use crate::fault::{FailAt, FaultOracle};
 use crate::group::Group;
 use crate::mailbox::{Mailbox, Outbox};
 use crate::payload::{Message, Payload};
+use crate::request::{AllreduceRequest, EnginePort, RecvRequest, SendRequest};
 use crate::stats::{CommPhase, CommStats};
 use crate::tag::{op, Tag};
 use crate::vclock::VClock;
@@ -151,10 +152,20 @@ impl NodeCtx {
 
     pub(crate) fn send_tag(&mut self, dest: usize, tag: Tag, payload: Payload, phase: CommPhase) {
         debug_assert!(dest < self.size, "send to rank {} of {}", dest, self.size);
-        debug_assert_ne!(dest, self.rank, "self-send is a protocol bug");
         let elems = payload.elems();
         self.stats.record_send(phase, elems);
+        let t0 = self.clock.now();
         let arrival_vtime = self.clock.stamp_send(elems);
+        self.stats.record_send_vtime(phase, arrival_vtime - t0);
+        self.raw_send(dest, tag, payload, arrival_vtime);
+    }
+
+    /// Deliver a message with an explicit arrival stamp, touching neither
+    /// the clock nor the statistics — the primitive beneath both the
+    /// blocking path (which charges the sender first) and the non-blocking
+    /// engine (which stamps with its own detached timeline).
+    pub(crate) fn raw_send(&mut self, dest: usize, tag: Tag, payload: Payload, arrival_vtime: f64) {
+        debug_assert_ne!(dest, self.rank, "self-send is a protocol bug");
         let msg = Message {
             src: self.rank,
             tag,
@@ -165,6 +176,18 @@ impl NodeCtx {
         self.outboxes[dest]
             .send(msg)
             .unwrap_or_else(|_| panic!("rank {}: peer {} is gone", self.rank, dest));
+    }
+
+    /// Blocking mailbox receive with no clock or stats effects (the
+    /// non-blocking engine accounts on its own timeline).
+    pub(crate) fn raw_recv_blocking(&mut self, src: usize, tag: Tag) -> Message {
+        self.mailbox.recv(src, tag)
+    }
+
+    /// Non-blocking, non-consuming mailbox probe with no clock or stats
+    /// effects (advisory `test` path — matching stays in program order).
+    pub(crate) fn raw_peek_recv(&mut self, src: usize, tag: Tag) -> Option<&Message> {
+        self.mailbox.peek_match(src, tag)
     }
 
     /// Send one physical message whose elements belong to several
@@ -200,34 +223,107 @@ impl NodeCtx {
             }
         }
         let elems = payload.elems();
+        let t0 = self.clock.now();
         let arrival_vtime = self.clock.stamp_send(elems);
-        let msg = Message {
-            src: self.rank,
-            tag: Tag::user(tag),
-            payload,
-            arrival_vtime,
-        };
-        self.outboxes[dest]
-            .send(msg)
-            .unwrap_or_else(|_| panic!("rank {}: peer {} is gone", self.rank, dest));
+        // The transfer time of the one physical message is charged to the
+        // first phase that actually contributes elements — a link carrying
+        // only redundancy must book its time under Redundancy, not under
+        // an empty leading Spmv slot.
+        let owner = split
+            .iter()
+            .find(|&&(_, n)| n > 0)
+            .map_or(split[0].0, |&(p, _)| p);
+        self.stats.record_send_vtime(owner, arrival_vtime - t0);
+        self.raw_send(dest, Tag::user(tag), payload, arrival_vtime);
     }
 
-    /// Blocking receive of a user-tagged message from `src`.
+    /// Blocking receive of a user-tagged message from `src` (stall time
+    /// accounted to [`CommPhase::Other`]; use [`NodeCtx::recv_phase`] to
+    /// attribute it).
     pub fn recv(&mut self, src: usize, tag: u32) -> Payload {
-        self.recv_tag(src, Tag::user(tag)).payload
+        self.recv_phase(src, tag, CommPhase::Other)
     }
 
-    pub(crate) fn recv_tag(&mut self, src: usize, tag: Tag) -> Message {
+    /// Blocking receive of a user-tagged message from `src`, with the stall
+    /// time attributed to `phase`.
+    pub fn recv_phase(&mut self, src: usize, tag: u32, phase: CommPhase) -> Payload {
+        self.recv_tag(src, Tag::user(tag), phase).payload
+    }
+
+    pub(crate) fn recv_tag(&mut self, src: usize, tag: Tag, phase: CommPhase) -> Message {
         let m = self.mailbox.recv(src, tag);
-        self.clock.absorb_arrival(m.arrival_vtime);
+        let stall = self.clock.absorb_arrival(m.arrival_vtime);
+        self.stats.record_wait_vtime(phase, stall);
         m
     }
 
     /// Blocking receive of a user-tagged message from any source.
     pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
         let m = self.mailbox.recv_any(Tag::user(tag));
-        self.clock.absorb_arrival(m.arrival_vtime);
+        let stall = self.clock.absorb_arrival(m.arrival_vtime);
+        self.stats.record_wait_vtime(CommPhase::Other, stall);
         (m.src, m.payload)
+    }
+
+    // ------------------------------------------------------------------
+    // Non-blocking point-to-point and collectives
+    // ------------------------------------------------------------------
+
+    /// Non-blocking send: the message departs immediately (stamped from the
+    /// current clock), but the sender's clock is **not** charged — the
+    /// transfer runs concurrently with whatever the node computes next.
+    /// [`SendRequest::wait`] charges only the part of the transfer not
+    /// hidden behind that compute.
+    pub fn isend(
+        &mut self,
+        dest: usize,
+        tag: u32,
+        payload: Payload,
+        phase: CommPhase,
+    ) -> SendRequest {
+        debug_assert!(dest < self.size, "send to rank {} of {}", dest, self.size);
+        let elems = payload.elems();
+        self.stats.record_send(phase, elems);
+        let start = self.clock.now();
+        let cost = self.clock.model().msg_cost(elems);
+        let done_at = start + cost;
+        self.raw_send(dest, Tag::user(tag), payload, done_at);
+        SendRequest::new(done_at, cost, phase)
+    }
+
+    /// Non-blocking receive: returns a handle that matches `(src, tag)`.
+    /// Compute performed before [`RecvRequest::wait`] overlaps the message
+    /// flight; `wait` charges only the remaining latency
+    /// (`max(clock, arrival) − clock`). The message is matched at `wait`,
+    /// in program order — interleaving blocking `recv`s on the same
+    /// `(src, tag)` while the request is in flight matches them in the
+    /// order the calls execute, deterministically.
+    pub fn irecv(&mut self, src: usize, tag: u32, phase: CommPhase) -> RecvRequest {
+        let tag = Tag::user(tag);
+        let posted_at = self.clock.now();
+        RecvRequest::new(src, tag, phase, posted_at)
+    }
+
+    /// Non-blocking element-wise all-reduce: same deterministic
+    /// recursive-doubling schedule (and bitwise-identical result) as
+    /// [`NodeCtx::allreduce_vec`], but executed on a detached virtual
+    /// timeline, as if by a communication offload engine. The node clock is
+    /// untouched until [`AllreduceRequest::wait`], which charges only
+    /// `max(clock, completion) − clock` — compute issued between `start`
+    /// and `wait` hides the reduction's flight time.
+    ///
+    /// All nodes must issue the operation at the same SPMD point (it shares
+    /// the collective sequence space with the blocking collectives).
+    pub fn iallreduce_vec(&mut self, opr: ReduceOp, x: Vec<f64>) -> AllreduceRequest {
+        let seq = self.next_seq();
+        let tag = Tag::coll(op::ALLREDUCE, seq);
+        let (rank, size) = (self.rank, self.size);
+        let start = self.clock.now();
+        let mut port = EnginePort::new(self, start, CommPhase::Reduction);
+        let (acc, rounds) = rd_allreduce(&mut port, rank, size, None, tag, opr, x);
+        let done_at = port.now();
+        self.stats.record_allreduce(rounds);
+        AllreduceRequest::new(acc, start, done_at, CommPhase::Reduction)
     }
 
     // ------------------------------------------------------------------
@@ -247,16 +343,11 @@ impl NodeCtx {
         let seq = self.next_seq();
         let tag = Tag::coll(op::BARRIER, seq);
         let (rank, size) = (self.rank, self.size);
-        rd_allreduce(
-            self,
-            rank,
-            size,
-            None,
-            tag,
-            CommPhase::Reduction,
-            ReduceOp::Sum,
-            Vec::new(),
-        );
+        let mut port = BlockingPort {
+            ctx: self,
+            phase: CommPhase::Reduction,
+        };
+        rd_allreduce(&mut port, rank, size, None, tag, ReduceOp::Sum, Vec::new());
     }
 
     /// Broadcast `payload` from `root`; every node returns the payload.
@@ -292,7 +383,11 @@ impl NodeCtx {
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLREDUCE, seq);
         let (rank, size) = (self.rank, self.size);
-        let (acc, rounds) = rd_allreduce(self, rank, size, None, tag, CommPhase::Reduction, opr, x);
+        let mut port = BlockingPort {
+            ctx: self,
+            phase: CommPhase::Reduction,
+        };
+        let (acc, rounds) = rd_allreduce(&mut port, rank, size, None, tag, opr, x);
         self.stats.record_allreduce(rounds);
         acc
     }
@@ -309,7 +404,7 @@ impl NodeCtx {
                 if r == root {
                     out.push(own.take().expect("own slot filled once"));
                 } else {
-                    out.push(self.recv_tag(r, tag).payload.into_f64s());
+                    out.push(self.recv_tag(r, tag, CommPhase::Other).payload.into_f64s());
                 }
             }
             Some(out)
@@ -336,7 +431,7 @@ impl NodeCtx {
                 if r == 0 {
                     out.push(own.take().expect("own slot filled once"));
                 } else {
-                    out.push(self.recv_tag(r, tag).payload.into_u64s());
+                    out.push(self.recv_tag(r, tag, CommPhase::Other).payload.into_u64s());
                 }
             }
             Some(out)
@@ -393,7 +488,11 @@ impl NodeCtx {
             if src == self.rank {
                 out.push(own.take().expect("own slot filled once"));
             } else {
-                out.push(self.recv_tag(src, tag).payload.into_u64s());
+                out.push(
+                    self.recv_tag(src, tag, CommPhase::Setup)
+                        .payload
+                        .into_u64s(),
+                );
             }
         }
         out
@@ -421,7 +520,7 @@ impl NodeCtx {
             if src == self.rank {
                 out.push(own.take().expect("own slot filled once"));
             } else {
-                out.push(self.recv_tag(src, tag).payload.into_pairs());
+                out.push(self.recv_tag(src, tag, phase).payload.into_pairs());
             }
         }
         out
@@ -450,7 +549,7 @@ impl NodeCtx {
             // Receive from parent: clear lowest set bit of vrank.
             let parent_v = vrank & (vrank - 1);
             let parent = (parent_v + root) % n;
-            self.recv_tag(parent, tag).payload
+            self.recv_tag(parent, tag, CommPhase::Reduction).payload
         };
         // Forward to children (bits below our lowest set bit), farthest
         // subtree first so it starts as early as possible.
@@ -534,6 +633,32 @@ impl NodeCtx {
     }
 }
 
+/// How a recursive-doubling round moves bytes and time: the blocking path
+/// charges the node clock directly; the non-blocking engine runs the same
+/// schedule on a detached timeline (see [`crate::request::EnginePort`]).
+/// Factoring the transport out keeps the *schedule* — and therefore the
+/// bitwise result — identical between `allreduce_vec` and `iallreduce_vec`.
+pub(crate) trait RdPort {
+    fn port_send(&mut self, peer: usize, tag: Tag, payload: Payload);
+    fn port_recv(&mut self, peer: usize, tag: Tag) -> Payload;
+}
+
+/// The blocking transport: sends charge the node clock, receives stall it.
+pub(crate) struct BlockingPort<'a> {
+    pub ctx: &'a mut NodeCtx,
+    pub phase: CommPhase,
+}
+
+impl RdPort for BlockingPort<'_> {
+    fn port_send(&mut self, peer: usize, tag: Tag, payload: Payload) {
+        self.ctx.send_tag(peer, tag, payload, self.phase);
+    }
+
+    fn port_recv(&mut self, peer: usize, tag: Tag) -> Payload {
+        self.ctx.recv_tag(peer, tag, self.phase).payload
+    }
+}
+
 /// Deterministic recursive-doubling all-reduce over `n` participants.
 ///
 /// `my_index` is this node's participant index; `members` maps participant
@@ -555,14 +680,12 @@ impl NodeCtx {
 ///
 /// Within one call every ordered pair of participants exchanges at most one
 /// message, so a single tag covers all rounds.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn rd_allreduce(
-    ctx: &mut NodeCtx,
+pub(crate) fn rd_allreduce<P: RdPort>(
+    port: &mut P,
     my_index: usize,
     n: usize,
     members: Option<&[usize]>,
     tag: Tag,
-    phase: CommPhase,
     opr: ReduceOp,
     x: Vec<f64>,
 ) -> (Vec<f64>, usize) {
@@ -580,10 +703,10 @@ pub(crate) fn rd_allreduce(
         rounds += 1;
         if my_index.is_multiple_of(2) {
             let peer = rank_of(my_index + 1);
-            ctx.send_tag(peer, tag, Payload::f64s(acc.clone()), phase);
+            port.port_send(peer, tag, Payload::f64s(acc.clone()));
             None // folded out until phase 3
         } else {
-            let theirs = ctx.recv_tag(rank_of(my_index - 1), tag).payload.into_f64s();
+            let theirs = port.port_recv(rank_of(my_index - 1), tag).into_f64s();
             acc = combined(opr, theirs, &acc); // lower index first
             Some(my_index / 2)
         }
@@ -598,8 +721,8 @@ pub(crate) fn rd_allreduce(
         let mut mask = 1usize;
         while mask < pof2 {
             let peer = rank_of(orig(v ^ mask));
-            ctx.send_tag(peer, tag, Payload::f64s(acc.clone()), phase);
-            let theirs = ctx.recv_tag(peer, tag).payload.into_f64s();
+            port.port_send(peer, tag, Payload::f64s(acc.clone()));
+            let theirs = port.port_recv(peer, tag).into_f64s();
             if v & mask == 0 {
                 opr.combine(&mut acc, &theirs);
             } else {
@@ -615,9 +738,9 @@ pub(crate) fn rd_allreduce(
         rounds += 1;
         if my_index % 2 == 1 {
             let peer = rank_of(my_index - 1);
-            ctx.send_tag(peer, tag, Payload::f64s(acc.clone()), phase);
+            port.port_send(peer, tag, Payload::f64s(acc.clone()));
         } else {
-            acc = ctx.recv_tag(rank_of(my_index + 1), tag).payload.into_f64s();
+            acc = port.port_recv(rank_of(my_index + 1), tag).into_f64s();
         }
     }
     (acc, rounds)

@@ -92,6 +92,27 @@ impl FailureScript {
         }
     }
 
+    /// Validate the script against a concrete cluster size. A script whose
+    /// ranks fall outside `0..nodes` is silently inert (no boundary ever
+    /// announces them) — which in a resilience experiment means the failure
+    /// you believed you injected never happened. Checked when the oracle is
+    /// attached to a cluster, where the size is finally known.
+    ///
+    /// # Panics
+    /// Panics on the first out-of-bounds rank.
+    pub fn validate_for_cluster(&self, nodes: usize) {
+        for e in &self.events {
+            for &r in &e.ranks {
+                assert!(
+                    r < nodes,
+                    "failure script rank {r} out of bounds for a cluster of {nodes} nodes \
+                     (event at {:?}) — the event would be silently inert",
+                    e.when
+                );
+            }
+        }
+    }
+
     /// All events in the script.
     pub fn events(&self) -> &[FailureEvent] {
         &self.events

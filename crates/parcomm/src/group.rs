@@ -10,7 +10,7 @@
 //! communicator (see [`crate::comm`]), over group indices instead of global
 //! ranks — recovery's inner solves get the ⌈log₂ψ⌉-round cost too.
 
-use crate::comm::{rd_allreduce, split_by_counts, NodeCtx, ReduceOp};
+use crate::comm::{rd_allreduce, split_by_counts, BlockingPort, NodeCtx, ReduceOp};
 use crate::payload::Payload;
 use crate::stats::CommPhase;
 use crate::tag::{op, Tag};
@@ -72,13 +72,16 @@ impl Group {
     pub fn barrier(&mut self, ctx: &mut NodeCtx) {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::BARRIER, seq);
-        rd_allreduce(
+        let mut port = BlockingPort {
             ctx,
+            phase: CommPhase::Recovery,
+        };
+        rd_allreduce(
+            &mut port,
             self.my_index,
             self.members.len(),
             Some(&self.members),
             tag,
-            CommPhase::Recovery,
             ReduceOp::Sum,
             Vec::new(),
         );
@@ -99,13 +102,16 @@ impl Group {
     pub fn allreduce_vec(&mut self, ctx: &mut NodeCtx, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
-        let (acc, rounds) = rd_allreduce(
+        let mut port = BlockingPort {
             ctx,
+            phase: CommPhase::Recovery,
+        };
+        let (acc, rounds) = rd_allreduce(
+            &mut port,
             self.my_index,
             self.members.len(),
             Some(&self.members),
             tag,
-            CommPhase::Recovery,
             opr,
             x,
         );
@@ -136,7 +142,11 @@ impl Group {
             if i == self.my_index {
                 out.push(own.take().expect("own slot filled once"));
             } else {
-                out.push(ctx.recv_tag(self.members[i], tag).payload.into_pairs());
+                out.push(
+                    ctx.recv_tag(self.members[i], tag, phase)
+                        .payload
+                        .into_pairs(),
+                );
             }
         }
         out
@@ -154,7 +164,11 @@ impl Group {
                 if i == 0 {
                     out.push(own.take().expect("own slot filled once"));
                 } else {
-                    out.push(ctx.recv_tag(self.members[i], tag).payload.into_f64s());
+                    out.push(
+                        ctx.recv_tag(self.members[i], tag, CommPhase::Recovery)
+                            .payload
+                            .into_f64s(),
+                    );
                 }
             }
             Some(out)
@@ -202,7 +216,7 @@ impl Group {
             payload
         } else {
             let parent = self.members[v & (v - 1)];
-            ctx.recv_tag(parent, tag).payload
+            ctx.recv_tag(parent, tag, CommPhase::Recovery).payload
         };
         let lowbit = if v == 0 {
             top << 1

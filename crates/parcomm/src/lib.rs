@@ -15,6 +15,12 @@
 //!   [`NodeCtx::allgatherv_f64`], [`NodeCtx::alltoallv_u64`], …) built on
 //!   point-to-point messages — recursive doubling for all-reduce,
 //!   binomial trees for broadcast/gather,
+//! * non-blocking operations ([`NodeCtx::isend`], [`NodeCtx::irecv`],
+//!   [`NodeCtx::iallreduce_vec`]) with request handles ([`request`]) and an
+//!   **overlap-aware clock**: compute issued between start and wait hides
+//!   the flight time, and [`CommStats`] splits communication into exposed
+//!   vs hidden virtual time — the substrate of the communication-hiding
+//!   pipelined PCG,
 //! * sub-communicators ([`NodeCtx::group`]) used by replacement nodes during
 //!   cooperative state reconstruction,
 //! * a ULFM-like [`fault::FaultOracle`] that detects node failures, notifies
@@ -39,6 +45,7 @@ pub mod fault;
 pub mod group;
 pub mod mailbox;
 pub mod payload;
+pub mod request;
 pub mod stats;
 pub mod tag;
 pub mod vclock;
@@ -48,6 +55,7 @@ pub use comm::{NodeCtx, ReduceOp};
 pub use fault::{FailAt, FailureEvent, FailureScript, FaultOracle};
 pub use group::Group;
 pub use payload::Payload;
+pub use request::{AllreduceRequest, RecvRequest, SendRequest};
 pub use stats::{CommPhase, CommStats};
 pub use tag::Tag;
 pub use vclock::{CostModel, VClock};

@@ -84,6 +84,24 @@ impl Mailbox {
         }
     }
 
+    /// Non-blocking, **non-consuming** probe for an exact `(src, tag)`
+    /// match: drains whatever has already been delivered into the pending
+    /// queue, then returns a reference to the earliest-arrived match, if
+    /// any. Never blocks and never removes — the `RecvRequest::test` path
+    /// of the non-blocking API. Because nothing is consumed, a later
+    /// blocking `recv` (or the request's own `wait`) still matches
+    /// messages purely in program order, keeping payload matching
+    /// independent of host-thread delivery timing.
+    pub fn peek_match(&mut self, src: usize, tag: Tag) -> Option<&Message> {
+        while let Ok(m) = self.rx.try_recv() {
+            if m.tag == Tag::ABORT {
+                panic!("rank {}: peer {} aborted", self.rank, m.src);
+            }
+            self.pending.push(m);
+        }
+        self.pending.iter().find(|m| m.src == src && m.tag == tag)
+    }
+
     /// Blocking receive matching a tag from *any* source. Returns the full
     /// message so the caller learns the source.
     pub fn recv_any(&mut self, tag: Tag) -> Message {
@@ -186,6 +204,28 @@ mod tests {
         assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(1.0));
         assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(2.0));
         assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(3.0));
+    }
+
+    #[test]
+    fn peek_match_is_nonblocking_and_nonconsuming() {
+        let (mut mb, tx) = Mailbox::new(0);
+        assert!(mb.peek_match(1, Tag::user(7)).is_none());
+        tx.send(msg(1, Tag::user(7), 1.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
+        tx.send(msg(2, Tag::user(9), 9.0)).unwrap();
+        // Peek sees the earliest-arrived match and does not consume it...
+        assert_eq!(
+            mb.peek_match(1, Tag::user(7)).unwrap().payload,
+            Payload::F64(1.0)
+        );
+        assert_eq!(
+            mb.peek_match(1, Tag::user(7)).unwrap().payload,
+            Payload::F64(1.0)
+        );
+        // ...so a blocking recv still matches in arrival order.
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(9.0));
     }
 
     #[test]

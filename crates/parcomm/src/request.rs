@@ -1,0 +1,251 @@
+//! Non-blocking communication: request handles and the overlap-aware clock
+//! accounting behind them.
+//!
+//! The blocking primitives charge the node's virtual clock immediately: a
+//! `send` makes the sender busy for `λ + s·µ`, a `recv` stalls the receiver
+//! until the arrival stamp. Communication-hiding algorithms (pipelined PCG,
+//! Levonyak et al., arXiv:1912.09230) instead *start* an operation, compute
+//! while it is in flight, and *wait* for it later. The handles here model
+//! that with a detached timeline, as if the transfer ran on a communication
+//! offload engine or MPI progress thread:
+//!
+//! * `start` records the operation's begin time `t₀` and computes its
+//!   completion time `T` on the engine timeline (for collectives the engine
+//!   replays the exact recursive-doubling schedule, so the *result* is
+//!   bitwise identical to the blocking collective);
+//! * compute issued between `start` and `wait` advances the node clock
+//!   normally — concurrently with the flight time;
+//! * `wait` charges only the remaining latency `max(clock, T) − clock`.
+//!   The charged part is recorded as *exposed* ([`crate::CommStats::wait_vtime`]),
+//!   the overlapped part `T − t₀ − exposed` as *hidden*
+//!   ([`crate::CommStats::hidden_vtime`]).
+//!
+//! Host-thread blocking inside `start` (the engine drains its partner
+//! messages eagerly through the real mailbox) is invisible to the cost
+//! model: wall time is meaningless in the simulator, virtual time is what
+//! the experiments measure.
+//!
+//! Requests are **linear**: every request must be consumed by `wait`.
+//! Dropping an un-waited request is a protocol bug (MPI would leak the
+//! request and possibly its buffer) and panics.
+
+use crate::comm::{NodeCtx, RdPort};
+use crate::payload::Payload;
+use crate::stats::CommPhase;
+use crate::tag::Tag;
+
+/// The detached transport used by non-blocking collectives: the same
+/// recursive-doubling schedule as the blocking path, but time flows on the
+/// engine's own clock (`now`), starting from the moment the operation was
+/// issued. Sends advance the engine by the full transfer cost; receives
+/// wait (on the engine timeline) for the partner's stamp. The node clock is
+/// never touched — the caller charges the un-hidden remainder at `wait`.
+pub(crate) struct EnginePort<'a> {
+    ctx: &'a mut NodeCtx,
+    now: f64,
+    phase: CommPhase,
+}
+
+impl<'a> EnginePort<'a> {
+    pub(crate) fn new(ctx: &'a mut NodeCtx, start: f64, phase: CommPhase) -> Self {
+        EnginePort {
+            ctx,
+            now: start,
+            phase,
+        }
+    }
+
+    /// The engine's current time (the operation's completion time once the
+    /// schedule has run).
+    pub(crate) fn now(&self) -> f64 {
+        self.now
+    }
+}
+
+impl RdPort for EnginePort<'_> {
+    fn port_send(&mut self, peer: usize, tag: Tag, payload: Payload) {
+        let elems = payload.elems();
+        self.ctx.stats_mut().record_send(self.phase, elems);
+        let cost = self.ctx.clock().model().msg_cost(elems);
+        self.now += cost;
+        self.ctx.raw_send(peer, tag, payload, self.now);
+    }
+
+    fn port_recv(&mut self, peer: usize, tag: Tag) -> Payload {
+        let m = self.ctx.raw_recv_blocking(peer, tag);
+        if m.arrival_vtime > self.now {
+            self.now = m.arrival_vtime;
+        }
+        m.payload
+    }
+}
+
+/// Charge the un-hidden remainder of an operation spanning
+/// `[start, done_at]` on the engine timeline: the node clock advances by
+/// `max(done_at − clock, 0)` (exposed, recorded as wait time); the rest of
+/// the operation's duration was hidden behind compute.
+fn charge_wait(ctx: &mut NodeCtx, phase: CommPhase, start: f64, done_at: f64) {
+    let exposed = (done_at - ctx.clock().now()).max(0.0);
+    if exposed > 0.0 {
+        ctx.clock_mut().advance(exposed);
+    }
+    ctx.stats_mut().record_wait_vtime(phase, exposed);
+    let duration = (done_at - start).max(0.0);
+    ctx.stats_mut()
+        .record_hidden_vtime(phase, (duration - exposed).max(0.0));
+}
+
+fn guard_unwaited(what: &str, completed: bool) {
+    if !completed && !std::thread::panicking() {
+        panic!("{what} dropped without wait — requests are linear; call wait() (or test() until complete, then wait())");
+    }
+}
+
+/// Handle of an in-flight non-blocking send ([`NodeCtx::isend`]).
+#[must_use = "requests must be completed with wait()"]
+pub struct SendRequest {
+    start: f64,
+    done_at: f64,
+    phase: CommPhase,
+    completed: bool,
+}
+
+impl SendRequest {
+    pub(crate) fn new(done_at: f64, cost: f64, phase: CommPhase) -> Self {
+        SendRequest {
+            start: done_at - cost,
+            done_at,
+            phase,
+            completed: false,
+        }
+    }
+
+    /// True once the transfer is complete in virtual time (the node clock
+    /// has caught up with the transfer's end) — a subsequent `wait` charges
+    /// nothing.
+    pub fn test(&self, ctx: &NodeCtx) -> bool {
+        self.done_at <= ctx.clock().now()
+    }
+
+    /// Complete the send: charges the part of the transfer not hidden
+    /// behind compute issued since [`NodeCtx::isend`].
+    pub fn wait(mut self, ctx: &mut NodeCtx) {
+        self.completed = true;
+        charge_wait(ctx, self.phase, self.start, self.done_at);
+    }
+}
+
+impl Drop for SendRequest {
+    fn drop(&mut self) {
+        guard_unwaited("SendRequest", self.completed);
+    }
+}
+
+/// Handle of an in-flight non-blocking receive ([`NodeCtx::irecv`]).
+///
+/// The request never consumes a message before `wait`: matching happens
+/// purely in the order `wait`/`recv` calls execute on this node, so which
+/// payload a request gets is independent of host-thread delivery timing —
+/// the determinism contract of the simulator. `test` is a non-consuming
+/// probe with MPI_Test-like advisory semantics: it can flip from `false`
+/// to `true` depending on how far the sending thread has physically
+/// progressed, so solver numerics must never branch on it.
+#[must_use = "requests must be completed with wait()"]
+pub struct RecvRequest {
+    src: usize,
+    tag: Tag,
+    phase: CommPhase,
+    posted_at: f64,
+    completed: bool,
+}
+
+impl RecvRequest {
+    pub(crate) fn new(src: usize, tag: Tag, phase: CommPhase, posted_at: f64) -> Self {
+        RecvRequest {
+            src,
+            tag,
+            phase,
+            posted_at,
+            completed: false,
+        }
+    }
+
+    /// True once a matching message has been delivered *and* has arrived
+    /// in virtual time — a subsequent `wait` charges nothing. Advisory
+    /// (see the type docs); never consumes the message.
+    pub fn test(&self, ctx: &mut NodeCtx) -> bool {
+        let now = ctx.clock().now();
+        ctx.raw_peek_recv(self.src, self.tag)
+            .is_some_and(|m| m.arrival_vtime <= now)
+    }
+
+    /// Complete the receive: blocks until the matching message is here and
+    /// charges only the remaining flight time
+    /// (`max(clock, arrival) − clock`).
+    pub fn wait(mut self, ctx: &mut NodeCtx) -> Payload {
+        self.completed = true;
+        let m = ctx.raw_recv_blocking(self.src, self.tag);
+        charge_wait(
+            ctx,
+            self.phase,
+            self.posted_at.min(m.arrival_vtime),
+            m.arrival_vtime,
+        );
+        m.payload
+    }
+}
+
+impl Drop for RecvRequest {
+    fn drop(&mut self) {
+        guard_unwaited("RecvRequest", self.completed);
+    }
+}
+
+/// Handle of an in-flight non-blocking all-reduce
+/// ([`NodeCtx::iallreduce_vec`]). The reduced buffer is bitwise identical
+/// to what the blocking [`NodeCtx::allreduce_vec`] would return — the same
+/// deterministic schedule runs, only the time accounting differs.
+#[must_use = "requests must be completed with wait()"]
+pub struct AllreduceRequest {
+    result: Option<Vec<f64>>,
+    start: f64,
+    done_at: f64,
+    phase: CommPhase,
+}
+
+impl AllreduceRequest {
+    pub(crate) fn new(result: Vec<f64>, start: f64, done_at: f64, phase: CommPhase) -> Self {
+        AllreduceRequest {
+            result: Some(result),
+            start,
+            done_at,
+            phase,
+        }
+    }
+
+    /// True once the reduction is complete in virtual time — a subsequent
+    /// `wait` charges nothing.
+    pub fn test(&self, ctx: &NodeCtx) -> bool {
+        self.done_at <= ctx.clock().now()
+    }
+
+    /// The reduction's completion time on the engine timeline.
+    pub fn completion_vtime(&self) -> f64 {
+        self.done_at
+    }
+
+    /// Complete the reduction and return the reduced buffer, charging only
+    /// the part of the reduction not hidden behind compute issued since
+    /// [`NodeCtx::iallreduce_vec`].
+    pub fn wait(mut self, ctx: &mut NodeCtx) -> Vec<f64> {
+        let result = self.result.take().expect("result present until wait");
+        charge_wait(ctx, self.phase, self.start, self.done_at);
+        result
+    }
+}
+
+impl Drop for AllreduceRequest {
+    fn drop(&mut self) {
+        guard_unwaited("AllreduceRequest", self.result.is_none());
+    }
+}

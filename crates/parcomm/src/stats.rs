@@ -50,6 +50,16 @@ pub struct CommStats {
     /// Total communication rounds across those all-reduce calls (the
     /// critical-path depth: ⌈log₂N⌉, +2 on non-power-of-two sizes).
     allreduce_rounds: u64,
+    /// Virtual seconds the node clock advanced *inside blocking sends*
+    /// (`λ + s·µ` per message — the sender is busy for the transfer).
+    send_vtime: [f64; NPHASES],
+    /// Virtual seconds the node clock advanced *stalled*: blocked in a
+    /// `recv` waiting for a message that had not yet arrived, or charged at
+    /// a non-blocking `wait` for the un-hidden remainder of the operation.
+    wait_vtime: [f64; NPHASES],
+    /// Virtual seconds of non-blocking communication that overlapped local
+    /// compute — flight time the node clock never had to pay for.
+    hidden_vtime: [f64; NPHASES],
 }
 
 impl CommStats {
@@ -74,6 +84,25 @@ impl CommStats {
     pub fn record_allreduce(&mut self, rounds: usize) {
         self.allreduces += 1;
         self.allreduce_rounds += rounds as u64;
+    }
+
+    /// Record virtual time spent inside a blocking send in `phase`.
+    pub fn record_send_vtime(&mut self, phase: CommPhase, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.send_vtime[phase_index(phase)] += dt;
+    }
+
+    /// Record virtual time spent stalled (blocking `recv` arrival wait or
+    /// the exposed remainder charged by a non-blocking `wait`) in `phase`.
+    pub fn record_wait_vtime(&mut self, phase: CommPhase, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.wait_vtime[phase_index(phase)] += dt;
+    }
+
+    /// Record non-blocking communication time hidden behind compute.
+    pub fn record_hidden_vtime(&mut self, phase: CommPhase, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.hidden_vtime[phase_index(phase)] += dt;
     }
 
     /// Remove one message (not its elements) from `phase` — used when a
@@ -120,11 +149,52 @@ impl CommStats {
         self.allreduce_rounds
     }
 
+    /// Virtual time spent inside blocking sends in `phase`.
+    pub fn send_vtime(&self, phase: CommPhase) -> f64 {
+        self.send_vtime[phase_index(phase)]
+    }
+
+    /// Virtual time spent stalled waiting in `phase`.
+    pub fn wait_vtime(&self, phase: CommPhase) -> f64 {
+        self.wait_vtime[phase_index(phase)]
+    }
+
+    /// Non-blocking communication time hidden behind compute in `phase`.
+    pub fn hidden_vtime(&self, phase: CommPhase) -> f64 {
+        self.hidden_vtime[phase_index(phase)]
+    }
+
+    /// *Exposed* communication time in `phase`: virtual time the node clock
+    /// actually advanced doing communication (blocking send transfers plus
+    /// stalls). Hidden time is excluded — that is the point of the split.
+    pub fn exposed_vtime(&self, phase: CommPhase) -> f64 {
+        let i = phase_index(phase);
+        self.send_vtime[i] + self.wait_vtime[i]
+    }
+
+    /// Total stalled time across phases.
+    pub fn total_wait_vtime(&self) -> f64 {
+        self.wait_vtime.iter().sum()
+    }
+
+    /// Total hidden time across phases.
+    pub fn total_hidden_vtime(&self) -> f64 {
+        self.hidden_vtime.iter().sum()
+    }
+
+    /// Total exposed communication time across phases.
+    pub fn total_exposed_vtime(&self) -> f64 {
+        self.send_vtime.iter().sum::<f64>() + self.wait_vtime.iter().sum::<f64>()
+    }
+
     /// Merge another node's counters into this one (cluster-wide totals).
     pub fn merge(&mut self, other: &CommStats) {
         for i in 0..NPHASES {
             self.msgs[i] += other.msgs[i];
             self.elems[i] += other.elems[i];
+            self.send_vtime[i] += other.send_vtime[i];
+            self.wait_vtime[i] += other.wait_vtime[i];
+            self.hidden_vtime[i] += other.hidden_vtime[i];
         }
         self.extra_latency_msgs += other.extra_latency_msgs;
         self.allreduces += other.allreduces;
@@ -165,6 +235,27 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.elems(CommPhase::Recovery), 15);
         assert_eq!(a.extra_latency_msgs(), 1);
+    }
+
+    #[test]
+    fn wait_accounting_merges_per_phase() {
+        let mut a = CommStats::new();
+        a.record_send_vtime(CommPhase::Reduction, 1.0);
+        a.record_wait_vtime(CommPhase::Reduction, 2.0);
+        a.record_hidden_vtime(CommPhase::Reduction, 3.0);
+        a.record_wait_vtime(CommPhase::Spmv, 0.5);
+        let mut b = CommStats::new();
+        b.record_wait_vtime(CommPhase::Reduction, 4.0);
+        b.record_hidden_vtime(CommPhase::Spmv, 1.5);
+        a.merge(&b);
+        assert_eq!(a.wait_vtime(CommPhase::Reduction), 6.0);
+        assert_eq!(a.hidden_vtime(CommPhase::Reduction), 3.0);
+        assert_eq!(a.exposed_vtime(CommPhase::Reduction), 7.0);
+        assert_eq!(a.wait_vtime(CommPhase::Spmv), 0.5);
+        assert_eq!(a.hidden_vtime(CommPhase::Spmv), 1.5);
+        assert_eq!(a.total_wait_vtime(), 6.5);
+        assert_eq!(a.total_hidden_vtime(), 4.5);
+        assert_eq!(a.total_exposed_vtime(), 7.5);
     }
 
     #[test]

@@ -98,10 +98,16 @@ impl VClock {
     }
 
     /// Account for receiving a message with the given arrival stamp:
-    /// the receiver cannot proceed before the message has arrived.
-    pub fn absorb_arrival(&mut self, arrival_vtime: f64) {
+    /// the receiver cannot proceed before the message has arrived. Returns
+    /// the stall — how long the clock jumped forward waiting (0 if the
+    /// message had already arrived).
+    pub fn absorb_arrival(&mut self, arrival_vtime: f64) -> f64 {
         if arrival_vtime > self.now {
+            let stall = arrival_vtime - self.now;
             self.now = arrival_vtime;
+            stall
+        } else {
+            0.0
         }
     }
 
@@ -146,9 +152,9 @@ mod tests {
     #[test]
     fn receive_waits_for_arrival() {
         let mut c = VClock::new(CostModel::default());
-        c.absorb_arrival(5.0);
+        assert_eq!(c.absorb_arrival(5.0), 5.0);
         assert_eq!(c.now(), 5.0);
-        c.absorb_arrival(2.0); // already past: no regression
+        assert_eq!(c.absorb_arrival(2.0), 0.0); // already past: no regression
         assert_eq!(c.now(), 5.0);
     }
 

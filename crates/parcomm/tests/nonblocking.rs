@@ -1,0 +1,216 @@
+//! Tests for the non-blocking subsystem: determinism of `iallreduce_vec`
+//! against the blocking collective, overlap-aware clock accounting,
+//! out-of-order completion, and the linear-request drop guard.
+
+use proptest::prelude::*;
+
+use parcomm::comm::ReduceOp;
+use parcomm::{Cluster, ClusterConfig, CommPhase, CostModel, Payload};
+
+/// A cost model with round numbers so the overlap arithmetic is exact.
+fn unit_cost() -> CostModel {
+    CostModel {
+        lambda: 1.0,
+        mu: 0.1,
+        gamma: 0.0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn iallreduce_bitwise_matches_blocking_allreduce(
+        nodes in 1usize..14,
+        values in proptest::collection::vec(-1e12f64..1e12, 14),
+    ) {
+        // The contract that lets pipelined PCG swap reduction styles
+        // without changing numerics: the non-blocking all-reduce runs the
+        // identical schedule and returns the *bitwise* same buffer on every
+        // rank as the blocking collective — for any size, including the
+        // fold-in/out shapes.
+        let vals = values.clone();
+        let out = Cluster::run(ClusterConfig::new(nodes), move |ctx| {
+            let x = vals[ctx.rank()] * 1e-3 + 1.0 / (ctx.rank() as f64 + 0.7);
+            let buf = vec![x, x * 0.3, -x];
+            let blocking = ctx.allreduce_vec(ReduceOp::Sum, buf.clone());
+            let req = ctx.iallreduce_vec(ReduceOp::Sum, buf);
+            let nonblocking = req.wait(ctx);
+            (blocking, nonblocking)
+        });
+        for (blocking, nonblocking) in &out {
+            for (a, b) in blocking.iter().zip(nonblocking) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "schedules diverged");
+            }
+        }
+        // And every rank agrees with rank 0.
+        for (_, nb) in &out {
+            for (a, b) in nb.iter().zip(&out[0].1) {
+                prop_assert_eq!(a.to_bits(), b.to_bits(), "ranks disagree");
+            }
+        }
+    }
+}
+
+#[test]
+fn iallreduce_at_nonpow2_sizes() {
+    // N = 3, 5, 13 exercise fold-in/fold-out on the engine timeline.
+    for n in [3usize, 5, 13] {
+        let out = Cluster::run(ClusterConfig::new(n), move |ctx| {
+            let req = ctx.iallreduce_vec(ReduceOp::Sum, vec![(ctx.rank() + 1) as f64, 1.0]);
+            req.wait(ctx)
+        });
+        let expect = (n * (n + 1) / 2) as f64;
+        for v in out {
+            assert_eq!(v, vec![expect, n as f64], "n={n}");
+        }
+    }
+}
+
+#[test]
+fn compute_between_start_and_wait_hides_flight_time() {
+    // Two nodes exchange through a reduction; each computes 10s of local
+    // work while the reduction is in flight. Blocking order would charge
+    // compute + full reduction; overlapped, the reduction (1.2s: one
+    // round, λ + 2µ = 1.2) is completely hidden behind the compute.
+    let out = Cluster::run(ClusterConfig::new(2).with_cost(unit_cost()), |ctx| {
+        let req = ctx.iallreduce_vec(ReduceOp::Sum, vec![1.0, 2.0]);
+        ctx.clock_mut().advance(10.0); // overlapped compute
+        let sum = req.wait(ctx);
+        (sum, ctx.vtime(), ctx.stats().clone())
+    });
+    for (sum, vtime, stats) in out {
+        assert_eq!(sum, vec![2.0, 4.0]);
+        // Fully hidden: the clock shows only the compute.
+        assert_eq!(vtime, 10.0);
+        assert_eq!(stats.wait_vtime(CommPhase::Reduction), 0.0);
+        assert_eq!(stats.hidden_vtime(CommPhase::Reduction), 1.2);
+        // Nothing was charged as blocking-send time on the node clock.
+        assert_eq!(stats.send_vtime(CommPhase::Reduction), 0.0);
+    }
+}
+
+#[test]
+fn wait_charges_only_the_remaining_latency() {
+    // Same exchange, but only 0.5s of compute fits before the wait: the
+    // wait must charge exactly the remaining 0.7s (1.2 − 0.5), no more.
+    let out = Cluster::run(ClusterConfig::new(2).with_cost(unit_cost()), |ctx| {
+        let req = ctx.iallreduce_vec(ReduceOp::Sum, vec![1.0, 2.0]);
+        ctx.clock_mut().advance(0.5);
+        let _ = req.wait(ctx);
+        (ctx.vtime(), ctx.stats().clone())
+    });
+    for (vtime, stats) in out {
+        assert_eq!(vtime, 1.2);
+        assert!((stats.wait_vtime(CommPhase::Reduction) - 0.7).abs() < 1e-12);
+        assert!((stats.hidden_vtime(CommPhase::Reduction) - 0.5).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn isend_overlap_accounting() {
+    // λ=1, µ=0.1: a 10-element isend costs 2.0. With 5.0 of compute before
+    // the wait it is fully hidden; the receiver still sees the arrival
+    // stamped from the sender's start time.
+    let out = Cluster::run(ClusterConfig::new(2).with_cost(unit_cost()), |ctx| {
+        if ctx.rank() == 0 {
+            let req = ctx.isend(1, 7, Payload::f64s(vec![0.0; 10]), CommPhase::Spmv);
+            ctx.clock_mut().advance(5.0);
+            assert!(req.test(ctx), "transfer is over in virtual time");
+            req.wait(ctx);
+        } else {
+            ctx.recv_phase(0, 7, CommPhase::Spmv);
+        }
+        (ctx.vtime(), ctx.stats().clone())
+    });
+    // Sender: compute only — the 2.0 transfer is hidden.
+    assert_eq!(out[0].0, 5.0);
+    assert_eq!(out[0].1.hidden_vtime(CommPhase::Spmv), 2.0);
+    assert_eq!(out[0].1.wait_vtime(CommPhase::Spmv), 0.0);
+    // Receiver: stalls until the arrival stamp (2.0).
+    assert_eq!(out[1].0, 2.0);
+    assert_eq!(out[1].1.wait_vtime(CommPhase::Spmv), 2.0);
+}
+
+#[test]
+fn out_of_order_waits_across_in_flight_requests() {
+    // Rank 0 posts three irecvs (two sources, two tags) and one isend, then
+    // completes them in the reverse of posting order. Matching is by
+    // (src, tag), so completion order must not matter.
+    let out = Cluster::run(
+        ClusterConfig::new(3).with_cost(unit_cost()),
+        |ctx| match ctx.rank() {
+            0 => {
+                let r1 = ctx.irecv(1, 10, CommPhase::Other);
+                let r2 = ctx.irecv(2, 10, CommPhase::Other);
+                let r3 = ctx.irecv(1, 11, CommPhase::Other);
+                let s = ctx.isend(1, 12, Payload::F64(0.5), CommPhase::Other);
+                let v3 = r3.wait(ctx).into_f64();
+                let v2 = r2.wait(ctx).into_f64();
+                s.wait(ctx);
+                let v1 = r1.wait(ctx).into_f64();
+                vec![v1, v2, v3]
+            }
+            1 => {
+                // Deliberately send the later-waited message first.
+                ctx.send(0, 10, Payload::F64(1.0), CommPhase::Other);
+                ctx.send(0, 11, Payload::F64(3.0), CommPhase::Other);
+                vec![ctx.recv(2, 12).into_f64(), ctx.recv(0, 12).into_f64()]
+            }
+            _ => {
+                ctx.send(0, 10, Payload::F64(2.0), CommPhase::Other);
+                ctx.send(1, 12, Payload::F64(4.0), CommPhase::Other);
+                Vec::new()
+            }
+        },
+    );
+    assert_eq!(out[0], vec![1.0, 2.0, 3.0]);
+    assert_eq!(out[1], vec![4.0, 0.5]);
+}
+
+#[test]
+fn several_in_flight_iallreduces_complete_in_any_order() {
+    // Two overlapped reductions issued back to back; the *second* is
+    // waited first. Sequence-numbered tags keep them separate.
+    let out = Cluster::run(ClusterConfig::new(4), |ctx| {
+        let a = ctx.iallreduce_vec(ReduceOp::Sum, vec![1.0]);
+        let b = ctx.iallreduce_vec(ReduceOp::Max, vec![ctx.rank() as f64]);
+        let vb = b.wait(ctx);
+        let va = a.wait(ctx);
+        (va[0], vb[0])
+    });
+    assert!(out.iter().all(|&(s, m)| s == 4.0 && m == 3.0));
+}
+
+#[test]
+fn test_polls_completion_without_charging() {
+    let out = Cluster::run(ClusterConfig::new(2).with_cost(unit_cost()), |ctx| {
+        let req = ctx.iallreduce_vec(ReduceOp::Sum, vec![1.0]);
+        // Not enough compute yet: the reduction (1.1s) is still in flight.
+        ctx.clock_mut().advance(0.25);
+        let early = req.test(ctx);
+        ctx.clock_mut().advance(5.0);
+        let late = req.test(ctx);
+        let t_before_wait = ctx.vtime();
+        let _ = req.wait(ctx);
+        (early, late, ctx.vtime() - t_before_wait)
+    });
+    for (early, late, wait_charge) in out {
+        assert!(!early, "reduction cannot be complete after 0.25s");
+        assert!(late, "reduction must be complete after 5.25s");
+        assert_eq!(wait_charge, 0.0, "wait after completion charges nothing");
+    }
+}
+
+#[test]
+#[should_panic(expected = "dropped without wait")]
+fn dropping_a_request_without_wait_panics() {
+    Cluster::run(ClusterConfig::new(2), |ctx| {
+        if ctx.rank() == 0 {
+            let req = ctx.isend(1, 7, Payload::F64(1.0), CommPhase::Other);
+            drop(req); // protocol bug: the request is never completed
+        } else {
+            ctx.recv(0, 7);
+        }
+    });
+}

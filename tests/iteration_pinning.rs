@@ -8,7 +8,7 @@
 //! (e.g. a different reduction *order* shifting a borderline iteration),
 //! re-pin them consciously in the same commit.
 
-use esr_suite::core::{run_bicgstab, run_pcg, Problem, SolverConfig};
+use esr_suite::core::{run_bicgstab, run_pcg, run_pipecg, Problem, SolverConfig};
 use esr_suite::parcomm::{CostModel, FailureScript};
 use esr_suite::sparsemat::gen::poisson2d;
 
@@ -25,6 +25,19 @@ fn pcg_iters(nodes: usize, grid: usize) -> usize {
     r.iterations
 }
 
+fn pipecg_iters(nodes: usize, grid: usize) -> usize {
+    let problem = Problem::with_ones_solution(poisson2d(grid, grid));
+    let r = run_pipecg(
+        &problem,
+        nodes,
+        &SolverConfig::reference(),
+        CostModel::default(),
+        FailureScript::none(),
+    );
+    assert!(r.converged, "reference pipelined PCG must converge");
+    r.iterations
+}
+
 #[test]
 fn pcg_reference_iteration_counts_are_pinned() {
     // Each N is its own pin: the block-Jacobi preconditioner blocks follow
@@ -33,6 +46,47 @@ fn pcg_reference_iteration_counts_are_pinned() {
     assert_eq!(pcg_iters(4, 16), 17);
     assert_eq!(pcg_iters(7, 16), 31);
     assert_eq!(pcg_iters(8, 16), 22);
+}
+
+#[test]
+fn pipecg_reference_iteration_counts_are_pinned() {
+    // The pipelined recurrences are a reformulation of the same Krylov
+    // method; on these well-conditioned problems they converge in exactly
+    // the blocking solver's iteration counts (17/31/22). A drift here means
+    // the recurrence restructuring changed the numerics.
+    assert_eq!(pipecg_iters(4, 16), 17);
+    assert_eq!(pipecg_iters(7, 16), 31);
+    assert_eq!(pipecg_iters(8, 16), 22);
+}
+
+#[test]
+fn pipecg_matches_blocking_pcg_converged_solution() {
+    let problem = Problem::with_ones_solution(poisson2d(16, 16));
+    let blocking = run_pcg(
+        &problem,
+        8,
+        &SolverConfig::reference(),
+        CostModel::default(),
+        FailureScript::none(),
+    );
+    let piped = run_pipecg(
+        &problem,
+        8,
+        &SolverConfig::reference(),
+        CostModel::default(),
+        FailureScript::none(),
+    );
+    assert!(blocking.converged && piped.converged);
+    let max_diff = blocking
+        .x
+        .iter()
+        .zip(&piped.x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(
+        max_diff < 1e-6,
+        "pipelined diverged from blocking: {max_diff}"
+    );
 }
 
 #[test]

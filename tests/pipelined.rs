@@ -1,0 +1,244 @@
+//! End-to-end tests for the resilient communication-hiding pipelined PCG:
+//! numerical agreement with the blocking solver, recovery from single,
+//! multiple-simultaneous, and overlapping failures, and the latency-hiding
+//! property on the overlap-aware virtual clock.
+
+use esr_core::{run_pcg, run_pipecg, Problem, SolverConfig};
+use parcomm::{CommPhase, CostModel, FailAt, FailureEvent, FailureScript};
+use sparsemat::gen::{poisson2d, poisson3d};
+
+fn max_err_ones(res: &esr_core::ExperimentResult) -> f64 {
+    res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max)
+}
+
+fn cost() -> CostModel {
+    CostModel::default()
+}
+
+#[test]
+fn failure_free_pipecg_matches_blocking_pcg() {
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    let blocking = run_pcg(
+        &problem,
+        6,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
+    let piped = run_pipecg(
+        &problem,
+        6,
+        &SolverConfig::reference(),
+        cost(),
+        FailureScript::none(),
+    );
+    assert!(blocking.converged && piped.converged);
+    // Same Krylov method up to rounding: iteration counts nearly agree and
+    // both reach the same solution.
+    assert!(
+        blocking.iterations.abs_diff(piped.iterations) <= 2,
+        "blocking {} vs pipelined {}",
+        blocking.iterations,
+        piped.iterations
+    );
+    let max_diff = blocking
+        .x
+        .iter()
+        .zip(&piped.x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    assert!(max_diff < 1e-6, "solutions diverged: {max_diff}");
+    assert!(max_err_ones(&piped) < 1e-6);
+}
+
+#[test]
+fn pipecg_overlap_reduces_exposed_reduction_time() {
+    // The point of the pipelined method: at sensible scale the reduction
+    // cost is (largely) hidden behind SpMV + preconditioner work, so the
+    // *exposed* reduction-phase time per iteration must come in strictly
+    // below blocking PCG's, which pays 2 full reductions per iteration.
+    let a = poisson2d(32, 32);
+    let problem = Problem::with_ones_solution(a);
+    for nodes in [8usize, 16] {
+        let blocking = run_pcg(
+            &problem,
+            nodes,
+            &SolverConfig::reference(),
+            cost(),
+            FailureScript::none(),
+        );
+        let piped = run_pipecg(
+            &problem,
+            nodes,
+            &SolverConfig::reference(),
+            cost(),
+            FailureScript::none(),
+        );
+        assert!(blocking.converged && piped.converged);
+        let eb = blocking.exposed_vtime_per_iter(CommPhase::Reduction);
+        let ep = piped.exposed_vtime_per_iter(CommPhase::Reduction);
+        assert!(
+            ep < eb,
+            "N={nodes}: pipelined exposed reduction {ep:.3e} !< blocking {eb:.3e}"
+        );
+        // And some reduction time was genuinely hidden behind compute.
+        let hidden = piped.hidden_vtime_per_iter(CommPhase::Reduction);
+        assert!(hidden > 0.0, "N={nodes}: no reduction time was hidden");
+    }
+}
+
+#[test]
+fn pipecg_survives_single_failure() {
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(5, 1, 1, 4);
+    let res = run_pipecg(&problem, 4, &SolverConfig::resilient(1), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.ranks_recovered, 1);
+    assert!(res.vtime_recovery > 0.0);
+    assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
+}
+
+#[test]
+fn pipecg_survives_three_simultaneous_failures() {
+    let a = poisson2d(14, 14);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(8, 2, 3, 7);
+    let res = run_pipecg(&problem, 7, &SolverConfig::resilient(3), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.ranks_recovered, 3);
+    assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
+}
+
+#[test]
+fn pipecg_failure_at_iteration_zero() {
+    // Edge case: no p(j-1), s, q, z exist yet; only x, r, u, w are live.
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(0, 1, 2, 6);
+    let res = run_pipecg(&problem, 6, &SolverConfig::resilient(2), cost(), script);
+    assert!(res.converged);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn pipecg_overlapping_failure_during_recovery() {
+    // A second node fails while the first reconstruction is in progress,
+    // at each of the four substep boundaries (restart with enlarged set).
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    for substep in 0..4 {
+        let script = FailureScript::new(vec![
+            FailureEvent {
+                when: FailAt::Iteration(6),
+                ranks: vec![2],
+            },
+            FailureEvent {
+                when: FailAt::RecoverySubstep {
+                    after_iteration: 6,
+                    substep,
+                },
+                ranks: vec![3],
+            },
+        ]);
+        let res = run_pipecg(&problem, 8, &SolverConfig::resilient(2), cost(), script);
+        assert!(res.converged, "substep={substep}");
+        assert_eq!(res.recoveries, 1, "substep={substep}");
+        assert_eq!(res.ranks_recovered, 2, "substep={substep}");
+        assert!(
+            max_err_ones(&res) < 1e-6,
+            "substep={substep} err={}",
+            max_err_ones(&res)
+        );
+    }
+}
+
+#[test]
+fn pipecg_two_separate_failure_events() {
+    // Redundancy self-heals after each recovery: a later event is
+    // recoverable even with φ=1.
+    let a = poisson2d(16, 16);
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::new(vec![
+        FailureEvent {
+            when: FailAt::Iteration(4),
+            ranks: vec![2],
+        },
+        FailureEvent {
+            when: FailAt::Iteration(11),
+            ranks: vec![5],
+        },
+    ]);
+    let res = run_pipecg(&problem, 8, &SolverConfig::resilient(1), cost(), script);
+    assert!(res.converged);
+    assert_eq!(res.recoveries, 2);
+    assert_eq!(res.ranks_recovered, 2);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn pipecg_reconstructed_state_matches_failure_free_trajectory() {
+    // ESR is *exact*: with failures the solver converges in (almost) the
+    // same iterations to (almost) the same solution as the clean run —
+    // the same tolerance contract the blocking ESR tests use.
+    let a = poisson3d(8, 8, 8);
+    let problem = Problem::with_random_rhs(a, 42);
+    let clean = run_pipecg(
+        &problem,
+        8,
+        &SolverConfig::resilient(3),
+        cost(),
+        FailureScript::none(),
+    );
+    let script = FailureScript::simultaneous(10, 3, 3, 8);
+    let failed = run_pipecg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
+    assert!(clean.converged && failed.converged);
+    assert!(
+        clean.iterations.abs_diff(failed.iterations) <= 2,
+        "clean {} vs failed {}",
+        clean.iterations,
+        failed.iterations
+    );
+    let max_diff = clean
+        .x
+        .iter()
+        .zip(&failed.x)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max);
+    let scale = clean.x.iter().map(|v| v.abs()).fold(0.0, f64::max);
+    assert!(
+        max_diff / scale < 1e-6,
+        "solutions diverged: {max_diff} (scale {scale})"
+    );
+}
+
+#[test]
+fn pipecg_uneven_partition_with_failures() {
+    let a = poisson2d(13, 11); // n = 143 over 7 nodes
+    let problem = Problem::with_ones_solution(a);
+    let script = FailureScript::simultaneous(5, 0, 2, 7);
+    let res = run_pipecg(&problem, 7, &SolverConfig::resilient(2), cost(), script);
+    assert!(res.converged);
+    assert!(max_err_ones(&res) < 1e-6);
+}
+
+#[test]
+fn pipecg_rejects_explicit_p() {
+    use esr_core::PrecondConfig;
+    use precond::{BlockJacobi, BlockSolver};
+    use std::sync::Arc;
+    let a = poisson2d(8, 8);
+    let bj = BlockJacobi::with_blocks(&a, 4, BlockSolver::ExactLdl).unwrap();
+    let p = bj.to_explicit_inverse(&a);
+    let problem = Problem::with_ones_solution(a);
+    let cfg = SolverConfig {
+        precond: PrecondConfig::ExplicitP(Arc::new(p)),
+        ..SolverConfig::reference()
+    };
+    let result =
+        std::panic::catch_unwind(|| run_pipecg(&problem, 4, &cfg, cost(), FailureScript::none()));
+    assert!(result.is_err(), "ExplicitP must be rejected loudly");
+}

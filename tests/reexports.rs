@@ -75,6 +75,30 @@ fn every_precond_variant_constructs_through_public_paths() {
 }
 
 #[test]
+fn nonblocking_api_reaches_through_umbrella_paths() {
+    // The request handles and the pipelined solver are public surface; a
+    // dropped re-export must break here, not only in the examples.
+    use esr_suite::parcomm::{Cluster, ClusterConfig, ReduceOp};
+    let out = Cluster::run(ClusterConfig::new(3), |ctx| {
+        let req: esr_suite::parcomm::AllreduceRequest =
+            ctx.iallreduce_vec(ReduceOp::Sum, vec![1.0]);
+        req.wait(ctx)[0]
+    });
+    assert!(out.iter().all(|&v| v == 3.0));
+
+    let a = esr_suite::sparsemat::gen::poisson2d(8, 8);
+    let problem = Problem::with_ones_solution(a);
+    let result = esr_suite::core::run_pipecg(
+        &problem,
+        4,
+        &SolverConfig::reference(),
+        CostModel::default(),
+        FailureScript::none(),
+    );
+    assert!(result.converged);
+}
+
+#[test]
 fn resilient_solve_through_umbrella_paths_only() {
     // A miniature version of the crate-level doctest, kept as a plain test
     // so the public API contract is enforced even when doctests are skipped.
