@@ -1,5 +1,5 @@
 //! Machine-readable perf report: `BENCH_comm.json` + `BENCH_pcg.json` +
-//! `BENCH_pipecg.json`.
+//! `BENCH_pipecg.json` + `BENCH_recovery.json`.
 //!
 //! Establishes the performance trajectory of the communication hot path so
 //! this and every future PR has a number attached. Three artifacts land in
@@ -16,6 +16,10 @@
 //!   iteration and the exposed/hidden reduction time per iteration. At
 //!   N ≥ 16 the pipelined solver's exposed reduction time must come in
 //!   strictly below blocking PCG's (asserted here, so CI gates on it).
+//! * **`BENCH_recovery.json`** — the recovery-policy comparison
+//!   (replace / undersized spare pool / shrink): recovery virtual time,
+//!   reconstruction traffic, retired-node count, and post-recovery
+//!   iterations for the same ψ = 2 failure event at N ≤ 16.
 //!
 //! `BENCH_comm`/`BENCH_pcg` embed the pre-overhaul numbers
 //! (reduce-to-root + broadcast all-reduce, 3 reductions per PCG iteration)
@@ -28,7 +32,7 @@
 use std::time::Instant;
 
 use esr_bench::{write_json, BenchConfig};
-use esr_core::{run_pcg, run_pipecg, ExperimentResult, SolverConfig};
+use esr_core::{run_pcg, run_pipecg, ExperimentResult, RecoveryPolicy, SolverConfig};
 use parcomm::comm::ReduceOp;
 use parcomm::{Cluster, ClusterConfig, CommPhase, FailureScript};
 use sparsemat::gen::suite::PaperMatrix;
@@ -266,6 +270,73 @@ fn pipecg_report(
     )
 }
 
+/// The recovery-policy comparison (`BENCH_recovery.json`): the same
+/// ψ-failure event handled by every [`RecoveryPolicy`] — in-place
+/// replacement, an *undersized* spare pool (1 spare for ψ = 2, so one
+/// subdomain is replaced and one adopted), and pure shrink. Reports the
+/// recovery cost (virtual time, reconstruction traffic) and the
+/// post-recovery iteration count, which shows what continuing on N − ψ
+/// ranks with merged preconditioner blocks does to convergence.
+fn recovery_report(
+    cfgb: &BenchConfig,
+    nodes: &[usize],
+    blocking_results: &[(usize, ExperimentResult)],
+) -> String {
+    const PSI: usize = 2;
+    const PHI: usize = 2;
+    let policies: [(&str, RecoveryPolicy); 3] = [
+        ("replace", RecoveryPolicy::Replace),
+        ("spares(1)", RecoveryPolicy::Spares(1)),
+        ("shrink", RecoveryPolicy::Shrink),
+    ];
+    let mut cases = Vec::new();
+    for &n in nodes.iter().filter(|&&n| (4..=16).contains(&n)) {
+        let problem = cfgb.problem(PaperMatrix::M1);
+        let ref_iters = blocking_results
+            .iter()
+            .find(|(bn, _)| *bn == n)
+            .expect("pcg_report covers the same node list")
+            .1
+            .iterations;
+        let fail_at = (ref_iters as u64 / 2).max(1);
+        let mut rows = Vec::new();
+        for (label, policy) in policies {
+            let cfg = SolverConfig::resilient_with_policy(PHI, policy);
+            let script = FailureScript::simultaneous(fail_at, n / 2, PSI, n);
+            let r = run_pcg(&problem, n, &cfg, cfgb.cost, script);
+            assert!(r.converged, "{label} must converge (N={n})");
+            let post = r.iterations as u64 - fail_at;
+            rows.push(format!(
+                r#"      {{"policy": "{label}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}}}"#,
+                r.iterations,
+                json_f(r.vtime_recovery),
+                json_f(r.vtime),
+                r.retired_nodes(),
+                r.stats.msgs(CommPhase::Recovery),
+                r.stats.elems(CommPhase::Recovery),
+            ));
+            println!(
+                "recovery N={n:3} {label:10}  iters {:3} (post-fail {post:3})  t_rec {:.3e}s  retired {}",
+                r.iterations,
+                r.vtime_recovery,
+                r.retired_nodes()
+            );
+        }
+        cases.push(format!(
+            "    {{\"nodes\": {n}, \"psi\": {PSI}, \"phi\": {PHI}, \"fail_at_iteration\": {fail_at}, \"policies\": [\n{}\n    ]}}",
+            rows.join(",\n")
+        ));
+    }
+    format!(
+        "{{\n  \"schema\": \"esr-bench/recovery/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of reference progress\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_f(cfgb.scale),
+        json_f(cfgb.cost.lambda),
+        json_f(cfgb.cost.mu),
+        json_f(cfgb.cost.gamma),
+        cases.join(",\n")
+    )
+}
+
 fn main() {
     let cfgb = BenchConfig::from_env();
     let nodes = report_nodes();
@@ -276,5 +347,9 @@ fn main() {
     write_json(
         "BENCH_pipecg.json",
         &pipecg_report(&cfgb, &nodes, &pcg_results),
+    );
+    write_json(
+        "BENCH_recovery.json",
+        &recovery_report(&cfgb, &nodes, &pcg_results),
     );
 }

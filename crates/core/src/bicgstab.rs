@@ -259,6 +259,7 @@ pub fn esr_bicgstab_node(
         ranks_recovered,
         stats: ctx.stats().clone(),
         vtime_setup,
+        retired: false,
     }
 }
 

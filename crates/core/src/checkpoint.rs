@@ -353,6 +353,7 @@ pub fn cr_pcg_node(
         ranks_recovered,
         stats: ctx.stats().clone(),
         vtime_setup,
+        retired: false,
     }
 }
 

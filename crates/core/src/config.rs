@@ -89,6 +89,33 @@ impl Default for RecoveryConfig {
     }
 }
 
+/// What the cluster does with the subdomains of failed nodes.
+///
+/// The paper assumes ULFM hands every failed rank a replacement node
+/// (Sec. 1.1.1, Sec. 6) — but replacement capacity is exactly what a real
+/// machine may lack after multiple node failures (Pachajoa et al.,
+/// arXiv:2007.04066). The policy decides:
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RecoveryPolicy {
+    /// The paper's model: every failed rank gets a replacement node that
+    /// rebuilds the lost subdomain in place. Cluster size never changes.
+    #[default]
+    Replace,
+    /// A finite pool of `k` hot spares managed by the cluster
+    /// ([`parcomm::cluster::SparePool`]). Each failed rank consumes one
+    /// spare and is replaced in place; once the pool runs dry, the
+    /// uncovered failed subdomains are *adopted* by surviving nodes and
+    /// the cluster continues shrunken (the [`RecoveryPolicy::Shrink`]
+    /// fallback).
+    Spares(usize),
+    /// No replacement capacity at all: surviving nodes adopt the failed
+    /// subdomains (reconstructing them from the retained `p(j)/p(j−1)`
+    /// copies) and the solve continues on `N − ψ` ranks with a non-uniform
+    /// block partition, a shrunken communicator, and re-derived redundancy
+    /// targets for the surviving ring.
+    Shrink,
+}
+
 /// Resilience configuration: how many simultaneous failures to tolerate.
 #[derive(Clone, Debug)]
 pub struct ResilienceConfig {
@@ -99,16 +126,26 @@ pub struct ResilienceConfig {
     pub strategy: BackupStrategy,
     /// Reconstruction parameters.
     pub recovery: RecoveryConfig,
+    /// What happens to a failed node's subdomain (replacement node,
+    /// finite spare pool, or adoption by survivors).
+    pub policy: RecoveryPolicy,
 }
 
 impl ResilienceConfig {
-    /// The paper's configuration for a given `φ`.
+    /// The paper's configuration for a given `φ` (in-place replacement).
     pub fn paper(phi: usize) -> Self {
         ResilienceConfig {
             phi,
             strategy: BackupStrategy::Minimal,
             recovery: RecoveryConfig::default(),
+            policy: RecoveryPolicy::Replace,
         }
+    }
+
+    /// Same, with an explicit recovery policy.
+    pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 }
 
@@ -145,6 +182,14 @@ impl SolverConfig {
             ..SolverConfig::reference()
         }
     }
+
+    /// Resilient configuration with an explicit recovery policy.
+    pub fn resilient_with_policy(phi: usize, policy: RecoveryPolicy) -> Self {
+        SolverConfig {
+            resilience: Some(ResilienceConfig::paper(phi).with_policy(policy)),
+            ..SolverConfig::reference()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +207,18 @@ mod tests {
         assert_eq!(res.strategy, BackupStrategy::Minimal);
         assert_eq!(res.recovery.inner_rel_tol, 1e-14);
         assert!(res.recovery.exact_block_precond);
+        // The paper's model is in-place replacement; the default must stay
+        // Replace so existing pinned trajectories are untouched.
+        assert_eq!(res.policy, RecoveryPolicy::Replace);
+    }
+
+    #[test]
+    fn policy_presets() {
+        let s = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Spares(3));
+        assert_eq!(s.resilience.unwrap().policy, RecoveryPolicy::Spares(3));
+        let s = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Shrink);
+        assert_eq!(s.resilience.unwrap().policy, RecoveryPolicy::Shrink);
+        assert_eq!(RecoveryPolicy::default(), RecoveryPolicy::Replace);
     }
 
     #[test]

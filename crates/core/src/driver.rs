@@ -8,7 +8,7 @@ use parcomm::{Cluster, ClusterConfig, CommStats, CostModel, FailureScript};
 use sparsemat::vecops::norm2;
 use sparsemat::Csr;
 
-use crate::config::SolverConfig;
+use crate::config::{RecoveryPolicy, SolverConfig};
 use crate::pcg::{esr_pcg_node, NodeOutcome};
 
 /// A linear system `A x = b` with `A` SPD.
@@ -83,9 +83,31 @@ pub struct ExperimentResult {
 }
 
 impl ExperimentResult {
-    /// Relative residual reduction achieved.
+    /// The canonical node outcome for solve-level scalars: the first node
+    /// that finished the solve (never a retired one — a node that left the
+    /// cluster mid-solve carries stale iteration/convergence state).
+    fn canonical(per_node: &[NodeOutcome]) -> &NodeOutcome {
+        per_node
+            .iter()
+            .find(|o| !o.retired)
+            .expect("at least one node survives the solve")
+    }
+
+    /// Divide a per-solve total by the iteration count, returning 0.0 for
+    /// the converged-at-`x0` case (`iterations == 0`) instead of NaN —
+    /// 0/0 would otherwise poison bench JSON with `NaN`.
+    fn per_iter(&self, total: f64) -> f64 {
+        if self.iterations == 0 {
+            0.0
+        } else {
+            total / self.iterations as f64
+        }
+    }
+
+    /// Relative residual reduction achieved (0.0 when the initial guess
+    /// already solved the system).
     pub fn relative_residual(&self) -> f64 {
-        let r0 = self.per_node[0].initial_residual_norm;
+        let r0 = Self::canonical(&self.per_node).initial_residual_norm;
         if r0 == 0.0 {
             0.0
         } else {
@@ -99,30 +121,40 @@ impl ExperimentResult {
     /// metric the pipelined-vs-blocking comparison gates on — defined
     /// once here so the bench, tests, and examples measure the same thing.
     pub fn exposed_vtime_per_iter(&self, phase: parcomm::CommPhase) -> f64 {
-        self.per_node
-            .iter()
-            .map(|o| o.stats.exposed_vtime(phase))
-            .fold(0.0, f64::max)
-            / self.iterations as f64
+        self.per_iter(
+            self.per_node
+                .iter()
+                .map(|o| o.stats.exposed_vtime(phase))
+                .fold(0.0, f64::max),
+        )
     }
 
     /// Critical-path stalled (wait-only) time per iteration in `phase`.
     pub fn wait_vtime_per_iter(&self, phase: parcomm::CommPhase) -> f64 {
-        self.per_node
-            .iter()
-            .map(|o| o.stats.wait_vtime(phase))
-            .fold(0.0, f64::max)
-            / self.iterations as f64
+        self.per_iter(
+            self.per_node
+                .iter()
+                .map(|o| o.stats.wait_vtime(phase))
+                .fold(0.0, f64::max),
+        )
     }
 
     /// Critical-path **hidden** communication time per iteration in
     /// `phase` (non-blocking flight time overlapped by compute).
     pub fn hidden_vtime_per_iter(&self, phase: parcomm::CommPhase) -> f64 {
-        self.per_node
-            .iter()
-            .map(|o| o.stats.hidden_vtime(phase))
-            .fold(0.0, f64::max)
-            / self.iterations as f64
+        self.per_iter(
+            self.per_node
+                .iter()
+                .map(|o| o.stats.hidden_vtime(phase))
+                .fold(0.0, f64::max),
+        )
+    }
+
+    /// Number of nodes that retired mid-solve (left the cluster because no
+    /// replacement was available; their subdomains were adopted). Always 0
+    /// under [`RecoveryPolicy::Replace`].
+    pub fn retired_nodes(&self) -> usize {
+        self.per_node.iter().filter(|o| o.retired).count()
     }
 }
 
@@ -148,6 +180,7 @@ pub fn run_pipecg(
     cost: CostModel,
     script: FailureScript,
 ) -> ExperimentResult {
+    require_replace_policy(cfg, "pipelined PCG");
     run_with(
         problem,
         nodes,
@@ -158,6 +191,21 @@ pub fn run_pipecg(
     )
 }
 
+/// The spare-pool and shrink policies are implemented for the blocking PCG
+/// solver ([`run_pcg`]); the other node programs assume the full cluster
+/// outlives the solve. Reject the configuration up front instead of
+/// silently running with in-place replacement.
+fn require_replace_policy(cfg: &SolverConfig, what: &str) {
+    if let Some(res) = &cfg.resilience {
+        assert!(
+            res.policy == RecoveryPolicy::Replace,
+            "RecoveryPolicy::{:?} is only implemented for the blocking PCG solver (run_pcg); \
+             {what} supports RecoveryPolicy::Replace only",
+            res.policy
+        );
+    }
+}
+
 /// Run (resilient) preconditioned BiCGSTAB (paper Sec. 1 extension).
 pub fn run_bicgstab(
     problem: &Problem,
@@ -166,6 +214,7 @@ pub fn run_bicgstab(
     cost: CostModel,
     script: FailureScript,
 ) -> ExperimentResult {
+    require_replace_policy(cfg, "BiCGSTAB");
     run_with(
         problem,
         nodes,
@@ -185,6 +234,7 @@ pub fn run_jacobi(
     cost: CostModel,
     script: FailureScript,
 ) -> ExperimentResult {
+    require_replace_policy(cfg, "the Jacobi iteration");
     run_with(
         problem,
         nodes,
@@ -205,6 +255,7 @@ pub fn run_checkpoint_restart(
     cost: CostModel,
     script: FailureScript,
 ) -> ExperimentResult {
+    require_replace_policy(cfg, "checkpoint/restart");
     let cr = cr.clone();
     run_with(problem, nodes, cfg, cost, script, move |ctx, a, b, cfg| {
         crate::checkpoint::cr_pcg_node(ctx, a, b, cfg, &cr)
@@ -225,14 +276,22 @@ where
     let a = problem.a.clone();
     let b = problem.b.clone();
     let cfg = cfg.clone();
+    // A Spares policy provisions the cluster's hot-spare pool; the node
+    // programs consume it through `NodeCtx::spare_pool`.
+    let spares = match cfg.resilience.as_ref().map(|r| r.policy) {
+        Some(RecoveryPolicy::Spares(k)) => k,
+        _ => 0,
+    };
     let cluster_cfg = ClusterConfig::new(nodes)
         .with_cost(cost)
-        .with_script(script);
+        .with_script(script)
+        .with_spares(spares);
     let start = Instant::now();
     let per_node = Cluster::run(cluster_cfg, move |ctx| node_program(ctx, &a, &b, &cfg));
     let wall = start.elapsed();
 
-    // Assemble the global solution in rank order.
+    // Assemble the global solution in rank order (retired nodes own no
+    // rows; adopters cover the gaps with their widened blocks).
     let mut x = vec![0.0; problem.n()];
     for o in &per_node {
         x[o.range_start..o.range_start + o.x_loc.len()].copy_from_slice(&o.x_loc);
@@ -244,7 +303,10 @@ where
         *ri = bi - *ri;
     }
     let true_residual = norm2(&resid);
-    let solver_residual = per_node[0].residual_norm;
+    // Solve-level scalars come from a node that finished the solve — a
+    // retired node's values froze when it left the cluster.
+    let canon = ExperimentResult::canonical(&per_node);
+    let solver_residual = canon.residual_norm;
     let residual_deviation = if true_residual > 0.0 {
         (solver_residual - true_residual) / true_residual
     } else {
@@ -263,8 +325,8 @@ where
     let vtime_setup = per_node.iter().map(|o| o.vtime_setup).fold(0.0, f64::max);
 
     ExperimentResult {
-        iterations: per_node[0].iterations,
-        converged: per_node[0].converged,
+        iterations: canon.iterations,
+        converged: canon.converged,
         solver_residual,
         true_residual,
         residual_deviation,
@@ -273,8 +335,8 @@ where
         vtime_setup,
         wall,
         stats,
-        recoveries: per_node[0].recoveries,
-        ranks_recovered: per_node[0].ranks_recovered,
+        recoveries: canon.recoveries,
+        ranks_recovered: canon.ranks_recovered,
         x,
         per_node,
     }

@@ -40,10 +40,13 @@ pub mod recovery;
 pub mod redundancy;
 pub mod retention;
 pub mod scatter;
+pub(crate) mod shrink;
 pub mod stationary;
 
 pub use checkpoint::CrConfig;
-pub use config::{BackupStrategy, PrecondConfig, RecoveryConfig, ResilienceConfig, SolverConfig};
+pub use config::{
+    BackupStrategy, PrecondConfig, RecoveryConfig, RecoveryPolicy, ResilienceConfig, SolverConfig,
+};
 pub use driver::{
     run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, run_pipecg, ExperimentResult,
     Problem,

@@ -23,13 +23,14 @@ use parcomm::{CommStats, FailAt, NodeCtx};
 use sparsemat::vecops::{axpy, dot, xpay};
 use sparsemat::{BlockPartition, Csr};
 
-use crate::config::SolverConfig;
+use crate::config::{PrecondConfig, RecoveryPolicy, SolverConfig};
 use crate::localmat::LocalMatrix;
 use crate::precsetup::NodePrecond;
 use crate::recovery::{self, RecoveryEnv, SolverState};
 use crate::redundancy;
 use crate::retention::Retention;
 use crate::scatter::ScatterPlan;
+use crate::shrink::{self, AdoptEnv, AdoptState, Layout, PolicyOutcome};
 
 /// Per-node result of a distributed solve.
 #[derive(Clone, Debug)]
@@ -60,6 +61,10 @@ pub struct NodeOutcome {
     pub stats: CommStats,
     /// Virtual time of the setup phase (plans, factorizations).
     pub vtime_setup: f64,
+    /// True if this node failed with no replacement available and left the
+    /// cluster (its subdomain was adopted by a survivor; `x_loc` is empty).
+    /// Always `false` under [`crate::config::RecoveryPolicy::Replace`].
+    pub retired: bool,
 }
 
 /// The SPMD node program: solve `A x = b` with (optionally resilient) PCG.
@@ -76,6 +81,18 @@ pub fn esr_pcg_node(
     assert_eq!(b.len(), n, "rhs length");
     let rank = ctx.rank();
     let part = BlockPartition::new(n, ctx.size());
+    let policy = cfg
+        .resilience
+        .as_ref()
+        .map_or(RecoveryPolicy::Replace, |res| res.policy);
+    if policy != RecoveryPolicy::Replace {
+        assert!(
+            !matches!(cfg.precond, PrecondConfig::ExplicitP(_)),
+            "RecoveryPolicy::{policy:?} requires a block-diagonal (M-given) preconditioner: \
+             the P-given reconstruction gathers over the full cluster, which a shrunken \
+             cluster no longer has. Use RecoveryPolicy::Replace with ExplicitP."
+        );
+    }
 
     // ---- setup: local rows, communication plans, preconditioner --------
     let lm = LocalMatrix::build(a, &part, rank);
@@ -91,24 +108,35 @@ pub fn esr_pcg_node(
         );
         plan.announce_extras(ctx);
     }
-    let mut retention = Retention::build(&plan, &lm.ghost_cols);
-    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
+    let retention = Retention::build(&plan, &lm.ghost_cols);
+    let prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
         .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    let mut layout = Layout {
+        part,
+        lm,
+        plan,
+        retention,
+        prec,
+        members: (0..ctx.size()).collect(),
+        my_slot: rank,
+        group: None,
+    };
     ctx.barrier();
     let vtime_setup = ctx.vtime();
     ctx.reset_metrics();
 
     // ---- initial state: x(0) = 0 ---------------------------------------
-    let nloc = lm.n_local();
-    let range = lm.range.clone();
-    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let nloc = layout.lm.n_local();
+    let range = layout.lm.range.clone();
+    let mut b_loc: Vec<f64> = b[range.clone()].to_vec();
     let mut x = vec![0.0; nloc];
     let mut r = b_loc.clone(); // r(0) = b − A·0
     let mut z = vec![0.0; nloc];
-    prec.apply(ctx, &r, &mut z);
+    layout.prec.apply(ctx, &r, &mut z);
     let mut p = z.clone(); // p(0) = z(0)
-    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+    let mut ghosts = vec![0.0; layout.lm.ghost_cols.len()];
     let mut u = vec![0.0; nloc];
+    let mut pool = ctx.spare_pool();
 
     ctx.clock_mut().advance_flops(4 * nloc);
     // ‖r(0)‖² and r(0)ᵀz(0) travel in one fused length-2 all-reduce.
@@ -119,9 +147,11 @@ pub fn esr_pcg_node(
     let mut rz = init[1];
     let mut beta_prev = 0.0f64;
 
+    let mut nloc = nloc;
     let mut iterations = 0usize;
     let mut residual_sq = r0_sq;
     let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut retired = false;
     let mut vtime_recovery = 0.0f64;
     let mut recoveries = 0usize;
     let mut ranks_recovered = 0usize;
@@ -138,54 +168,109 @@ pub fn esr_pcg_node(
         // (and identically on the post-recovery restart, which re-scatters
         // the recovered p(j) and thereby restores lost redundancy).
         if resilient {
-            retention.rotate();
-            plan.exchange(ctx, &p, &mut ghosts, Some(&mut retention));
-            retention.finish_generation();
+            layout.retention.rotate();
+            layout
+                .plan
+                .exchange(ctx, &p, &mut ghosts, Some(&mut layout.retention));
+            layout.retention.finish_generation();
         } else {
-            plan.exchange(ctx, &p, &mut ghosts, None);
+            layout.plan.exchange(ctx, &p, &mut ghosts, None);
         }
 
         // ULFM failure boundary (paper Sec. 1.1.1): consistent notification.
+        // Events naming ranks that already retired in an earlier shrink are
+        // inert — that hardware is gone.
         if resilient && !handled_iter.contains(&j) {
             handled_iter.insert(j);
-            let failed = ctx.poll_failures(FailAt::Iteration(j));
+            let failed: Vec<usize> = ctx
+                .poll_failures(FailAt::Iteration(j))
+                .into_iter()
+                .filter(|f| layout.members.binary_search(f).is_ok())
+                .collect();
             if !failed.is_empty() {
                 let t0 = ctx.vtime();
                 let res = cfg.resilience.as_ref().unwrap();
-                let env = RecoveryEnv {
-                    a,
-                    b_loc: &b_loc,
-                    part: &part,
-                    lm: &lm,
-                    cfg: &res.recovery,
-                    iteration: j,
-                    has_prev: j > 0,
-                };
-                let mut st = SolverState {
-                    x: &mut x,
-                    r: &mut r,
-                    z: &mut z,
-                    p: &mut p,
-                    ghosts: &mut ghosts,
-                    retention: &mut retention,
-                    beta_prev: &mut beta_prev,
-                };
-                let report = recovery::recover(
-                    ctx,
-                    &env,
-                    &mut prec,
-                    &failed,
-                    &mut handled_sub,
-                    &mut recovery_seq,
-                    &mut st,
-                );
-                recoveries += 1;
-                ranks_recovered += report.total_failed;
-                vtime_recovery += ctx.vtime() - t0;
+                if policy == RecoveryPolicy::Replace {
+                    // The paper's model: in-place replacement nodes, the
+                    // cluster never shrinks (members stay the full world).
+                    let env = RecoveryEnv {
+                        a,
+                        b_loc: &b_loc,
+                        part: &layout.part,
+                        lm: &layout.lm,
+                        cfg: &res.recovery,
+                        iteration: j,
+                        has_prev: j > 0,
+                    };
+                    let mut st = SolverState {
+                        x: &mut x,
+                        r: &mut r,
+                        z: &mut z,
+                        p: &mut p,
+                        ghosts: &mut ghosts,
+                        retention: &mut layout.retention,
+                        beta_prev: &mut beta_prev,
+                    };
+                    let report = recovery::recover(
+                        ctx,
+                        &env,
+                        &mut layout.prec,
+                        &failed,
+                        &mut handled_sub,
+                        &mut recovery_seq,
+                        &mut st,
+                    );
+                    recoveries += 1;
+                    ranks_recovered += report.total_failed;
+                    vtime_recovery += ctx.vtime() - t0;
+                } else {
+                    // Finite spare pool / no spares: replaced subdomains
+                    // rebuild in place, uncovered ones are adopted and the
+                    // cluster continues shrunken.
+                    let env = AdoptEnv {
+                        a,
+                        b,
+                        res,
+                        precond: &cfg.precond,
+                        iteration: j,
+                        has_prev: j > 0,
+                    };
+                    let mut st = AdoptState {
+                        x: &mut x,
+                        r: &mut r,
+                        z: &mut z,
+                        p: &mut p,
+                        ghosts: &mut ghosts,
+                        b_loc: &mut b_loc,
+                        beta_prev: &mut beta_prev,
+                    };
+                    match shrink::recover_with_adoption(
+                        ctx,
+                        &env,
+                        &mut layout,
+                        &mut st,
+                        &failed,
+                        &mut handled_sub,
+                        &mut recovery_seq,
+                        &mut pool,
+                    ) {
+                        PolicyOutcome::Retired => {
+                            retired = true;
+                            break;
+                        }
+                        PolicyOutcome::Recovered(report) => {
+                            recoveries += 1;
+                            ranks_recovered += report.total_failed;
+                            vtime_recovery += ctx.vtime() - t0;
+                            nloc = layout.lm.n_local();
+                            u = vec![0.0; nloc];
+                        }
+                    }
+                }
                 // rz must be re-established (replacements recompute their
                 // share); bitwise identical on survivors' data.
                 ctx.clock_mut().advance_flops(2 * nloc);
-                rz = ctx.allreduce_sum(dot(&r, &z));
+                rz = layout.allreduce_sum(ctx, dot(&r, &z));
                 // Restart the interrupted iteration: re-scatter p(j) (also
                 // restores redundancy and replacement ghosts).
                 continue;
@@ -193,12 +278,12 @@ pub fn esr_pcg_node(
         }
 
         // u = A p(j)  (local part; ghosts already exchanged)
-        lm.spmv(&p, &ghosts, &mut u);
-        ctx.clock_mut().advance_flops(lm.spmv_flops());
+        layout.lm.spmv(&p, &ghosts, &mut u);
+        ctx.clock_mut().advance_flops(layout.lm.spmv_flops());
 
         // α(j) = r(j)ᵀz(j) / p(j)ᵀAp(j)   [Alg. 1 line 3]
         ctx.clock_mut().advance_flops(2 * nloc);
-        let pap = ctx.allreduce_sum(dot(&p, &u));
+        let pap = layout.allreduce_sum(ctx, dot(&p, &u));
         if pap <= 0.0 || !pap.is_finite() {
             panic!("rank {rank}: PCG breakdown at iteration {j} (pᵀAp = {pap})");
         }
@@ -216,9 +301,9 @@ pub fn esr_pcg_node(
         // (converging) iteration is discarded work, but a full reduction
         // round is saved on every other iteration, and per Sec. 4.2 the
         // rounds dominate: λ ≫ µ at the reduction's message sizes.
-        prec.apply(ctx, &r, &mut z); // line 6
+        layout.prec.apply(ctx, &r, &mut z); // line 6
         ctx.clock_mut().advance_flops(4 * nloc);
-        let rr_rz = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&r, &r), dot(&r, &z)]);
+        let rr_rz = layout.allreduce_vec(ctx, ReduceOp::Sum, vec![dot(&r, &r), dot(&r, &z)]);
         residual_sq = rr_rz[0];
         if residual_sq <= target_sq {
             converged = true;
@@ -231,10 +316,30 @@ pub fn esr_pcg_node(
         ctx.clock_mut().advance_flops(2 * nloc);
     }
 
+    if retired {
+        // This node left the cluster mid-solve; it owns no rows and its
+        // last known scalars are stale (the survivors finish the solve).
+        return NodeOutcome {
+            rank,
+            x_loc: Vec::new(),
+            range_start: 0,
+            iterations,
+            residual_norm: residual_sq.sqrt(),
+            initial_residual_norm: r0_norm,
+            converged: false,
+            vtime_total: ctx.vtime(),
+            vtime_recovery,
+            recoveries,
+            ranks_recovered,
+            stats: ctx.stats().clone(),
+            vtime_setup,
+            retired: true,
+        };
+    }
     NodeOutcome {
         rank,
         x_loc: x,
-        range_start: range.start,
+        range_start: layout.lm.range.start,
         iterations,
         residual_norm: residual_sq.sqrt(),
         initial_residual_norm: r0_norm,
@@ -245,5 +350,6 @@ pub fn esr_pcg_node(
         ranks_recovered,
         stats: ctx.stats().clone(),
         vtime_setup,
+        retired: false,
     }
 }

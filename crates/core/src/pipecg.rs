@@ -276,5 +276,6 @@ pub fn esr_pipecg_node(
         ranks_recovered,
         stats: ctx.stats().clone(),
         vtime_setup,
+        retired: false,
     }
 }

@@ -43,11 +43,11 @@ use crate::retention::{Gen, Retention};
 // from an aborted attempt can never be confused with a later one.
 const TAG_STRIDE: u32 = 16;
 const TAG_BASE: u32 = 1 << 16;
-const OFF_BETA: u32 = 0;
-const OFF_PCUR: u32 = 1;
-const OFF_PPREV: u32 = 2;
-const OFF_REQ_X: u32 = 3;
-const OFF_RESP_X: u32 = 4;
+pub(crate) const OFF_BETA: u32 = 0;
+pub(crate) const OFF_PCUR: u32 = 1;
+pub(crate) const OFF_PPREV: u32 = 2;
+pub(crate) const OFF_REQ_X: u32 = 3;
+pub(crate) const OFF_RESP_X: u32 = 4;
 const OFF_REQ_R: u32 = 5;
 const OFF_RESP_R: u32 = 6;
 
@@ -315,7 +315,8 @@ pub fn recover(
 /// `(global index, value)` pair lists sent by every survivor. Panics on a
 /// coverage gap when `required` (more simultaneous failures than φ);
 /// returns `None` on a gap otherwise (e.g. no `p(j-1)` exists yet at
-/// iteration 0). Shared by the blocking and pipelined recovery protocols.
+/// iteration 0). Shared by the blocking and pipelined recovery protocols;
+/// the adoption protocol uses the [`assemble_range`] generalization.
 pub(crate) fn assemble_block(
     ctx: &mut NodeCtx,
     failed: &[usize],
@@ -325,25 +326,55 @@ pub(crate) fn assemble_block(
     what: &str,
     required: bool,
 ) -> Option<Vec<f64>> {
-    let mut vals = vec![0.0; nloc];
-    let mut got = vec![false; nloc];
-    for s in 0..ctx.size() {
-        if failed.binary_search(&s).is_ok() {
-            continue;
-        }
-        for (g, v) in ctx.recv_phase(s, tag, CommPhase::Recovery).into_pairs() {
-            let o = g as usize - my_start;
+    let survivors: Vec<usize> = (0..ctx.size())
+        .filter(|s| failed.binary_search(s).is_err())
+        .collect();
+    let range = my_start..my_start + nloc;
+    let me = ctx.rank();
+    assemble_range(ctx, &survivors, me, Vec::new(), &range, tag, what, required)
+}
+
+/// Assemble one failed block over `range` from the `(global index, value)`
+/// pair lists sent by every survivor except the receiver itself, seeded
+/// with the receiver's own retained pairs (`own`, empty on a replacement
+/// node whose retention is lost). The generalization that lets an
+/// *adopter* — a survivor reconstructing a block it never owned — reuse
+/// the replacement-side assembly.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn assemble_range(
+    ctx: &mut NodeCtx,
+    survivors: &[usize],
+    me: usize,
+    own: Vec<(u64, f64)>,
+    range: &std::ops::Range<usize>,
+    tag: u32,
+    what: &str,
+    required: bool,
+) -> Option<Vec<f64>> {
+    let blen = range.len();
+    let mut vals = vec![0.0; blen];
+    let mut got = vec![false; blen];
+    let put = |pairs: Vec<(u64, f64)>, vals: &mut [f64], got: &mut [bool]| {
+        for (g, v) in pairs {
+            let o = g as usize - range.start;
             vals[o] = v;
             got[o] = true;
         }
+    };
+    put(own, &mut vals, &mut got);
+    for &s in survivors {
+        if s == me {
+            continue;
+        }
+        let pairs = ctx.recv_phase(s, tag, CommPhase::Recovery).into_pairs();
+        put(pairs, &mut vals, &mut got);
     }
     if let Some(o) = got.iter().position(|&g| !g) {
         if required {
             panic!(
-                "rank {}: unrecoverable — no surviving copy of {what}[{}]; \
+                "rank {me}: unrecoverable — no surviving copy of {what}[{}]; \
                  more simultaneous failures than φ?",
-                ctx.rank(),
-                my_start + o
+                range.start + o
             );
         }
         return None;
@@ -360,14 +391,32 @@ pub(crate) fn poll_overlap(
     handled: &mut HashSet<(u64, u32)>,
     failed: &mut Vec<usize>,
 ) -> bool {
-    let key = (env.iteration, substep);
+    poll_overlap_members(ctx, env.iteration, substep, handled, failed, None)
+}
+
+/// [`poll_overlap`] generalized to a (possibly shrunken) member set: with
+/// `members` given, failures naming ranks outside it are inert — retired
+/// hardware is gone and has nothing left to lose.
+pub(crate) fn poll_overlap_members(
+    ctx: &NodeCtx,
+    iteration: u64,
+    substep: u32,
+    handled: &mut HashSet<(u64, u32)>,
+    failed: &mut Vec<usize>,
+    members: Option<&[usize]>,
+) -> bool {
+    let key = (iteration, substep);
     if !handled.insert(key) {
         return false; // already processed in an earlier attempt
     }
-    let new = ctx.poll_failures(FailAt::RecoverySubstep {
-        after_iteration: env.iteration,
-        substep,
-    });
+    let new: Vec<usize> = ctx
+        .poll_failures(FailAt::RecoverySubstep {
+            after_iteration: iteration,
+            substep,
+        })
+        .into_iter()
+        .filter(|r| members.is_none_or(|m| m.binary_search(r).is_ok()))
+        .collect();
     if new.is_empty() {
         return false;
     }
@@ -452,18 +501,36 @@ pub(crate) fn solve_failed_system(
     m: &Csr,
     rhs: Vec<f64>,
 ) -> (Vec<f64>, usize) {
+    let rows: Vec<usize> = env.part.range(ctx.rank()).collect();
+    solve_failed_rows(ctx, env.cfg, failed, &rows, if_indices, m, rhs)
+}
+
+/// Generalization of [`solve_failed_system`] to arbitrary (sorted) row
+/// ownership: each member of `group_ranks` owns `rows` of the `If` system.
+/// Under in-place replacement each replacement owns exactly its own block;
+/// under adoption (shrink / exhausted spare pool) a surviving node may own
+/// several failed blocks at once. The concatenation of the members' `rows`
+/// in ascending rank order must equal `if_indices` — guaranteed by the
+/// nearest-preceding-survivor adoption rule (see [`crate::shrink`]).
+pub(crate) fn solve_failed_rows(
+    ctx: &mut NodeCtx,
+    rcfg: &RecoveryConfig,
+    group_ranks: &[usize],
+    rows: &[usize],
+    if_indices: &[usize],
+    m: &Csr,
+    rhs: Vec<f64>,
+) -> (Vec<f64>, usize) {
     let rank = ctx.rank();
-    let my_range = env.part.range(rank);
-    let rows: Vec<usize> = my_range.clone().collect();
-    // This replacement's rows of M_{If,If} (columns renumbered into If).
-    let sub = m.extract(&rows, if_indices);
+    // This member's rows of M_{If,If} (columns renumbered into If).
+    let sub = m.extract(rows, if_indices);
     // Own diagonal block of M_{If,If} for preconditioning.
-    let block = m.extract(&rows, &rows);
+    let block = m.extract(rows, rows);
     enum BlockPrec {
         Exact(SparseLdl),
         Ilu(Ilu0),
     }
-    let prec = if env.cfg.exact_block_precond {
+    let prec = if rcfg.exact_block_precond {
         BlockPrec::Exact(
             SparseLdl::new(&block)
                 .unwrap_or_else(|e| panic!("rank {rank}: reconstruction block not SPD: {e}")),
@@ -484,7 +551,7 @@ pub(crate) fn solve_failed_system(
     // Coarse factorization cost.
     ctx.clock_mut().advance_flops(20 * block.nnz().max(1));
 
-    let mut group = ctx.group(failed);
+    let mut group = ctx.group(group_ranks);
     let nloc = rhs.len();
     let mut x = vec![0.0; nloc];
     let mut r = rhs;
@@ -499,10 +566,10 @@ pub(crate) fn solve_failed_system(
     if rn0_sq <= f64::MIN_POSITIVE {
         return (x, 0);
     }
-    let target_sq = env.cfg.inner_rel_tol * env.cfg.inner_rel_tol * rn0_sq;
+    let target_sq = rcfg.inner_rel_tol * rcfg.inner_rel_tol * rn0_sq;
     let mut u = vec![0.0; nloc];
     let mut iters = 0usize;
-    for _ in 0..env.cfg.inner_max_iter {
+    for _ in 0..rcfg.inner_max_iter {
         iters += 1;
         // Assemble the full If-vector (group index order == sorted failed
         // ranks == the layout of `if_indices`).

@@ -89,10 +89,28 @@ impl Retention {
         self.cur_valid = true;
     }
 
+    /// Check that a deposit covers the peer's slots exactly. A hard assert
+    /// in *all* build profiles: with a `debug_assert` only, a short
+    /// `naturals`/`extras` slice in a release build silently truncates via
+    /// `zip`, leaving stale or NaN retained copies that corrupt a later
+    /// reconstruction — the worst possible failure mode for a resilience
+    /// library (the corruption only surfaces when a node actually dies).
+    fn check_deposit(&self, peer: usize, naturals: &[f64], extras: &[f64]) {
+        assert_eq!(
+            naturals.len(),
+            self.nat_pos[peer].len(),
+            "retention deposit from peer {peer}: naturals length mismatch"
+        );
+        assert_eq!(
+            extras.len(),
+            self.ext_pos[peer].len(),
+            "retention deposit from peer {peer}: extras length mismatch"
+        );
+    }
+
     /// Deposit values received from `peer` into the current generation.
     pub fn store(&mut self, peer: usize, naturals: &[f64], extras: &[f64]) {
-        debug_assert_eq!(naturals.len(), self.nat_pos[peer].len());
-        debug_assert_eq!(extras.len(), self.ext_pos[peer].len());
+        self.check_deposit(peer, naturals, extras);
         for (&p, &v) in self.nat_pos[peer].iter().zip(naturals) {
             self.cur[p] = v;
         }
@@ -107,6 +125,7 @@ impl Retention {
         match generation {
             Gen::Cur => self.store(peer, naturals, extras),
             Gen::Prev => {
+                self.check_deposit(peer, naturals, extras);
                 for (&p, &v) in self.nat_pos[peer].iter().zip(naturals) {
                     self.prev[p] = v;
                 }
@@ -179,8 +198,9 @@ mod tests {
         // 2 peers; this node (rank 1 of 3) has ghosts {0, 1, 20} and
         // receives extras {2} from peer 0, {21} from peer 2.
         let plan = ScatterPlan {
-            rank: 1,
             nodes: 3,
+            members: vec![0, 1, 2],
+            my_slot: 1,
             my_start: 10,
             my_len: 10,
             send_natural: vec![vec![], vec![], vec![]],
@@ -252,6 +272,37 @@ mod tests {
         ret.finish_generation();
         ret.poison();
         assert!(ret.collect_range(Gen::Cur, 0, 30).is_empty());
+    }
+
+    // These three are the release-profile regression for the former
+    // `debug_assert_eq!` guards: `cargo test --release` runs them with
+    // debug assertions off, so they only pass because the length checks
+    // are hard asserts (a zip-truncation would otherwise pass silently).
+    #[test]
+    #[should_panic(expected = "naturals length mismatch")]
+    fn short_naturals_slice_is_rejected_in_every_profile() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.rotate();
+        ret.store(0, &[100.0], &[102.0]); // peer 0 owes 2 naturals
+    }
+
+    #[test]
+    #[should_panic(expected = "extras length mismatch")]
+    fn short_extras_slice_is_rejected_in_every_profile() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        ret.rotate();
+        ret.store(2, &[120.0], &[]); // peer 2 owes 1 extra
+    }
+
+    #[test]
+    #[should_panic(expected = "naturals length mismatch")]
+    fn store_gen_prev_checks_lengths_too() {
+        let (plan, ghosts) = mini_plan();
+        let mut ret = Retention::build(&plan, &ghosts);
+        // The Prev branch used to have *no* length guard at all.
+        ret.store_gen(Gen::Prev, 0, &[7.0], &[9.0]);
     }
 
     #[test]

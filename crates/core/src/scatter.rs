@@ -42,63 +42,112 @@ pub struct PipeBackups<'a> {
 }
 
 /// The per-node communication plan.
+///
+/// Peers are addressed by **slot** — the index of their block in the
+/// partition. On the full cluster slot `k` is global rank `k`; on a
+/// shrunken cluster [`ScatterPlan::members`] maps slots to the surviving
+/// global ranks.
 #[derive(Clone, Debug)]
 pub struct ScatterPlan {
-    /// This node's rank.
-    pub rank: usize,
-    /// Cluster size N.
+    /// Number of participating nodes (slots).
     pub nodes: usize,
+    /// Global ranks of the participants, ascending; `members[slot]` is the
+    /// rank owning partition block `slot`. Identity on the full cluster.
+    pub members: Vec<usize>,
+    /// This node's slot (`members[my_slot] == rank`).
+    pub my_slot: usize,
     /// Start of the owned range (local offset = global − start).
     pub my_start: usize,
     /// Owned range length.
     pub my_len: usize,
-    /// Per peer `k`: local offsets sent naturally during SpMV (`S_ik`).
+    /// Per peer slot `k`: local offsets sent naturally during SpMV (`S_ik`).
     pub send_natural: Vec<Vec<usize>>,
-    /// Per peer `k`: local offsets sent only for redundancy (`Rᶜᵢₖ`);
+    /// Per peer slot `k`: local offsets sent only for redundancy (`Rᶜᵢₖ`);
     /// filled in by [`crate::redundancy`].
     pub send_extra: Vec<Vec<usize>>,
-    /// Per peer `k`: the positions in the ghost buffer filled by `k`'s
+    /// Per peer slot `k`: the positions in the ghost buffer filled by `k`'s
     /// natural values (contiguous, because ghost columns are sorted and
     /// ownership ranges are contiguous).
     pub recv_ghost_range: Vec<Range<usize>>,
-    /// Per peer `k`: global indices of redundancy extras received from `k`.
+    /// Per peer slot `k`: global indices of redundancy extras received
+    /// from `k`.
     pub recv_extra: Vec<Vec<usize>>,
 }
 
 impl ScatterPlan {
-    /// Build the natural-traffic plan collectively. Must be called by all
-    /// nodes at the same SPMD point.
+    /// Build the natural-traffic plan collectively over the full cluster.
+    /// Must be called by all nodes at the same SPMD point.
     pub fn build(ctx: &mut NodeCtx, lm: &LocalMatrix, part: &BlockPartition) -> Self {
         let nodes = ctx.size();
         let rank = ctx.rank();
-        debug_assert_eq!(rank, part.owner_of(lm.range.start));
+        // Catch a mismatched LocalMatrix/partition pairing here, at the
+        // misuse site, not as garbled ghost exchanges several calls later.
+        debug_assert_eq!(lm.range, part.range(rank), "lm built for another rank");
+        let requests = Self::ghost_requests(lm, part, nodes);
+        let incoming = ctx.alltoallv_u64(requests.0);
+        Self::assemble((0..nodes).collect(), rank, lm, requests.1, incoming)
+    }
 
-        // Group own ghost needs by owner: contiguous segments of the
-        // sorted ghost column list.
+    /// Build the plan collectively over a shrunken communicator: only
+    /// `group` members participate, and partition block `k` belongs to
+    /// `group.members()[k]`. Traffic is charged to [`CommPhase::Recovery`]
+    /// (plans are rebuilt inside the recovery window).
+    pub fn build_on(
+        ctx: &mut NodeCtx,
+        group: &mut parcomm::Group,
+        lm: &LocalMatrix,
+        part: &BlockPartition,
+    ) -> Self {
+        let members = group.members().to_vec();
+        debug_assert_eq!(members.len(), part.nodes());
+        let my_slot = group.index();
+        debug_assert_eq!(members[my_slot], ctx.rank());
+        debug_assert_eq!(lm.range, part.range(my_slot), "lm built for another slot");
+        let requests = Self::ghost_requests(lm, part, members.len());
+        let incoming = group.alltoallv_u64(ctx, requests.0, CommPhase::Recovery);
+        Self::assemble(members, my_slot, lm, requests.1, incoming)
+    }
+
+    /// Group own ghost needs by owning slot: contiguous segments of the
+    /// sorted ghost column list. Returns (per-slot requests, ghost ranges).
+    #[allow(clippy::type_complexity)]
+    fn ghost_requests(
+        lm: &LocalMatrix,
+        part: &BlockPartition,
+        nodes: usize,
+    ) -> (Vec<Vec<u64>>, Vec<Range<usize>>) {
         let mut requests: Vec<Vec<u64>> = vec![Vec::new(); nodes];
         let mut recv_ghost_range: Vec<Range<usize>> = vec![0..0; nodes];
-        {
-            let gc = &lm.ghost_cols;
-            let mut pos = 0usize;
-            while pos < gc.len() {
-                let owner = part.owner_of(gc[pos]);
-                let end_of_owner = part.range(owner).end;
-                let mut end = pos;
-                while end < gc.len() && gc[end] < end_of_owner {
-                    end += 1;
-                }
-                recv_ghost_range[owner] = pos..end;
-                requests[owner].extend(gc[pos..end].iter().map(|&g| g as u64));
-                pos = end;
+        let gc = &lm.ghost_cols;
+        let mut pos = 0usize;
+        while pos < gc.len() {
+            let owner = part.owner_of(gc[pos]);
+            let end_of_owner = part.range(owner).end;
+            let mut end = pos;
+            while end < gc.len() && gc[end] < end_of_owner {
+                end += 1;
             }
+            recv_ghost_range[owner] = pos..end;
+            requests[owner].extend(gc[pos..end].iter().map(|&g| g as u64));
+            pos = end;
         }
+        (requests, recv_ghost_range)
+    }
 
-        // Owners learn who needs what: the send lists S_ik.
-        let incoming = ctx.alltoallv_u64(requests);
+    /// Owners learn who needs what (the send lists `S_ik`) from the
+    /// all-to-all result and finish the plan.
+    fn assemble(
+        members: Vec<usize>,
+        my_slot: usize,
+        lm: &LocalMatrix,
+        recv_ghost_range: Vec<Range<usize>>,
+        incoming: Vec<Vec<u64>>,
+    ) -> Self {
+        let nodes = members.len();
         let my_start = lm.range.start;
         let mut send_natural: Vec<Vec<usize>> = Vec::with_capacity(nodes);
         for (k, req) in incoming.into_iter().enumerate() {
-            if k == rank {
+            if k == my_slot {
                 send_natural.push(Vec::new());
                 continue;
             }
@@ -114,8 +163,9 @@ impl ScatterPlan {
         }
 
         ScatterPlan {
-            rank,
             nodes,
+            members,
+            my_slot,
             my_start,
             my_len: lm.range.len(),
             send_natural,
@@ -126,14 +176,29 @@ impl ScatterPlan {
     }
 
     /// After `send_extra` is filled, announce the extras to their receivers
-    /// so they can size and index their retention stores. Collective.
+    /// so they can size and index their retention stores. Collective over
+    /// the full cluster.
     pub fn announce_extras(&mut self, ctx: &mut NodeCtx) {
-        let sends: Vec<Vec<u64>> = self
-            .send_extra
+        let sends = self.extra_announcements();
+        let incoming = ctx.alltoallv_u64(sends);
+        self.record_extras(incoming);
+    }
+
+    /// [`ScatterPlan::announce_extras`] over a shrunken communicator.
+    pub fn announce_extras_on(&mut self, ctx: &mut NodeCtx, group: &mut parcomm::Group) {
+        let sends = self.extra_announcements();
+        let incoming = group.alltoallv_u64(ctx, sends, CommPhase::Recovery);
+        self.record_extras(incoming);
+    }
+
+    fn extra_announcements(&self) -> Vec<Vec<u64>> {
+        self.send_extra
             .iter()
             .map(|offs| offs.iter().map(|&o| (self.my_start + o) as u64).collect())
-            .collect();
-        let incoming = ctx.alltoallv_u64(sends);
+            .collect()
+    }
+
+    fn record_extras(&mut self, incoming: Vec<Vec<u64>>) {
         self.recv_extra = incoming
             .into_iter()
             .map(|v| v.into_iter().map(|g| g as usize).collect())
@@ -168,7 +233,7 @@ impl ScatterPlan {
         debug_assert_eq!(v_loc.len(), self.my_len);
         // Post all sends first (asynchronous channels: no deadlock).
         for k in 0..self.nodes {
-            if k == self.rank {
+            if k == self.my_slot {
                 continue;
             }
             let nat = &self.send_natural[k];
@@ -185,7 +250,7 @@ impl ScatterPlan {
                 ctx.stats_mut().record_extra_latency();
             }
             ctx.send_with_phases(
-                k,
+                self.members[k],
                 TAG_SPMV,
                 Payload::f64s(buf),
                 &[
@@ -196,7 +261,7 @@ impl ScatterPlan {
         }
         // Receive in deterministic peer order.
         for k in 0..self.nodes {
-            if k == self.rank {
+            if k == self.my_slot {
                 continue;
             }
             let ghost_range = self.recv_ghost_range[k].clone();
@@ -204,7 +269,9 @@ impl ScatterPlan {
             if ghost_range.is_empty() && n_ext == 0 {
                 continue;
             }
-            let data = ctx.recv_phase(k, TAG_SPMV, CommPhase::Spmv).into_f64s();
+            let data = ctx
+                .recv_phase(self.members[k], TAG_SPMV, CommPhase::Spmv)
+                .into_f64s();
             debug_assert_eq!(data.len(), ghost_range.len() + n_ext);
             let (nat_vals, ext_vals) = data.split_at(ghost_range.len());
             ghosts[ghost_range].copy_from_slice(nat_vals);
@@ -234,7 +301,7 @@ impl ScatterPlan {
         let has_p = backups.as_ref().is_some_and(|b| b.p_loc.is_some());
         // Post all sends first (asynchronous channels: no deadlock).
         for k in 0..self.nodes {
-            if k == self.rank {
+            if k == self.my_slot {
                 continue;
             }
             let nat = &self.send_natural[k];
@@ -262,7 +329,7 @@ impl ScatterPlan {
                 ctx.stats_mut().record_extra_latency();
             }
             ctx.send_with_phases(
-                k,
+                self.members[k],
                 TAG_SPMV,
                 Payload::f64s(buf),
                 &[
@@ -273,7 +340,7 @@ impl ScatterPlan {
         }
         // Receive in deterministic peer order.
         for k in 0..self.nodes {
-            if k == self.rank {
+            if k == self.my_slot {
                 continue;
             }
             let ghost_range = self.recv_ghost_range[k].clone();
@@ -283,7 +350,9 @@ impl ScatterPlan {
                 continue;
             }
             let per_vec = n_nat + n_ext;
-            let data = ctx.recv_phase(k, TAG_SPMV, CommPhase::Spmv).into_f64s();
+            let data = ctx
+                .recv_phase(self.members[k], TAG_SPMV, CommPhase::Spmv)
+                .into_f64s();
             let expect = n_nat
                 + if backups.is_some() {
                     per_vec * if has_p { 2 } else { 1 }

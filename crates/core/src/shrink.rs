@@ -1,0 +1,656 @@
+//! Recovery without guaranteed replacement nodes: the spare-pool and
+//! shrink policies ([`crate::config::RecoveryPolicy`]).
+//!
+//! The paper assumes ULFM hands every failed rank a replacement node
+//! (Sec. 1.1.1, Sec. 6). This module implements what happens when that
+//! assumption breaks (Pachajoa et al., arXiv:2007.04066): a failure event
+//! of ψ ranks is granted `min(ψ, spares remaining)` replacements from the
+//! cluster's finite [`SparePool`]; failed subdomains with a replacement
+//! are rebuilt in place exactly as in [`crate::recovery`], while the
+//! uncovered subdomains are **adopted** by surviving nodes and the solve
+//! continues on `N − ψ` ranks.
+//!
+//! The adoption rule keeps every node's ownership contiguous: a retired
+//! block merges into the nearest *preceding* surviving member's block
+//! (leading blocks merge into the first survivor), so the new layout is a
+//! generalized non-uniform [`BlockPartition`] built with
+//! [`BlockPartition::from_starts`] — the boundaries of the shrunken
+//! partition are simply the old block starts of the surviving members.
+//! This also guarantees that, walking the reconstructors in ascending rank
+//! order, their reconstructed rows concatenate to the sorted failed index
+//! set `If` — the layout the cooperative inner solve
+//! ([`crate::recovery::solve_failed_rows`]) requires.
+//!
+//! The protocol reuses the four-substep restart structure of
+//! [`crate::recovery::recover`], so failures *during* a shrink (overlapping
+//! failures, paper Sec. 4.1) abort the attempt and restart with the
+//! enlarged failed set. Retirement is monotone across restarts: the spare
+//! grant always goes to the lowest-ranked failed nodes and the failed set
+//! only grows, so a rank that has retired can never be resurrected by a
+//! later attempt.
+//!
+//! After a successful event with retirements, the survivors rebuild the
+//! entire distributed state on the new layout: [`LocalMatrix`],
+//! [`ScatterPlan`] (over the shrunken communicator, a [`Group`] used for
+//! the remaining solve's collectives too), the block preconditioner, and
+//! re-derived redundancy targets for the surviving ring with
+//! `φ' = min(φ, N' − 1)`.
+
+use std::collections::HashSet;
+use std::ops::Range;
+use std::sync::Arc;
+
+use parcomm::comm::ReduceOp;
+use parcomm::fault::poison;
+use parcomm::{CommPhase, Group, NodeCtx, Payload, SparePool};
+use sparsemat::{BlockPartition, Csr};
+
+use crate::config::{PrecondConfig, RecoveryPolicy, ResilienceConfig};
+use crate::localmat::LocalMatrix;
+use crate::precsetup::NodePrecond;
+use crate::recovery::{
+    assemble_range, poll_overlap_members, solve_failed_rows, tag, RecoveryReport, OFF_BETA,
+    OFF_PCUR, OFF_PPREV, OFF_REQ_X, OFF_RESP_X,
+};
+use crate::redundancy;
+use crate::retention::{Gen, Retention};
+use crate::scatter::ScatterPlan;
+
+/// The distributed layout a node program runs on. On the full cluster the
+/// members are `0..N` and collectives go through the world communicator;
+/// after a shrink they go through the surviving members' [`Group`].
+pub(crate) struct Layout {
+    /// One contiguous block per member, in member order.
+    pub part: BlockPartition,
+    /// This node's block rows of `A`.
+    pub lm: LocalMatrix,
+    /// Ghost-exchange + redundancy plan on the current layout.
+    pub plan: ScatterPlan,
+    /// Redundant-copy store on the current layout.
+    pub retention: Retention,
+    /// Preconditioner state on the current layout.
+    pub prec: NodePrecond,
+    /// Sorted global ranks of the active members.
+    pub members: Vec<usize>,
+    /// This node's slot (`members[my_slot] == rank`).
+    pub my_slot: usize,
+    /// The shrunken communicator (`None` while the full cluster is alive).
+    pub group: Option<Group>,
+}
+
+impl Layout {
+    /// Element-wise all-reduce over the active members, charged to the
+    /// Reduction phase. Bitwise-deterministic either way (same
+    /// recursive-doubling schedule over member indices).
+    pub fn allreduce_vec(&mut self, ctx: &mut NodeCtx, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
+        match &mut self.group {
+            None => ctx.allreduce_vec(opr, x),
+            Some(g) => g.allreduce_vec_phase(ctx, opr, x, CommPhase::Reduction),
+        }
+    }
+
+    /// Scalar sum all-reduce over the active members.
+    pub fn allreduce_sum(&mut self, ctx: &mut NodeCtx, x: f64) -> f64 {
+        self.allreduce_vec(ctx, ReduceOp::Sum, vec![x])[0]
+    }
+}
+
+/// The node-local solver vectors, passed by `&mut Vec` because adoption
+/// changes their lengths.
+pub(crate) struct AdoptState<'a> {
+    /// Iterate block.
+    pub x: &'a mut Vec<f64>,
+    /// Residual block.
+    pub r: &'a mut Vec<f64>,
+    /// Preconditioned residual block.
+    pub z: &'a mut Vec<f64>,
+    /// Search-direction block.
+    pub p: &'a mut Vec<f64>,
+    /// Ghost buffer of the last exchange.
+    pub ghosts: &'a mut Vec<f64>,
+    /// Owned right-hand-side block.
+    pub b_loc: &'a mut Vec<f64>,
+    /// Replicated scalar `β(j-1)`.
+    pub beta_prev: &'a mut f64,
+}
+
+/// Static context of one policy-driven recovery.
+pub(crate) struct AdoptEnv<'a> {
+    /// Full system matrix (static data, reliable storage).
+    pub a: &'a Arc<Csr>,
+    /// Full right-hand side (static data; adopters read adopted rows).
+    pub b: &'a [f64],
+    /// Resilience configuration (φ, strategy, inner solver, policy).
+    pub res: &'a ResilienceConfig,
+    /// Preconditioner configuration (rebuilt on the new layout).
+    pub precond: &'a PrecondConfig,
+    /// The iteration whose boundary detected the failure.
+    pub iteration: u64,
+    /// `false` at iteration 0 (no `p(j-1)` exists; `z(0) = p(0)`).
+    pub has_prev: bool,
+}
+
+/// How a policy-driven recovery ended for this node.
+pub(crate) enum PolicyOutcome {
+    /// Recovery complete; the layout may have shrunk.
+    Recovered(RecoveryReport),
+    /// This node failed with no spare available: it leaves the cluster
+    /// (its subdomain was adopted by a survivor).
+    Retired,
+}
+
+/// One reconstructed failed block at its reconstructor.
+struct ReconBlock {
+    range: Range<usize>,
+    p: Vec<f64>,
+    z: Vec<f64>,
+    r: Vec<f64>,
+    x: Vec<f64>,
+}
+
+/// Run the spare-pool / shrink recovery protocol. All *active* members
+/// call this together at a failure boundary with the same failed set
+/// (already filtered to active members).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn recover_with_adoption(
+    ctx: &mut NodeCtx,
+    env: &AdoptEnv,
+    layout: &mut Layout,
+    st: &mut AdoptState,
+    initial_failed: &[usize],
+    handled: &mut HashSet<(u64, u32)>,
+    recovery_seq: &mut u32,
+    pool: &mut SparePool,
+) -> PolicyOutcome {
+    let me = ctx.rank();
+    let mut failed = initial_failed.to_vec();
+    failed.sort_unstable();
+    failed.dedup();
+    // The pool snapshot at event start: every attempt of this event grants
+    // from the same budget, so restarts with an enlarged failed set remain
+    // SPMD-consistent; the definitive claim happens once, on success.
+    let avail = match env.res.policy {
+        RecoveryPolicy::Spares(_) => pool.remaining(),
+        _ => 0,
+    };
+    let mut attempts = 0usize;
+
+    'attempt: loop {
+        attempts += 1;
+        let seq = *recovery_seq;
+        *recovery_seq += 1;
+        assert!(
+            failed.len() < layout.members.len(),
+            "all {} active nodes failed — nothing left to recover from",
+            layout.members.len()
+        );
+
+        // ---- grant spares to the lowest-ranked failed nodes -----------
+        let granted = avail.min(failed.len());
+        let replaced: Vec<usize> = failed[..granted].to_vec();
+        let retired: Vec<usize> = failed[granted..].to_vec();
+        if retired.binary_search(&me).is_ok() {
+            // No replacement for this node: it is gone. Its subdomain is
+            // adopted by a survivor; the thread leaves the cluster.
+            return PolicyOutcome::Retired;
+        }
+        let am_failed = failed.binary_search(&me).is_ok(); // ⇒ replaced
+        let am_survivor = !am_failed;
+
+        let old_slot = |r: usize| {
+            layout
+                .members
+                .binary_search(&r)
+                .expect("failed rank is an active member")
+        };
+        let survivors: Vec<usize> = layout
+            .members
+            .iter()
+            .copied()
+            .filter(|r| failed.binary_search(r).is_err())
+            .collect();
+        let new_members: Vec<usize> = layout
+            .members
+            .iter()
+            .copied()
+            .filter(|r| retired.binary_search(r).is_err())
+            .collect();
+        // The shrunken partition: boundaries are the old block starts of
+        // the surviving members (the first pulled to row 0), which *is*
+        // the nearest-preceding-survivor adoption rule.
+        let mut new_starts = Vec::with_capacity(new_members.len() + 1);
+        new_starts.push(0);
+        for m in new_members.iter().skip(1) {
+            new_starts.push(layout.part.range(old_slot(*m)).start);
+        }
+        new_starts.push(layout.part.n());
+        let new_part = BlockPartition::from_starts(new_starts);
+        let reconstructor = |f: usize| -> usize {
+            if replaced.binary_search(&f).is_ok() {
+                f // in-place replacement
+            } else {
+                let start = layout.part.range(old_slot(f)).start;
+                new_members[new_part.owner_of(start)] // adopter
+            }
+        };
+        let mut reconstructors: Vec<usize> = failed.iter().map(|&f| reconstructor(f)).collect();
+        reconstructors.sort_unstable();
+        reconstructors.dedup();
+        let if_indices: Vec<usize> = failed
+            .iter()
+            .flat_map(|&f| layout.part.range(old_slot(f)))
+            .collect();
+        debug_assert!(if_indices.windows(2).all(|w| w[0] < w[1]));
+
+        if am_failed {
+            // The node failure: all dynamic data of this rank is lost.
+            poison(st.x);
+            poison(st.r);
+            poison(st.z);
+            poison(st.p);
+            poison(st.ghosts);
+            layout.retention.poison();
+            *st.beta_prev = f64::NAN;
+        }
+
+        // ---- substep 0: before any recovery communication -------------
+        if poll_overlap_members(
+            ctx,
+            env.iteration,
+            0,
+            handled,
+            &mut failed,
+            Some(&layout.members),
+        ) {
+            continue 'attempt;
+        }
+
+        // ---- β(j-1): replicated scalar to the replaced ranks ----------
+        // Adopters that are survivors already hold it; replaced ranks —
+        // including a replaced rank that also adopts in a mixed event —
+        // lost theirs to poisoning and receive it here.
+        let lowest_surv = survivors[0];
+        if me == lowest_surv {
+            for &f in &replaced {
+                ctx.send(
+                    f,
+                    tag(seq, OFF_BETA),
+                    Payload::F64(*st.beta_prev),
+                    CommPhase::Recovery,
+                );
+            }
+        } else if am_failed {
+            *st.beta_prev = ctx
+                .recv_phase(lowest_surv, tag(seq, OFF_BETA), CommPhase::Recovery)
+                .into_f64();
+        }
+
+        // ---- retained copies of p(j), p(j-1) → reconstructors ----------
+        // Every survivor sends, per failed block in sorted order, its
+        // retained pairs in that block's range to the block's
+        // reconstructor; FIFO (src, tag) ordering disambiguates multiple
+        // blocks bound for the same reconstructor.
+        if am_survivor {
+            for &f in &failed {
+                let rho = reconstructor(f);
+                if rho == me {
+                    continue; // used locally during assembly below
+                }
+                let br = layout.part.range(old_slot(f));
+                ctx.send(
+                    rho,
+                    tag(seq, OFF_PCUR),
+                    Payload::pairs(layout.retention.collect_range(Gen::Cur, br.start, br.end)),
+                    CommPhase::Recovery,
+                );
+                ctx.send(
+                    rho,
+                    tag(seq, OFF_PPREV),
+                    Payload::pairs(layout.retention.collect_range(Gen::Prev, br.start, br.end)),
+                    CommPhase::Recovery,
+                );
+            }
+        }
+        let mut my_blocks: Vec<ReconBlock> = Vec::new();
+        for &f in &failed {
+            if reconstructor(f) != me {
+                continue;
+            }
+            let br = layout.part.range(old_slot(f));
+            let own_cur = if am_survivor {
+                layout.retention.collect_range(Gen::Cur, br.start, br.end)
+            } else {
+                Vec::new()
+            };
+            let own_prev = if am_survivor {
+                layout.retention.collect_range(Gen::Prev, br.start, br.end)
+            } else {
+                Vec::new()
+            };
+            let p_cur = assemble_range(
+                ctx,
+                &survivors,
+                me,
+                own_cur,
+                &br,
+                tag(seq, OFF_PCUR),
+                "p(j)",
+                true,
+            )
+            .expect("p(j) copies are mandatory");
+            let p_prev = assemble_range(
+                ctx,
+                &survivors,
+                me,
+                own_prev,
+                &br,
+                tag(seq, OFF_PPREV),
+                "p(j-1)",
+                env.has_prev,
+            );
+            // z(j) = p(j) − β(j-1) p(j-1)  [Alg. 2 line 4].
+            let blen = br.len();
+            let mut z = vec![0.0; blen];
+            if env.has_prev {
+                let pp = p_prev.expect("complete when has_prev (assemble_range panics otherwise)");
+                let beta = *st.beta_prev;
+                for i in 0..blen {
+                    z[i] = p_cur[i] - beta * pp[i];
+                }
+            } else {
+                z.copy_from_slice(&p_cur);
+            }
+            ctx.clock_mut().advance_flops(2 * blen);
+            my_blocks.push(ReconBlock {
+                range: br,
+                p: p_cur,
+                z,
+                r: Vec::new(),
+                x: Vec::new(),
+            });
+        }
+
+        // ---- substep 1: after copy gathering ---------------------------
+        if poll_overlap_members(
+            ctx,
+            env.iteration,
+            1,
+            handled,
+            &mut failed,
+            Some(&layout.members),
+        ) {
+            continue 'attempt;
+        }
+
+        // ---- r reconstruction: M-given, local per failed block ---------
+        // (The preconditioner is block-diagonal aligned with the current
+        // blocks, so r_b = M_{b,b} z_b needs only static data — which is
+        // exactly what lets an *adopter* do it for a block it never owned.)
+        for blk in &mut my_blocks {
+            let blen = blk.range.len();
+            let rows: Vec<usize> = blk.range.clone().collect();
+            blk.r = match env.precond {
+                PrecondConfig::None => blk.z.clone(),
+                PrecondConfig::Jacobi => {
+                    let d = env.a.extract(&rows, &rows).diag();
+                    ctx.clock_mut().advance_flops(blen);
+                    blk.z.iter().zip(&d).map(|(z, d)| z * d).collect()
+                }
+                PrecondConfig::BlockJacobiExact => {
+                    let m_bb = env.a.extract(&rows, &rows);
+                    let mut r = vec![0.0; blen];
+                    m_bb.spmv(&blk.z, &mut r);
+                    ctx.clock_mut().advance_flops(m_bb.spmv_flops());
+                    r
+                }
+                PrecondConfig::ExplicitP(_) => {
+                    // Rejected up front in the node program; the P-given
+                    // gather + distributed solve needs the full cluster.
+                    unreachable!("ExplicitP is Replace-only")
+                }
+            };
+        }
+
+        // ---- substep 2: after r reconstruction -------------------------
+        if poll_overlap_members(
+            ctx,
+            env.iteration,
+            2,
+            handled,
+            &mut failed,
+            Some(&layout.members),
+        ) {
+            continue 'attempt;
+        }
+
+        // ---- x reconstruction (Alg. 2 lines 7–8) -----------------------
+        // Reconstructors gather the surviving x values their failed rows
+        // couple to; survivors answer every reconstructor.
+        let am_reconstructor = !my_blocks.is_empty();
+        let my_range = layout.lm.range.clone();
+        let mut needed: Vec<usize> = Vec::new();
+        if am_reconstructor {
+            for blk in &my_blocks {
+                for gr in blk.range.clone() {
+                    let (cols, _) = env.a.row(gr);
+                    needed.extend(
+                        cols.iter()
+                            .copied()
+                            .filter(|c| if_indices.binary_search(c).is_err()),
+                    );
+                }
+            }
+            needed.sort_unstable();
+            needed.dedup();
+            let mut per_slot: Vec<Vec<u64>> = vec![Vec::new(); layout.members.len()];
+            for &c in &needed {
+                per_slot[layout.part.owner_of(c)].push(c as u64);
+            }
+            for (slot, req) in per_slot.into_iter().enumerate() {
+                let owner = layout.members[slot];
+                if owner == me {
+                    continue;
+                }
+                // c ∉ If ⇒ its owner is a survivor.
+                debug_assert!(req.is_empty() || failed.binary_search(&owner).is_err());
+                if failed.binary_search(&owner).is_err() {
+                    ctx.send(
+                        owner,
+                        tag(seq, OFF_REQ_X),
+                        Payload::u64s(req),
+                        CommPhase::Recovery,
+                    );
+                }
+            }
+        }
+        if am_survivor {
+            for &rho in &reconstructors {
+                if rho == me {
+                    continue;
+                }
+                let req = ctx
+                    .recv_phase(rho, tag(seq, OFF_REQ_X), CommPhase::Recovery)
+                    .into_u64s();
+                let resp: Vec<(u64, f64)> = req
+                    .into_iter()
+                    .map(|g| (g, st.x[g as usize - my_range.start]))
+                    .collect();
+                ctx.send(
+                    rho,
+                    tag(seq, OFF_RESP_X),
+                    Payload::pairs(resp),
+                    CommPhase::Recovery,
+                );
+            }
+        }
+        let mut inner_iterations = 0usize;
+        if am_reconstructor {
+            // Sorted (col, value) lookup of every surviving x value needed.
+            let mut x_lookup: Vec<(usize, f64)> = needed
+                .iter()
+                .copied()
+                .filter(|&c| my_range.contains(&c))
+                .map(|c| (c, st.x[c - my_range.start]))
+                .collect();
+            for &s in &survivors {
+                if s == me {
+                    continue;
+                }
+                for (g, v) in ctx
+                    .recv_phase(s, tag(seq, OFF_RESP_X), CommPhase::Recovery)
+                    .into_pairs()
+                {
+                    x_lookup.push((g as usize, v));
+                }
+            }
+            x_lookup.sort_unstable_by_key(|e| e.0);
+
+            // w = b_If − r_If − A_{If,I\If} x_{I\If}, per owned block.
+            let mut rows: Vec<usize> = Vec::new();
+            let mut rhs: Vec<f64> = Vec::new();
+            for blk in &my_blocks {
+                let mut flops = 0usize;
+                for (i, gr) in blk.range.clone().enumerate() {
+                    let (cols, vals) = env.a.row(gr);
+                    let mut s = 0.0;
+                    for (c, v) in cols.iter().zip(vals) {
+                        if if_indices.binary_search(c).is_err() {
+                            let pos = x_lookup
+                                .binary_search_by_key(c, |e| e.0)
+                                .expect("gathered every surviving coupled x");
+                            s += v * x_lookup[pos].1;
+                        }
+                    }
+                    flops += 2 * cols.len();
+                    rhs.push(env.b[gr] - blk.r[i] - s);
+                }
+                ctx.clock_mut().advance_flops(flops + 2 * blk.range.len());
+                rows.extend(blk.range.clone());
+            }
+            debug_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+            let (x_new, iters) = solve_failed_rows(
+                ctx,
+                &env.res.recovery,
+                &reconstructors,
+                &rows,
+                &if_indices,
+                env.a,
+                rhs,
+            );
+            inner_iterations = iters;
+            let mut off = 0usize;
+            for blk in &mut my_blocks {
+                blk.x = x_new[off..off + blk.range.len()].to_vec();
+                off += blk.range.len();
+            }
+        }
+
+        // ---- substep 3: failures during the x solve --------------------
+        if poll_overlap_members(
+            ctx,
+            env.iteration,
+            3,
+            handled,
+            &mut failed,
+            Some(&layout.members),
+        ) {
+            continue 'attempt;
+        }
+
+        // ---- success: commit the spare claim, apply the new layout -----
+        pool.claim(granted);
+        let report = RecoveryReport {
+            total_failed: failed.len(),
+            attempts,
+            inner_iterations,
+        };
+
+        if retired.is_empty() {
+            // Every failed rank got a spare: pure in-place replacement.
+            if am_failed {
+                let blk = my_blocks
+                    .pop()
+                    .expect("replaced rank rebuilt its own block");
+                debug_assert!(my_blocks.is_empty() && blk.range == my_range);
+                st.p.copy_from_slice(&blk.p);
+                st.z.copy_from_slice(&blk.z);
+                st.r.copy_from_slice(&blk.r);
+                st.x.copy_from_slice(&blk.x);
+                // ghosts/retention refill on the restarted iteration's
+                // re-scatter, exactly as in the Replace protocol.
+            }
+            return PolicyOutcome::Recovered(report);
+        }
+
+        // Shrink: splice own surviving values and reconstructed blocks
+        // into the adopted (wider) range, then rebuild every piece of
+        // distributed state on the new layout.
+        let my_new_slot = new_members
+            .binary_search(&me)
+            .expect("active non-retired rank is a new member");
+        let new_range = new_part.range(my_new_slot);
+        let own = if am_failed { None } else { Some(&my_range) };
+        *st.x = splice(&new_range, own, st.x, &my_blocks, |b| &b.x);
+        *st.r = splice(&new_range, own, st.r, &my_blocks, |b| &b.r);
+        *st.z = splice(&new_range, own, st.z, &my_blocks, |b| &b.z);
+        *st.p = splice(&new_range, own, st.p, &my_blocks, |b| &b.p);
+        *st.b_loc = env.b[new_range.clone()].to_vec();
+
+        let lm = LocalMatrix::build(env.a, &new_part, my_new_slot);
+        // Coarse cost of re-extracting the adopted static rows.
+        ctx.clock_mut()
+            .advance_flops(lm.diag.nnz() + lm.offdiag.nnz());
+        let prec = NodePrecond::setup(ctx, env.precond, &new_part, &lm)
+            .unwrap_or_else(|e| panic!("rank {me}: preconditioner rebuild after shrink: {e}"));
+        let mut group = ctx.group(&new_members);
+        let mut plan = ScatterPlan::build_on(ctx, &mut group, &lm, &new_part);
+        let k = new_members.len();
+        let phi_eff = env.res.phi.min(k.saturating_sub(1));
+        if phi_eff >= 1 {
+            plan.send_extra = redundancy::compute_extra_sends(
+                my_new_slot,
+                k,
+                phi_eff,
+                &env.res.strategy,
+                lm.n_local(),
+                &plan.send_natural,
+            );
+            plan.announce_extras_on(ctx, &mut group);
+        }
+        let retention = Retention::build(&plan, &lm.ghost_cols);
+        *st.ghosts = vec![0.0; lm.ghost_cols.len()];
+
+        layout.part = new_part;
+        layout.lm = lm;
+        layout.plan = plan;
+        layout.retention = retention;
+        layout.prec = prec;
+        layout.members = new_members;
+        layout.my_slot = my_new_slot;
+        layout.group = Some(group);
+        return PolicyOutcome::Recovered(report);
+    }
+}
+
+/// Build the new local vector over `new_range` from the node's old owned
+/// values (`None` for a replaced rank, whose old values are poisoned and
+/// whose block is in `blocks`) and its reconstructed blocks. Every row of
+/// `new_range` is covered exactly once by construction.
+fn splice(
+    new_range: &Range<usize>,
+    own_range: Option<&Range<usize>>,
+    old: &[f64],
+    blocks: &[ReconBlock],
+    sel: impl Fn(&ReconBlock) -> &[f64],
+) -> Vec<f64> {
+    let mut out = vec![f64::NAN; new_range.len()];
+    if let Some(own) = own_range {
+        out[own.start - new_range.start..own.end - new_range.start].copy_from_slice(old);
+    }
+    for blk in blocks {
+        out[blk.range.start - new_range.start..blk.range.end - new_range.start]
+            .copy_from_slice(sel(blk));
+    }
+    debug_assert!(out.iter().all(|v| !v.is_nan()), "shrink splice left a gap");
+    out
+}

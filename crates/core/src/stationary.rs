@@ -185,6 +185,7 @@ pub fn esr_jacobi_node(
         ranks_recovered,
         stats: ctx.stats().clone(),
         vtime_setup,
+        retired: false,
     }
 }
 

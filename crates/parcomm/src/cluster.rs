@@ -23,6 +23,11 @@ pub struct ClusterConfig {
     pub cost: CostModel,
     /// Scheduled node failures (empty for failure-free runs).
     pub script: FailureScript,
+    /// Size of the hot-spare pool: how many failed nodes the cluster can
+    /// hand a replacement for before replacement capacity runs out (the
+    /// capacity ULFM assumes is unbounded but a real machine is not —
+    /// Pachajoa et al., arXiv:2007.04066). `0` means no spares.
+    pub spares: usize,
 }
 
 impl ClusterConfig {
@@ -32,6 +37,7 @@ impl ClusterConfig {
             nodes,
             cost: CostModel::default(),
             script: FailureScript::none(),
+            spares: 0,
         }
     }
 
@@ -45,6 +51,51 @@ impl ClusterConfig {
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
         self
+    }
+
+    /// Provision `spares` hot-spare nodes.
+    pub fn with_spares(mut self, spares: usize) -> Self {
+        self.spares = spares;
+        self
+    }
+}
+
+/// The cluster's finite pool of hot-spare nodes.
+///
+/// In the simulation the spare is not a separate thread: as in the paper's
+/// methodology (Sec. 6), the failed rank's thread continues in the
+/// replacement-node role — what a spare buys is the *right* to do so. The
+/// pool is claimed at failure boundaries, which every node reaches with the
+/// same SPMD-deterministic failure information, so each node's private copy
+/// of the pool evolves identically and no shared mutable state is needed
+/// (the same determinism argument that stands in for `MPI_Comm_agree`).
+#[derive(Clone, Debug)]
+pub struct SparePool {
+    total: usize,
+    claimed: usize,
+}
+
+impl SparePool {
+    pub(crate) fn new(total: usize) -> Self {
+        SparePool { total, claimed: 0 }
+    }
+
+    /// Spares the cluster was provisioned with.
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Spares not yet handed out.
+    pub fn remaining(&self) -> usize {
+        self.total - self.claimed
+    }
+
+    /// Claim up to `want` spares; returns how many were granted
+    /// (`min(want, remaining)`).
+    pub fn claim(&mut self, want: usize) -> usize {
+        let granted = want.min(self.remaining());
+        self.claimed += granted;
+        granted
     }
 }
 
@@ -86,6 +137,7 @@ impl Cluster {
                 let outboxes = outboxes.clone();
                 let oracle = oracle.clone();
                 let cost = config.cost;
+                let spares = config.spares;
                 handles.push(
                     thread::Builder::new()
                         .name(format!("node-{rank}"))
@@ -107,6 +159,7 @@ impl Cluster {
                                         outboxes,
                                         oracle,
                                         VClock::new(cost),
+                                        spares,
                                     );
                                     program(&mut ctx)
                                 }));
@@ -421,6 +474,26 @@ mod tests {
             ranks: vec![9],
         }]);
         Cluster::run(ClusterConfig::new(8).with_script(script), |_| ());
+    }
+
+    #[test]
+    fn spare_pool_claims_deterministically() {
+        let out = Cluster::run(ClusterConfig::new(3).with_spares(2), |ctx| {
+            let mut pool = ctx.spare_pool();
+            assert_eq!(pool.total(), 2);
+            let first = pool.claim(1);
+            let second = pool.claim(3); // only 1 left
+            let third = pool.claim(1); // dry
+            (first, second, third, pool.remaining())
+        });
+        // Every node's private pool copy evolves identically.
+        assert!(out.iter().all(|&o| o == (1, 1, 0, 0)), "{out:?}");
+    }
+
+    #[test]
+    fn spare_pool_defaults_to_empty() {
+        let out = Cluster::run(ClusterConfig::new(2), |ctx| ctx.spare_pool().remaining());
+        assert_eq!(out, vec![0, 0]);
     }
 
     #[test]

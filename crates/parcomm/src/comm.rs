@@ -85,6 +85,49 @@ impl PayloadElem for u64 {
     }
 }
 
+impl PayloadElem for (u64, f64) {
+    fn wrap(v: Vec<(u64, f64)>) -> Payload {
+        Payload::pairs(v)
+    }
+    fn unwrap(p: Payload) -> Vec<(u64, f64)> {
+        p.into_pairs()
+    }
+}
+
+/// Personalized all-to-all of per-participant buffers under one tag: post
+/// all sends first (asynchronous channels — no deadlock), then receive in
+/// ascending participant order; the own slot is passed through untouched.
+/// One implementation for the world (`members: None`) and group
+/// communicators and for every element type that fits in a payload — the
+/// loop used to live in four near-identical copies.
+pub(crate) fn alltoallv_generic<T: PayloadElem>(
+    ctx: &mut NodeCtx,
+    my_index: usize,
+    members: Option<&[usize]>,
+    tag: Tag,
+    phase: CommPhase,
+    mut sends: Vec<Vec<T>>,
+) -> Vec<Vec<T>> {
+    let n = sends.len();
+    let rank_of = |i: usize| members.map_or(i, |m| m[i]);
+    let mut own = Some(std::mem::take(&mut sends[my_index]));
+    for i in 0..n {
+        if i != my_index {
+            let data = std::mem::take(&mut sends[i]);
+            ctx.send_tag(rank_of(i), tag, T::wrap(data), phase);
+        }
+    }
+    let mut out: Vec<Vec<T>> = Vec::with_capacity(n);
+    for i in 0..n {
+        if i == my_index {
+            out.push(own.take().expect("own slot filled once"));
+        } else {
+            out.push(T::unwrap(ctx.recv_tag(rank_of(i), tag, phase).payload));
+        }
+    }
+    out
+}
+
 /// Split a flattened buffer back into per-rank pieces of the given lengths.
 pub(crate) fn split_by_counts<T>(flat: Vec<T>, counts: &[u64]) -> Vec<Vec<T>> {
     debug_assert_eq!(flat.len() as u64, counts.iter().sum::<u64>());
@@ -107,9 +150,11 @@ pub struct NodeCtx {
     stats: CommStats,
     coll_seq: u64,
     group_counters: HashMap<Vec<usize>, u32>,
+    spares: usize,
 }
 
 impl NodeCtx {
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         rank: usize,
         size: usize,
@@ -117,6 +162,7 @@ impl NodeCtx {
         outboxes: Vec<Outbox>,
         oracle: FaultOracle,
         clock: VClock,
+        spares: usize,
     ) -> Self {
         NodeCtx {
             rank,
@@ -128,6 +174,7 @@ impl NodeCtx {
             stats: CommStats::new(),
             coll_seq: 0,
             group_counters: HashMap::new(),
+            spares,
         }
     }
 
@@ -472,58 +519,26 @@ impl NodeCtx {
     /// Every pair exchanges a message (possibly empty) — used for one-time
     /// plan setup, where symmetric knowledge is simplest and N ≤ a few
     /// hundred.
-    pub fn alltoallv_u64(&mut self, mut sends: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
+    pub fn alltoallv_u64(&mut self, sends: Vec<Vec<u64>>) -> Vec<Vec<u64>> {
         assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLTOALL, seq);
-        let mut own = Some(std::mem::take(&mut sends[self.rank]));
-        for dst in 0..self.size {
-            if dst != self.rank {
-                let data = std::mem::take(&mut sends[dst]);
-                self.send_tag(dst, tag, Payload::u64s(data), CommPhase::Setup);
-            }
-        }
-        let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
-        for src in 0..self.size {
-            if src == self.rank {
-                out.push(own.take().expect("own slot filled once"));
-            } else {
-                out.push(
-                    self.recv_tag(src, tag, CommPhase::Setup)
-                        .payload
-                        .into_u64s(),
-                );
-            }
-        }
-        out
+        let rank = self.rank;
+        alltoallv_generic(self, rank, None, tag, CommPhase::Setup, sends)
     }
 
     /// Personalized all-to-all of `(index, value)` pair lists, charged to
     /// `phase` (recovery gathers use this).
     pub fn alltoallv_pairs(
         &mut self,
-        mut sends: Vec<Vec<(u64, f64)>>,
+        sends: Vec<Vec<(u64, f64)>>,
         phase: CommPhase,
     ) -> Vec<Vec<(u64, f64)>> {
         assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLTOALL, seq);
-        let mut own = Some(std::mem::take(&mut sends[self.rank]));
-        for dst in 0..self.size {
-            if dst != self.rank {
-                let data = std::mem::take(&mut sends[dst]);
-                self.send_tag(dst, tag, Payload::pairs(data), phase);
-            }
-        }
-        let mut out: Vec<Vec<(u64, f64)>> = Vec::with_capacity(self.size);
-        for src in 0..self.size {
-            if src == self.rank {
-                out.push(own.take().expect("own slot filled once"));
-            } else {
-                out.push(self.recv_tag(src, tag, phase).payload.into_pairs());
-            }
-        }
-        out
+        let rank = self.rank;
+        alltoallv_generic(self, rank, None, tag, phase, sends)
     }
 
     // ------------------------------------------------------------------
@@ -598,6 +613,14 @@ impl NodeCtx {
     /// The failure oracle handle.
     pub fn oracle(&self) -> &FaultOracle {
         &self.oracle
+    }
+
+    /// This node's view of the cluster's hot-spare pool (see
+    /// [`crate::cluster::SparePool`]): a fresh handle holding the
+    /// provisioned total. Claims are SPMD-deterministic bookkeeping, so
+    /// every node's copy evolves identically.
+    pub fn spare_pool(&self) -> crate::cluster::SparePool {
+        crate::cluster::SparePool::new(self.spares)
     }
 
     /// Current virtual time on this node.

@@ -71,6 +71,15 @@ impl FailureScript {
     /// the paper's experimental setup (Sec. 7.1: failures "placed in
     /// contiguous ranks", starting at rank 0 or rank N/2).
     pub fn simultaneous(iteration: u64, first_rank: usize, count: usize, nodes: usize) -> Self {
+        // `count >= nodes` would wrap modulo `nodes` into duplicate ranks
+        // and die with a misleading "duplicate rank" panic; the real
+        // constraint is ψ ≤ N−1 — at least one node must survive to hold
+        // the redundant copies the reconstruction reads.
+        assert!(
+            count < nodes,
+            "cannot fail {count} of {nodes} nodes simultaneously: \
+             ψ ≤ N−1 must leave at least one survivor"
+        );
         let ranks = (0..count).map(|i| (first_rank + i) % nodes).collect();
         FailureScript::new(vec![FailureEvent {
             when: FailAt::Iteration(iteration),
@@ -248,6 +257,20 @@ mod tests {
         let mut v = vec![1.0, 2.0];
         poison(&mut v);
         assert!(v.iter().all(|x| x.is_nan()));
+    }
+
+    #[test]
+    #[should_panic(expected = "ψ ≤ N−1 must leave at least one survivor")]
+    fn simultaneous_whole_cluster_rejected() {
+        // Used to wrap modulo `nodes` and panic with the misleading
+        // "duplicate rank in failure event".
+        FailureScript::simultaneous(3, 0, 4, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ψ ≤ N−1 must leave at least one survivor")]
+    fn simultaneous_more_than_cluster_rejected() {
+        FailureScript::simultaneous(3, 2, 9, 8);
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! communicator (see [`crate::comm`]), over group indices instead of global
 //! ranks — recovery's inner solves get the ⌈log₂ψ⌉-round cost too.
 
-use crate::comm::{rd_allreduce, split_by_counts, BlockingPort, NodeCtx, ReduceOp};
+use crate::comm::{
+    alltoallv_generic, rd_allreduce, split_by_counts, BlockingPort, NodeCtx, ReduceOp,
+};
 use crate::payload::Payload;
 use crate::stats::CommPhase;
 use crate::tag::{op, Tag};
@@ -98,14 +100,26 @@ impl Group {
     }
 
     /// Group element-wise all-reduce (recursive doubling over group
-    /// indices; bitwise identical on every member).
+    /// indices; bitwise identical on every member), charged to
+    /// [`CommPhase::Recovery`] — the historical default, since groups were
+    /// born for the replacement nodes' cooperative reconstruction.
     pub fn allreduce_vec(&mut self, ctx: &mut NodeCtx, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
+        self.allreduce_vec_phase(ctx, opr, x, CommPhase::Recovery)
+    }
+
+    /// Group element-wise all-reduce with the traffic charged to `phase`.
+    /// A shrunken cluster runs its *solver* reductions through a group, so
+    /// those must book under [`CommPhase::Reduction`], not `Recovery`.
+    pub fn allreduce_vec_phase(
+        &mut self,
+        ctx: &mut NodeCtx,
+        opr: ReduceOp,
+        x: Vec<f64>,
+        phase: CommPhase,
+    ) -> Vec<f64> {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
-        let mut port = BlockingPort {
-            ctx,
-            phase: CommPhase::Recovery,
-        };
+        let mut port = BlockingPort { ctx, phase };
         let (acc, rounds) = rd_allreduce(
             &mut port,
             self.my_index,
@@ -124,32 +138,28 @@ impl Group {
     pub fn alltoallv_pairs(
         &mut self,
         ctx: &mut NodeCtx,
-        mut sends: Vec<Vec<(u64, f64)>>,
+        sends: Vec<Vec<(u64, f64)>>,
         phase: CommPhase,
     ) -> Vec<Vec<(u64, f64)>> {
         assert_eq!(sends.len(), self.size());
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLTOALL, seq);
-        let mut own = Some(std::mem::take(&mut sends[self.my_index]));
-        for i in 0..self.size() {
-            if i != self.my_index {
-                let data = std::mem::take(&mut sends[i]);
-                ctx.send_tag(self.members[i], tag, Payload::pairs(data), phase);
-            }
-        }
-        let mut out = Vec::with_capacity(self.size());
-        for i in 0..self.size() {
-            if i == self.my_index {
-                out.push(own.take().expect("own slot filled once"));
-            } else {
-                out.push(
-                    ctx.recv_tag(self.members[i], tag, phase)
-                        .payload
-                        .into_pairs(),
-                );
-            }
-        }
-        out
+        alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends)
+    }
+
+    /// Personalized all-to-all of `u64` index lists among members;
+    /// `sends[i]` goes to group index `i`. Used to (re)build scatter plans
+    /// over a shrunken communicator.
+    pub fn alltoallv_u64(
+        &mut self,
+        ctx: &mut NodeCtx,
+        sends: Vec<Vec<u64>>,
+        phase: CommPhase,
+    ) -> Vec<Vec<u64>> {
+        assert_eq!(sends.len(), self.size());
+        let seq = self.next_seq();
+        let tag = Tag::group(self.gid, op::ALLTOALL, seq);
+        alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends)
     }
 
     /// All-gather variable-length `f64` buffers within the group.

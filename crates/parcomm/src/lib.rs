@@ -50,7 +50,7 @@ pub mod stats;
 pub mod tag;
 pub mod vclock;
 
-pub use cluster::{Cluster, ClusterConfig};
+pub use cluster::{Cluster, ClusterConfig, SparePool};
 pub use comm::{NodeCtx, ReduceOp};
 pub use fault::{FailAt, FailureEvent, FailureScript, FaultOracle};
 pub use group::Group;

@@ -33,6 +33,35 @@ impl BlockPartition {
         BlockPartition { n, nodes, starts }
     }
 
+    /// Generalized (non-uniform) contiguous partition from explicit block
+    /// boundaries: block `k` owns `starts[k]..starts[k+1]`. This is the
+    /// layout a *shrunken* cluster runs on after surviving nodes adopt the
+    /// subdomains of failed nodes: still contiguous block rows (so the
+    /// PETSc-style diag/offdiag SpMV split keeps working), but with block
+    /// sizes that are unions of the original `⌈n/N⌉`-blocks.
+    ///
+    /// # Panics
+    /// Panics unless `starts` begins at 0, is strictly increasing (no empty
+    /// blocks — every rank must own rows), and has at least one block.
+    pub fn from_starts(starts: Vec<usize>) -> Self {
+        assert!(starts.len() >= 2, "need at least one block");
+        assert_eq!(starts[0], 0, "first block must start at row 0");
+        assert!(
+            starts.windows(2).all(|w| w[0] < w[1]),
+            "block boundaries must be strictly increasing (no empty blocks): {starts:?}"
+        );
+        BlockPartition {
+            n: *starts.last().unwrap(),
+            nodes: starts.len() - 1,
+            starts,
+        }
+    }
+
+    /// The block boundaries (`len = nodes + 1`).
+    pub fn starts(&self) -> &[usize] {
+        &self.starts
+    }
+
     /// Total number of rows `n`.
     pub fn n(&self) -> usize {
         self.n
@@ -55,9 +84,14 @@ impl BlockPartition {
         self.starts[rank + 1] - self.starts[rank]
     }
 
-    /// Largest block size `⌈n/N⌉` (the paper's bound unit in Sec. 4.2).
+    /// Largest block size — `⌈n/N⌉` for the uniform layout (the paper's
+    /// bound unit in Sec. 4.2), the widest adopted block after a shrink.
     pub fn max_block(&self) -> usize {
-        self.n.div_ceil(self.nodes)
+        self.starts
+            .windows(2)
+            .map(|w| w[1] - w[0])
+            .max()
+            .expect("at least one block")
     }
 
     /// The rank owning global index `i`.
@@ -132,6 +166,44 @@ mod tests {
         let p = BlockPartition::new(5, 1);
         assert_eq!(p.range(0), 0..5);
         assert_eq!(p.owner_of(4), 0);
+    }
+
+    #[test]
+    fn from_starts_non_uniform() {
+        // A 3-block layout with very unequal sizes (post-shrink shape).
+        let p = BlockPartition::from_starts(vec![0, 7, 9, 20]);
+        assert_eq!(p.n(), 20);
+        assert_eq!(p.nodes(), 3);
+        assert_eq!(p.range(0), 0..7);
+        assert_eq!(p.range(1), 7..9);
+        assert_eq!(p.range(2), 9..20);
+        assert_eq!(p.max_block(), 11); // the widest (adopted) block
+        for i in 0..20 {
+            let o = p.owner_of(i);
+            assert!(p.range(o).contains(&i));
+            assert_eq!(p.local_of(i), i - p.range(o).start);
+        }
+        assert_eq!(p.union_of(&[2, 0]), (0..7).chain(9..20).collect::<Vec<_>>());
+        assert_eq!(p.starts(), &[0, 7, 9, 20]);
+    }
+
+    #[test]
+    fn from_starts_roundtrips_uniform() {
+        let u = BlockPartition::new(143, 7);
+        let g = BlockPartition::from_starts(u.starts().to_vec());
+        assert_eq!(u, g);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn from_starts_rejects_empty_block() {
+        BlockPartition::from_starts(vec![0, 5, 5, 10]);
+    }
+
+    #[test]
+    #[should_panic(expected = "start at row 0")]
+    fn from_starts_rejects_offset_origin() {
+        BlockPartition::from_starts(vec![1, 5, 10]);
     }
 
     #[test]

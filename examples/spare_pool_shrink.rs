@@ -1,0 +1,85 @@
+//! When the cluster runs out of replacement nodes: the same solve under
+//! all three recovery policies (paper Sec. 1.1.1 assumes ULFM always
+//! provides a replacement; Pachajoa et al., arXiv:2007.04066 ask what
+//! happens when it cannot).
+//!
+//! Two failure events hit a 10-node cluster with only **one** hot spare:
+//! the first event (2 failures) gets the spare for one rank while a
+//! survivor adopts the other subdomain; the second event finds the pool
+//! dry and both subdomains are adopted — the solve finishes on 7 nodes
+//! with a non-uniform partition and a shrunken communicator.
+//!
+//! ```sh
+//! cargo run --release --example spare_pool_shrink
+//! ```
+
+use esr_core::{run_pcg, Problem, RecoveryPolicy, SolverConfig};
+use parcomm::{CostModel, FailAt, FailureEvent, FailureScript};
+use sparsemat::gen::poisson2d;
+
+fn main() {
+    let nodes = 10;
+    let a = poisson2d(60, 60);
+    println!(
+        "system: 2-D Poisson, n = {}, on {} nodes, two failure events (ψ = 2 each)",
+        a.n_rows(),
+        nodes
+    );
+    let problem = Problem::with_ones_solution(a);
+    let script = || {
+        FailureScript::new(vec![
+            FailureEvent {
+                when: FailAt::Iteration(20),
+                ranks: vec![3, 4],
+            },
+            FailureEvent {
+                when: FailAt::Iteration(35),
+                ranks: vec![7, 8],
+            },
+        ])
+    };
+
+    for policy in [
+        RecoveryPolicy::Replace,
+        RecoveryPolicy::Spares(1),
+        RecoveryPolicy::Shrink,
+    ] {
+        let cfg = SolverConfig::resilient_with_policy(2, policy);
+        let res = run_pcg(&problem, nodes, &cfg, CostModel::default(), script());
+        let err = res
+            .x
+            .iter()
+            .map(|x| (x - 1.0).abs())
+            .fold(0.0_f64, f64::max);
+        println!(
+            "\npolicy {policy:?}: converged = {} in {} iterations, max error {err:.2e}",
+            res.converged, res.iterations
+        );
+        println!(
+            "  recoveries: {}, ranks reconstructed: {}, nodes retired: {} (cluster ends at N = {})",
+            res.recoveries,
+            res.ranks_recovered,
+            res.retired_nodes(),
+            nodes - res.retired_nodes()
+        );
+        println!(
+            "  recovery vtime: {:.3e}s of {:.3e}s total",
+            res.vtime_recovery, res.vtime
+        );
+        // Show who owns what at the end (adopted blocks are wider).
+        let mut owners: Vec<(usize, usize, usize)> = res
+            .per_node
+            .iter()
+            .filter(|o| !o.retired)
+            .map(|o| (o.rank, o.range_start, o.x_loc.len()))
+            .collect();
+        owners.sort_by_key(|&(_, s, _)| s);
+        let ownership: Vec<String> = owners
+            .iter()
+            .map(|&(r, s, l)| format!("rank {r}: rows {s}..{}", s + l))
+            .collect();
+        println!("  final ownership: {}", ownership.join(", "));
+        assert!(res.converged && err < 1e-6);
+    }
+    println!("\nAll three policies recovered the exact state — the difference is capacity, not accuracy.");
+}

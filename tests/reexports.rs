@@ -28,6 +28,24 @@ fn umbrella_paths_match_member_crates() {
 }
 
 #[test]
+fn recovery_policy_reaches_through_umbrella_paths() {
+    // The policy axis is public surface: constructible through the
+    // umbrella and convertible to the member-crate type.
+    let via_umbrella = esr_suite::core::RecoveryPolicy::Spares(3);
+    let via_member: esr_core::RecoveryPolicy = via_umbrella;
+    assert_eq!(via_member, esr_core::RecoveryPolicy::Spares(3));
+    assert_eq!(
+        esr_core::RecoveryPolicy::default(),
+        esr_core::RecoveryPolicy::Replace
+    );
+    let cfg = SolverConfig::resilient_with_policy(2, esr_suite::core::RecoveryPolicy::Shrink);
+    assert_eq!(
+        cfg.resilience.unwrap().policy,
+        esr_core::RecoveryPolicy::Shrink
+    );
+}
+
+#[test]
 fn failure_script_and_cost_model_construct() {
     // The exact calls the doctest and examples/overlapping_failures.rs use.
     let script = FailureScript::simultaneous(5, 1, 2, 6);
