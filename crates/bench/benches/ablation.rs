@@ -32,7 +32,8 @@ fn main() {
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let mut ovh = Vec::new();
         for strategy in [
             BackupStrategy::Minimal,
@@ -41,7 +42,8 @@ fn main() {
         ] {
             let mut cfg = SolverConfig::resilient(3);
             cfg.resilience.as_mut().unwrap().strategy = strategy;
-            let res = run_pcg(&problem, cfgb.nodes, &cfg, cfgb.cost, FailureScript::none());
+            let res =
+                run_pcg(&problem, cfgb.nodes, &cfg, cfgb.cost, FailureScript::none()).unwrap();
             assert!(res.converged);
             ovh.push(100.0 * (res.vtime / t0.vtime - 1.0));
         }
@@ -69,7 +71,8 @@ fn main() {
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let mut recs = Vec::new();
         for exact in [true, false] {
             let mut cfg = SolverConfig::resilient(3);
@@ -121,14 +124,16 @@ fn main() {
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let res = run_pcg(
             &problem,
             cfgb.nodes,
             &SolverConfig::resilient(3),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(res.converged);
         let ovh = 100.0 * (res.vtime / t0.vtime - 1.0);
         println!(

@@ -41,7 +41,8 @@ fn main() {
             // Measure actual wire traffic in a short resilient run.
             let mut cfg = SolverConfig::resilient(phi);
             cfg.max_iter = 10_000;
-            let res = run_pcg(&problem, cfgb.nodes, &cfg, cfgb.cost, FailureScript::none());
+            let res =
+                run_pcg(&problem, cfgb.nodes, &cfg, cfgb.cost, FailureScript::none()).unwrap();
             assert!(res.converged);
             let measured_per_iter =
                 res.stats.elems(CommPhase::Redundancy) as f64 / res.iterations as f64;

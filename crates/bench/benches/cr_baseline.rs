@@ -35,7 +35,8 @@ fn main() {
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let t0 = reference.vtime;
         let psi = 3usize;
         let fail_at = ((reference.iterations / 2) as u64).max(1);
@@ -54,8 +55,9 @@ fn main() {
             &solver,
             cfgb.cost,
             FailureScript::none(),
-        );
-        let esr_f = run_pcg(&problem, cfgb.nodes, &solver, cfgb.cost, script.clone());
+        )
+        .unwrap();
+        let esr_f = run_pcg(&problem, cfgb.nodes, &solver, cfgb.cost, script.clone()).unwrap();
         assert!(esr_u.converged && esr_f.converged);
 
         // C/R with two checkpoint intervals; copies = ψ for equal
@@ -75,7 +77,8 @@ fn main() {
             &cr5,
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let cr20_u = run_checkpoint_restart(
             &problem,
             cfgb.nodes,
@@ -83,9 +86,11 @@ fn main() {
             &cr20,
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let cr20_f =
-            run_checkpoint_restart(&problem, cfgb.nodes, &solver, &cr20, cfgb.cost, script);
+            run_checkpoint_restart(&problem, cfgb.nodes, &solver, &cr20, cfgb.cost, script)
+                .unwrap();
         assert!(cr5_u.converged && cr20_u.converged && cr20_f.converged);
 
         let pct = |t: f64| 100.0 * (t / t0 - 1.0);

@@ -21,7 +21,8 @@ fn main() {
         &SolverConfig::reference(),
         cfgb.cost,
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(reference.converged);
     println!(
         "reference t0 = {:.3} ms ({} iterations)\n",

@@ -1,5 +1,5 @@
 //! Machine-readable perf report: `BENCH_comm.json` + `BENCH_pcg.json` +
-//! `BENCH_pipecg.json` + `BENCH_recovery.json`.
+//! `BENCH_pipecg.json` + `BENCH_policy_matrix.json`.
 //!
 //! Establishes the performance trajectory of the communication hot path so
 //! this and every future PR has a number attached. Three artifacts land in
@@ -16,10 +16,12 @@
 //!   iteration and the exposed/hidden reduction time per iteration. At
 //!   N ≥ 16 the pipelined solver's exposed reduction time must come in
 //!   strictly below blocking PCG's (asserted here, so CI gates on it).
-//! * **`BENCH_recovery.json`** — the recovery-policy comparison
-//!   (replace / undersized spare pool / shrink): recovery virtual time,
-//!   reconstruction traffic, retired-node count, and post-recovery
-//!   iterations for the same ψ = 2 failure event at N ≤ 16.
+//! * **`BENCH_policy_matrix.json`** — the full recovery-policy × solver
+//!   grid through the shared `RecoveryEngine`: for every cell of
+//!   {replace, spares(1), shrink} × {PCG, pipelined PCG, BiCGSTAB},
+//!   recovery virtual time, reconstruction traffic (Recovery-phase
+//!   messages/elements), retired-node count, and post-recovery iterations
+//!   for the same ψ = 2 failure event at N ≤ 16.
 //!
 //! `BENCH_comm`/`BENCH_pcg` embed the pre-overhaul numbers
 //! (reduce-to-root + broadcast all-reduce, 3 reductions per PCG iteration)
@@ -145,7 +147,8 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, Exper
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(r.converged, "reference PCG must converge (N={n})");
         let iters = r.iterations as f64;
         // Every rank issues the same collective sequence, so calls/iter is
@@ -224,7 +227,8 @@ fn pipecg_report(
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(piped.converged, "pipelined PCG must converge (N={n})");
         let eb = blocking.exposed_vtime_per_iter(CommPhase::Reduction);
         let ep = piped.exposed_vtime_per_iter(CommPhase::Reduction);
@@ -270,20 +274,31 @@ fn pipecg_report(
     )
 }
 
-/// The recovery-policy comparison (`BENCH_recovery.json`): the same
-/// ψ-failure event handled by every [`RecoveryPolicy`] — in-place
+/// The recovery-policy × solver grid (`BENCH_policy_matrix.json`): the
+/// same ψ-failure event handled by every [`RecoveryPolicy`] — in-place
 /// replacement, an *undersized* spare pool (1 spare for ψ = 2, so one
-/// subdomain is replaced and one adopted), and pure shrink. Reports the
-/// recovery cost (virtual time, reconstruction traffic) and the
-/// post-recovery iteration count, which shows what continuing on N − ψ
-/// ranks with merged preconditioner blocks does to convergence.
-fn recovery_report(
-    cfgb: &BenchConfig,
-    nodes: &[usize],
-    blocking_results: &[(usize, ExperimentResult)],
-) -> String {
+/// subdomain is replaced and one adopted in a mixed event), and pure
+/// shrink — on every `RecoveryEngine`-backed solver (blocking PCG,
+/// pipelined PCG, BiCGSTAB). Reports per cell the recovery cost (virtual
+/// time, Recovery-phase reconstruction traffic), retired-node count, and
+/// the post-recovery iteration count, which shows what continuing on
+/// N − ψ ranks with merged preconditioner blocks (and, for the pipelined
+/// solver, the recurrence re-bootstrap) does to convergence.
+fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
     const PSI: usize = 2;
     const PHI: usize = 2;
+    type Runner = fn(
+        &esr_core::Problem,
+        usize,
+        &SolverConfig,
+        parcomm::CostModel,
+        FailureScript,
+    ) -> Result<ExperimentResult, esr_core::ConfigError>;
+    let solvers: [(&str, Runner); 3] = [
+        ("pcg", run_pcg as Runner),
+        ("pipecg", esr_core::run_pipecg as Runner),
+        ("bicgstab", esr_core::run_bicgstab as Runner),
+    ];
     let policies: [(&str, RecoveryPolicy); 3] = [
         ("replace", RecoveryPolicy::Replace),
         ("spares(1)", RecoveryPolicy::Spares(1)),
@@ -292,43 +307,56 @@ fn recovery_report(
     let mut cases = Vec::new();
     for &n in nodes.iter().filter(|&&n| (4..=16).contains(&n)) {
         let problem = cfgb.problem(PaperMatrix::M1);
-        let ref_iters = blocking_results
-            .iter()
-            .find(|(bn, _)| *bn == n)
-            .expect("pcg_report covers the same node list")
-            .1
-            .iterations;
-        let fail_at = (ref_iters as u64 / 2).max(1);
-        let mut rows = Vec::new();
-        for (label, policy) in policies {
-            let cfg = SolverConfig::resilient_with_policy(PHI, policy);
-            let script = FailureScript::simultaneous(fail_at, n / 2, PSI, n);
-            let r = run_pcg(&problem, n, &cfg, cfgb.cost, script);
-            assert!(r.converged, "{label} must converge (N={n})");
-            let post = r.iterations as u64 - fail_at;
-            rows.push(format!(
-                r#"      {{"policy": "{label}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}}}"#,
-                r.iterations,
-                json_f(r.vtime_recovery),
-                json_f(r.vtime),
-                r.retired_nodes(),
-                r.stats.msgs(CommPhase::Recovery),
-                r.stats.elems(CommPhase::Recovery),
+        let mut solver_rows = Vec::new();
+        for (sname, runner) in solvers {
+            // Each solver's failure is injected at half of its own
+            // failure-free progress.
+            let reference = runner(
+                &problem,
+                n,
+                &SolverConfig::reference(),
+                cfgb.cost,
+                FailureScript::none(),
+            )
+            .unwrap();
+            assert!(reference.converged, "{sname} reference (N={n})");
+            let fail_at = (reference.iterations as u64 / 2).max(1);
+            let mut rows = Vec::new();
+            for (label, policy) in policies {
+                let cfg = SolverConfig::resilient_with_policy(PHI, policy);
+                let script = FailureScript::simultaneous(fail_at, n / 2, PSI, n);
+                let r = runner(&problem, n, &cfg, cfgb.cost, script).unwrap();
+                assert!(r.converged, "{sname} × {label} must converge (N={n})");
+                let post = r.iterations as u64 - fail_at;
+                rows.push(format!(
+                    r#"        {{"policy": "{label}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}}}"#,
+                    r.iterations,
+                    json_f(r.vtime_recovery),
+                    json_f(r.vtime),
+                    r.retired_nodes(),
+                    r.stats.msgs(CommPhase::Recovery),
+                    r.stats.elems(CommPhase::Recovery),
+                ));
+                println!(
+                    "matrix N={n:3} {sname:8} {label:10}  iters {:3} (post-fail {post:3})  t_rec {:.3e}s  retired {}",
+                    r.iterations,
+                    r.vtime_recovery,
+                    r.retired_nodes()
+                );
+            }
+            solver_rows.push(format!(
+                "      {{\"solver\": \"{sname}\", \"reference_iterations\": {}, \"fail_at_iteration\": {fail_at}, \"policies\": [\n{}\n      ]}}",
+                reference.iterations,
+                rows.join(",\n")
             ));
-            println!(
-                "recovery N={n:3} {label:10}  iters {:3} (post-fail {post:3})  t_rec {:.3e}s  retired {}",
-                r.iterations,
-                r.vtime_recovery,
-                r.retired_nodes()
-            );
         }
         cases.push(format!(
-            "    {{\"nodes\": {n}, \"psi\": {PSI}, \"phi\": {PHI}, \"fail_at_iteration\": {fail_at}, \"policies\": [\n{}\n    ]}}",
-            rows.join(",\n")
+            "    {{\"nodes\": {n}, \"psi\": {PSI}, \"phi\": {PHI}, \"solvers\": [\n{}\n    ]}}",
+            solver_rows.join(",\n")
         ));
     }
     format!(
-        "{{\n  \"schema\": \"esr-bench/recovery/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of reference progress\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"esr-bench/policy-matrix/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of each solver's reference progress\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_f(cfgb.scale),
         json_f(cfgb.cost.lambda),
         json_f(cfgb.cost.mu),
@@ -349,7 +377,7 @@ fn main() {
         &pipecg_report(&cfgb, &nodes, &pcg_results),
     );
     write_json(
-        "BENCH_recovery.json",
-        &recovery_report(&cfgb, &nodes, &pcg_results),
+        "BENCH_policy_matrix.json",
+        &policy_matrix_report(&cfgb, &nodes),
     );
 }

@@ -45,7 +45,8 @@ fn main() {
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(reference.converged, "{id:?}: reference did not converge");
         let t0 = reference.vtime;
 
@@ -58,7 +59,8 @@ fn main() {
                 &SolverConfig::resilient(phi),
                 cfgb.cost,
                 FailureScript::none(),
-            );
+            )
+            .unwrap();
             assert!(res.converged);
             undisturbed.push(100.0 * (res.vtime / t0 - 1.0));
         }

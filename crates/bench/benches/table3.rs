@@ -23,7 +23,8 @@ fn main() {
             &SolverConfig::reference(),
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(reference.converged);
         let delta_pcg = reference.residual_deviation;
 

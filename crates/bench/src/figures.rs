@@ -20,7 +20,8 @@ pub fn figure(fig_name: &str, caption: &str, id: PaperMatrix, loc: FailLocation)
         &SolverConfig::reference(),
         cfgb.cost,
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(reference.converged);
     let t0 = reference.vtime;
     println!(
@@ -47,7 +48,8 @@ pub fn figure(fig_name: &str, caption: &str, id: PaperMatrix, loc: FailLocation)
             &solver,
             cfgb.cost,
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(undisturbed.converged);
         let u_ovh = 100.0 * (undisturbed.vtime / t0 - 1.0);
 

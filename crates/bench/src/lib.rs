@@ -139,7 +139,7 @@ pub fn run_failure_case(
 ) -> ExperimentResult {
     let at = ((ref_iters as f64 * progress) as u64).max(1);
     let script = FailureScript::simultaneous(at, loc.first_rank(cfgb.nodes), psi, cfgb.nodes);
-    run_pcg(problem, cfgb.nodes, solver, cfgb.cost, script)
+    run_pcg(problem, cfgb.nodes, solver, cfgb.cost, script).expect("valid bench configuration")
 }
 
 /// Results directory: `ESR_RESULTS_DIR` if set, else the workspace's

@@ -3,54 +3,234 @@
 //! The paper (Sec. 1): "our proposed algorithmic modifications can also be
 //! applied to the ESR approach for the … preconditioned bi-conjugate
 //! gradient stabilized (BiCGSTAB) algorithms", without giving details "due
-//! to space restrictions". This module works them out.
+//! to space restrictions". This module works them out on top of the shared
+//! [`crate::engine`] — which also buys BiCGSTAB the four-substep
+//! overlapping-failure restart protocol and the full recovery-policy
+//! matrix (replacement nodes, finite spare pool, shrink-with-adoption)
+//! that used to be PCG-only.
 //!
 //! Preconditioned BiCGSTAB performs **two** SpMVs per iteration —
 //! `v = A p̂` with `p̂ = M⁻¹p` and `t = A ŝ` with `ŝ = M⁻¹s` — so two
 //! vectors are naturally scattered per iteration and both are retained
 //! (two retention channels). At the failure boundary (after the second
-//! scatter) the full state is exactly reconstructible on the replacements:
+//! scatter) the full state is exactly reconstructible per failed block
+//! (see [`BicgstabKernel`]):
 //!
 //! * `p̂_If`, `ŝ_If` — from the retained redundant copies;
-//! * `p_If = M p̂_If`, `s_If = M ŝ_If` — locally (block-diagonal `M`);
-//! * `v_If = A_{If,·} p̂` — survivors hold `p̂`, its ghosts are gathered;
-//!   the `If`-columns come from the replacement group's reconstructed
-//!   `p̂` blocks;
+//! * `p_If = M p̂_If`, `s_If = M ŝ_If` — per block from static data
+//!   (block-diagonal `M`), which is what lets an *adopter* rebuild a
+//!   block it never owned;
+//! * `v_If = A_{If,·} p̂` — survivors serve `p̂` outside `If`; the
+//!   `If`-columns come from the reconstructor group's all-gather;
 //! * `r_If = s_If + α v_If` — from the recurrence `s = r − α v`
 //!   (`α` is a replicated scalar, re-sent by a survivor);
-//! * `x_If` — from `r = b − A x`, solving `A_{If,If} x_If = b_If − r_If −
-//!   A_{If,I\If} x_{I\If}` cooperatively, exactly as in PCG recovery;
-//! * `r̂0 = b` is static (the solver fixes `x(0) = 0`).
+//! * `x_If` — from `r = b − A x`, via the engine's shared cooperative
+//!   inner solve;
+//! * `r̂0 = b` is static (the solver fixes `x(0) = 0`), so after a shrink
+//!   the adopter's widened `r̂0` block is just `b` over the new range.
 //!
 //! Unlike PCG, no previous-iteration data is needed: the recurrences close
 //! within the iteration, so only the *current* generation of each channel
 //! is read during recovery.
 
 use std::collections::HashSet;
+use std::ops::Range;
 use std::sync::Arc;
 
 use parcomm::comm::ReduceOp;
 use parcomm::fault::poison;
-use parcomm::{CommPhase, FailAt, NodeCtx, Payload};
+use parcomm::{FailAt, NodeCtx};
 use sparsemat::vecops::{axpy, dot};
-use sparsemat::{BlockPartition, Csr};
+use sparsemat::Csr;
 
-use crate::config::{PrecondConfig, SolverConfig};
-use crate::localmat::LocalMatrix;
+use crate::config::SolverConfig;
+use crate::engine::{
+    self, splice, ChannelRead, EngineComm, EngineEnv, EngineOutcome, EngineShared, Layout,
+    ReconBlock, ResilientKernel,
+};
 use crate::pcg::NodeOutcome;
-use crate::precsetup::NodePrecond;
-use crate::recovery::{gather_failed_ghosts, solve_failed_system, RecoveryEnv};
-use crate::redundancy;
-use crate::retention::{Gen, Retention};
-use crate::scatter::ScatterPlan;
+use crate::retention::Gen;
 
-const TAG_ALPHA: u32 = 1 << 24;
-const TAG_PHAT: u32 = (1 << 24) + 1;
-const TAG_SHAT: u32 = (1 << 24) + 2;
-const TAG_REQ_PHAT: u32 = (1 << 24) + 3;
-const TAG_RESP_PHAT: u32 = (1 << 24) + 4;
-const TAG_REQ_X: u32 = (1 << 24) + 5;
-const TAG_RESP_X: u32 = (1 << 24) + 6;
+// Block-vector slots of the BiCGSTAB kernel.
+const PHAT: usize = 0;
+const SHAT: usize = 1;
+const P: usize = 2;
+const S: usize = 3;
+const V: usize = 4;
+const R: usize = 5;
+const X: usize = 6;
+
+/// BiCGSTAB's [`ResilientKernel`]: two retention channels (`p̂(j)`,
+/// `ŝ(j)`), one replicated scalar `α(j)`, and the reconstruction
+/// identities listed in the module docs.
+pub(crate) struct BicgstabKernel<'a> {
+    /// The iterate block `x(j)_Iᵢ`.
+    pub x: &'a mut Vec<f64>,
+    /// The residual block `r_Iᵢ`.
+    pub r: &'a mut Vec<f64>,
+    /// The search direction `p_Iᵢ`.
+    pub p: &'a mut Vec<f64>,
+    /// `v = A p̂`.
+    pub v: &'a mut Vec<f64>,
+    /// `s = r − α v`.
+    pub s: &'a mut Vec<f64>,
+    /// `p̂ = M⁻¹ p`.
+    pub phat: &'a mut Vec<f64>,
+    /// `ŝ = M⁻¹ s`.
+    pub shat: &'a mut Vec<f64>,
+    /// `t = A ŝ` scratch.
+    pub t: &'a mut Vec<f64>,
+    /// Ghost values from the last exchange.
+    pub ghosts: &'a mut Vec<f64>,
+    /// Owned right-hand-side block.
+    pub b_loc: &'a mut Vec<f64>,
+    /// The shadow residual `r̂0 = b` (static; re-cut after a shrink).
+    pub rhat0: &'a mut Vec<f64>,
+    /// The replicated scalar `α(j)`.
+    pub alpha: &'a mut f64,
+    /// The replicated scalar `ρ(j) = r̂0ᵀr(j)` (needed by the *next*
+    /// iteration's β; `ρ(j+1)` is recomputed by the post-recovery fused
+    /// reduction, but `ρ(j)` itself would be lost with the node).
+    pub rho: &'a mut f64,
+}
+
+impl ResilientKernel for BicgstabKernel<'_> {
+    fn n_channels(&self) -> usize {
+        2
+    }
+
+    fn channel_reads(&self, _has_prev: bool) -> Vec<ChannelRead> {
+        // Both channels scattered earlier in the same iteration: always
+        // present, no previous-generation reads.
+        vec![
+            ChannelRead {
+                channel: 0,
+                generation: Gen::Cur,
+                required: true,
+                what: "p̂(j)",
+            },
+            ChannelRead {
+                channel: 1,
+                generation: Gen::Cur,
+                required: true,
+                what: "ŝ(j)",
+            },
+        ]
+    }
+
+    fn scalars(&self) -> Vec<f64> {
+        vec![*self.alpha, *self.rho]
+    }
+
+    fn set_scalars(&mut self, s: &[f64]) {
+        *self.alpha = s[0];
+        *self.rho = s[1];
+    }
+
+    fn poison(&mut self) {
+        poison(self.x);
+        poison(self.r);
+        poison(self.p);
+        poison(self.v);
+        poison(self.s);
+        poison(self.phat);
+        poison(self.shat);
+        poison(self.ghosts);
+        *self.alpha = f64::NAN;
+        *self.rho = f64::NAN;
+        // r̂0 and b_loc are static data (r̂0 = b with x(0) = 0) and survive
+        // on reliable storage — paper Sec. 1.1.2.
+    }
+
+    fn n_block_vecs(&self) -> usize {
+        7
+    }
+
+    fn r_slot(&self) -> usize {
+        R
+    }
+
+    fn x_slot(&self) -> usize {
+        X
+    }
+
+    fn x_loc(&self) -> &[f64] {
+        self.x
+    }
+
+    fn rebuild_local(
+        &mut self,
+        ctx: &mut NodeCtx,
+        shared: &EngineShared<'_>,
+        blk: &mut ReconBlock,
+        mut copies: Vec<Option<Vec<f64>>>,
+    ) {
+        let phat = copies[0].take().expect("p̂(j) copies are mandatory");
+        let shat = copies[1].take().expect("ŝ(j) copies are mandatory");
+        // p_b = M_{b,b} p̂_b ; s_b = M_{b,b} ŝ_b (block-diagonal M).
+        blk.vecs[P] = engine::m_block_forward(ctx, shared.a, shared.precond, &blk.range, &phat);
+        blk.vecs[S] = engine::m_block_forward(ctx, shared.a, shared.precond, &blk.range, &shat);
+        blk.vecs[PHAT] = phat;
+        blk.vecs[SHAT] = shat;
+    }
+
+    fn rebuild_distributed(
+        &mut self,
+        ctx: &mut NodeCtx,
+        shared: &EngineShared<'_>,
+        comm: &mut EngineComm<'_>,
+        blocks: &mut [ReconBlock],
+    ) {
+        // v_If = A_{If,·} p̂: survivors serve the outside-If values, the
+        // If-columns come from the reconstructors' rebuilt p̂ blocks.
+        comm.apply_matrix(ctx, shared.a, blocks, PHAT, V, self.phat);
+        // r_If = s_If + α v_If  (from s = r − α v).
+        let alpha = *self.alpha;
+        for blk in blocks.iter_mut() {
+            let blen = blk.range.len();
+            let mut r = vec![0.0; blen];
+            for i in 0..blen {
+                r[i] = blk.vecs[S][i] + alpha * blk.vecs[V][i];
+            }
+            ctx.clock_mut().advance_flops(2 * blen);
+            blk.vecs[R] = r;
+        }
+    }
+
+    fn install(&mut self, blk: &ReconBlock) {
+        self.phat.copy_from_slice(&blk.vecs[PHAT]);
+        self.shat.copy_from_slice(&blk.vecs[SHAT]);
+        self.p.copy_from_slice(&blk.vecs[P]);
+        self.s.copy_from_slice(&blk.vecs[S]);
+        self.v.copy_from_slice(&blk.vecs[V]);
+        self.r.copy_from_slice(&blk.vecs[R]);
+        self.x.copy_from_slice(&blk.vecs[X]);
+    }
+
+    fn splice(
+        &mut self,
+        new_range: &Range<usize>,
+        own: Option<&Range<usize>>,
+        blocks: &[ReconBlock],
+        b: &[f64],
+    ) {
+        *self.x = splice(new_range, own, self.x, blocks, X);
+        *self.r = splice(new_range, own, self.r, blocks, R);
+        *self.p = splice(new_range, own, self.p, blocks, P);
+        *self.v = splice(new_range, own, self.v, blocks, V);
+        *self.s = splice(new_range, own, self.s, blocks, S);
+        *self.phat = splice(new_range, own, self.phat, blocks, PHAT);
+        *self.shat = splice(new_range, own, self.shat, blocks, SHAT);
+        *self.b_loc = b[new_range.clone()].to_vec();
+        // x(0) = 0 makes r̂0 = b static: the widened block is just b.
+        *self.rhat0 = self.b_loc.clone();
+    }
+
+    fn resize_scratch(&mut self, nloc: usize, n_ghosts: usize) {
+        *self.t = vec![0.0; nloc];
+        *self.ghosts = vec![0.0; n_ghosts];
+    }
+}
 
 /// The SPMD node program: solve `A x = b` with (optionally resilient)
 /// preconditioned BiCGSTAB. `A` may be non-symmetric; the preconditioner
@@ -61,49 +241,33 @@ pub fn esr_bicgstab_node(
     b: &Arc<Vec<f64>>,
     cfg: &SolverConfig,
 ) -> NodeOutcome {
-    assert!(
-        !matches!(cfg.precond, PrecondConfig::ExplicitP(_)),
-        "ESR-BiCGSTAB supports the block-diagonal (M-given) preconditioners"
-    );
     let n = a.n_rows();
+    assert_eq!(b.len(), n, "rhs length");
     let rank = ctx.rank();
-    let part = BlockPartition::new(n, ctx.size());
-    let lm = LocalMatrix::build(a, &part, rank);
-    let mut plan = ScatterPlan::build(ctx, &lm, &part);
-    if let Some(res) = &cfg.resilience {
-        plan.send_extra = redundancy::compute_extra_sends(
-            rank,
-            ctx.size(),
-            res.phi,
-            &res.strategy,
-            lm.n_local(),
-            &plan.send_natural,
-        );
-        plan.announce_extras(ctx);
-    }
     // Two retention channels: copies of p̂(j) and of ŝ(j).
-    let mut ret_p = Retention::build(&plan, &lm.ghost_cols);
-    let mut ret_s = Retention::build(&plan, &lm.ghost_cols);
-    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
-        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    let mut layout = Layout::build_full(ctx, a, cfg, 2);
+    assert!(
+        !layout.prec.is_explicit_p(),
+        "rank {rank}: ESR-BiCGSTAB supports the block-diagonal (M-given) preconditioners"
+    );
     ctx.barrier();
     let vtime_setup = ctx.vtime();
     ctx.reset_metrics();
 
-    let nloc = lm.n_local();
-    let range = lm.range.clone();
-    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let mut nloc = layout.lm.n_local();
+    let mut b_loc: Vec<f64> = b[layout.lm.range.clone()].to_vec();
     // x(0) = 0 so that r̂0 = r(0) = b is static data.
     let mut x = vec![0.0; nloc];
     let mut r = b_loc.clone();
-    let rhat0 = b_loc.clone();
+    let mut rhat0 = b_loc.clone();
     let mut p = r.clone();
     let mut v = vec![0.0; nloc];
     let mut phat = vec![0.0; nloc];
     let mut shat = vec![0.0; nloc];
     let mut s = vec![0.0; nloc];
     let mut t = vec![0.0; nloc];
-    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+    let mut ghosts = vec![0.0; layout.lm.ghost_cols.len()];
+    let mut pool = ctx.spare_pool();
 
     // ‖r(0)‖² and ρ(0) = r̂0ᵀr(0) travel in one fused length-2 all-reduce.
     let init = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&r, &r), dot(&rhat0, &r)]);
@@ -121,10 +285,13 @@ pub fn esr_bicgstab_node(
     let mut iterations = 0usize;
     let mut residual_sq = r0_sq;
     let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut retired = false;
     let mut recoveries = 0usize;
     let mut ranks_recovered = 0usize;
     let mut vtime_recovery = 0.0f64;
-    let mut handled: HashSet<u64> = HashSet::new();
+    let mut handled_iter: HashSet<u64> = HashSet::new();
+    let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
+    let mut recovery_seq: u32 = 0;
     let resilient = cfg.resilience.is_some();
 
     while !converged && iterations < cfg.max_iter {
@@ -142,18 +309,20 @@ pub fn esr_bicgstab_node(
             }
             ctx.clock_mut().advance_flops(6 * nloc);
         }
-        // p̂ = M⁻¹ p ; first scatter (channel p).
-        prec.apply(ctx, &p, &mut phat);
+        // p̂ = M⁻¹ p ; first scatter (channel 0).
+        layout.prec.apply(ctx, &p, &mut phat);
         if resilient {
-            ret_p.rotate();
-            plan.exchange(ctx, &phat, &mut ghosts, Some(&mut ret_p));
-            ret_p.finish_generation();
+            layout.channels[0].rotate();
+            layout
+                .plan
+                .exchange(ctx, &phat, &mut ghosts, Some(&mut layout.channels[0]));
+            layout.channels[0].finish_generation();
         } else {
-            plan.exchange(ctx, &phat, &mut ghosts, None);
+            layout.plan.exchange(ctx, &phat, &mut ghosts, None);
         }
-        lm.spmv(&phat, &ghosts, &mut v);
-        ctx.clock_mut().advance_flops(lm.spmv_flops());
-        let rhat0_v = ctx.allreduce_sum(dot(&rhat0, &v));
+        layout.lm.spmv(&phat, &ghosts, &mut v);
+        ctx.clock_mut().advance_flops(layout.lm.spmv_flops());
+        let rhat0_v = layout.allreduce_sum(ctx, dot(&rhat0, &v));
         if rhat0_v.abs() < f64::MIN_POSITIVE {
             panic!("rank {rank}: BiCGSTAB breakdown ((r̂0,v) = 0) at iteration {j}");
         }
@@ -162,65 +331,86 @@ pub fn esr_bicgstab_node(
         s.copy_from_slice(&r);
         axpy(-alpha, &v, &mut s);
         ctx.clock_mut().advance_flops(2 * nloc);
-        // ŝ = M⁻¹ s ; second scatter (channel s).
-        prec.apply(ctx, &s, &mut shat);
+        // ŝ = M⁻¹ s ; second scatter (channel 1).
+        layout.prec.apply(ctx, &s, &mut shat);
         if resilient {
-            ret_s.rotate();
-            plan.exchange(ctx, &shat, &mut ghosts, Some(&mut ret_s));
-            ret_s.finish_generation();
+            layout.channels[1].rotate();
+            layout
+                .plan
+                .exchange(ctx, &shat, &mut ghosts, Some(&mut layout.channels[1]));
+            layout.channels[1].finish_generation();
         } else {
-            plan.exchange(ctx, &shat, &mut ghosts, None);
+            layout.plan.exchange(ctx, &shat, &mut ghosts, None);
         }
 
         // ---- failure boundary: both channels scattered -----------------
-        if resilient && !handled.contains(&j) {
-            handled.insert(j);
-            let failed = ctx.poll_failures(FailAt::Iteration(j));
+        if resilient && !handled_iter.contains(&j) {
+            handled_iter.insert(j);
+            let failed = layout.poll_member_failures(ctx, FailAt::Iteration(j));
             if !failed.is_empty() {
                 let t0 = ctx.vtime();
                 let res = cfg.resilience.as_ref().unwrap();
-                let env = RecoveryEnv {
+                let env = EngineEnv {
                     a,
-                    b_loc: &b_loc,
-                    part: &part,
-                    lm: &lm,
-                    cfg: &res.recovery,
+                    b,
+                    res,
+                    precond: &cfg.precond,
                     iteration: j,
+                    // Both channels are from *this* iteration; recovery
+                    // never reads previous-generation data.
                     has_prev: false,
                 };
-                recover_bicgstab(
+                let mut kernel = BicgstabKernel {
+                    x: &mut x,
+                    r: &mut r,
+                    p: &mut p,
+                    v: &mut v,
+                    s: &mut s,
+                    phat: &mut phat,
+                    shat: &mut shat,
+                    t: &mut t,
+                    ghosts: &mut ghosts,
+                    b_loc: &mut b_loc,
+                    rhat0: &mut rhat0,
+                    alpha: &mut alpha,
+                    rho: &mut rho,
+                };
+                match engine::recover(
                     ctx,
                     &env,
-                    &prec,
+                    &mut layout,
+                    &mut kernel,
                     &failed,
-                    &mut alpha,
-                    &mut x,
-                    &mut r,
-                    &mut p,
-                    &mut v,
-                    &mut s,
-                    &mut phat,
-                    &mut shat,
-                    &mut ghosts,
-                    &mut ret_p,
-                    &mut ret_s,
-                );
-                recoveries += 1;
-                ranks_recovered += failed.len();
-                vtime_recovery += ctx.vtime() - t0;
+                    &mut handled_sub,
+                    &mut recovery_seq,
+                    &mut pool,
+                ) {
+                    EngineOutcome::Retired => {
+                        retired = true;
+                        break;
+                    }
+                    EngineOutcome::Recovered(report) => {
+                        recoveries += 1;
+                        ranks_recovered += report.total_failed;
+                        vtime_recovery += ctx.vtime() - t0;
+                        nloc = layout.lm.n_local();
+                    }
+                }
                 // Restart from the ŝ scatter: re-exchange (restores the
                 // replacement ghosts and the s-channel redundancy; the
                 // p channel heals at the next iteration's scatter).
-                ret_s.rotate();
-                plan.exchange(ctx, &shat, &mut ghosts, Some(&mut ret_s));
-                ret_s.finish_generation();
+                layout.channels[1].rotate();
+                layout
+                    .plan
+                    .exchange(ctx, &shat, &mut ghosts, Some(&mut layout.channels[1]));
+                layout.channels[1].finish_generation();
             }
         }
 
         // t = A ŝ
-        lm.spmv(&shat, &ghosts, &mut t);
-        ctx.clock_mut().advance_flops(lm.spmv_flops());
-        let tt_ts = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&t, &t), dot(&t, &s)]);
+        layout.lm.spmv(&shat, &ghosts, &mut t);
+        ctx.clock_mut().advance_flops(layout.lm.spmv_flops());
+        let tt_ts = layout.allreduce_vec(ctx, ReduceOp::Sum, vec![dot(&t, &t), dot(&t, &s)]);
         ctx.clock_mut().advance_flops(4 * nloc);
         let (tt, ts) = (tt_ts[0], tt_ts[1]);
         if tt <= 0.0 || !tt.is_finite() {
@@ -236,7 +426,7 @@ pub fn esr_bicgstab_node(
 
         iterations += 1;
         // Fused: convergence test ‖r‖² + the next iteration's ρ = r̂0ᵀr.
-        let rr_rho = ctx.allreduce_vec(ReduceOp::Sum, vec![dot(&r, &r), dot(&rhat0, &r)]);
+        let rr_rho = layout.allreduce_vec(ctx, ReduceOp::Sum, vec![dot(&r, &r), dot(&rhat0, &r)]);
         ctx.clock_mut().advance_flops(4 * nloc);
         residual_sq = rr_rho[0];
         rho_next = rr_rho[1];
@@ -245,189 +435,20 @@ pub fn esr_bicgstab_node(
         }
     }
 
-    NodeOutcome {
-        rank,
-        x_loc: x,
-        range_start: range.start,
+    NodeOutcome::finish(
+        ctx,
+        x,
+        layout.lm.range.start,
         iterations,
-        residual_norm: residual_sq.sqrt(),
-        initial_residual_norm: r0_norm,
+        residual_sq.sqrt(),
+        r0_norm,
         converged,
-        vtime_total: ctx.vtime(),
         vtime_recovery,
         recoveries,
         ranks_recovered,
-        stats: ctx.stats().clone(),
         vtime_setup,
-        retired: false,
-    }
-}
-
-/// Reconstruction of the BiCGSTAB state on the replacements.
-#[allow(clippy::too_many_arguments)]
-fn recover_bicgstab(
-    ctx: &mut NodeCtx,
-    env: &RecoveryEnv,
-    prec: &NodePrecond,
-    failed: &[usize],
-    alpha: &mut f64,
-    x: &mut [f64],
-    r: &mut [f64],
-    p: &mut [f64],
-    v: &mut [f64],
-    s: &mut [f64],
-    phat: &mut [f64],
-    shat: &mut [f64],
-    ghosts: &mut [f64],
-    ret_p: &mut Retention,
-    ret_s: &mut Retention,
-) {
-    let rank = ctx.rank();
-    let mut failed = failed.to_vec();
-    failed.sort_unstable();
-    failed.dedup();
-    let am_failed = failed.binary_search(&rank).is_ok();
-    let if_indices = env.part.union_of(&failed);
-    let nloc = env.lm.n_local();
-    let my_start = env.lm.range.start;
-
-    if am_failed {
-        poison(x);
-        poison(r);
-        poison(p);
-        poison(v);
-        poison(s);
-        poison(phat);
-        poison(shat);
-        poison(ghosts);
-        ret_p.poison();
-        ret_s.poison();
-        *alpha = f64::NAN;
-    }
-
-    // α (replicated scalar) from the lowest survivor.
-    let lowest_surv = (0..ctx.size())
-        .find(|r| failed.binary_search(r).is_err())
-        .expect("at least one survivor");
-    if rank == lowest_surv {
-        for &f in &failed {
-            ctx.send(f, TAG_ALPHA, Payload::F64(*alpha), CommPhase::Recovery);
-        }
-    } else if am_failed {
-        *alpha = ctx
-            .recv_phase(lowest_surv, TAG_ALPHA, CommPhase::Recovery)
-            .into_f64();
-    }
-
-    // Retained copies of p̂_If and ŝ_If.
-    if !am_failed {
-        for &f in &failed {
-            let range = env.part.range(f);
-            ctx.send(
-                f,
-                TAG_PHAT,
-                Payload::pairs(ret_p.collect_range(Gen::Cur, range.start, range.end)),
-                CommPhase::Recovery,
-            );
-            ctx.send(
-                f,
-                TAG_SHAT,
-                Payload::pairs(ret_s.collect_range(Gen::Cur, range.start, range.end)),
-                CommPhase::Recovery,
-            );
-        }
-    } else {
-        let mut got_p = vec![false; nloc];
-        let mut got_s = vec![false; nloc];
-        for src in 0..ctx.size() {
-            if failed.binary_search(&src).is_ok() {
-                continue;
-            }
-            for (g, val) in ctx
-                .recv_phase(src, TAG_PHAT, CommPhase::Recovery)
-                .into_pairs()
-            {
-                let o = g as usize - my_start;
-                phat[o] = val;
-                got_p[o] = true;
-            }
-            for (g, val) in ctx
-                .recv_phase(src, TAG_SHAT, CommPhase::Recovery)
-                .into_pairs()
-            {
-                let o = g as usize - my_start;
-                shat[o] = val;
-                got_s[o] = true;
-            }
-        }
-        assert!(
-            got_p.iter().all(|&g| g) && got_s.iter().all(|&g| g),
-            "rank {rank}: unrecoverable — missing p̂/ŝ copies (more than φ failures?)"
-        );
-        // p_If = M p̂_If ; s_If = M ŝ_If (block-diagonal M).
-        prec.m_forward_local(env.lm, phat, p);
-        prec.m_forward_local(env.lm, shat, s);
-        ctx.clock_mut().advance_flops(2 * env.lm.diag.spmv_flops());
-    }
-
-    // v_If = A_{If,·} p̂: survivors provide the I\If ghosts; the If-columns
-    // come from the other replacements' reconstructed p̂ blocks.
-    let ghost_phat = gather_failed_ghosts(
-        ctx,
-        env.part,
-        &failed,
-        am_failed,
-        &env.lm.ghost_cols,
-        phat,
-        my_start,
-        TAG_REQ_PHAT,
-        TAG_RESP_PHAT,
-    );
-    if am_failed {
-        let mut group = ctx.group(&failed);
-        let parts = group.allgatherv_f64(ctx, phat.to_vec());
-        let phat_if: Vec<f64> = parts.into_iter().flatten().collect();
-        let rows: Vec<usize> = env.lm.range.clone().collect();
-        let sub = env.a.extract(&rows, &if_indices);
-        sub.spmv(&phat_if, v);
-        ctx.clock_mut().advance_flops(sub.spmv_flops());
-        let mut off = vec![0.0; nloc];
-        env.lm
-            .offdiag_mul_excluding(&ghost_phat.unwrap(), &if_indices, &mut off);
-        ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
-        for i in 0..nloc {
-            v[i] += off[i];
-        }
-        // r_If = s_If + α v_If  (from s = r − α v).
-        for i in 0..nloc {
-            r[i] = s[i] + *alpha * v[i];
-        }
-        ctx.clock_mut().advance_flops(4 * nloc);
-    }
-
-    // x_If from r = b − A x (same machinery as PCG recovery).
-    let ghost_x = gather_failed_ghosts(
-        ctx,
-        env.part,
-        &failed,
-        am_failed,
-        &env.lm.ghost_cols,
-        x,
-        my_start,
-        TAG_REQ_X,
-        TAG_RESP_X,
-    );
-    if am_failed {
-        let mut w = vec![0.0; nloc];
-        env.lm
-            .offdiag_mul_excluding(&ghost_x.unwrap(), &if_indices, &mut w);
-        ctx.clock_mut().advance_flops(env.lm.offdiag.spmv_flops());
-        for i in 0..nloc {
-            w[i] = env.b_loc[i] - r[i] - w[i];
-        }
-        let (x_new, _iters) = solve_failed_system(ctx, env, &failed, &if_indices, env.a, w);
-        x.copy_from_slice(&x_new);
-    }
+        retired,
+    )
 }
 
 #[cfg(test)]
@@ -519,5 +540,38 @@ mod tests {
         let outs = run(&problem, 5, &cfg, script);
         assert!(outs[0].converged);
         assert!(max_err_to_ones(&outs) < 1e-6);
+    }
+
+    #[test]
+    fn survives_overlapping_failure_during_recovery() {
+        // New with the engine port: the four-substep restart protocol now
+        // covers BiCGSTAB too (the old solver-private recovery was blind
+        // to failures arriving mid-reconstruction).
+        use parcomm::{FailAt, FailureEvent};
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        for substep in 0..4 {
+            let script = FailureScript::new(vec![
+                FailureEvent {
+                    when: FailAt::Iteration(4),
+                    ranks: vec![2],
+                },
+                FailureEvent {
+                    when: FailAt::RecoverySubstep {
+                        after_iteration: 4,
+                        substep,
+                    },
+                    ranks: vec![4],
+                },
+            ]);
+            let outs = run(&problem, 7, &SolverConfig::resilient(2), script);
+            assert!(outs[0].converged, "substep={substep}");
+            assert_eq!(outs[0].ranks_recovered, 2, "substep={substep}");
+            assert!(
+                max_err_to_ones(&outs) < 1e-6,
+                "substep={substep} err {}",
+                max_err_to_ones(&outs)
+            );
+        }
     }
 }

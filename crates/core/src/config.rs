@@ -149,6 +149,101 @@ impl ResilienceConfig {
     }
 }
 
+/// The distributed solvers the driver can run — named so configuration
+/// errors can state exactly which solver rejected which combination.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolverKind {
+    /// Blocking PCG ([`crate::driver::run_pcg`]).
+    Pcg,
+    /// Communication-hiding pipelined PCG ([`crate::driver::run_pipecg`]).
+    PipeCg,
+    /// Preconditioned BiCGSTAB ([`crate::driver::run_bicgstab`]).
+    BiCgStab,
+    /// The stationary Jacobi iteration ([`crate::driver::run_jacobi`]).
+    Jacobi,
+    /// The checkpoint/restart baseline
+    /// ([`crate::driver::run_checkpoint_restart`]).
+    CheckpointRestart,
+}
+
+impl SolverKind {
+    /// Human-readable solver name for error messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            SolverKind::Pcg => "blocking PCG",
+            SolverKind::PipeCg => "pipelined PCG",
+            SolverKind::BiCgStab => "BiCGSTAB",
+            SolverKind::Jacobi => "the Jacobi iteration",
+            SolverKind::CheckpointRestart => "checkpoint/restart",
+        }
+    }
+}
+
+/// A solver × policy × preconditioner combination the suite cannot run,
+/// with the violated constraint named. Returned by
+/// [`SolverConfig::validate`] (and therefore by every `run_*` entry point)
+/// instead of panicking deep inside a node program.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ConfigError {
+    /// The recovery policy is not implemented for this solver.
+    PolicyUnsupported {
+        /// The rejecting solver.
+        solver: SolverKind,
+        /// The requested policy.
+        policy: RecoveryPolicy,
+        /// The constraint that rules the combination out.
+        constraint: &'static str,
+    },
+    /// The preconditioner conflicts with the solver or the policy.
+    PrecondUnsupported {
+        /// The rejecting solver.
+        solver: SolverKind,
+        /// Debug rendering of the requested preconditioner.
+        precond: String,
+        /// The constraint that rules the combination out.
+        constraint: &'static str,
+    },
+    /// `φ` does not leave a survivor: `φ < N` must hold.
+    PhiTooLarge {
+        /// Requested redundancy.
+        phi: usize,
+        /// Cluster size.
+        nodes: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::PolicyUnsupported {
+                solver,
+                policy,
+                constraint,
+            } => write!(
+                f,
+                "RecoveryPolicy::{policy:?} is not supported by {}: {constraint}",
+                solver.name()
+            ),
+            ConfigError::PrecondUnsupported {
+                solver,
+                precond,
+                constraint,
+            } => write!(
+                f,
+                "PrecondConfig::{precond} is not supported by {}: {constraint}",
+                solver.name()
+            ),
+            ConfigError::PhiTooLarge { phi, nodes } => write!(
+                f,
+                "phi = {phi} redundant copies on a cluster of {nodes} nodes: \
+                 φ ≤ N−1 must leave at least one survivor holding copies"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// Full solver configuration.
 #[derive(Clone, Debug)]
 pub struct SolverConfig {
@@ -189,6 +284,80 @@ impl SolverConfig {
             resilience: Some(ResilienceConfig::paper(phi).with_policy(policy)),
             ..SolverConfig::reference()
         }
+    }
+
+    /// Check this configuration against a solver and cluster size, naming
+    /// the violated constraint on rejection. The full recovery-policy ×
+    /// solver matrix {Replace, Spares, Shrink} × {PCG, PipeCG, BiCGSTAB}
+    /// runs through the shared [`crate::engine::RecoveryEngine`]; what
+    /// remains unsupported:
+    ///
+    /// * the stationary Jacobi solver and the checkpoint/restart baseline
+    ///   assume the full cluster outlives the solve (Replace only);
+    /// * `ExplicitP` reconstruction (P-given, Alg. 2 lines 5–6) gathers
+    ///   over the full cluster, which a shrunken cluster no longer has —
+    ///   Replace only, and blocking PCG only (the pipelined solver would
+    ///   serialize `P`'s ghost exchange against its overlapped reduction;
+    ///   BiCGSTAB's reconstruction identities assume block-diagonal `M`);
+    /// * `φ ≥ N` leaves no survivor to hold copies.
+    pub fn validate(&self, solver: SolverKind, nodes: usize) -> Result<(), ConfigError> {
+        // Solver-inherent preconditioner constraints hold with or without
+        // resilience configured.
+        if matches!(self.precond, PrecondConfig::ExplicitP(_)) {
+            if solver == SolverKind::PipeCg {
+                return Err(ConfigError::PrecondUnsupported {
+                    solver,
+                    precond: format!("{:?}", self.precond),
+                    constraint: "pipelined PCG requires a block-diagonal (M-given) \
+                                 preconditioner (None, Jacobi, or BlockJacobiExact): \
+                                 P's own ghost exchange would serialize against the \
+                                 overlapped reduction",
+                });
+            }
+            if solver == SolverKind::BiCgStab {
+                return Err(ConfigError::PrecondUnsupported {
+                    solver,
+                    precond: format!("{:?}", self.precond),
+                    constraint: "ESR-BiCGSTAB's reconstruction identities (p = M p̂, \
+                                 s = M ŝ) require a block-diagonal (M-given) \
+                                 preconditioner",
+                });
+            }
+        }
+        let Some(res) = &self.resilience else {
+            return Ok(()); // non-resilient runs have no policy to reject
+        };
+        if res.phi >= nodes {
+            return Err(ConfigError::PhiTooLarge {
+                phi: res.phi,
+                nodes,
+            });
+        }
+        let policy = res.policy;
+        let engine_backed = matches!(
+            solver,
+            SolverKind::Pcg | SolverKind::PipeCg | SolverKind::BiCgStab
+        );
+        if policy != RecoveryPolicy::Replace && !engine_backed {
+            return Err(ConfigError::PolicyUnsupported {
+                solver,
+                policy,
+                constraint: "this solver assumes the full cluster outlives the solve; \
+                             only the RecoveryEngine-backed solvers (PCG, pipelined PCG, \
+                             BiCGSTAB) support spare pools and shrinking",
+            });
+        }
+        if matches!(self.precond, PrecondConfig::ExplicitP(_)) && policy != RecoveryPolicy::Replace
+        {
+            return Err(ConfigError::PrecondUnsupported {
+                solver,
+                precond: format!("{:?}", self.precond),
+                constraint: "the P-given reconstruction gathers over the full \
+                             cluster, which a shrunken cluster no longer has; \
+                             use RecoveryPolicy::Replace with ExplicitP",
+            });
+        }
+        Ok(())
     }
 }
 

@@ -8,7 +8,7 @@ use parcomm::{Cluster, ClusterConfig, CommStats, CostModel, FailureScript};
 use sparsemat::vecops::norm2;
 use sparsemat::Csr;
 
-use crate::config::{RecoveryPolicy, SolverConfig};
+use crate::config::{ConfigError, RecoveryPolicy, SolverConfig, SolverKind};
 use crate::pcg::{esr_pcg_node, NodeOutcome};
 
 /// A linear system `A x = b` with `A` SPD.
@@ -159,14 +159,20 @@ impl ExperimentResult {
 }
 
 /// Run (resilient) PCG on a simulated cluster of `nodes` nodes.
+///
+/// Every `run_*` entry point validates the solver × policy × precondi-
+/// tioner combination up front ([`SolverConfig::validate`]) and returns a
+/// typed [`ConfigError`] naming the violated constraint — unsupported
+/// combinations fail as a `Result`, not as a panic deep in a node thread.
 pub fn run_pcg(
     problem: &Problem,
     nodes: usize,
     cfg: &SolverConfig,
     cost: CostModel,
     script: FailureScript,
-) -> ExperimentResult {
-    run_with(problem, nodes, cfg, cost, script, esr_pcg_node)
+) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate(SolverKind::Pcg, nodes)?;
+    Ok(run_with(problem, nodes, cfg, cost, script, esr_pcg_node))
 }
 
 /// Run (resilient) **pipelined** PCG: the communication-hiding variant
@@ -179,31 +185,16 @@ pub fn run_pipecg(
     cfg: &SolverConfig,
     cost: CostModel,
     script: FailureScript,
-) -> ExperimentResult {
-    require_replace_policy(cfg, "pipelined PCG");
-    run_with(
+) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate(SolverKind::PipeCg, nodes)?;
+    Ok(run_with(
         problem,
         nodes,
         cfg,
         cost,
         script,
         crate::pipecg::esr_pipecg_node,
-    )
-}
-
-/// The spare-pool and shrink policies are implemented for the blocking PCG
-/// solver ([`run_pcg`]); the other node programs assume the full cluster
-/// outlives the solve. Reject the configuration up front instead of
-/// silently running with in-place replacement.
-fn require_replace_policy(cfg: &SolverConfig, what: &str) {
-    if let Some(res) = &cfg.resilience {
-        assert!(
-            res.policy == RecoveryPolicy::Replace,
-            "RecoveryPolicy::{:?} is only implemented for the blocking PCG solver (run_pcg); \
-             {what} supports RecoveryPolicy::Replace only",
-            res.policy
-        );
-    }
+    ))
 }
 
 /// Run (resilient) preconditioned BiCGSTAB (paper Sec. 1 extension).
@@ -213,40 +204,41 @@ pub fn run_bicgstab(
     cfg: &SolverConfig,
     cost: CostModel,
     script: FailureScript,
-) -> ExperimentResult {
-    require_replace_policy(cfg, "BiCGSTAB");
-    run_with(
+) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate(SolverKind::BiCgStab, nodes)?;
+    Ok(run_with(
         problem,
         nodes,
         cfg,
         cost,
         script,
         crate::bicgstab::esr_bicgstab_node,
-    )
+    ))
 }
 
 /// Run the (resilient) distributed Jacobi iteration (paper Sec. 1
-/// extension; requires a Jacobi-convergent matrix).
+/// extension; requires a Jacobi-convergent matrix). Replace-only: the
+/// stationary solver assumes the full cluster outlives the solve.
 pub fn run_jacobi(
     problem: &Problem,
     nodes: usize,
     cfg: &SolverConfig,
     cost: CostModel,
     script: FailureScript,
-) -> ExperimentResult {
-    require_replace_policy(cfg, "the Jacobi iteration");
-    run_with(
+) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate(SolverKind::Jacobi, nodes)?;
+    Ok(run_with(
         problem,
         nodes,
         cfg,
         cost,
         script,
         crate::stationary::esr_jacobi_node,
-    )
+    ))
 }
 
 /// Run the checkpoint/restart baseline (paper Sec. 1.2's comparator class;
-/// see [`crate::checkpoint`]).
+/// see [`crate::checkpoint`]). Replace-only.
 pub fn run_checkpoint_restart(
     problem: &Problem,
     nodes: usize,
@@ -254,12 +246,17 @@ pub fn run_checkpoint_restart(
     cr: &crate::checkpoint::CrConfig,
     cost: CostModel,
     script: FailureScript,
-) -> ExperimentResult {
-    require_replace_policy(cfg, "checkpoint/restart");
+) -> Result<ExperimentResult, ConfigError> {
+    cfg.validate(SolverKind::CheckpointRestart, nodes)?;
     let cr = cr.clone();
-    run_with(problem, nodes, cfg, cost, script, move |ctx, a, b, cfg| {
-        crate::checkpoint::cr_pcg_node(ctx, a, b, cfg, &cr)
-    })
+    Ok(run_with(
+        problem,
+        nodes,
+        cfg,
+        cost,
+        script,
+        move |ctx, a, b, cfg| crate::checkpoint::cr_pcg_node(ctx, a, b, cfg, &cr),
+    ))
 }
 
 fn run_with<F>(
@@ -370,7 +367,8 @@ mod tests {
             &cfg,
             CostModel::default(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(res.converged);
         assert!(solve_error(&res) < 1e-6, "err={}", solve_error(&res));
         // Sequential oracle with the same preconditioner.
@@ -396,14 +394,16 @@ mod tests {
             &SolverConfig::reference(),
             CostModel::default(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let resilient = run_pcg(
             &problem,
             4,
             &SolverConfig::resilient(2),
             CostModel::default(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         // Redundancy changes communication, not numerics.
         assert_eq!(plain.iterations, resilient.iterations);
         assert_eq!(plain.solver_residual, resilient.solver_residual);
@@ -425,7 +425,8 @@ mod tests {
             &SolverConfig::resilient(1),
             CostModel::default(),
             script,
-        );
+        )
+        .unwrap();
         assert!(res.converged);
         assert_eq!(res.recoveries, 1);
         assert_eq!(res.ranks_recovered, 1);
@@ -444,7 +445,8 @@ mod tests {
             &SolverConfig::resilient(3),
             CostModel::default(),
             script,
-        );
+        )
+        .unwrap();
         assert!(res.converged);
         assert_eq!(res.recoveries, 1);
         assert_eq!(res.ranks_recovered, 3);
@@ -460,7 +462,7 @@ mod tests {
             ..SolverConfig::resilient(2)
         };
         let script = FailureScript::simultaneous(10, 0, 2, 5);
-        let res = run_pcg(&problem, 5, &cfg, CostModel::default(), script);
+        let res = run_pcg(&problem, 5, &cfg, CostModel::default(), script).unwrap();
         assert!(res.converged);
         assert!(solve_error(&res) < 1e-6);
     }
@@ -476,7 +478,8 @@ mod tests {
             &SolverConfig::resilient(2),
             CostModel::default(),
             script,
-        );
+        )
+        .unwrap();
         assert!(res.converged);
         // Eqn. 7 deviation: tiny compared to the 1e8 residual reduction.
         assert!(

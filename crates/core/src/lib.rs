@@ -15,12 +15,18 @@
 //! | SpMV generalized scatter (Sec. 6) | [`scatter`] |
 //! | Eqns. (2)–(6): `S_ik`, `mᵢ(s)`, `d_ik`, `Rᶜᵢₖ` (Secs. 3–4) | [`redundancy`] |
 //! | Retention of `p(j)`, `p(j-1)` copies (Sec. 2.2) | [`retention`] |
-//! | Alg. 2 generalized to `ψ ≤ φ` failures (Sec. 4.1) | [`recovery`] |
-//! | Communication-hiding pipelined PCG + its ESR (arXiv:1912.09230) | [`pipecg`], [`pipe_recovery`] |
+//! | Alg. 2 generalized to `ψ ≤ φ` failures (Sec. 4.1), recovery policies | [`engine`] |
+//! | Communication-hiding pipelined PCG + its ESR (arXiv:1912.09230) | [`pipecg`] |
 //! | Preconditioner variants (M-given / P-given) | [`precsetup`] |
 //! | Communication-overhead bounds (Sec. 4.2, Sec. 5) | [`analysis`] |
 //! | Experiment orchestration (Secs. 6–7) | [`driver`] |
 //! | ESR beyond PCG: BiCGSTAB, stationary methods (Sec. 1) | [`bicgstab`], [`stationary`] |
+//!
+//! The recovery protocol itself — scalar/copy routing, the four-substep
+//! overlapping-failure restart, spare-pool grants, shrink adoption and the
+//! post-shrink layout rebuild — lives once, in [`engine`]; each solver
+//! contributes only a `ResilientKernel` describing which vectors it
+//! retains and how its full state follows from them.
 
 // Indexed loops over several parallel arrays are the clearest form for
 // the numeric kernels in this crate; iterator-zip pyramids obscure the math.
@@ -31,24 +37,24 @@ pub mod bicgstab;
 pub mod checkpoint;
 pub mod config;
 pub mod driver;
+pub mod engine;
 pub mod localmat;
 pub mod pcg;
-pub mod pipe_recovery;
 pub mod pipecg;
 pub mod precsetup;
-pub mod recovery;
 pub mod redundancy;
 pub mod retention;
 pub mod scatter;
-pub(crate) mod shrink;
 pub mod stationary;
 
 pub use checkpoint::CrConfig;
 pub use config::{
-    BackupStrategy, PrecondConfig, RecoveryConfig, RecoveryPolicy, ResilienceConfig, SolverConfig,
+    BackupStrategy, ConfigError, PrecondConfig, RecoveryConfig, RecoveryPolicy, ResilienceConfig,
+    SolverConfig, SolverKind,
 };
 pub use driver::{
     run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, run_pipecg, ExperimentResult,
     Problem,
 };
+pub use engine::{RecoveryEngine, RecoveryReport};
 pub use pcg::NodeOutcome;

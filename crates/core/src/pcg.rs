@@ -9,28 +9,35 @@
 //! * received search-direction elements are *retained* for two generations
 //!   instead of dropped (Sec. 2.2);
 //! * at every post-SpMV boundary the ULFM-style oracle is polled; on
-//!   failure, all nodes enter [`crate::recovery::recover`] and the
+//!   failure, all nodes enter the shared [`crate::engine`] recovery and the
 //!   interrupted iteration restarts.
+//!
+//! The solver's side of the recovery contract is [`PcgKernel`]: one
+//! retention channel (`p(j)`, `p(j-1)` as its two generations), one
+//! replicated scalar `β(j-1)`, and the reconstruction maps of paper Alg. 2
+//! (`z = p(j) − β p(j-1)`; `r = M z` locally for the M-given
+//! preconditioners, or the P-given gather + distributed solve for
+//! `ExplicitP`).
 //!
 //! With `resilience: None` the solver is the reference non-resilient PCG
 //! used for the paper's `t₀` baselines.
 
 use std::collections::HashSet;
+use std::ops::Range;
 use std::sync::Arc;
 
 use parcomm::comm::ReduceOp;
+use parcomm::fault::poison;
 use parcomm::{CommStats, FailAt, NodeCtx};
 use sparsemat::vecops::{axpy, dot, xpay};
-use sparsemat::{BlockPartition, Csr};
+use sparsemat::Csr;
 
-use crate::config::{PrecondConfig, RecoveryPolicy, SolverConfig};
-use crate::localmat::LocalMatrix;
-use crate::precsetup::NodePrecond;
-use crate::recovery::{self, RecoveryEnv, SolverState};
-use crate::redundancy;
-use crate::retention::Retention;
-use crate::scatter::ScatterPlan;
-use crate::shrink::{self, AdoptEnv, AdoptState, Layout, PolicyOutcome};
+use crate::config::{PrecondConfig, SolverConfig};
+use crate::engine::{
+    self, splice, ChannelRead, EngineComm, EngineEnv, EngineOutcome, EngineShared, Layout,
+    ReconBlock, ResilientKernel,
+};
+use crate::retention::Gen;
 
 /// Per-node result of a distributed solve.
 #[derive(Clone, Debug)]
@@ -67,6 +74,240 @@ pub struct NodeOutcome {
     pub retired: bool,
 }
 
+impl NodeOutcome {
+    /// Assemble the per-node outcome at the end of a solve, reading the
+    /// clock and statistics from the node context. A retired node owns no
+    /// rows and its convergence state is stale (the survivors finish the
+    /// solve), so its outcome is forced to the empty/unconverged shape —
+    /// one place, shared by every solver, instead of a per-solver pair of
+    /// near-identical struct literals.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish(
+        ctx: &parcomm::NodeCtx,
+        x_loc: Vec<f64>,
+        range_start: usize,
+        iterations: usize,
+        residual_norm: f64,
+        initial_residual_norm: f64,
+        converged: bool,
+        vtime_recovery: f64,
+        recoveries: usize,
+        ranks_recovered: usize,
+        vtime_setup: f64,
+        retired: bool,
+    ) -> Self {
+        NodeOutcome {
+            rank: ctx.rank(),
+            x_loc: if retired { Vec::new() } else { x_loc },
+            range_start: if retired { 0 } else { range_start },
+            iterations,
+            residual_norm,
+            initial_residual_norm,
+            converged: converged && !retired,
+            vtime_total: ctx.vtime(),
+            vtime_recovery,
+            recoveries,
+            ranks_recovered,
+            stats: ctx.stats().clone(),
+            vtime_setup,
+            retired,
+        }
+    }
+}
+
+// Block-vector slots of the PCG kernel.
+const P: usize = 0;
+const Z: usize = 1;
+const R: usize = 2;
+const X: usize = 3;
+
+/// Blocking PCG's [`ResilientKernel`]: borrows the node program's live
+/// state for the duration of one recovery event.
+pub(crate) struct PcgKernel<'a> {
+    /// The iterate block `x(j)_Iᵢ`.
+    pub x: &'a mut Vec<f64>,
+    /// The residual block `r(j)_Iᵢ`.
+    pub r: &'a mut Vec<f64>,
+    /// The preconditioned residual block `z(j)_Iᵢ`.
+    pub z: &'a mut Vec<f64>,
+    /// The search-direction block `p(j)_Iᵢ`.
+    pub p: &'a mut Vec<f64>,
+    /// SpMV result scratch (resized on a layout change).
+    pub u: &'a mut Vec<f64>,
+    /// Ghost values of `p(j)` from the last exchange.
+    pub ghosts: &'a mut Vec<f64>,
+    /// Owned right-hand-side block.
+    pub b_loc: &'a mut Vec<f64>,
+    /// The replicated scalar `β(j-1)`.
+    pub beta_prev: &'a mut f64,
+    /// `P = M⁻¹` when configured: selects the P-given reconstruction
+    /// (Alg. 2 lines 5–6) in the distributed stage.
+    pub explicit_p: Option<Arc<Csr>>,
+}
+
+impl ResilientKernel for PcgKernel<'_> {
+    fn n_channels(&self) -> usize {
+        1
+    }
+
+    fn channel_reads(&self, has_prev: bool) -> Vec<ChannelRead> {
+        vec![
+            ChannelRead {
+                channel: 0,
+                generation: Gen::Cur,
+                required: true,
+                what: "p(j)",
+            },
+            ChannelRead {
+                channel: 0,
+                generation: Gen::Prev,
+                required: has_prev,
+                what: "p(j-1)",
+            },
+        ]
+    }
+
+    fn scalars(&self) -> Vec<f64> {
+        vec![*self.beta_prev]
+    }
+
+    fn set_scalars(&mut self, s: &[f64]) {
+        *self.beta_prev = s[0];
+    }
+
+    fn poison(&mut self) {
+        poison(self.x);
+        poison(self.r);
+        poison(self.z);
+        poison(self.p);
+        poison(self.ghosts);
+        *self.beta_prev = f64::NAN;
+    }
+
+    fn n_block_vecs(&self) -> usize {
+        4
+    }
+
+    fn r_slot(&self) -> usize {
+        R
+    }
+
+    fn x_slot(&self) -> usize {
+        X
+    }
+
+    fn x_loc(&self) -> &[f64] {
+        self.x
+    }
+
+    fn rebuild_local(
+        &mut self,
+        ctx: &mut NodeCtx,
+        shared: &EngineShared<'_>,
+        blk: &mut ReconBlock,
+        mut copies: Vec<Option<Vec<f64>>>,
+    ) {
+        let p_cur = copies[0].take().expect("p(j) copies are mandatory");
+        let blen = blk.range.len();
+        // z(j) = p(j) − β(j-1) p(j-1)  [Alg. 2 line 4].
+        let mut z = vec![0.0; blen];
+        if shared.has_prev {
+            let p_prev = copies[1]
+                .take()
+                .expect("complete when has_prev (the engine panics on a gap)");
+            let beta = *self.beta_prev;
+            for i in 0..blen {
+                z[i] = p_cur[i] - beta * p_prev[i];
+            }
+        } else {
+            z.copy_from_slice(&p_cur);
+        }
+        ctx.clock_mut().advance_flops(2 * blen);
+        // M-given: r_b = M_{b,b} z_b from static data alone (what lets an
+        // adopter rebuild a block it never owned). P-given defers r to the
+        // distributed stage.
+        if self.explicit_p.is_none() {
+            blk.vecs[R] = engine::m_block_forward(ctx, shared.a, shared.precond, &blk.range, &z);
+        }
+        blk.vecs[P] = p_cur;
+        blk.vecs[Z] = z;
+    }
+
+    fn rebuild_distributed(
+        &mut self,
+        ctx: &mut NodeCtx,
+        _shared: &EngineShared<'_>,
+        comm: &mut EngineComm<'_>,
+        blocks: &mut [ReconBlock],
+    ) {
+        // P-given (Alg. 2 lines 5–6): survivors serve their r values over
+        // P's pattern, reconstructors form v = z_If − P_{If,I\If} r_{I\If}
+        // and solve P_{If,If} r_If = v over the group.
+        let Some(p_full) = self.explicit_p.clone() else {
+            return;
+        };
+        let lookup = comm.gather_outside(ctx, &p_full, blocks, self.r);
+        if blocks.is_empty() {
+            return;
+        }
+        let lookup = lookup.expect("reconstructors obtain the r lookup");
+        let mut rows: Vec<usize> = Vec::new();
+        let mut rhs: Vec<f64> = Vec::new();
+        for blk in blocks.iter() {
+            let mut flops = 0usize;
+            for (i, gr) in blk.range.clone().enumerate() {
+                let (cols, vals) = p_full.row(gr);
+                let mut s = 0.0;
+                for (c, v) in cols.iter().zip(vals) {
+                    if comm.if_indices.binary_search(c).is_err() {
+                        let pos = lookup
+                            .binary_search_by_key(c, |e| e.0)
+                            .expect("gathered every surviving coupled r");
+                        s += v * lookup[pos].1;
+                    }
+                }
+                flops += 2 * cols.len();
+                rhs.push(blk.vecs[Z][i] - s);
+            }
+            ctx.clock_mut().advance_flops(flops + blk.range.len());
+            rows.extend(blk.range.clone());
+        }
+        let r_new = comm.solve_if_system(ctx, &p_full, &rows, rhs);
+        let mut off = 0usize;
+        for blk in blocks.iter_mut() {
+            blk.vecs[R] = r_new[off..off + blk.range.len()].to_vec();
+            off += blk.range.len();
+        }
+    }
+
+    fn install(&mut self, blk: &ReconBlock) {
+        self.p.copy_from_slice(&blk.vecs[P]);
+        self.z.copy_from_slice(&blk.vecs[Z]);
+        self.r.copy_from_slice(&blk.vecs[R]);
+        self.x.copy_from_slice(&blk.vecs[X]);
+        // ghosts/retention refill on the restarted iteration's re-scatter.
+    }
+
+    fn splice(
+        &mut self,
+        new_range: &Range<usize>,
+        own: Option<&Range<usize>>,
+        blocks: &[ReconBlock],
+        b: &[f64],
+    ) {
+        *self.x = splice(new_range, own, self.x, blocks, X);
+        *self.r = splice(new_range, own, self.r, blocks, R);
+        *self.z = splice(new_range, own, self.z, blocks, Z);
+        *self.p = splice(new_range, own, self.p, blocks, P);
+        *self.b_loc = b[new_range.clone()].to_vec();
+    }
+
+    fn resize_scratch(&mut self, nloc: usize, n_ghosts: usize) {
+        *self.u = vec![0.0; nloc];
+        *self.ghosts = vec![0.0; n_ghosts];
+    }
+}
+
 /// The SPMD node program: solve `A x = b` with (optionally resilient) PCG.
 ///
 /// All nodes receive the same `a`, `b` (static data on reliable storage)
@@ -80,55 +321,30 @@ pub fn esr_pcg_node(
     let n = a.n_rows();
     assert_eq!(b.len(), n, "rhs length");
     let rank = ctx.rank();
-    let part = BlockPartition::new(n, ctx.size());
-    let policy = cfg
-        .resilience
-        .as_ref()
-        .map_or(RecoveryPolicy::Replace, |res| res.policy);
-    if policy != RecoveryPolicy::Replace {
+    // The driver's SolverConfig::validate rejects this combination with a
+    // typed error; keep the node-level guard for direct Cluster::run users
+    // — the P-given reconstruction gathers over the full cluster, which a
+    // shrunken cluster no longer has, and failing here beats hanging deep
+    // inside a post-shrink rebuild.
+    if let Some(res) = &cfg.resilience {
         assert!(
-            !matches!(cfg.precond, PrecondConfig::ExplicitP(_)),
-            "RecoveryPolicy::{policy:?} requires a block-diagonal (M-given) preconditioner: \
-             the P-given reconstruction gathers over the full cluster, which a shrunken \
-             cluster no longer has. Use RecoveryPolicy::Replace with ExplicitP."
+            res.policy == crate::config::RecoveryPolicy::Replace
+                || !matches!(cfg.precond, PrecondConfig::ExplicitP(_)),
+            "rank {rank}: RecoveryPolicy::{:?} requires a block-diagonal (M-given) \
+             preconditioner; use RecoveryPolicy::Replace with ExplicitP",
+            res.policy
         );
     }
 
     // ---- setup: local rows, communication plans, preconditioner --------
-    let lm = LocalMatrix::build(a, &part, rank);
-    let mut plan = ScatterPlan::build(ctx, &lm, &part);
-    if let Some(res) = &cfg.resilience {
-        plan.send_extra = redundancy::compute_extra_sends(
-            rank,
-            ctx.size(),
-            res.phi,
-            &res.strategy,
-            lm.n_local(),
-            &plan.send_natural,
-        );
-        plan.announce_extras(ctx);
-    }
-    let retention = Retention::build(&plan, &lm.ghost_cols);
-    let prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
-        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
-    let mut layout = Layout {
-        part,
-        lm,
-        plan,
-        retention,
-        prec,
-        members: (0..ctx.size()).collect(),
-        my_slot: rank,
-        group: None,
-    };
+    let mut layout = Layout::build_full(ctx, a, cfg, 1);
     ctx.barrier();
     let vtime_setup = ctx.vtime();
     ctx.reset_metrics();
 
     // ---- initial state: x(0) = 0 ---------------------------------------
-    let nloc = layout.lm.n_local();
-    let range = layout.lm.range.clone();
-    let mut b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let mut nloc = layout.lm.n_local();
+    let mut b_loc: Vec<f64> = b[layout.lm.range.clone()].to_vec();
     let mut x = vec![0.0; nloc];
     let mut r = b_loc.clone(); // r(0) = b − A·0
     let mut z = vec![0.0; nloc];
@@ -147,7 +363,6 @@ pub fn esr_pcg_node(
     let mut rz = init[1];
     let mut beta_prev = 0.0f64;
 
-    let mut nloc = nloc;
     let mut iterations = 0usize;
     let mut residual_sq = r0_sq;
     let mut converged = r0_norm <= f64::MIN_POSITIVE;
@@ -168,11 +383,11 @@ pub fn esr_pcg_node(
         // (and identically on the post-recovery restart, which re-scatters
         // the recovered p(j) and thereby restores lost redundancy).
         if resilient {
-            layout.retention.rotate();
+            layout.channels[0].rotate();
             layout
                 .plan
-                .exchange(ctx, &p, &mut ghosts, Some(&mut layout.retention));
-            layout.retention.finish_generation();
+                .exchange(ctx, &p, &mut ghosts, Some(&mut layout.channels[0]));
+            layout.channels[0].finish_generation();
         } else {
             layout.plan.exchange(ctx, &p, &mut ghosts, None);
         }
@@ -182,89 +397,51 @@ pub fn esr_pcg_node(
         // inert — that hardware is gone.
         if resilient && !handled_iter.contains(&j) {
             handled_iter.insert(j);
-            let failed: Vec<usize> = ctx
-                .poll_failures(FailAt::Iteration(j))
-                .into_iter()
-                .filter(|f| layout.members.binary_search(f).is_ok())
-                .collect();
+            let failed = layout.poll_member_failures(ctx, FailAt::Iteration(j));
             if !failed.is_empty() {
                 let t0 = ctx.vtime();
                 let res = cfg.resilience.as_ref().unwrap();
-                if policy == RecoveryPolicy::Replace {
-                    // The paper's model: in-place replacement nodes, the
-                    // cluster never shrinks (members stay the full world).
-                    let env = RecoveryEnv {
-                        a,
-                        b_loc: &b_loc,
-                        part: &layout.part,
-                        lm: &layout.lm,
-                        cfg: &res.recovery,
-                        iteration: j,
-                        has_prev: j > 0,
-                    };
-                    let mut st = SolverState {
-                        x: &mut x,
-                        r: &mut r,
-                        z: &mut z,
-                        p: &mut p,
-                        ghosts: &mut ghosts,
-                        retention: &mut layout.retention,
-                        beta_prev: &mut beta_prev,
-                    };
-                    let report = recovery::recover(
-                        ctx,
-                        &env,
-                        &mut layout.prec,
-                        &failed,
-                        &mut handled_sub,
-                        &mut recovery_seq,
-                        &mut st,
-                    );
-                    recoveries += 1;
-                    ranks_recovered += report.total_failed;
-                    vtime_recovery += ctx.vtime() - t0;
-                } else {
-                    // Finite spare pool / no spares: replaced subdomains
-                    // rebuild in place, uncovered ones are adopted and the
-                    // cluster continues shrunken.
-                    let env = AdoptEnv {
-                        a,
-                        b,
-                        res,
-                        precond: &cfg.precond,
-                        iteration: j,
-                        has_prev: j > 0,
-                    };
-                    let mut st = AdoptState {
-                        x: &mut x,
-                        r: &mut r,
-                        z: &mut z,
-                        p: &mut p,
-                        ghosts: &mut ghosts,
-                        b_loc: &mut b_loc,
-                        beta_prev: &mut beta_prev,
-                    };
-                    match shrink::recover_with_adoption(
-                        ctx,
-                        &env,
-                        &mut layout,
-                        &mut st,
-                        &failed,
-                        &mut handled_sub,
-                        &mut recovery_seq,
-                        &mut pool,
-                    ) {
-                        PolicyOutcome::Retired => {
-                            retired = true;
-                            break;
-                        }
-                        PolicyOutcome::Recovered(report) => {
-                            recoveries += 1;
-                            ranks_recovered += report.total_failed;
-                            vtime_recovery += ctx.vtime() - t0;
-                            nloc = layout.lm.n_local();
-                            u = vec![0.0; nloc];
-                        }
+                let env = EngineEnv {
+                    a,
+                    b,
+                    res,
+                    precond: &cfg.precond,
+                    iteration: j,
+                    has_prev: j > 0,
+                };
+                let mut kernel = PcgKernel {
+                    x: &mut x,
+                    r: &mut r,
+                    z: &mut z,
+                    p: &mut p,
+                    u: &mut u,
+                    ghosts: &mut ghosts,
+                    b_loc: &mut b_loc,
+                    beta_prev: &mut beta_prev,
+                    explicit_p: match &cfg.precond {
+                        PrecondConfig::ExplicitP(p) => Some(p.clone()),
+                        _ => None,
+                    },
+                };
+                match engine::recover(
+                    ctx,
+                    &env,
+                    &mut layout,
+                    &mut kernel,
+                    &failed,
+                    &mut handled_sub,
+                    &mut recovery_seq,
+                    &mut pool,
+                ) {
+                    EngineOutcome::Retired => {
+                        retired = true;
+                        break;
+                    }
+                    EngineOutcome::Recovered(report) => {
+                        recoveries += 1;
+                        ranks_recovered += report.total_failed;
+                        vtime_recovery += ctx.vtime() - t0;
+                        nloc = layout.lm.n_local();
                     }
                 }
                 // rz must be re-established (replacements recompute their
@@ -316,40 +493,18 @@ pub fn esr_pcg_node(
         ctx.clock_mut().advance_flops(2 * nloc);
     }
 
-    if retired {
-        // This node left the cluster mid-solve; it owns no rows and its
-        // last known scalars are stale (the survivors finish the solve).
-        return NodeOutcome {
-            rank,
-            x_loc: Vec::new(),
-            range_start: 0,
-            iterations,
-            residual_norm: residual_sq.sqrt(),
-            initial_residual_norm: r0_norm,
-            converged: false,
-            vtime_total: ctx.vtime(),
-            vtime_recovery,
-            recoveries,
-            ranks_recovered,
-            stats: ctx.stats().clone(),
-            vtime_setup,
-            retired: true,
-        };
-    }
-    NodeOutcome {
-        rank,
-        x_loc: x,
-        range_start: layout.lm.range.start,
+    NodeOutcome::finish(
+        ctx,
+        x,
+        layout.lm.range.start,
         iterations,
-        residual_norm: residual_sq.sqrt(),
-        initial_residual_norm: r0_norm,
+        residual_sq.sqrt(),
+        r0_norm,
         converged,
-        vtime_total: ctx.vtime(),
         vtime_recovery,
         recoveries,
         ranks_recovered,
-        stats: ctx.stats().clone(),
         vtime_setup,
-        retired: false,
-    }
+        retired,
+    )
 }

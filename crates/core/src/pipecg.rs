@@ -6,42 +6,249 @@
 //!
 //! * the two dependent reductions per iteration are fused into **one**
 //!   length-3 all-reduce (`γ = rᵀu`, `δ = wᵀu`, `‖r‖²`), issued with
-//!   [`parcomm::NodeCtx::iallreduce_vec`] *before* the preconditioner
-//!   application, ghost exchange, and SpMV — all of which are independent
-//!   of the reduction result, so their cost hides the reduction's flight
-//!   time on the overlap-aware virtual clock;
+//!   [`parcomm::NodeCtx::iallreduce_vec`] (or its group twin on a shrunken
+//!   cluster) *before* the preconditioner application, ghost exchange, and
+//!   SpMV — all of which are independent of the reduction result, so their
+//!   cost hides the reduction's flight time on the overlap-aware virtual
+//!   clock;
 //! * the ghost exchange scatters `m(j) = M⁻¹ w(j)` and piggybacks
-//!   redundant copies of `u(j)` and `p(j-1)` (the two vectors from which
-//!   the whole pipelined state is reconstructible — see
-//!   [`crate::pipe_recovery`]);
+//!   redundant copies of `u(j)` and `p(j-1)` — the two vectors from which
+//!   the whole pipelined state is reconstructible through the invariants
+//!   `r = Mu, w = Au, s = Ap, q = M⁻¹s, z = Aq` (see [`PipeKernel`]);
 //! * the ULFM boundary is polled at the same post-exchange point; a
 //!   failure first drains the in-flight reduction (its values are from the
-//!   pre-failure state and are simply discarded), then reconstructs and
-//!   restarts the interrupted iteration.
+//!   pre-failure state and are simply discarded), then reconstructs
+//!   through the shared [`crate::engine`] and restarts the interrupted
+//!   iteration.
 //!
 //! Requires a block-diagonal (M-given) preconditioner — `None`, `Jacobi`,
 //! or `BlockJacobiExact`. The P-given `ExplicitP` variant applies `P` with
 //! its own ghost exchange, which would serialize against the overlapped
 //! reduction and reintroduce the latency the method exists to hide; it is
-//! rejected at setup.
+//! rejected by configuration validation.
 
 use std::collections::HashSet;
+use std::ops::Range;
 use std::sync::Arc;
 
 use parcomm::comm::ReduceOp;
+use parcomm::fault::poison;
 use parcomm::{FailAt, NodeCtx};
 use sparsemat::vecops::{axpy, dot, xpay};
-use sparsemat::{BlockPartition, Csr};
+use sparsemat::Csr;
 
 use crate::config::SolverConfig;
-use crate::localmat::LocalMatrix;
+use crate::engine::{
+    self, splice, ChannelRead, EngineComm, EngineEnv, EngineOutcome, EngineShared, Layout,
+    ReconBlock, ResilientKernel,
+};
 use crate::pcg::NodeOutcome;
-use crate::pipe_recovery::{self, PipeSolverState};
-use crate::precsetup::NodePrecond;
-use crate::recovery::RecoveryEnv;
-use crate::redundancy;
-use crate::retention::Retention;
-use crate::scatter::{PipeBackups, ScatterPlan};
+use crate::retention::Gen;
+use crate::scatter::PipeBackups;
+
+// Block-vector slots of the pipelined kernel.
+const U: usize = 0;
+const P: usize = 1;
+const R: usize = 2;
+const X: usize = 3;
+const W: usize = 4;
+const S: usize = 5;
+const Q: usize = 6;
+const Z: usize = 7;
+
+/// Pipelined PCG's [`ResilientKernel`].
+///
+/// The pipelined solver carries four auxiliary vectors beyond PCG's
+/// `(x, r, z, p)`, but they are all tied to `u` and `p` by the invariants
+///
+/// ```text
+/// r = M u,   w = A u,   s = A p,   q = M⁻¹ s,   z = A q,
+/// ```
+///
+/// so redundant copies of **u(j)** and **p(j-1)** (two retention channels,
+/// distributed with the `m`-ghost exchange — see
+/// [`crate::scatter::PipeBackups`]) are enough to reconstruct everything:
+/// `r = M u` per block from static data, `x` through the engine's shared
+/// inner solve, and the 8-vector tail `w, s, q, z` through three
+/// distributed `A`-products in the kernel's distributed stage.
+pub(crate) struct PipeKernel<'a> {
+    /// The iterate block `x(j)_Iᵢ`.
+    pub x: &'a mut Vec<f64>,
+    /// The residual block `r(j)_Iᵢ`.
+    pub r: &'a mut Vec<f64>,
+    /// `u(j) = M⁻¹ r(j)`.
+    pub u: &'a mut Vec<f64>,
+    /// `w(j) = A u(j)`.
+    pub w: &'a mut Vec<f64>,
+    /// The search direction `p(j-1)_Iᵢ`.
+    pub p: &'a mut Vec<f64>,
+    /// `s(j-1) = A p(j-1)`.
+    pub s: &'a mut Vec<f64>,
+    /// `q(j-1) = M⁻¹ s(j-1)`.
+    pub q: &'a mut Vec<f64>,
+    /// `z(j-1) = A q(j-1)`.
+    pub z: &'a mut Vec<f64>,
+    /// `m(j) = M⁻¹ w(j)` scratch.
+    pub mbuf: &'a mut Vec<f64>,
+    /// `n(j) = A m(j)` scratch.
+    pub nbuf: &'a mut Vec<f64>,
+    /// Ghost values of `m(j)` from the last exchange.
+    pub ghosts: &'a mut Vec<f64>,
+    /// Owned right-hand-side block.
+    pub b_loc: &'a mut Vec<f64>,
+    /// The replicated scalar `γ(j-1) = r(j-1)ᵀu(j-1)`.
+    pub gamma_prev: &'a mut f64,
+    /// The replicated scalar `α(j-1)`.
+    pub alpha_prev: &'a mut f64,
+}
+
+impl ResilientKernel for PipeKernel<'_> {
+    fn n_channels(&self) -> usize {
+        2
+    }
+
+    fn channel_reads(&self, has_prev: bool) -> Vec<ChannelRead> {
+        vec![
+            ChannelRead {
+                channel: 0,
+                generation: Gen::Cur,
+                required: true,
+                what: "u(j)",
+            },
+            ChannelRead {
+                channel: 1,
+                generation: Gen::Cur,
+                required: has_prev,
+                what: "p(j-1)",
+            },
+        ]
+    }
+
+    fn scalars(&self) -> Vec<f64> {
+        vec![*self.gamma_prev, *self.alpha_prev]
+    }
+
+    fn set_scalars(&mut self, s: &[f64]) {
+        *self.gamma_prev = s[0];
+        *self.alpha_prev = s[1];
+    }
+
+    fn poison(&mut self) {
+        poison(self.x);
+        poison(self.r);
+        poison(self.u);
+        poison(self.w);
+        poison(self.p);
+        poison(self.s);
+        poison(self.q);
+        poison(self.z);
+        poison(self.ghosts);
+        *self.gamma_prev = f64::NAN;
+        *self.alpha_prev = f64::NAN;
+    }
+
+    fn n_block_vecs(&self) -> usize {
+        8
+    }
+
+    fn r_slot(&self) -> usize {
+        R
+    }
+
+    fn x_slot(&self) -> usize {
+        X
+    }
+
+    fn x_loc(&self) -> &[f64] {
+        self.x
+    }
+
+    fn rebuild_local(
+        &mut self,
+        ctx: &mut NodeCtx,
+        shared: &EngineShared<'_>,
+        blk: &mut ReconBlock,
+        mut copies: Vec<Option<Vec<f64>>>,
+    ) {
+        let u_new = copies[0].take().expect("u(j) copies are mandatory");
+        // r_If = M_{If,If} u_If — local because M is block-diagonal.
+        blk.vecs[R] = engine::m_block_forward(ctx, shared.a, shared.precond, &blk.range, &u_new);
+        if let Some(p_new) = copies[1].take() {
+            blk.vecs[P] = p_new;
+        } else {
+            // Iteration 0: no search direction exists yet; the solver's
+            // β = 0 branch re-initializes p, s, q, z from u and w.
+            let blen = blk.range.len();
+            blk.vecs[P] = vec![0.0; blen];
+            blk.vecs[S] = vec![0.0; blen];
+            blk.vecs[Q] = vec![0.0; blen];
+            blk.vecs[Z] = vec![0.0; blen];
+        }
+        blk.vecs[U] = u_new;
+    }
+
+    fn rebuild_distributed(
+        &mut self,
+        ctx: &mut NodeCtx,
+        shared: &EngineShared<'_>,
+        comm: &mut EngineComm<'_>,
+        blocks: &mut [ReconBlock],
+    ) {
+        // w_If = (A u)_If: survivor ghost values + group all-gather of the
+        // reconstructed u blocks.
+        comm.apply_matrix(ctx, shared.a, blocks, U, W, self.u);
+        if shared.has_prev {
+            // s_If = (A p)_If, then q_If = M⁻¹_{b,b} s_If per block (local,
+            // static data), then z_If = (A q)_If.
+            comm.apply_matrix(ctx, shared.a, blocks, P, S, self.p);
+            for blk in blocks.iter_mut() {
+                blk.vecs[Q] = engine::m_block_inverse(
+                    ctx,
+                    shared.a,
+                    shared.precond,
+                    &blk.range,
+                    &blk.vecs[S],
+                );
+            }
+            comm.apply_matrix(ctx, shared.a, blocks, Q, Z, self.q);
+        }
+    }
+
+    fn install(&mut self, blk: &ReconBlock) {
+        self.u.copy_from_slice(&blk.vecs[U]);
+        self.p.copy_from_slice(&blk.vecs[P]);
+        self.r.copy_from_slice(&blk.vecs[R]);
+        self.x.copy_from_slice(&blk.vecs[X]);
+        self.w.copy_from_slice(&blk.vecs[W]);
+        self.s.copy_from_slice(&blk.vecs[S]);
+        self.q.copy_from_slice(&blk.vecs[Q]);
+        self.z.copy_from_slice(&blk.vecs[Z]);
+    }
+
+    fn splice(
+        &mut self,
+        new_range: &Range<usize>,
+        own: Option<&Range<usize>>,
+        blocks: &[ReconBlock],
+        b: &[f64],
+    ) {
+        *self.x = splice(new_range, own, self.x, blocks, X);
+        *self.r = splice(new_range, own, self.r, blocks, R);
+        *self.u = splice(new_range, own, self.u, blocks, U);
+        *self.w = splice(new_range, own, self.w, blocks, W);
+        *self.p = splice(new_range, own, self.p, blocks, P);
+        *self.s = splice(new_range, own, self.s, blocks, S);
+        *self.q = splice(new_range, own, self.q, blocks, Q);
+        *self.z = splice(new_range, own, self.z, blocks, Z);
+        *self.b_loc = b[new_range.clone()].to_vec();
+    }
+
+    fn resize_scratch(&mut self, nloc: usize, n_ghosts: usize) {
+        *self.mbuf = vec![0.0; nloc];
+        *self.nbuf = vec![0.0; nloc];
+        *self.ghosts = vec![0.0; n_ghosts];
+    }
+}
 
 /// The SPMD node program: solve `A x = b` with (optionally resilient)
 /// pipelined PCG.
@@ -54,28 +261,12 @@ pub fn esr_pipecg_node(
     let n = a.n_rows();
     assert_eq!(b.len(), n, "rhs length");
     let rank = ctx.rank();
-    let part = BlockPartition::new(n, ctx.size());
 
     // ---- setup: local rows, communication plans, preconditioner --------
-    let lm = LocalMatrix::build(a, &part, rank);
-    let mut plan = ScatterPlan::build(ctx, &lm, &part);
-    if let Some(res) = &cfg.resilience {
-        plan.send_extra = redundancy::compute_extra_sends(
-            rank,
-            ctx.size(),
-            res.phi,
-            &res.strategy,
-            lm.n_local(),
-            &plan.send_natural,
-        );
-        plan.announce_extras(ctx);
-    }
-    let mut ret_u = Retention::build(&plan, &lm.ghost_cols);
-    let mut ret_p = Retention::build(&plan, &lm.ghost_cols);
-    let mut prec = NodePrecond::setup(ctx, &cfg.precond, &part, &lm)
-        .unwrap_or_else(|e| panic!("rank {rank}: preconditioner setup failed: {e}"));
+    // Two retention channels: copies of u(j) and of p(j-1).
+    let mut layout = Layout::build_full(ctx, a, cfg, 2);
     assert!(
-        !prec.is_explicit_p(),
+        !layout.prec.is_explicit_p(),
         "rank {rank}: pipelined PCG requires a block-diagonal (M-given) preconditioner \
          (None, Jacobi, or BlockJacobiExact), not ExplicitP"
     );
@@ -84,19 +275,18 @@ pub fn esr_pipecg_node(
     ctx.reset_metrics();
 
     // ---- initial state: x(0) = 0, u(0) = M⁻¹r(0), w(0) = A u(0) --------
-    let nloc = lm.n_local();
-    let range = lm.range.clone();
-    let b_loc: Vec<f64> = b[range.clone()].to_vec();
+    let mut nloc = layout.lm.n_local();
+    let mut b_loc: Vec<f64> = b[layout.lm.range.clone()].to_vec();
     let mut x = vec![0.0; nloc];
     let mut r = b_loc.clone(); // r(0) = b − A·0
     let mut u = vec![0.0; nloc];
-    prec.apply(ctx, &r, &mut u);
-    let mut ghosts = vec![0.0; lm.ghost_cols.len()];
+    layout.prec.apply(ctx, &r, &mut u);
+    let mut ghosts = vec![0.0; layout.lm.ghost_cols.len()];
     // The w(0) = A u(0) bootstrap needs one plain ghost exchange of u.
-    plan.exchange(ctx, &u, &mut ghosts, None);
+    layout.plan.exchange(ctx, &u, &mut ghosts, None);
     let mut w = vec![0.0; nloc];
-    lm.spmv(&u, &ghosts, &mut w);
-    ctx.clock_mut().advance_flops(lm.spmv_flops());
+    layout.lm.spmv(&u, &ghosts, &mut w);
+    ctx.clock_mut().advance_flops(layout.lm.spmv_flops());
 
     let r0_sq = ctx.allreduce_sum(dot(&r, &r));
     ctx.clock_mut().advance_flops(2 * nloc);
@@ -111,10 +301,12 @@ pub fn esr_pipecg_node(
     let mut nbuf = vec![0.0; nloc];
     let mut gamma_prev = 0.0f64;
     let mut alpha_prev = 0.0f64;
+    let mut pool = ctx.spare_pool();
 
     let mut iterations = 0usize;
     let mut residual_sq = r0_sq;
     let mut converged = r0_norm <= f64::MIN_POSITIVE;
+    let mut retired = false;
     let mut vtime_recovery = 0.0f64;
     let mut recoveries = 0usize;
     let mut ranks_recovered = 0usize;
@@ -122,48 +314,60 @@ pub fn esr_pipecg_node(
     let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
     let mut recovery_seq: u32 = 0;
     let resilient = cfg.resilience.is_some();
+    // True once a search direction p(j-1) exists. Cleared when a shrink
+    // re-bootstraps the pipeline (below): the recurrences restart through
+    // the β = 0 branch, exactly like iteration 0.
+    let mut has_dir = false;
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
 
         // The single fused reduction of the iteration, overlapped with
-        // everything below until the wait.
+        // everything below until the wait (group-backed after a shrink).
         ctx.clock_mut().advance_flops(6 * nloc);
-        let red_req =
-            ctx.iallreduce_vec(ReduceOp::Sum, vec![dot(&r, &u), dot(&w, &u), dot(&r, &r)]);
+        let red_req = layout.iallreduce_vec(
+            ctx,
+            ReduceOp::Sum,
+            vec![dot(&r, &u), dot(&w, &u), dot(&r, &r)],
+        );
 
         // m(j) = M⁻¹ w(j) — independent of the reduction result.
-        prec.apply(ctx, &w, &mut mbuf);
+        layout.prec.apply(ctx, &w, &mut mbuf);
 
         // Ghost exchange of m(j), with redundant copies of u(j), p(j-1)
         // appended. The rotation per scatter expires stale generations (and
         // the post-recovery restart re-scatters, restoring lost copies).
         if resilient {
+            let (ch_u, ch_p) = layout.channels.split_at_mut(1);
+            let ret_u = &mut ch_u[0];
+            let ret_p = &mut ch_p[0];
             ret_u.rotate();
             ret_p.rotate();
-            plan.exchange_pipelined(
+            layout.plan.exchange_pipelined(
                 ctx,
                 &mbuf,
                 &mut ghosts,
                 Some(PipeBackups {
                     u_loc: &u,
-                    p_loc: if j > 0 { Some(&p) } else { None },
-                    ret_u: &mut ret_u,
-                    ret_p: &mut ret_p,
+                    p_loc: if has_dir { Some(&p) } else { None },
+                    ret_u,
+                    ret_p,
                 }),
             );
             ret_u.finish_generation();
-            if j > 0 {
+            if has_dir {
                 ret_p.finish_generation();
             }
         } else {
-            plan.exchange_pipelined(ctx, &mbuf, &mut ghosts, None);
+            layout
+                .plan
+                .exchange_pipelined(ctx, &mbuf, &mut ghosts, None);
         }
 
         // ULFM failure boundary (paper Sec. 1.1.1): consistent notification.
         if resilient && !handled_iter.contains(&j) {
             handled_iter.insert(j);
-            let failed = ctx.poll_failures(FailAt::Iteration(j));
+            let failed = layout.poll_member_failures(ctx, FailAt::Iteration(j));
             if !failed.is_empty() {
                 // Drain the overlapped reduction first: its values stem
                 // from the pre-failure state and are discarded — the
@@ -171,16 +375,15 @@ pub fn esr_pipecg_node(
                 let _ = red_req.wait(ctx);
                 let t0 = ctx.vtime();
                 let res = cfg.resilience.as_ref().unwrap();
-                let env = RecoveryEnv {
+                let env = EngineEnv {
                     a,
-                    b_loc: &b_loc,
-                    part: &part,
-                    lm: &lm,
-                    cfg: &res.recovery,
+                    b,
+                    res,
+                    precond: &cfg.precond,
                     iteration: j,
-                    has_prev: j > 0,
+                    has_prev: has_dir,
                 };
-                let mut st = PipeSolverState {
+                let mut kernel = PipeKernel {
                     x: &mut x,
                     r: &mut r,
                     u: &mut u,
@@ -189,24 +392,52 @@ pub fn esr_pipecg_node(
                     s: &mut s,
                     q: &mut q,
                     z: &mut z,
+                    mbuf: &mut mbuf,
+                    nbuf: &mut nbuf,
                     ghosts: &mut ghosts,
-                    ret_u: &mut ret_u,
-                    ret_p: &mut ret_p,
+                    b_loc: &mut b_loc,
                     gamma_prev: &mut gamma_prev,
                     alpha_prev: &mut alpha_prev,
                 };
-                let report = pipe_recovery::recover_pipelined(
+                match engine::recover(
                     ctx,
                     &env,
-                    &mut prec,
+                    &mut layout,
+                    &mut kernel,
                     &failed,
                     &mut handled_sub,
                     &mut recovery_seq,
-                    &mut st,
-                );
-                recoveries += 1;
-                ranks_recovered += report.total_failed;
-                vtime_recovery += ctx.vtime() - t0;
+                    &mut pool,
+                ) {
+                    EngineOutcome::Retired => {
+                        retired = true;
+                        break;
+                    }
+                    EngineOutcome::Recovered(report) => {
+                        recoveries += 1;
+                        ranks_recovered += report.total_failed;
+                        nloc = layout.lm.n_local();
+                        if report.retired_ranks > 0 {
+                            // The layout shrank, so the preconditioner was
+                            // rebuilt with merged blocks — but the pipelined
+                            // recurrences never recompute u = M⁻¹r or
+                            // q = M⁻¹s; continuing would mix old-M and new-M
+                            // data in the incremental updates and the
+                            // implicit operator stops being SPD (pᵀAp can go
+                            // negative). Re-bootstrap the pipeline from the
+                            // exactly-reconstructed (x, r): u = M'⁻¹ r,
+                            // w = A u, and restart the recurrence through
+                            // the β = 0 branch — a preconditioner-restarted
+                            // CG, which is what a shrink already is.
+                            layout.prec.apply(ctx, &r, &mut u);
+                            layout.plan.exchange(ctx, &u, &mut ghosts, None);
+                            layout.lm.spmv(&u, &ghosts, &mut w);
+                            ctx.clock_mut().advance_flops(layout.lm.spmv_flops());
+                            has_dir = false;
+                        }
+                        vtime_recovery += ctx.vtime() - t0;
+                    }
+                }
                 // Restart the interrupted iteration: re-scatter m(j) (which
                 // also restores redundancy) and re-reduce from the
                 // reconstructed state.
@@ -215,8 +446,8 @@ pub fn esr_pipecg_node(
         }
 
         // n(j) = A m(j) — the SpMV the reduction hides behind.
-        lm.spmv(&mbuf, &ghosts, &mut nbuf);
-        ctx.clock_mut().advance_flops(lm.spmv_flops());
+        layout.lm.spmv(&mbuf, &ghosts, &mut nbuf);
+        ctx.clock_mut().advance_flops(layout.lm.spmv_flops());
 
         let red = red_req.wait(ctx);
         let (gamma, delta) = (red[0], red[1]);
@@ -227,7 +458,7 @@ pub fn esr_pipecg_node(
         }
 
         let alpha;
-        if iterations == 0 {
+        if !has_dir {
             if delta <= 0.0 || !delta.is_finite() {
                 panic!("rank {rank}: pipelined PCG breakdown at iteration {j} (δ = {delta})");
             }
@@ -253,29 +484,29 @@ pub fn esr_pipecg_node(
         axpy(-alpha, &s, &mut r);
         axpy(-alpha, &q, &mut u);
         axpy(-alpha, &z, &mut w);
-        // Four axpy updates always; the four xpay recurrences only from
-        // iteration 1 on (iteration 0 initializes by copy, zero flops).
+        // Four axpy updates always; the four xpay recurrences only once a
+        // direction exists (the β = 0 branch initializes by copy, zero
+        // flops).
         ctx.clock_mut()
-            .advance_flops(if iterations == 0 { 8 } else { 16 } * nloc);
+            .advance_flops(if has_dir { 16 } else { 8 } * nloc);
+        has_dir = true;
         gamma_prev = gamma;
         alpha_prev = alpha;
         iterations += 1;
     }
 
-    NodeOutcome {
-        rank,
-        x_loc: x,
-        range_start: range.start,
+    NodeOutcome::finish(
+        ctx,
+        x,
+        layout.lm.range.start,
         iterations,
-        residual_norm: residual_sq.sqrt(),
-        initial_residual_norm: r0_norm,
+        residual_sq.sqrt(),
+        r0_norm,
         converged,
-        vtime_total: ctx.vtime(),
         vtime_recovery,
         recoveries,
         ranks_recovered,
-        stats: ctx.stats().clone(),
         vtime_setup,
-        retired: false,
-    }
+        retired,
+    )
 }

@@ -51,6 +51,9 @@ pub struct FailureEvent {
 #[derive(Clone, Debug, Default)]
 pub struct FailureScript {
     events: Vec<FailureEvent>,
+    /// Cluster size the script was validated against at construction
+    /// (builders that know `nodes` set this; [`FailureScript::new`] cannot).
+    validated_nodes: Option<usize>,
 }
 
 impl FailureScript {
@@ -59,9 +62,15 @@ impl FailureScript {
         Self::default()
     }
 
-    /// Script with the given events.
+    /// Script with the given events. Rank bounds cannot be checked here
+    /// (the cluster size is unknown); prefer the size-aware builders
+    /// [`FailureScript::simultaneous`] / [`FailureScript::at_iterations`],
+    /// which validate everything at construction.
     pub fn new(events: Vec<FailureEvent>) -> Self {
-        let s = FailureScript { events };
+        let s = FailureScript {
+            events,
+            validated_nodes: None,
+        };
         s.validate();
         s
     }
@@ -69,7 +78,8 @@ impl FailureScript {
     /// Convenience: `count` simultaneous failures of contiguous ranks
     /// starting at `first_rank`, detected at iteration `iteration`. This is
     /// the paper's experimental setup (Sec. 7.1: failures "placed in
-    /// contiguous ranks", starting at rank 0 or rank N/2).
+    /// contiguous ranks", starting at rank 0 or rank N/2). Bounds are
+    /// checked here, at construction.
     pub fn simultaneous(iteration: u64, first_rank: usize, count: usize, nodes: usize) -> Self {
         // `count >= nodes` would wrap modulo `nodes` into duplicate ranks
         // and die with a misleading "duplicate rank" panic; the real
@@ -80,11 +90,62 @@ impl FailureScript {
             "cannot fail {count} of {nodes} nodes simultaneously: \
              ψ ≤ N−1 must leave at least one survivor"
         );
+        assert!(
+            first_rank < nodes,
+            "first_rank {first_rank} out of bounds for a cluster of {nodes} nodes"
+        );
         let ranks = (0..count).map(|i| (first_rank + i) % nodes).collect();
-        FailureScript::new(vec![FailureEvent {
+        let mut s = FailureScript::new(vec![FailureEvent {
             when: FailAt::Iteration(iteration),
             ranks,
-        }])
+        }]);
+        s.validated_nodes = Some(nodes);
+        s
+    }
+
+    /// Builder for multi-event scripts: one `(iteration, rank)` pair per
+    /// failure, grouped into one [`FailureEvent`] per distinct iteration.
+    /// Rank bounds are validated here, once, at construction — not later
+    /// inside [`crate::Cluster::run`] — so a typo'd rank fails at the line
+    /// that wrote it.
+    ///
+    /// ```
+    /// use parcomm::FailureScript;
+    /// // Rank 1 dies at iteration 4, ranks 0 and 5 at iteration 9.
+    /// let script = FailureScript::at_iterations(6, &[(4, 1), (9, 0), (9, 5)]);
+    /// assert_eq!(script.total_failed_ranks(), 3);
+    /// ```
+    pub fn at_iterations(nodes: usize, failures: &[(u64, usize)]) -> Self {
+        for &(iter, rank) in failures {
+            assert!(
+                rank < nodes,
+                "failure (iteration {iter}, rank {rank}) out of bounds for a \
+                 cluster of {nodes} nodes"
+            );
+        }
+        let mut iters: Vec<u64> = failures.iter().map(|&(it, _)| it).collect();
+        iters.sort_unstable();
+        iters.dedup();
+        let events: Vec<FailureEvent> = iters
+            .into_iter()
+            .map(|it| FailureEvent {
+                when: FailAt::Iteration(it),
+                ranks: failures
+                    .iter()
+                    .filter(|&&(eit, _)| eit == it)
+                    .map(|&(_, r)| r)
+                    .collect(),
+            })
+            .collect();
+        let mut s = FailureScript::new(events);
+        s.validated_nodes = Some(nodes);
+        s
+    }
+
+    /// The cluster size this script was bounds-checked against at
+    /// construction, if its builder knew one.
+    pub fn validated_nodes(&self) -> Option<usize> {
+        self.validated_nodes
     }
 
     fn validate(&self) {
@@ -104,12 +165,23 @@ impl FailureScript {
     /// Validate the script against a concrete cluster size. A script whose
     /// ranks fall outside `0..nodes` is silently inert (no boundary ever
     /// announces them) — which in a resilience experiment means the failure
-    /// you believed you injected never happened. Checked when the oracle is
-    /// attached to a cluster, where the size is finally known.
+    /// you believed you injected never happened. The size-aware builders
+    /// run this at construction; for [`FailureScript::new`]-built scripts
+    /// it runs as a backstop when the oracle is attached to a cluster,
+    /// where the size is finally known.
     ///
     /// # Panics
-    /// Panics on the first out-of-bounds rank.
+    /// Panics on the first out-of-bounds rank, and when the script was
+    /// built for a different cluster size than it is now being run on.
     pub fn validate_for_cluster(&self, nodes: usize) {
+        if let Some(built_for) = self.validated_nodes {
+            assert!(
+                built_for == nodes,
+                "failure script was built for a cluster of {built_for} nodes \
+                 but is attached to one of {nodes}"
+            );
+            return; // bounds already checked at construction
+        }
         for e in &self.events {
             for &r in &e.ranks {
                 assert!(
@@ -271,6 +343,42 @@ mod tests {
     #[should_panic(expected = "ψ ≤ N−1 must leave at least one survivor")]
     fn simultaneous_more_than_cluster_rejected() {
         FailureScript::simultaneous(3, 2, 9, 8);
+    }
+
+    #[test]
+    fn at_iterations_groups_by_iteration() {
+        let s = FailureScript::at_iterations(8, &[(4, 1), (9, 0), (9, 5)]);
+        assert_eq!(s.failures_at(FailAt::Iteration(4)), vec![1]);
+        assert_eq!(s.failures_at(FailAt::Iteration(9)), vec![0, 5]);
+        assert_eq!(s.total_failed_ranks(), 3);
+        assert_eq!(s.validated_nodes(), Some(8));
+        // Already validated — the cluster backstop accepts the same size.
+        s.validate_for_cluster(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds for a cluster of 4 nodes")]
+    fn at_iterations_rejects_bad_rank_at_construction() {
+        FailureScript::at_iterations(4, &[(2, 1), (5, 7)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate rank")]
+    fn at_iterations_rejects_duplicate_rank_in_one_event() {
+        FailureScript::at_iterations(4, &[(2, 1), (2, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "first_rank 9 out of bounds")]
+    fn simultaneous_rejects_bad_first_rank_at_construction() {
+        FailureScript::simultaneous(3, 9, 1, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "built for a cluster of 8 nodes")]
+    fn size_mismatch_between_builder_and_cluster_rejected() {
+        let s = FailureScript::simultaneous(3, 1, 2, 8);
+        s.validate_for_cluster(6);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::comm::{
     alltoallv_generic, rd_allreduce, split_by_counts, BlockingPort, NodeCtx, ReduceOp,
 };
 use crate::payload::Payload;
+use crate::request::{AllreduceRequest, EnginePort};
 use crate::stats::CommPhase;
 use crate::tag::{op, Tag};
 
@@ -131,6 +132,37 @@ impl Group {
         );
         ctx.stats_mut().record_allreduce(rounds);
         acc
+    }
+
+    /// Non-blocking group element-wise all-reduce: the same detached-engine
+    /// semantics as [`NodeCtx::iallreduce_vec`], over the group's members.
+    /// The result is bitwise identical to [`Group::allreduce_vec_phase`]
+    /// (the identical recursive-doubling schedule runs, only the time
+    /// accounting differs), so a solver that continues on a shrunken
+    /// communicator keeps both its overlap *and* its determinism.
+    pub fn iallreduce_vec_phase(
+        &mut self,
+        ctx: &mut NodeCtx,
+        opr: ReduceOp,
+        x: Vec<f64>,
+        phase: CommPhase,
+    ) -> AllreduceRequest {
+        let seq = self.next_seq();
+        let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
+        let start = ctx.clock().now();
+        let mut port = EnginePort::new(ctx, start, phase);
+        let (acc, rounds) = rd_allreduce(
+            &mut port,
+            self.my_index,
+            self.members.len(),
+            Some(&self.members),
+            tag,
+            opr,
+            x,
+        );
+        let done_at = port.now();
+        ctx.stats_mut().record_allreduce(rounds);
+        AllreduceRequest::new(acc, start, done_at, phase)
     }
 
     /// Personalized all-to-all of pair lists among members;

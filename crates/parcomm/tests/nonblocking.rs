@@ -53,6 +53,74 @@ proptest! {
 }
 
 #[test]
+fn group_iallreduce_bitwise_matches_group_allreduce() {
+    // The group twin of the world-level determinism contract: a solver
+    // that continues on a shrunken communicator swaps its blocking group
+    // reduction for the non-blocking one without changing numerics. Odd
+    // ranks of a 9-node cluster form the group (non-power-of-two size 5,
+    // so the fold-in/out schedule runs too).
+    let out = Cluster::run(ClusterConfig::new(9), move |ctx| {
+        if ctx.rank() % 2 == 0 {
+            return None;
+        }
+        let members = [1usize, 3, 5, 7];
+        let x = 1.0 / (ctx.rank() as f64 + 0.3) * 1e8 + 1e-8;
+        let buf = vec![x, -x * 0.7, x * x];
+        let mut g = ctx.group(&members[..]);
+        let blocking = g.allreduce_vec_phase(ctx, ReduceOp::Sum, buf.clone(), CommPhase::Reduction);
+        let req = g.iallreduce_vec_phase(ctx, ReduceOp::Sum, buf, CommPhase::Reduction);
+        let nonblocking = req.wait(ctx);
+        Some((blocking, nonblocking))
+    });
+    let results: Vec<_> = out.into_iter().flatten().collect();
+    assert_eq!(results.len(), 4);
+    for (blocking, nonblocking) in &results {
+        for (a, b) in blocking.iter().zip(nonblocking) {
+            assert_eq!(a.to_bits(), b.to_bits(), "group schedules diverged");
+        }
+    }
+    for (_, nb) in &results {
+        for (a, b) in nb.iter().zip(&results[0].1) {
+            assert_eq!(a.to_bits(), b.to_bits(), "group members disagree");
+        }
+    }
+}
+
+#[test]
+fn group_iallreduce_overlap_charges_only_exposed_time() {
+    // The overlap accounting carries over to group reductions: compute
+    // issued between start and wait hides the flight time.
+    let out = Cluster::run(ClusterConfig::new(4).with_cost(unit_cost()), move |ctx| {
+        if ctx.rank() == 3 {
+            return None;
+        }
+        let mut g = ctx.group(&[0, 1, 2]);
+        let t0 = ctx.vtime();
+        let req = g.iallreduce_vec_phase(
+            ctx,
+            ReduceOp::Sum,
+            vec![ctx.rank() as f64],
+            CommPhase::Reduction,
+        );
+        // Local compute long enough to hide the whole reduction.
+        ctx.clock_mut().advance(100.0);
+        let res = req.wait(ctx);
+        Some((
+            res[0],
+            ctx.vtime() - t0,
+            ctx.stats().hidden_vtime(CommPhase::Reduction),
+        ))
+    });
+    for o in out.into_iter().flatten() {
+        let (sum, elapsed, hidden) = o;
+        assert_eq!(sum, 3.0);
+        // Fully hidden: elapsed is the compute time alone.
+        assert_eq!(elapsed, 100.0);
+        assert!(hidden > 0.0, "no reduction time was hidden");
+    }
+}
+
+#[test]
 fn iallreduce_at_nonpow2_sizes() {
     // N = 3, 5, 13 exercise fold-in/fold-out on the engine timeline.
     for n in [3usize, 5, 13] {

@@ -42,7 +42,8 @@ fn main() {
         &SolverConfig::reference(),
         cost,
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     println!(
         "reference t0: {:.3} ms ({} iterations)\n",
         reference.vtime * 1e3,
@@ -54,7 +55,7 @@ fn main() {
     for phi in [1usize, 3] {
         let cfg = SolverConfig::resilient(phi);
         let pred = analysis::predict_overhead(&a, &part, phi, &BackupStrategy::Minimal, &cost);
-        let undisturbed = run_pcg(&problem, nodes, &cfg, cost, FailureScript::none());
+        let undisturbed = run_pcg(&problem, nodes, &cfg, cost, FailureScript::none()).unwrap();
         let fail_at = (reference.iterations / 2) as u64;
         let at_start = run_pcg(
             &problem,
@@ -62,14 +63,16 @@ fn main() {
             &cfg,
             cost,
             FailureScript::simultaneous(fail_at, 0, phi, nodes),
-        );
+        )
+        .unwrap();
         let at_center = run_pcg(
             &problem,
             nodes,
             &cfg,
             cost,
             FailureScript::simultaneous(fail_at, nodes / 2, phi, nodes),
-        );
+        )
+        .unwrap();
         println!(
             "  {phi} | {:10} | {:+10.1}% | {:+13.1}% | {:+14.1}%",
             pred.total_extra_elems,

@@ -54,7 +54,8 @@ fn main() {
         &SolverConfig::resilient(3),
         CostModel::default(),
         script,
-    );
+    )
+    .unwrap();
 
     let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
     println!("\nconverged      : {}", res.converged);

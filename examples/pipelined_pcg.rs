@@ -36,7 +36,8 @@ fn main() {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
 
     // Ranks 5 and 6 fail at iteration 20 — detected at the post-exchange
     // boundary, i.e. while the iteration's reduction is still in flight.
@@ -49,7 +50,8 @@ fn main() {
         &SolverConfig::resilient(2),
         CostModel::default(),
         script,
-    );
+    )
+    .unwrap();
 
     let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
     let exposed = |r: &esr_core::ExperimentResult| r.exposed_vtime_per_iter(CommPhase::Reduction);

@@ -24,7 +24,8 @@ fn main() {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     println!(
         "reference PCG   : {} iterations, modeled time {:.3} ms",
         reference.iterations,
@@ -41,7 +42,8 @@ fn main() {
         &SolverConfig::resilient(3),
         CostModel::default(),
         script,
-    );
+    )
+    .unwrap();
     println!(
         "ESR-PCG (φ = 3) : {} iterations, modeled time {:.3} ms, \
          {} nodes reconstructed in {:.3} ms",

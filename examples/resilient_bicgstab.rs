@@ -23,7 +23,7 @@ fn main() {
 
     // --- resilient BiCGSTAB: two failures at iteration 20 ----------------
     let script = FailureScript::simultaneous(20, 3, 2, nodes);
-    let bicg = run_bicgstab(&problem, nodes, &SolverConfig::resilient(2), cost, script);
+    let bicg = run_bicgstab(&problem, nodes, &SolverConfig::resilient(2), cost, script).unwrap();
     let err = bicg.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
     println!("ESR-BiCGSTAB (φ = 2, 2 simultaneous failures):");
     println!(
@@ -37,7 +37,7 @@ fn main() {
     cfg.rel_tol = 1e-7;
     cfg.max_iter = 100_000;
     let script = FailureScript::simultaneous(200, 1, 2, nodes);
-    let jac = run_jacobi(&problem, nodes, &cfg, cost, script);
+    let jac = run_jacobi(&problem, nodes, &cfg, cost, script).unwrap();
     let err = jac.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
     println!("\nESR-Jacobi iteration (φ = 2, 2 simultaneous failures):");
     println!(

@@ -45,7 +45,7 @@ fn main() {
         RecoveryPolicy::Shrink,
     ] {
         let cfg = SolverConfig::resilient_with_policy(2, policy);
-        let res = run_pcg(&problem, nodes, &cfg, CostModel::default(), script());
+        let res = run_pcg(&problem, nodes, &cfg, CostModel::default(), script()).unwrap();
         let err = res
             .x
             .iter()

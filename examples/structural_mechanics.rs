@@ -38,7 +38,8 @@ fn main() {
         &SolverConfig::reference(),
         cost,
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     println!(
         "\nreference t0: {:.3} ms ({} iterations)\n",
         reference.vtime * 1e3,
@@ -50,10 +51,10 @@ fn main() {
 
     for phi in [1usize, 3, 8] {
         let cfg = SolverConfig::resilient(phi);
-        let undisturbed = run_pcg(&problem, nodes, &cfg, cost, FailureScript::none());
+        let undisturbed = run_pcg(&problem, nodes, &cfg, cost, FailureScript::none()).unwrap();
         let fail_at = (reference.iterations / 2) as u64;
         let script = FailureScript::simultaneous(fail_at, nodes / 2, phi, nodes);
-        let disturbed = run_pcg(&problem, nodes, &cfg, cost, script);
+        let disturbed = run_pcg(&problem, nodes, &cfg, cost, script).unwrap();
         assert!(undisturbed.converged && disturbed.converged);
         println!(
             "  {phi} | {:7.3}ms {:5.1}% | {:7.3}ms {:6.1}%  {:7.4} ms",

@@ -24,7 +24,8 @@
 //!     &SolverConfig::resilient(2),
 //!     CostModel::default(),
 //!     script,
-//! );
+//! )
+//! .expect("a supported solver × policy × preconditioner combination");
 //!
 //! assert!(result.converged);
 //! assert_eq!(result.ranks_recovered, 2);

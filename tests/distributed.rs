@@ -21,7 +21,8 @@ fn single_node_cluster_works() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(res.converged);
     // Exact block Jacobi on one node == a direct solve: 1-2 iterations.
     assert!(res.iterations <= 2, "iterations {}", res.iterations);
@@ -43,7 +44,8 @@ fn iterations_agree_across_node_counts() {
             &SolverConfig::reference(),
             cost(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(res.converged, "N={nodes}");
         assert!(
             res.iterations >= prev_iters,
@@ -72,7 +74,8 @@ fn redundancy_traffic_matches_analysis() {
             &SolverConfig::resilient(phi),
             cost(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(res.converged);
         let measured = res.stats.elems(CommPhase::Redundancy);
         assert_eq!(
@@ -96,7 +99,8 @@ fn undisturbed_overhead_grows_with_phi() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let mut prev = t0.vtime;
     for phi in [1usize, 3, 7] {
         let res = run_pcg(
@@ -105,7 +109,8 @@ fn undisturbed_overhead_grows_with_phi() {
             &SolverConfig::resilient(phi),
             cost(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert_eq!(res.iterations, t0.iterations, "φ={phi}: same numerics");
         assert!(
             res.vtime >= prev,
@@ -127,7 +132,7 @@ fn plain_cg_and_jacobi_variants_work_distributed() {
             max_iter: 5000,
             ..SolverConfig::reference()
         };
-        let res = run_pcg(&problem, 6, &cfg, cost(), FailureScript::none());
+        let res = run_pcg(&problem, 6, &cfg, cost(), FailureScript::none()).unwrap();
         assert!(res.converged);
         let err = res.x.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
         assert!(err < 1e-6);
@@ -144,7 +149,8 @@ fn vclock_separates_setup_from_solve() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(res.vtime_setup > 0.0);
     assert!(res.vtime > 0.0);
     assert_eq!(res.vtime_recovery, 0.0);
@@ -162,14 +168,16 @@ fn vtime_is_deterministic_across_runs() {
         &SolverConfig::resilient(2),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let r2 = run_pcg(
         &problem,
         5,
         &SolverConfig::resilient(2),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert_eq!(r1.vtime, r2.vtime);
     assert_eq!(r1.iterations, r2.iterations);
     assert_eq!(r1.solver_residual, r2.solver_residual);
@@ -182,7 +190,7 @@ fn suite_matrices_solve_distributed() {
         let problem = Problem::with_ones_solution(a);
         let mut cfg = SolverConfig::reference();
         cfg.max_iter = 20_000;
-        let res = run_pcg(&problem, 4, &cfg, cost(), FailureScript::none());
+        let res = run_pcg(&problem, 4, &cfg, cost(), FailureScript::none()).unwrap();
         assert!(res.converged, "{id:?}");
         let err = res.x.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
         assert!(err < 1e-5, "{id:?}: err {err}");
@@ -199,7 +207,8 @@ fn wall_and_virtual_time_both_recorded() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(res.wall.as_nanos() > 0);
     assert!(res.vtime > 0.0);
 }

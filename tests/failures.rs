@@ -28,12 +28,13 @@ fn failure_at_each_progress_point() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(reference.converged);
     for pct in [0.2, 0.5, 0.8] {
         let at = ((reference.iterations as f64 * pct) as u64).max(1);
         let script = FailureScript::simultaneous(at, 4, 3, 8);
-        let res = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
+        let res = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script).unwrap();
         assert!(res.converged, "pct={pct}");
         assert_eq!(res.recoveries, 1, "pct={pct}");
         assert!(
@@ -50,7 +51,7 @@ fn failure_at_iteration_zero() {
     let a = poisson2d(12, 12);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(0, 1, 2, 6);
-    let res = run_pcg(&problem, 6, &SolverConfig::resilient(2), cost(), script);
+    let res = run_pcg(&problem, 6, &SolverConfig::resilient(2), cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
 }
@@ -61,7 +62,7 @@ fn psi_less_than_phi() {
     let a = poisson2d(12, 12);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(5, 3, 1, 6);
-    let res = run_pcg(&problem, 6, &SolverConfig::resilient(3), cost(), script);
+    let res = run_pcg(&problem, 6, &SolverConfig::resilient(3), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.ranks_recovered, 1);
     assert!(max_err_ones(&res) < 1e-6);
@@ -84,7 +85,7 @@ fn two_separate_failure_events() {
             ranks: vec![5],
         },
     ]);
-    let res = run_pcg(&problem, 8, &SolverConfig::resilient(1), cost(), script);
+    let res = run_pcg(&problem, 8, &SolverConfig::resilient(1), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 2);
     assert_eq!(res.ranks_recovered, 2);
@@ -105,7 +106,7 @@ fn repeated_failure_of_same_rank() {
             ranks: vec![1],
         },
     ]);
-    let res = run_pcg(&problem, 4, &SolverConfig::resilient(1), cost(), script);
+    let res = run_pcg(&problem, 4, &SolverConfig::resilient(1), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 2);
     assert!(max_err_ones(&res) < 1e-6);
@@ -131,7 +132,7 @@ fn overlapping_failure_during_recovery() {
                 ranks: vec![3],
             },
         ]);
-        let res = run_pcg(&problem, 8, &SolverConfig::resilient(2), cost(), script);
+        let res = run_pcg(&problem, 8, &SolverConfig::resilient(2), cost(), script).unwrap();
         assert!(res.converged, "substep={substep}");
         assert_eq!(res.recoveries, 1, "substep={substep}");
         assert_eq!(res.ranks_recovered, 2, "substep={substep}");
@@ -168,7 +169,7 @@ fn cascading_overlapping_failures() {
             ranks: vec![7],
         },
     ]);
-    let res = run_pcg(&problem, 9, &SolverConfig::resilient(3), cost(), script);
+    let res = run_pcg(&problem, 9, &SolverConfig::resilient(3), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 1);
     assert_eq!(res.ranks_recovered, 3);
@@ -182,7 +183,7 @@ fn full_block_strategy_survives() {
     let mut cfg = SolverConfig::resilient(2);
     cfg.resilience.as_mut().unwrap().strategy = BackupStrategy::FullBlock;
     let script = FailureScript::simultaneous(5, 1, 2, 6);
-    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
 }
@@ -194,7 +195,7 @@ fn consecutive_ring_strategy_survives() {
     let mut cfg = SolverConfig::resilient(3);
     cfg.resilience.as_mut().unwrap().strategy = BackupStrategy::MinimalConsecutive;
     let script = FailureScript::simultaneous(5, 2, 3, 6);
-    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.ranks_recovered, 3);
     assert!(max_err_ones(&res) < 1e-6);
@@ -217,7 +218,8 @@ fn checkpoint_restart_baseline_survives_failures() {
         &cr,
         cost(),
         script,
-    );
+    )
+    .unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 1);
     assert!(max_err_ones(&res) < 1e-6);
@@ -236,7 +238,7 @@ fn ilu_inner_solver_matches_paper_setup() {
         .recovery
         .exact_block_precond = false;
     let script = FailureScript::simultaneous(6, 2, 3, 7);
-    let res = run_pcg(&problem, 7, &cfg, cost(), script);
+    let res = run_pcg(&problem, 7, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
 }
@@ -256,7 +258,7 @@ fn explicit_p_reconstruction_with_coupling() {
         ..SolverConfig::resilient(2)
     };
     let script = FailureScript::simultaneous(5, 2, 2, 6);
-    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.ranks_recovered, 2);
     assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
@@ -275,9 +277,10 @@ fn esr_state_matches_failure_free_state() {
         &SolverConfig::resilient(3),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let script = FailureScript::simultaneous(10, 3, 3, 8);
-    let failed = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
+    let failed = run_pcg(&problem, 8, &SolverConfig::resilient(3), cost(), script).unwrap();
     assert!(clean.converged && failed.converged);
     assert!(
         clean.iterations.abs_diff(failed.iterations) <= 2,
@@ -304,7 +307,7 @@ fn wraparound_failure_ranks() {
     let a = poisson2d(12, 12);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(4, 5, 2, 6); // ranks 5, 0
-    let res = run_pcg(&problem, 6, &SolverConfig::resilient(2), cost(), script);
+    let res = run_pcg(&problem, 6, &SolverConfig::resilient(2), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.ranks_recovered, 2);
     assert!(max_err_ones(&res) < 1e-6);
@@ -318,7 +321,7 @@ fn uneven_partition_with_failures() {
     let part = BlockPartition::new(143, 7);
     assert_ne!(part.len_of(0), part.len_of(6));
     let script = FailureScript::simultaneous(5, 0, 2, 7);
-    let res = run_pcg(&problem, 7, &SolverConfig::resilient(2), cost(), script);
+    let res = run_pcg(&problem, 7, &SolverConfig::resilient(2), cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
 }
@@ -334,7 +337,7 @@ fn all_paper_matrix_classes_survive_failures() {
         let script = FailureScript::simultaneous(2, 1, 2, 4);
         let mut cfg = SolverConfig::resilient(2);
         cfg.max_iter = 20_000;
-        let res = run_pcg(&problem, 4, &cfg, cost(), script);
+        let res = run_pcg(&problem, 4, &cfg, cost(), script).unwrap();
         assert!(res.converged, "{id:?} (n={n}) did not converge");
         assert_eq!(res.recoveries, 1, "{id:?}");
         assert!(
@@ -352,7 +355,7 @@ fn more_failures_than_phi_is_unrecoverable() {
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(4, 0, 3, 5); // ψ=3 > φ=1
     let result = std::panic::catch_unwind(|| {
-        run_pcg(&problem, 5, &SolverConfig::resilient(1), cost(), script)
+        run_pcg(&problem, 5, &SolverConfig::resilient(1), cost(), script).unwrap()
     });
     assert!(result.is_err(), "ψ > φ must fail loudly");
 }
@@ -363,7 +366,7 @@ fn failures_with_eight_simultaneous_nodes() {
     let a = poisson2d(24, 24);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(6, 4, 8, 16);
-    let res = run_pcg(&problem, 16, &SolverConfig::resilient(8), cost(), script);
+    let res = run_pcg(&problem, 16, &SolverConfig::resilient(8), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.ranks_recovered, 8);
     assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));

@@ -20,7 +20,8 @@ fn pcg_iters(nodes: usize, grid: usize) -> usize {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(r.converged, "reference PCG must converge");
     r.iterations
 }
@@ -33,7 +34,8 @@ fn pipecg_iters(nodes: usize, grid: usize) -> usize {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(r.converged, "reference pipelined PCG must converge");
     r.iterations
 }
@@ -68,14 +70,16 @@ fn pipecg_matches_blocking_pcg_converged_solution() {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let piped = run_pipecg(
         &problem,
         8,
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(blocking.converged && piped.converged);
     let max_diff = blocking
         .x
@@ -98,9 +102,97 @@ fn bicgstab_reference_iteration_counts_are_pinned() {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(r.converged, "reference BiCGSTAB must converge");
     assert_eq!(r.iterations, 10);
+}
+
+// ---------------------------------------------------------------------
+// Replace-path trajectory pins.
+//
+// These values were captured on the code that *predates* the shared
+// RecoveryEngine (when each solver carried its own copy of the recovery
+// protocol). The refactored Replace path must reproduce them bitwise:
+// same iteration counts, same final residual to the last ulp. A drift
+// here means the engine's reconstruction math deviated from paper
+// Alg. 2 — re-pin only with a numerical justification in the same commit.
+// ---------------------------------------------------------------------
+
+#[test]
+fn replace_recovery_trajectories_are_pinned_bitwise() {
+    let problem = Problem::with_ones_solution(poisson2d(14, 14));
+    let script = || FailureScript::simultaneous(6, 2, 2, 7);
+
+    let r = run_pcg(
+        &problem,
+        7,
+        &SolverConfig::resilient(2),
+        CostModel::default(),
+        script(),
+    )
+    .unwrap();
+    assert!(r.converged);
+    assert_eq!(r.iterations, 20);
+    assert_eq!(r.solver_residual, 3.559_024_370_291_282e-8);
+
+    let r = run_pipecg(
+        &problem,
+        7,
+        &SolverConfig::resilient(2),
+        CostModel::default(),
+        script(),
+    )
+    .unwrap();
+    assert!(r.converged);
+    assert_eq!(r.iterations, 20);
+    assert_eq!(r.solver_residual, 3.559_024_337_481_355e-8);
+
+    let r = run_bicgstab(
+        &problem,
+        7,
+        &SolverConfig::resilient(2),
+        CostModel::default(),
+        FailureScript::simultaneous(4, 2, 2, 7),
+    )
+    .unwrap();
+    assert!(r.converged);
+    assert_eq!(r.iterations, 13);
+    assert_eq!(r.solver_residual, 5.429_056_169_617_638e-8);
+}
+
+#[test]
+fn replace_overlapping_recovery_trajectory_is_pinned_bitwise() {
+    // A second failure arriving at restart substep 2 of the first event:
+    // the enlarged-set restart must also replay the pre-engine protocol
+    // bitwise.
+    use esr_suite::parcomm::{FailAt, FailureEvent};
+    let problem = Problem::with_ones_solution(poisson2d(14, 14));
+    let script = FailureScript::new(vec![
+        FailureEvent {
+            when: FailAt::Iteration(5),
+            ranks: vec![2],
+        },
+        FailureEvent {
+            when: FailAt::RecoverySubstep {
+                after_iteration: 5,
+                substep: 2,
+            },
+            ranks: vec![4],
+        },
+    ]);
+    let r = run_pcg(
+        &problem,
+        7,
+        &SolverConfig::resilient(2),
+        CostModel::default(),
+        script,
+    )
+    .unwrap();
+    assert!(r.converged);
+    assert_eq!(r.ranks_recovered, 2);
+    assert_eq!(r.iterations, 20);
+    assert_eq!(r.solver_residual, 3.559_024_370_293_216e-8);
 }
 
 #[test]
@@ -115,14 +207,16 @@ fn resilient_pcg_iteration_count_matches_reference() {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let failing = run_pcg(
         &problem,
         6,
         &SolverConfig::resilient(2),
         CostModel::default(),
         FailureScript::simultaneous(5, 1, 2, 6),
-    );
+    )
+    .unwrap();
     assert!(failing.converged);
     assert_eq!(failing.iterations, reference.iterations);
 }

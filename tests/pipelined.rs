@@ -25,14 +25,16 @@ fn failure_free_pipecg_matches_blocking_pcg() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let piped = run_pipecg(
         &problem,
         6,
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(blocking.converged && piped.converged);
     // Same Krylov method up to rounding: iteration counts nearly agree and
     // both reach the same solution.
@@ -67,14 +69,16 @@ fn pipecg_overlap_reduces_exposed_reduction_time() {
             &SolverConfig::reference(),
             cost(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         let piped = run_pipecg(
             &problem,
             nodes,
             &SolverConfig::reference(),
             cost(),
             FailureScript::none(),
-        );
+        )
+        .unwrap();
         assert!(blocking.converged && piped.converged);
         let eb = blocking.exposed_vtime_per_iter(CommPhase::Reduction);
         let ep = piped.exposed_vtime_per_iter(CommPhase::Reduction);
@@ -93,7 +97,7 @@ fn pipecg_survives_single_failure() {
     let a = poisson2d(12, 12);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(5, 1, 1, 4);
-    let res = run_pipecg(&problem, 4, &SolverConfig::resilient(1), cost(), script);
+    let res = run_pipecg(&problem, 4, &SolverConfig::resilient(1), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 1);
     assert_eq!(res.ranks_recovered, 1);
@@ -106,7 +110,7 @@ fn pipecg_survives_three_simultaneous_failures() {
     let a = poisson2d(14, 14);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(8, 2, 3, 7);
-    let res = run_pipecg(&problem, 7, &SolverConfig::resilient(3), cost(), script);
+    let res = run_pipecg(&problem, 7, &SolverConfig::resilient(3), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 1);
     assert_eq!(res.ranks_recovered, 3);
@@ -119,7 +123,7 @@ fn pipecg_failure_at_iteration_zero() {
     let a = poisson2d(12, 12);
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(0, 1, 2, 6);
-    let res = run_pipecg(&problem, 6, &SolverConfig::resilient(2), cost(), script);
+    let res = run_pipecg(&problem, 6, &SolverConfig::resilient(2), cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
 }
@@ -144,7 +148,7 @@ fn pipecg_overlapping_failure_during_recovery() {
                 ranks: vec![3],
             },
         ]);
-        let res = run_pipecg(&problem, 8, &SolverConfig::resilient(2), cost(), script);
+        let res = run_pipecg(&problem, 8, &SolverConfig::resilient(2), cost(), script).unwrap();
         assert!(res.converged, "substep={substep}");
         assert_eq!(res.recoveries, 1, "substep={substep}");
         assert_eq!(res.ranks_recovered, 2, "substep={substep}");
@@ -172,7 +176,7 @@ fn pipecg_two_separate_failure_events() {
             ranks: vec![5],
         },
     ]);
-    let res = run_pipecg(&problem, 8, &SolverConfig::resilient(1), cost(), script);
+    let res = run_pipecg(&problem, 8, &SolverConfig::resilient(1), cost(), script).unwrap();
     assert!(res.converged);
     assert_eq!(res.recoveries, 2);
     assert_eq!(res.ranks_recovered, 2);
@@ -192,9 +196,10 @@ fn pipecg_reconstructed_state_matches_failure_free_trajectory() {
         &SolverConfig::resilient(3),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     let script = FailureScript::simultaneous(10, 3, 3, 8);
-    let failed = run_pipecg(&problem, 8, &SolverConfig::resilient(3), cost(), script);
+    let failed = run_pipecg(&problem, 8, &SolverConfig::resilient(3), cost(), script).unwrap();
     assert!(clean.converged && failed.converged);
     assert!(
         clean.iterations.abs_diff(failed.iterations) <= 2,
@@ -220,7 +225,7 @@ fn pipecg_uneven_partition_with_failures() {
     let a = poisson2d(13, 11); // n = 143 over 7 nodes
     let problem = Problem::with_ones_solution(a);
     let script = FailureScript::simultaneous(5, 0, 2, 7);
-    let res = run_pipecg(&problem, 7, &SolverConfig::resilient(2), cost(), script);
+    let res = run_pipecg(&problem, 7, &SolverConfig::resilient(2), cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
 }
@@ -238,7 +243,8 @@ fn pipecg_rejects_explicit_p() {
         precond: PrecondConfig::ExplicitP(Arc::new(p)),
         ..SolverConfig::reference()
     };
-    let result =
-        std::panic::catch_unwind(|| run_pipecg(&problem, 4, &cfg, cost(), FailureScript::none()));
+    let result = std::panic::catch_unwind(|| {
+        run_pipecg(&problem, 4, &cfg, cost(), FailureScript::none()).unwrap()
+    });
     assert!(result.is_err(), "ExplicitP must be rejected loudly");
 }

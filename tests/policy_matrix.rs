@@ -1,0 +1,312 @@
+//! The full recovery scenario matrix through the shared `RecoveryEngine`:
+//!
+//! {Replace, Spares(1), Shrink} × {PCG, PipeCG, BiCGSTAB}
+//!                               × {single, simultaneous, overlapping}
+//!
+//! at N = 7 and N = 13 (non-power-of-two collective sizes, uneven
+//! partitions). Before the engine existed this grid had 3 working cells
+//! (the three failure modes on blocking PCG × Replace, plus the PCG-only
+//! policy module); every cell now runs through one shared protocol.
+//!
+//! The pinned invariant everywhere: reconstruction at the failure
+//! boundary is *exact* — the solve converges to the usual tolerance and
+//! the solution error stays below 1e-6 under every policy, whether the
+//! failed subdomains were rebuilt on replacement nodes, partially covered
+//! from an undersized spare pool (mixed replace + adopt events), or
+//! adopted by survivors on a shrunken cluster.
+//!
+//! `Spares(1)` is deliberately *undersized* for the ψ = 2 scenarios: one
+//! failed rank gets the spare and rebuilds in place, the other is adopted
+//! — the mixed event exercises both halves of the engine at once.
+
+use esr_core::{
+    run_bicgstab, run_pcg, run_pipecg, ExperimentResult, Problem, RecoveryPolicy, SolverConfig,
+};
+use parcomm::{CostModel, FailAt, FailureEvent, FailureScript};
+use sparsemat::gen::poisson2d;
+
+#[derive(Clone, Copy, Debug)]
+enum Solver {
+    Pcg,
+    PipeCg,
+    BiCgStab,
+}
+
+const SOLVERS: [Solver; 3] = [Solver::Pcg, Solver::PipeCg, Solver::BiCgStab];
+
+fn policies() -> Vec<RecoveryPolicy> {
+    vec![
+        RecoveryPolicy::Replace,
+        RecoveryPolicy::Spares(1),
+        RecoveryPolicy::Shrink,
+    ]
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Failure {
+    /// One rank dies.
+    Single,
+    /// Two ranks die at the same boundary.
+    Simultaneous,
+    /// A second rank dies at restart substep `s` of the first recovery.
+    Overlapping(u32),
+}
+
+fn script(mode: Failure, at: u64, first: usize, nodes: usize) -> FailureScript {
+    match mode {
+        Failure::Single => FailureScript::simultaneous(at, first, 1, nodes),
+        Failure::Simultaneous => FailureScript::simultaneous(at, first, 2, nodes),
+        Failure::Overlapping(substep) => FailureScript::new(vec![
+            FailureEvent {
+                when: FailAt::Iteration(at),
+                ranks: vec![first],
+            },
+            FailureEvent {
+                when: FailAt::RecoverySubstep {
+                    after_iteration: at,
+                    substep,
+                },
+                ranks: vec![(first + 2) % nodes],
+            },
+        ]),
+    }
+}
+
+fn failed_count(mode: Failure) -> usize {
+    match mode {
+        Failure::Single => 1,
+        _ => 2,
+    }
+}
+
+fn run_cell(
+    solver: Solver,
+    policy: RecoveryPolicy,
+    mode: Failure,
+    nodes: usize,
+    grid: (usize, usize),
+    at: u64,
+    first: usize,
+) -> ExperimentResult {
+    let a = poisson2d(grid.0, grid.1);
+    let problem = Problem::with_ones_solution(a);
+    let cfg = SolverConfig::resilient_with_policy(2, policy);
+    let cost = CostModel::default();
+    let sc = script(mode, at, first, nodes);
+    let res = match solver {
+        Solver::Pcg => run_pcg(&problem, nodes, &cfg, cost, sc),
+        Solver::PipeCg => run_pipecg(&problem, nodes, &cfg, cost, sc),
+        Solver::BiCgStab => run_bicgstab(&problem, nodes, &cfg, cost, sc),
+    }
+    .expect("every engine-backed cell is a supported configuration");
+    let label = format!("{solver:?} × {policy:?} × {mode:?} (N={nodes})");
+    assert!(res.converged, "{label}: did not converge");
+    let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+    assert!(err < 1e-6, "{label}: reconstruction not exact, err={err}");
+    assert_eq!(res.recoveries, 1, "{label}");
+    assert_eq!(res.ranks_recovered, failed_count(mode), "{label}");
+    // Where the policy left ranks uncovered, they retired and their
+    // subdomains were adopted; the assembled solution is still complete
+    // (checked by the exactness bound above, which spans every row).
+    let expect_retired = match policy {
+        RecoveryPolicy::Replace => 0,
+        RecoveryPolicy::Spares(k) => failed_count(mode).saturating_sub(k),
+        RecoveryPolicy::Shrink => failed_count(mode),
+    };
+    assert_eq!(res.retired_nodes(), expect_retired, "{label}");
+    res
+}
+
+#[test]
+fn single_failure_full_matrix_n7() {
+    for solver in SOLVERS {
+        for policy in policies() {
+            run_cell(solver, policy, Failure::Single, 7, (14, 14), 5, 3);
+        }
+    }
+}
+
+#[test]
+fn simultaneous_failures_full_matrix_n7() {
+    // ψ = 2 > the Spares(1) pool: a *mixed* event — rank 2 rebuilds on the
+    // spare, rank 3 is adopted by a survivor, in one recovery.
+    for solver in SOLVERS {
+        for policy in policies() {
+            run_cell(solver, policy, Failure::Simultaneous, 7, (14, 14), 5, 2);
+        }
+    }
+}
+
+#[test]
+fn overlapping_failures_full_matrix_n7() {
+    // A second node dies at every restart substep of the first event
+    // (paper Sec. 4.1: restart with the enlarged failed set) — under
+    // Spares(1)/Shrink the restart must also re-derive the grant and the
+    // adoption plan.
+    for solver in SOLVERS {
+        for policy in policies() {
+            for substep in 0..4 {
+                run_cell(
+                    solver,
+                    policy,
+                    Failure::Overlapping(substep),
+                    7,
+                    (14, 14),
+                    5,
+                    2,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_matrix_n13() {
+    // The same grid at N = 13: fold-in/out collective sizes, uneven
+    // 13-way partition of a 15×15 grid, wrap-around failed ranks. One
+    // overlap substep suffices here (all four are swept at N = 7).
+    for solver in SOLVERS {
+        for policy in policies() {
+            run_cell(solver, policy, Failure::Single, 13, (15, 15), 4, 7);
+            run_cell(solver, policy, Failure::Simultaneous, 13, (15, 15), 6, 11);
+            run_cell(solver, policy, Failure::Overlapping(2), 13, (15, 15), 5, 6);
+        }
+    }
+}
+
+#[test]
+fn spares_cover_then_run_dry_for_every_solver() {
+    // Two events against a pool of 2: the first (ψ=2) consumes the whole
+    // pool (pure replacement, no retirement), the second (ψ=1) finds it
+    // dry and shrinks. Exercises the pool bookkeeping end-to-end on every
+    // engine-backed solver.
+    for solver in SOLVERS {
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        let cfg = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Spares(2));
+        let cost = CostModel::default();
+        let sc = FailureScript::at_iterations(7, &[(3, 1), (3, 5), (9, 2)]);
+        let res = match solver {
+            Solver::Pcg => run_pcg(&problem, 7, &cfg, cost, sc),
+            Solver::PipeCg => run_pipecg(&problem, 7, &cfg, cost, sc),
+            Solver::BiCgStab => run_bicgstab(&problem, 7, &cfg, cost, sc),
+        }
+        .unwrap();
+        assert!(res.converged, "{solver:?}");
+        let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "{solver:?}: err={err}");
+        assert_eq!(res.recoveries, 2, "{solver:?}");
+        assert_eq!(res.ranks_recovered, 3, "{solver:?}");
+        assert_eq!(res.retired_nodes(), 1, "{solver:?}");
+    }
+}
+
+#[test]
+fn shrink_after_shrink_for_every_solver() {
+    // Failure → shrink → another failure on the already-shrunken cluster:
+    // the second event runs on a non-uniform partition over a group
+    // communicator, with re-derived redundancy targets — for all three
+    // engine-backed solvers (the pipelined solver additionally
+    // re-bootstraps its recurrences after each shrink).
+    for solver in SOLVERS {
+        let a = poisson2d(14, 14);
+        let problem = Problem::with_ones_solution(a);
+        let cfg = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Shrink);
+        let cost = CostModel::default();
+        let sc = FailureScript::at_iterations(7, &[(3, 4), (9, 0)]);
+        let res = match solver {
+            Solver::Pcg => run_pcg(&problem, 7, &cfg, cost, sc),
+            Solver::PipeCg => run_pipecg(&problem, 7, &cfg, cost, sc),
+            Solver::BiCgStab => run_bicgstab(&problem, 7, &cfg, cost, sc),
+        }
+        .unwrap();
+        assert!(res.converged, "{solver:?}");
+        let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "{solver:?}: err={err}");
+        assert_eq!(res.recoveries, 2, "{solver:?}");
+        assert_eq!(res.retired_nodes(), 2, "{solver:?}");
+    }
+}
+
+#[test]
+fn shrink_to_single_survivor_for_every_solver() {
+    // ψ = φ = N−1 under Shrink: a single survivor adopts the entire
+    // system and finishes the solve alone — for all three solvers.
+    for solver in SOLVERS {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a);
+        let cfg = SolverConfig::resilient_with_policy(4, RecoveryPolicy::Shrink);
+        let cost = CostModel::default();
+        let sc = FailureScript::simultaneous(4, 1, 4, 5);
+        let res = match solver {
+            Solver::Pcg => run_pcg(&problem, 5, &cfg, cost, sc),
+            Solver::PipeCg => run_pipecg(&problem, 5, &cfg, cost, sc),
+            Solver::BiCgStab => run_bicgstab(&problem, 5, &cfg, cost, sc),
+        }
+        .unwrap();
+        assert!(res.converged, "{solver:?}");
+        let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "{solver:?}: err={err}");
+        assert_eq!(res.retired_nodes(), 4, "{solver:?}");
+        let survivor = res.per_node.iter().find(|o| !o.retired).unwrap();
+        assert_eq!(survivor.x_loc.len(), 12 * 12, "{solver:?}");
+    }
+}
+
+#[test]
+fn shrink_at_iteration_zero_for_every_solver() {
+    // Failure at the first boundary: PCG/PipeCG have no p(j-1) yet (the
+    // adopter reconstructs from the current-generation copies alone and
+    // the recurrences restart through the β = 0 branch); BiCGSTAB has
+    // already scattered both of its channels.
+    for solver in SOLVERS {
+        let a = poisson2d(12, 12);
+        let problem = Problem::with_ones_solution(a);
+        let cfg = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Shrink);
+        let cost = CostModel::default();
+        let sc = FailureScript::simultaneous(0, 1, 2, 6);
+        let res = match solver {
+            Solver::Pcg => run_pcg(&problem, 6, &cfg, cost, sc),
+            Solver::PipeCg => run_pipecg(&problem, 6, &cfg, cost, sc),
+            Solver::BiCgStab => run_bicgstab(&problem, 6, &cfg, cost, sc),
+        }
+        .unwrap();
+        assert!(res.converged, "{solver:?}");
+        let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
+        assert!(err < 1e-6, "{solver:?}: err={err}");
+        assert_eq!(res.retired_nodes(), 2, "{solver:?}");
+    }
+}
+
+#[test]
+fn covered_spares_match_replace_bitwise_for_every_solver() {
+    // While the pool covers every failure, Spares runs the *identical*
+    // engine path as Replace — iterations, residual, and virtual time
+    // must agree exactly, for all three solvers.
+    let a = poisson2d(14, 14);
+    let problem = Problem::with_ones_solution(a);
+    let cost = CostModel::default();
+    let script = || FailureScript::simultaneous(5, 2, 2, 7);
+    for solver in SOLVERS {
+        let replace = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Replace);
+        let spares = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Spares(4));
+        let (a_res, b_res) = match solver {
+            Solver::Pcg => (
+                run_pcg(&problem, 7, &replace, cost, script()).unwrap(),
+                run_pcg(&problem, 7, &spares, cost, script()).unwrap(),
+            ),
+            Solver::PipeCg => (
+                run_pipecg(&problem, 7, &replace, cost, script()).unwrap(),
+                run_pipecg(&problem, 7, &spares, cost, script()).unwrap(),
+            ),
+            Solver::BiCgStab => (
+                run_bicgstab(&problem, 7, &replace, cost, script()).unwrap(),
+                run_bicgstab(&problem, 7, &spares, cost, script()).unwrap(),
+            ),
+        };
+        assert_eq!(a_res.iterations, b_res.iterations, "{solver:?}");
+        assert_eq!(a_res.solver_residual, b_res.solver_residual, "{solver:?}");
+        assert_eq!(a_res.vtime, b_res.vtime, "{solver:?}");
+        assert_eq!(b_res.retired_nodes(), 0, "{solver:?}");
+    }
+}

@@ -105,7 +105,7 @@ proptest! {
         );
         let mut cfg = SolverConfig::resilient(phi.min(nodes - 1));
         cfg.max_iter = 5000;
-        let res = run_pcg(&problem, nodes, &cfg, CostModel::default(), script);
+        let res = run_pcg(&problem, nodes, &cfg, CostModel::default(), script).unwrap();
         // Banded diagonally dominant systems converge fast; a scheduled
         // failure beyond convergence simply never fires.
         prop_assert!(res.converged);
@@ -129,7 +129,7 @@ proptest! {
             &SolverConfig::reference(),
             CostModel::default(),
             FailureScript::none(),
-        );
+        ).unwrap();
         prop_assert!(res.converged);
         // Oracle: sequential PCG with node-aligned block Jacobi.
         let part = BlockPartition::new(n, nodes);

@@ -43,7 +43,7 @@ fn solve(
     let a = poisson2d(n_grid.0, n_grid.1);
     let problem = Problem::with_ones_solution(a);
     let cfg = SolverConfig::resilient_with_policy(phi, policy);
-    let res = run_pcg(&problem, nodes, &cfg, cost(), script);
+    let res = run_pcg(&problem, nodes, &cfg, cost(), script).unwrap();
     assert!(res.converged, "{policy:?}: did not converge");
     assert!(
         max_err_ones(&res) < 1e-6,
@@ -198,8 +198,8 @@ fn replace_iteration_counts_are_policy_default_bitwise() {
     let script = || FailureScript::simultaneous(6, 2, 2, 7);
     let default_cfg = SolverConfig::resilient(2);
     let explicit = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Replace);
-    let r1 = run_pcg(&problem, 7, &default_cfg, cost(), script());
-    let r2 = run_pcg(&problem, 7, &explicit, cost(), script());
+    let r1 = run_pcg(&problem, 7, &default_cfg, cost(), script()).unwrap();
+    let r2 = run_pcg(&problem, 7, &explicit, cost(), script()).unwrap();
     assert_eq!(r1.iterations, r2.iterations);
     assert_eq!(r1.solver_residual, r2.solver_residual);
     assert_eq!(r1.vtime, r2.vtime);
@@ -213,14 +213,15 @@ fn covered_spares_match_replace_trajectory() {
     let a = poisson2d(14, 14);
     let problem = Problem::with_ones_solution(a);
     let script = || FailureScript::simultaneous(6, 2, 2, 7);
-    let replace = run_pcg(&problem, 7, &SolverConfig::resilient(2), cost(), script());
+    let replace = run_pcg(&problem, 7, &SolverConfig::resilient(2), cost(), script()).unwrap();
     let spares = run_pcg(
         &problem,
         7,
         &SolverConfig::resilient_with_policy(2, RecoveryPolicy::Spares(4)),
         cost(),
         script(),
-    );
+    )
+    .unwrap();
     assert_eq!(replace.iterations, spares.iterations);
     assert_eq!(replace.solver_residual, spares.solver_residual);
     assert_eq!(spares.retired_nodes(), 0);
@@ -244,7 +245,7 @@ fn spare_pool_exhaustion_falls_back_to_shrink() {
         },
     ]);
     let cfg = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Spares(1));
-    let res = run_pcg(&problem, 7, &cfg, cost(), script);
+    let res = run_pcg(&problem, 7, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
     assert_eq!(res.recoveries, 2);
@@ -273,7 +274,7 @@ fn shrink_survives_failure_after_shrinking() {
         },
     ]);
     let cfg = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Shrink);
-    let res = run_pcg(&problem, 7, &cfg, cost(), script);
+    let res = run_pcg(&problem, 7, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6, "err={}", max_err_ones(&res));
     assert_eq!(res.recoveries, 2);
@@ -297,7 +298,7 @@ fn shrink_event_naming_retired_rank_is_inert() {
         },
     ]);
     let cfg = SolverConfig::resilient_with_policy(1, RecoveryPolicy::Shrink);
-    let res = run_pcg(&problem, 6, &cfg, cost(), script);
+    let res = run_pcg(&problem, 6, &cfg, cost(), script).unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
     assert_eq!(res.recoveries, 1); // second event never fires
@@ -317,7 +318,8 @@ fn shrink_failure_at_iteration_zero() {
         &cfg,
         cost(),
         FailureScript::simultaneous(0, 1, 2, 6),
-    );
+    )
+    .unwrap();
     assert!(res.converged);
     assert!(max_err_ones(&res) < 1e-6);
     assert_eq!(res.retired_nodes(), 2);
@@ -339,7 +341,8 @@ fn shrink_with_jacobi_and_plain_cg() {
             &cfg,
             cost(),
             FailureScript::simultaneous(5, 2, 2, 6),
-        );
+        )
+        .unwrap();
         assert!(res.converged, "{precond:?}");
         assert!(max_err_ones(&res) < 1e-6, "{precond:?}");
         assert_eq!(res.retired_nodes(), 2, "{precond:?}");
@@ -347,17 +350,50 @@ fn shrink_with_jacobi_and_plain_cg() {
 }
 
 #[test]
-#[should_panic(expected = "only implemented for the blocking PCG solver")]
-fn non_pcg_solvers_reject_shrink() {
+fn solvers_outside_the_engine_reject_non_replace_policies() {
+    // The stationary Jacobi solver and the checkpoint/restart baseline
+    // assume the full cluster outlives the solve: non-Replace policies
+    // come back as a typed ConfigError naming the constraint — a Result,
+    // not a panic deep inside a node thread.
+    use esr_core::{run_checkpoint_restart, run_jacobi, ConfigError, CrConfig, SolverKind};
     let a = poisson2d(8, 8);
     let problem = Problem::with_ones_solution(a);
-    let cfg = SolverConfig::resilient_with_policy(1, RecoveryPolicy::Shrink);
-    esr_core::run_pipecg(&problem, 4, &cfg, cost(), FailureScript::none());
+    for policy in [RecoveryPolicy::Spares(2), RecoveryPolicy::Shrink] {
+        let cfg = SolverConfig::resilient_with_policy(1, policy);
+        let err = run_jacobi(&problem, 4, &cfg, cost(), FailureScript::none())
+            .expect_err("Jacobi must reject non-Replace policies");
+        match err {
+            ConfigError::PolicyUnsupported {
+                solver,
+                policy: p,
+                constraint,
+            } => {
+                assert_eq!(solver, SolverKind::Jacobi);
+                assert_eq!(p, policy);
+                assert!(constraint.contains("full cluster"), "{constraint}");
+            }
+            other => panic!("wrong error variant: {other:?}"),
+        }
+        let cr = CrConfig {
+            interval: 4,
+            copies: 2,
+        };
+        let err = run_checkpoint_restart(&problem, 4, &cfg, &cr, cost(), FailureScript::none())
+            .expect_err("checkpoint/restart must reject non-Replace policies");
+        assert!(
+            matches!(err, ConfigError::PolicyUnsupported { .. }),
+            "{err:?}"
+        );
+        // The error's Display names both the policy and the solver.
+        let msg = err.to_string();
+        assert!(msg.contains("RecoveryPolicy"), "{msg}");
+        assert!(msg.contains("checkpoint/restart"), "{msg}");
+    }
 }
 
 #[test]
-#[should_panic(expected = "block-diagonal (M-given) preconditioner")]
 fn explicit_p_rejects_shrink() {
+    use esr_core::ConfigError;
     use precond::{BlockJacobi, BlockSolver};
     use std::sync::Arc;
     let a = poisson2d(12, 12);
@@ -366,7 +402,27 @@ fn explicit_p_rejects_shrink() {
     let problem = Problem::with_ones_solution(a);
     let mut cfg = SolverConfig::resilient_with_policy(2, RecoveryPolicy::Shrink);
     cfg.precond = esr_core::PrecondConfig::ExplicitP(Arc::new(p));
-    run_pcg(&problem, 6, &cfg, cost(), FailureScript::none());
+    let err = run_pcg(&problem, 6, &cfg, cost(), FailureScript::none())
+        .expect_err("P-given reconstruction needs the full cluster");
+    match err {
+        ConfigError::PrecondUnsupported { constraint, .. } => {
+            assert!(constraint.contains("full cluster"), "{constraint}");
+        }
+        other => panic!("wrong error variant: {other:?}"),
+    }
+}
+
+#[test]
+fn phi_without_a_survivor_is_rejected() {
+    let a = poisson2d(8, 8);
+    let problem = Problem::with_ones_solution(a);
+    let cfg = SolverConfig::resilient(4); // φ = N: no survivor holds copies
+    let err = run_pcg(&problem, 4, &cfg, cost(), FailureScript::none())
+        .expect_err("φ ≥ N must be rejected");
+    assert!(
+        matches!(err, esr_core::ConfigError::PhiTooLarge { phi: 4, nodes: 4 }),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -382,7 +438,8 @@ fn converged_at_x0_metrics_are_finite() {
         &SolverConfig::reference(),
         cost(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(res.converged);
     assert_eq!(res.iterations, 0);
     for phase in [

@@ -46,6 +46,56 @@ fn recovery_policy_reaches_through_umbrella_paths() {
 }
 
 #[test]
+fn engine_and_config_error_types_reach_through_umbrella_paths() {
+    // The resilience engine's public surface after the solver-agnostic
+    // refactor: the report/engine types and the typed configuration
+    // errors are re-exported (the old per-solver `recovery`/
+    // `pipe_recovery` modules are gone).
+    let report = esr_suite::core::RecoveryReport {
+        total_failed: 2,
+        retired_ranks: 1,
+        attempts: 1,
+        inner_iterations: 40,
+    };
+    let via_member: esr_core::RecoveryReport = report;
+    assert_eq!(via_member.total_failed, 2);
+    let _engine_marker: Option<esr_suite::core::RecoveryEngine> = None;
+
+    // ConfigError is a std::error::Error with the constraint in Display.
+    let err = esr_suite::core::ConfigError::PhiTooLarge { phi: 9, nodes: 4 };
+    let as_std: &dyn std::error::Error = &err;
+    assert!(as_std.to_string().contains("survivor"));
+    assert_eq!(esr_core::SolverKind::PipeCg.name(), "pipelined PCG");
+
+    // And the run_* entry points return it as a typed Result.
+    let a = esr_suite::sparsemat::gen::poisson2d(6, 6);
+    let problem = Problem::with_ones_solution(a);
+    let err = esr_suite::core::run_pcg(
+        &problem,
+        4,
+        &SolverConfig::resilient(9),
+        CostModel::default(),
+        FailureScript::none(),
+    )
+    .expect_err("phi = 9 on 4 nodes leaves no survivor");
+    assert!(matches!(
+        err,
+        esr_core::ConfigError::PhiTooLarge { phi: 9, nodes: 4 }
+    ));
+}
+
+#[test]
+fn failure_script_builders_validate_at_construction() {
+    // The size-aware builders are public surface; bounds are checked at
+    // the construction site, not later inside Cluster::run.
+    let script = FailureScript::at_iterations(8, &[(3, 1), (3, 2), (9, 0)]);
+    assert_eq!(script.total_failed_ranks(), 3);
+    assert_eq!(script.validated_nodes(), Some(8));
+    let bad = std::panic::catch_unwind(|| FailureScript::at_iterations(4, &[(3, 9)]));
+    assert!(bad.is_err(), "out-of-bounds rank must fail at construction");
+}
+
+#[test]
 fn failure_script_and_cost_model_construct() {
     // The exact calls the doctest and examples/overlapping_failures.rs use.
     let script = FailureScript::simultaneous(5, 1, 2, 6);
@@ -112,7 +162,8 @@ fn nonblocking_api_reaches_through_umbrella_paths() {
         &SolverConfig::reference(),
         CostModel::default(),
         FailureScript::none(),
-    );
+    )
+    .unwrap();
     assert!(result.converged);
 }
 
@@ -129,7 +180,8 @@ fn resilient_solve_through_umbrella_paths_only() {
         &SolverConfig::resilient(2),
         CostModel::default(),
         script,
-    );
+    )
+    .unwrap();
     assert!(result.converged);
     assert_eq!(result.ranks_recovered, 2);
     let err = result.x.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
