@@ -61,6 +61,19 @@ const BASELINE_PCG: &[(usize, usize, f64)] = &[
     (16, 43, 2.9346e-5),
 ];
 
+/// PR 5 reference-PCG timings (M1, default cost model, default scale),
+/// captured before the audit layer existed. The `audit` feature must be
+/// zero-cost when compiled **off**: every instrumentation point is behind
+/// `#[cfg(feature = "audit")]`, so an audit-off build must reproduce these
+/// *bitwise* — equality of `f64::to_bits`, not a tolerance. Virtual times
+/// are deterministic, so any drift is a real hot-path change.
+const AUDIT_OFF_PCG: &[(usize, usize, f64)] = &[
+    (4, 25, 1.2476338399999983e-4),
+    (8, 31, 5.1020322580645216e-5),
+    (13, 39, 2.6066512820512788e-5),
+    (16, 43, 1.55297674418605e-5),
+];
+
 fn report_nodes() -> Vec<usize> {
     match std::env::var("ESR_REPORT_NODES") {
         Ok(s) if !s.trim().is_empty() => s
@@ -136,7 +149,20 @@ fn comm_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
     )
 }
 
+/// Whether the audit-off bitwise guard applies: the feature must be
+/// compiled out and the run must use the baseline configuration.
+fn audit_guard_applicable(cfgb: &BenchConfig) -> bool {
+    let d = parcomm::CostModel::default();
+    cfg!(not(feature = "audit"))
+        && cfgb.scale == 0.01
+        && cfgb.cost.lambda == d.lambda
+        && cfgb.cost.mu == d.mu
+        && cfgb.cost.gamma == d.gamma
+}
+
 fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, ExperimentResult)>) {
+    let guard = audit_guard_applicable(cfgb);
+    let mut guarded = 0usize;
     let mut cases = Vec::new();
     let mut results = Vec::new();
     for &n in nodes {
@@ -151,6 +177,22 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, Exper
         .unwrap();
         assert!(r.converged, "reference PCG must converge (N={n})");
         let iters = r.iterations as f64;
+        if guard {
+            if let Some(&(_, bi, bvt)) = AUDIT_OFF_PCG.iter().find(|b| b.0 == n) {
+                let vt = r.vtime / iters;
+                assert_eq!(
+                    r.iterations as usize, bi,
+                    "N={n}: iteration count drifted from the audit-off baseline"
+                );
+                assert_eq!(
+                    vt.to_bits(),
+                    bvt.to_bits(),
+                    "N={n}: vtime/iter {vt:e} != audit-off baseline {bvt:e} — \
+                     the audit feature must be zero-cost when compiled out"
+                );
+                guarded += 1;
+            }
+        }
         // Every rank issues the same collective sequence, so calls/iter is
         // uniform; rounds differ per rank (folded-out ranks take only 2 on
         // non-power-of-two sizes), so report the critical-path maximum.
@@ -194,9 +236,13 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, Exper
         );
         results.push((n, r));
     }
+    if guard {
+        println!("audit-off bitwise guard: {guarded} case(s) matched PR 5 baselines exactly");
+    }
     let json = format!(
-        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"audit_zero_cost\": {{\"audit_feature_compiled\": {}, \"bitwise_guard_cases\": {guarded}}},\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_f(cfgb.scale),
+        cfg!(feature = "audit"),
         json_f(cfgb.cost.lambda),
         json_f(cfgb.cost.mu),
         json_f(cfgb.cost.gamma),

@@ -189,6 +189,7 @@ impl Layout {
 
 /// Outcome of one recovery event.
 #[derive(Clone, Debug)]
+#[must_use = "a recovery report carries attempt/retirement counts the caller must fold into its own accounting"]
 pub struct RecoveryReport {
     /// Total distinct ranks reconstructed (≥ the initial set if
     /// overlapping failures occurred).
@@ -370,6 +371,11 @@ pub(crate) fn recover(
         attempts += 1;
         let seq = *recovery_seq;
         *recovery_seq += 1;
+        // Declare this attempt's tag window to the protocol auditor: all
+        // recovery traffic issued from here until the matching exit belongs
+        // to attempt `seq`, and must never match a receive posted under a
+        // different attempt (no-op without the `audit` feature).
+        ctx.audit_enter_window(seq);
         assert!(
             failed.len() < layout.members.len(),
             "all {} active nodes failed — nothing left to recover from",
@@ -383,6 +389,7 @@ pub(crate) fn recover(
         if retired.binary_search(&me).is_ok() {
             // No replacement for this node: it is gone. Its subdomain is
             // adopted by a survivor; the thread leaves the cluster.
+            ctx.audit_exit_window();
             return EngineOutcome::Retired;
         }
         let am_failed = failed.binary_search(&me).is_ok(); // ⇒ replaced
@@ -632,6 +639,7 @@ pub(crate) fn recover(
                 // ghosts/retention refill on the restarted iteration's
                 // re-scatter, exactly as before.
             }
+            ctx.audit_exit_window();
             return EngineOutcome::Recovered(report);
         }
 
@@ -679,6 +687,7 @@ pub(crate) fn recover(
         layout.members = new_members;
         layout.my_slot = my_new_slot;
         layout.group = Some(group);
+        ctx.audit_exit_window();
         return EngineOutcome::Recovered(report);
     }
 }

@@ -1,0 +1,804 @@
+//! The communication-protocol auditor (compiled only with `--features audit`).
+//!
+//! The ESR correctness argument (Pachajoa et al., ICPP 2019) rests on
+//! protocol invariants the test suite historically never checked: disjoint
+//! per-attempt reconstruction tag windows, agreed-upon collective schedules
+//! across survivors, and complete message drain across the restart substeps.
+//! Every shipped protocol bug (the PR 2 FIFO non-overtaking violation, the
+//! mismatched-reduction hangs) was found by accident. This module makes the
+//! contract machine-checked:
+//!
+//! * every send is stamped ([`MsgStamp`]) with a per-`(dest, tag)` sequence
+//!   number and the sender's current recovery-attempt window;
+//! * every receive and collective is recorded into a per-node [`NodeLog`];
+//! * [`check_teardown`] runs after all node threads have joined (so every
+//!   send has landed — the checks are deterministic) and enforces
+//!   **message-drain**, **non-overtaking**, **collective agreement**, and
+//!   **tag-window disjointness**;
+//! * a shared [`AuditShared`] table of per-rank blocked-on state turns a
+//!   wait-for cycle into an immediate panic naming the cycle
+//!   (**deadlock detection**), instead of a 300 s timeout per rank.
+//!
+//! Everything here is diagnostics: the auditor never touches the virtual
+//! clock or the statistics, so enabling the feature cannot change any
+//! simulated timing (the bench harness asserts byte-identical vtime with the
+//! feature off; see `crates/bench/benches/report.rs`).
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::comm::ReduceOp;
+use crate::payload::Message;
+use crate::tag::Tag;
+
+/// Audit stamp carried by every [`Message`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgStamp {
+    /// Per-`(sender, dest, tag)` send sequence number, starting at 0. The
+    /// non-overtaking check demands that same-`(src, tag)` deliveries at one
+    /// receiver observe strictly increasing values.
+    pub seq: u64,
+    /// The sender's recovery-attempt window at send time (`None` outside
+    /// recovery). A receive must observe its own current window here.
+    pub window: Option<u32>,
+}
+
+/// One recorded receive.
+#[derive(Clone, Copy, Debug)]
+pub struct RecvRec {
+    /// Sending rank.
+    pub src: usize,
+    /// Matched tag.
+    pub tag: Tag,
+    /// The message's send sequence number (see [`MsgStamp::seq`]).
+    pub seq: u64,
+    /// The window the message was sent in.
+    pub msg_window: Option<u32>,
+    /// The receiver's window when the receive matched.
+    pub window: Option<u32>,
+}
+
+/// One recorded collective call (logged *before* the collective runs, so an
+/// interrupted collective still shows what each rank intended to do).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollEvent {
+    /// `None` for the world communicator, `Some(gid)` for a group.
+    pub scope: Option<u32>,
+    /// The communicator's collective sequence number.
+    pub seq: u64,
+    /// Collective kind (a [`crate::tag::op`] constant).
+    pub kind: u8,
+    /// Reduction operator, for reductions.
+    pub rop: Option<ReduceOp>,
+    /// Contributed buffer length where the protocol requires agreement
+    /// (all-reduce); `None` for ragged collectives (gather, all-to-all) and
+    /// for participants that do not know the length up front (bcast leaves).
+    pub len: Option<usize>,
+    /// Hash of the member set (0 for the world communicator).
+    pub members_hash: u64,
+    /// Number of participants the caller believes the communicator has.
+    pub n_members: usize,
+}
+
+/// Placeholder member-set hash for world-communicator collectives.
+pub const WORLD_HASH: u64 = 0;
+
+/// Per-node event log, returned by the node thread at teardown.
+#[derive(Debug, Default)]
+pub struct NodeLog {
+    /// The rank that produced this log.
+    pub rank: usize,
+    /// Receives, in program order.
+    pub recvs: Vec<RecvRec>,
+    /// Collective calls, in program order.
+    pub colls: Vec<CollEvent>,
+}
+
+/// Per-node audit state owned by the `NodeCtx`.
+pub(crate) struct AuditState {
+    pub(crate) shared: Arc<AuditShared>,
+    pub(crate) log: NodeLog,
+    send_seqs: HashMap<(usize, Tag), u64>,
+    /// Current recovery-attempt window (see `NodeCtx::audit_enter_window`).
+    pub(crate) window: Option<u32>,
+}
+
+impl AuditState {
+    pub(crate) fn new(rank: usize, shared: Arc<AuditShared>) -> Self {
+        AuditState {
+            shared,
+            log: NodeLog {
+                rank,
+                ..NodeLog::default()
+            },
+            send_seqs: HashMap::new(),
+            window: None,
+        }
+    }
+
+    /// Stamp an outgoing message to `dest` under `tag`.
+    pub(crate) fn stamp_send(&mut self, dest: usize, tag: Tag) -> MsgStamp {
+        let c = self.send_seqs.entry((dest, tag)).or_insert(0);
+        let seq = *c;
+        *c += 1;
+        MsgStamp {
+            seq,
+            window: self.window,
+        }
+    }
+
+    /// Record a matched receive.
+    pub(crate) fn record_recv(&mut self, m: &Message) {
+        self.log.recvs.push(RecvRec {
+            src: m.src,
+            tag: m.tag,
+            seq: m.stamp.seq,
+            msg_window: m.stamp.window,
+            window: self.window,
+        });
+    }
+
+    /// Record a collective call.
+    pub(crate) fn record_coll(&mut self, ev: CollEvent) {
+        self.log.colls.push(ev);
+    }
+
+    pub(crate) fn into_log(self) -> NodeLog {
+        self.log
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlock detection
+// ---------------------------------------------------------------------------
+
+/// What a blocked rank is waiting for (`src: None` ⇒ any source).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct BlockedOn {
+    pub src: Option<usize>,
+    pub tag: Tag,
+}
+
+impl BlockedOn {
+    fn describe(&self) -> String {
+        match self.src {
+            Some(s) => format!("recv(src {}, tag {})", s, self.tag.describe()),
+            None => format!("recv_any(tag {})", self.tag.describe()),
+        }
+    }
+}
+
+/// How often a blocked (audited) receive polls its channel and re-examines
+/// the cluster for a wait-for cycle.
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// How long a stall candidate must stay byte-identical before it is
+/// declared a deadlock (filters in-flight races).
+const RECHECK: Duration = Duration::from_millis(150);
+
+/// One coherent picture of the cluster's wait state: per-rank blocked-on
+/// entries, done flags, and `(delivered, consumed)` counters.
+type Snapshot = (Vec<Option<BlockedOn>>, Vec<bool>, Vec<(u64, u64)>);
+
+/// Cluster-wide state shared by all node threads for deadlock detection:
+/// who is blocked on what, who has finished, and per-rank delivered/consumed
+/// message counters (a rank with `delivered > consumed` has an unexamined
+/// message in its channel and is never considered starved).
+pub(crate) struct AuditShared {
+    blocked: Mutex<Vec<Option<BlockedOn>>>,
+    done: Mutex<Vec<bool>>,
+    delivered: Vec<AtomicU64>,
+    consumed: Vec<AtomicU64>,
+}
+
+/// A stall candidate: the set of ranks that can only be unblocked by each
+/// other (or by a terminated rank) while no message is in flight to any of
+/// them.
+#[derive(Debug, PartialEq, Eq)]
+enum Stall {
+    /// `cycle[i]` waits on `cycle[i+1]` (wrapping).
+    Cycle(Vec<usize>),
+    /// `chain` ends waiting on the terminated rank `dead`.
+    Terminated { chain: Vec<usize>, dead: usize },
+    /// Every live rank is blocked (at least one on any-source).
+    AllBlocked,
+}
+
+impl Stall {
+    fn involved(&self, done: &[bool]) -> Vec<usize> {
+        match self {
+            Stall::Cycle(c) => c.clone(),
+            Stall::Terminated { chain, .. } => chain.clone(),
+            Stall::AllBlocked => (0..done.len()).filter(|&r| !done[r]).collect(),
+        }
+    }
+}
+
+impl AuditShared {
+    pub(crate) fn new(n: usize) -> Self {
+        AuditShared {
+            blocked: Mutex::new(vec![None; n]),
+            done: Mutex::new(vec![false; n]),
+            delivered: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            consumed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// A message is about to be pushed into `dest`'s channel. Must be called
+    /// *before* the push so `delivered ≥` the true channel occupancy.
+    pub(crate) fn note_delivered(&self, dest: usize) {
+        self.delivered[dest].fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// `rank` pulled one message off its channel.
+    pub(crate) fn note_consumed(&self, rank: usize) {
+        self.consumed[rank].fetch_add(1, Ordering::SeqCst);
+    }
+
+    pub(crate) fn set_blocked(&self, rank: usize, on: Option<BlockedOn>) {
+        self.blocked.lock().expect("audit lock poisoned")[rank] = on;
+    }
+
+    /// `rank`'s program has returned (normally or by panic).
+    pub(crate) fn mark_done(&self, rank: usize) {
+        self.done.lock().expect("audit lock poisoned")[rank] = true;
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        let blocked = self.blocked.lock().expect("audit lock poisoned").clone();
+        let done = self.done.lock().expect("audit lock poisoned").clone();
+        let counters = self
+            .delivered
+            .iter()
+            .zip(&self.consumed)
+            .map(|(d, c)| (d.load(Ordering::SeqCst), c.load(Ordering::SeqCst)))
+            .collect();
+        (blocked, done, counters)
+    }
+
+    /// Called by a blocked rank after a poll timeout: if the cluster is in a
+    /// stable wait-for stall involving this rank, return the report to panic
+    /// with. `None` means "keep waiting" (someone is runnable, or a message
+    /// is in flight, or the picture changed during the recheck interval).
+    pub(crate) fn stall_report(&self, me: usize) -> Option<String> {
+        let (b1, d1, c1) = self.snapshot();
+        let s1 = find_stall(&b1, &d1, &c1, me)?;
+        std::thread::sleep(RECHECK);
+        let (b2, d2, c2) = self.snapshot();
+        let s2 = find_stall(&b2, &d2, &c2, me)?;
+        if s1 != s2 {
+            return None;
+        }
+        // Monotonic counters identical across the interval ⇒ nothing moved.
+        for r in s2.involved(&d2) {
+            if c1[r] != c2[r] {
+                return None;
+            }
+        }
+        Some(format_stall(&s2, &b2, &d2))
+    }
+}
+
+/// A rank is *starved* when its channel holds no unexamined message.
+fn starved(counters: &[(u64, u64)], r: usize) -> bool {
+    let (delivered, consumed) = counters[r];
+    consumed >= delivered
+}
+
+fn find_stall(
+    blocked: &[Option<BlockedOn>],
+    done: &[bool],
+    counters: &[(u64, u64)],
+    me: usize,
+) -> Option<Stall> {
+    let mut chain = vec![me];
+    loop {
+        let cur = *chain.last().expect("chain non-empty");
+        let b = blocked[cur]?;
+        if !starved(counters, cur) {
+            return None;
+        }
+        match b.src {
+            // Any-source: only a whole-cluster stall is conclusive (any live
+            // rank could in principle send the awaited message).
+            None => {
+                for r in 0..blocked.len() {
+                    if !done[r] && (blocked[r].is_none() || !starved(counters, r)) {
+                        return None;
+                    }
+                }
+                return Some(Stall::AllBlocked);
+            }
+            Some(s) => {
+                if done[s] {
+                    return Some(Stall::Terminated { chain, dead: s });
+                }
+                if let Some(pos) = chain.iter().position(|&r| r == s) {
+                    return Some(Stall::Cycle(chain[pos..].to_vec()));
+                }
+                chain.push(s);
+            }
+        }
+    }
+}
+
+fn format_stall(stall: &Stall, blocked: &[Option<BlockedOn>], done: &[bool]) -> String {
+    let state = |r: usize| match blocked[r] {
+        Some(b) => format!("rank {} blocked in {}", r, b.describe()),
+        None => format!("rank {r} (running)"),
+    };
+    match stall {
+        Stall::Cycle(cycle) => {
+            let mut s = String::from("[deadlock] wait-for cycle, no messages in flight: ");
+            for (i, &r) in cycle.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" -> ");
+                }
+                s.push_str(&state(r));
+            }
+            s.push_str(&format!(" -> rank {}", cycle[0]));
+            s
+        }
+        Stall::Terminated { chain, dead } => {
+            let mut s = String::from("[deadlock] wait chain ends at a terminated rank: ");
+            for (i, &r) in chain.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(" -> ");
+                }
+                s.push_str(&state(r));
+            }
+            s.push_str(&format!(" -> rank {dead} (terminated)"));
+            s
+        }
+        Stall::AllBlocked => {
+            let mut s =
+                String::from("[deadlock] every live rank is blocked with no messages in flight: ");
+            let mut first = true;
+            for r in 0..blocked.len() {
+                if done[r] {
+                    continue;
+                }
+                if !first {
+                    s.push_str("; ");
+                }
+                first = false;
+                s.push_str(&state(r));
+            }
+            s
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Teardown checker
+// ---------------------------------------------------------------------------
+
+/// Cap on reported violations, so a systemic bug does not produce a
+/// megabyte-sized panic message.
+const MAX_REPORTED: usize = 20;
+
+fn describe_coll(c: &CollEvent) -> String {
+    let mut s = String::from(crate::tag::op::name(c.kind));
+    if let Some(rop) = c.rop {
+        s.push_str(&format!("({rop:?})"));
+    }
+    if let Some(len) = c.len {
+        s.push_str(&format!(" len {len}"));
+    }
+    s.push_str(&format!(" on {} members", c.n_members));
+    s
+}
+
+fn window_name(w: Option<u32>) -> String {
+    match w {
+        Some(k) => format!("recovery window {k}"),
+        None => "no window".to_string(),
+    }
+}
+
+/// Run the post-join protocol checks over all node logs and mailbox
+/// residue. Deterministic: every send has landed by the time this runs.
+/// `clean` is false when some node panicked — completeness-style checks
+/// (message drain, collective participation) are skipped then, because an
+/// interrupted run legitimately leaves both behind; the pairwise agreement
+/// checks still run on whatever was recorded.
+pub(crate) fn check_teardown(
+    logs: &[NodeLog],
+    leaks: &[(usize, Message)],
+    clean: bool,
+) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // (1) Message drain: a clean run must consume every delivered message.
+    if clean {
+        for (rank, m) in leaks {
+            violations.push(format!(
+                "[message-drain] rank {rank}: unconsumed message from rank {} \
+                 (tag {}, {} elems, send #{}, sent in {})",
+                m.src,
+                m.tag.describe(),
+                m.payload.elems(),
+                m.stamp.seq,
+                window_name(m.stamp.window),
+            ));
+        }
+    }
+
+    // (2) Non-overtaking: same-(src, tag) deliveries in send order.
+    for log in logs {
+        let mut last: HashMap<(usize, Tag), u64> = HashMap::new();
+        for r in &log.recvs {
+            if let Some(&prev) = last.get(&(r.src, r.tag)) {
+                if r.seq <= prev {
+                    violations.push(format!(
+                        "[non-overtaking] rank {}: (src {}, tag {}) delivered send #{} \
+                         after send #{} — same-(src, tag) messages must match in send order",
+                        log.rank,
+                        r.src,
+                        r.tag.describe(),
+                        r.seq,
+                        prev,
+                    ));
+                }
+            }
+            last.insert((r.src, r.tag), r.seq);
+        }
+    }
+
+    // (4) Tag-window disjointness: a receive must match only messages sent
+    // in the receiver's current recovery-attempt window.
+    for log in logs {
+        for r in &log.recvs {
+            if r.msg_window != r.window {
+                violations.push(format!(
+                    "[tag-window] rank {}: message from rank {} (tag {}) sent in {} \
+                     was matched by a receive in {} — recovery-attempt tag windows \
+                     must be disjoint",
+                    log.rank,
+                    r.src,
+                    r.tag.describe(),
+                    window_name(r.msg_window),
+                    window_name(r.window),
+                ));
+            }
+        }
+    }
+
+    // (3) Collective agreement: every participant of a collective instance
+    // must have issued the same (op, operator, length) on the same member
+    // set. Instances are keyed by (scope, seq) — SPMD programs consume
+    // sequence numbers in lockstep.
+    // One collective instance, keyed (scope, seq) → its participants.
+    type Instances<'a> = BTreeMap<(Option<u32>, u64), Vec<(usize, &'a CollEvent)>>;
+    let mut instances: Instances<'_> = BTreeMap::new();
+    for log in logs {
+        for c in &log.colls {
+            instances
+                .entry((c.scope, c.seq))
+                .or_default()
+                .push((log.rank, c));
+        }
+    }
+    for ((scope, seq), parts) in &instances {
+        let scope_name = match scope {
+            Some(gid) => format!("group {gid:#x}"),
+            None => "world".to_string(),
+        };
+        let (rank0, ev0) = parts[0];
+        if let Some((rank, ev)) = parts[1..].iter().find(|(_, c)| {
+            c.kind != ev0.kind
+                || c.rop != ev0.rop
+                || c.members_hash != ev0.members_hash
+                || c.n_members != ev0.n_members
+        }) {
+            violations.push(format!(
+                "[collective-mismatch] {scope_name} collective seq {seq}: rank {rank0} \
+                 issued {} but rank {rank} issued {}",
+                describe_coll(ev0),
+                describe_coll(ev),
+            ));
+            continue;
+        }
+        // Length agreement among participants that declared one.
+        let mut with_len = parts.iter().filter_map(|&(r, c)| c.len.map(|l| (r, l)));
+        if let Some((r0, l0)) = with_len.next() {
+            if let Some((r1, l1)) = with_len.find(|&(_, l)| l != l0) {
+                violations.push(format!(
+                    "[collective-mismatch] {scope_name} collective seq {seq} \
+                     ({}): rank {r0} contributed len {l0} but rank {r1} \
+                     contributed len {l1}",
+                    describe_coll(ev0),
+                ));
+                continue;
+            }
+        }
+        // Participation: on a clean run, everyone the callers believe is a
+        // member must have shown up.
+        if clean && parts.len() != ev0.n_members {
+            let present: Vec<usize> = parts.iter().map(|&(r, _)| r).collect();
+            violations.push(format!(
+                "[collective-mismatch] {scope_name} collective seq {seq} ({}): only \
+                 {} of {} members participated (ranks {present:?})",
+                describe_coll(ev0),
+                parts.len(),
+                ev0.n_members,
+            ));
+        }
+    }
+
+    violations.truncate(MAX_REPORTED);
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::payload::Payload;
+    use crate::tag::op;
+
+    fn coll(
+        scope: Option<u32>,
+        seq: u64,
+        kind: u8,
+        rop: Option<ReduceOp>,
+        len: Option<usize>,
+        n: usize,
+    ) -> CollEvent {
+        CollEvent {
+            scope,
+            seq,
+            kind,
+            rop,
+            len,
+            members_hash: WORLD_HASH,
+            n_members: n,
+        }
+    }
+
+    #[test]
+    fn clean_logs_produce_no_violations() {
+        let logs = vec![
+            NodeLog {
+                rank: 0,
+                recvs: vec![RecvRec {
+                    src: 1,
+                    tag: Tag::user(7),
+                    seq: 0,
+                    msg_window: None,
+                    window: None,
+                }],
+                colls: vec![coll(
+                    None,
+                    0,
+                    op::ALLREDUCE,
+                    Some(ReduceOp::Sum),
+                    Some(3),
+                    2,
+                )],
+            },
+            NodeLog {
+                rank: 1,
+                recvs: vec![],
+                colls: vec![coll(
+                    None,
+                    0,
+                    op::ALLREDUCE,
+                    Some(ReduceOp::Sum),
+                    Some(3),
+                    2,
+                )],
+            },
+        ];
+        assert!(check_teardown(&logs, &[], true).is_empty());
+    }
+
+    #[test]
+    fn out_of_order_delivery_is_flagged() {
+        let logs = vec![NodeLog {
+            rank: 0,
+            recvs: [1u64, 0]
+                .iter()
+                .map(|&seq| RecvRec {
+                    src: 2,
+                    tag: Tag::user(5),
+                    seq,
+                    msg_window: None,
+                    window: None,
+                })
+                .collect(),
+            colls: vec![],
+        }];
+        let v = check_teardown(&logs, &[], true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("[non-overtaking]"), "{}", v[0]);
+        assert!(v[0].contains("rank 0"), "{}", v[0]);
+        assert!(v[0].contains("user(5)"), "{}", v[0]);
+    }
+
+    #[test]
+    fn window_mismatch_is_flagged() {
+        let logs = vec![NodeLog {
+            rank: 3,
+            recvs: vec![RecvRec {
+                src: 1,
+                tag: Tag::user(9),
+                seq: 0,
+                msg_window: Some(0),
+                window: Some(1),
+            }],
+            colls: vec![],
+        }];
+        let v = check_teardown(&logs, &[], true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("[tag-window]"), "{}", v[0]);
+        assert!(v[0].contains("rank 3"), "{}", v[0]);
+    }
+
+    #[test]
+    fn leak_reported_with_provenance() {
+        let mut m = Message::new(2, Tag::user(4), Payload::F64(1.0), 0.0);
+        m.stamp = MsgStamp {
+            seq: 7,
+            window: Some(3),
+        };
+        let v = check_teardown(&[], &[(5, m)], true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("[message-drain]"), "{}", v[0]);
+        assert!(v[0].contains("rank 5"), "{}", v[0]);
+        assert!(v[0].contains("from rank 2"), "{}", v[0]);
+        assert!(v[0].contains("send #7"), "{}", v[0]);
+        assert!(v[0].contains("window 3"), "{}", v[0]);
+    }
+
+    #[test]
+    fn leaks_tolerated_on_panicked_runs() {
+        let m = Message::new(2, Tag::user(4), Payload::F64(1.0), 0.0);
+        assert!(check_teardown(&[], &[(5, m)], false).is_empty());
+    }
+
+    #[test]
+    fn operator_disagreement_is_flagged() {
+        let logs = vec![
+            NodeLog {
+                rank: 0,
+                recvs: vec![],
+                colls: vec![coll(
+                    None,
+                    0,
+                    op::ALLREDUCE,
+                    Some(ReduceOp::Sum),
+                    Some(1),
+                    2,
+                )],
+            },
+            NodeLog {
+                rank: 1,
+                recvs: vec![],
+                colls: vec![coll(
+                    None,
+                    0,
+                    op::ALLREDUCE,
+                    Some(ReduceOp::Max),
+                    Some(1),
+                    2,
+                )],
+            },
+        ];
+        let v = check_teardown(&logs, &[], true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("[collective-mismatch]"), "{}", v[0]);
+        assert!(v[0].contains("Sum"), "{}", v[0]);
+        assert!(v[0].contains("Max"), "{}", v[0]);
+    }
+
+    #[test]
+    fn length_disagreement_is_flagged() {
+        let logs = vec![
+            NodeLog {
+                rank: 0,
+                recvs: vec![],
+                colls: vec![coll(
+                    None,
+                    2,
+                    op::ALLREDUCE,
+                    Some(ReduceOp::Sum),
+                    Some(1),
+                    2,
+                )],
+            },
+            NodeLog {
+                rank: 1,
+                recvs: vec![],
+                colls: vec![coll(
+                    None,
+                    2,
+                    op::ALLREDUCE,
+                    Some(ReduceOp::Sum),
+                    Some(4),
+                    2,
+                )],
+            },
+        ];
+        let v = check_teardown(&logs, &[], true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("len 1"), "{}", v[0]);
+        assert!(v[0].contains("len 4"), "{}", v[0]);
+    }
+
+    #[test]
+    fn missing_participant_flagged_only_when_clean() {
+        let logs = vec![NodeLog {
+            rank: 0,
+            recvs: vec![],
+            colls: vec![coll(None, 0, op::BARRIER, None, Some(0), 2)],
+        }];
+        let v = check_teardown(&logs, &[], true);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].contains("1 of 2 members"), "{}", v[0]);
+        assert!(check_teardown(&logs, &[], false).is_empty());
+    }
+
+    #[test]
+    fn stall_detection_finds_cycles() {
+        let blocked = vec![
+            Some(BlockedOn {
+                src: Some(1),
+                tag: Tag::user(1),
+            }),
+            Some(BlockedOn {
+                src: Some(0),
+                tag: Tag::user(2),
+            }),
+        ];
+        let done = vec![false, false];
+        let counters = vec![(3, 3), (5, 5)];
+        match find_stall(&blocked, &done, &counters, 0) {
+            Some(Stall::Cycle(c)) => assert_eq!(c, vec![0, 1]),
+            other => panic!("expected cycle, got {other:?}"),
+        }
+        // An unexamined in-flight message to rank 1 defuses the stall.
+        let counters = vec![(3, 3), (6, 5)];
+        assert_eq!(find_stall(&blocked, &done, &counters, 0), None);
+    }
+
+    #[test]
+    fn stall_detection_finds_terminated_targets() {
+        let blocked = vec![
+            Some(BlockedOn {
+                src: Some(1),
+                tag: Tag::user(1),
+            }),
+            None,
+        ];
+        let done = vec![false, true];
+        let counters = vec![(0, 0), (0, 0)];
+        match find_stall(&blocked, &done, &counters, 0) {
+            Some(Stall::Terminated { chain, dead }) => {
+                assert_eq!(chain, vec![0]);
+                assert_eq!(dead, 1);
+            }
+            other => panic!("expected terminated chain, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn running_rank_defuses_any_source_stall() {
+        let blocked = vec![
+            Some(BlockedOn {
+                src: None,
+                tag: Tag::user(1),
+            }),
+            None,
+        ];
+        let done = vec![false, false];
+        let counters = vec![(0, 0), (0, 0)];
+        assert_eq!(find_stall(&blocked, &done, &counters, 0), None);
+        // …but with the other rank done, a lone any-source wait is a stall.
+        let done = vec![false, true];
+        assert!(matches!(
+            find_stall(&blocked, &done, &counters, 0),
+            Some(Stall::AllBlocked)
+        ));
+    }
+}

@@ -12,7 +12,19 @@ use std::thread;
 use crate::comm::NodeCtx;
 use crate::fault::{FailureScript, FaultOracle};
 use crate::mailbox::Mailbox;
+use crate::payload::{Message, Payload};
+use crate::tag::Tag;
 use crate::vclock::{CostModel, VClock};
+
+/// What a node thread hands back at teardown: the program's result (or its
+/// panic payload), the mailbox (so the harness can inspect residue), and —
+/// under `--features audit` — the node's protocol log.
+struct NodeFinish<T> {
+    result: thread::Result<T>,
+    mailbox: Mailbox,
+    #[cfg(feature = "audit")]
+    log: Option<crate::audit::NodeLog>,
+}
 
 /// Cluster-wide configuration.
 #[derive(Clone, Debug)]
@@ -130,6 +142,9 @@ impl Cluster {
             outboxes.push(tx);
         }
 
+        #[cfg(feature = "audit")]
+        let audit_shared = std::sync::Arc::new(crate::audit::AuditShared::new(n));
+
         let program = &program;
         let results: Vec<T> = thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
@@ -138,6 +153,8 @@ impl Cluster {
                 let oracle = oracle.clone();
                 let cost = config.cost;
                 let spares = config.spares;
+                #[cfg(feature = "audit")]
+                let audit_shared = audit_shared.clone();
                 handles.push(
                     thread::Builder::new()
                         .name(format!("node-{rank}"))
@@ -150,45 +167,67 @@ impl Cluster {
                             // tears the whole cluster down immediately
                             // instead of stranding peers in recv.
                             let abort_outboxes = outboxes.clone();
+                            let mut ctx = NodeCtx::new(
+                                rank,
+                                n,
+                                mb,
+                                outboxes,
+                                oracle,
+                                VClock::new(cost),
+                                spares,
+                            );
+                            #[cfg(feature = "audit")]
+                            ctx.install_audit(audit_shared.clone());
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                    let mut ctx = NodeCtx::new(
-                                        rank,
-                                        n,
-                                        mb,
-                                        outboxes,
-                                        oracle,
-                                        VClock::new(cost),
-                                        spares,
-                                    );
                                     program(&mut ctx)
                                 }));
-                            match result {
-                                Ok(v) => v,
-                                Err(e) => {
-                                    for (dest, tx) in abort_outboxes.iter().enumerate() {
-                                        if dest != rank {
-                                            let _ = tx.send(crate::payload::Message {
-                                                src: rank,
-                                                tag: crate::tag::Tag::ABORT,
-                                                payload: crate::payload::Payload::Empty,
-                                                arrival_vtime: 0.0,
-                                            });
-                                        }
+                            if result.is_err() {
+                                for (dest, tx) in abort_outboxes.iter().enumerate() {
+                                    if dest != rank {
+                                        // Keep the delivered-counter invariant
+                                        // (delivered ≥ channel occupancy) so
+                                        // the stall detector never mistakes an
+                                        // in-flight abort for starvation.
+                                        #[cfg(feature = "audit")]
+                                        audit_shared.note_delivered(dest);
+                                        let _ = tx.send(Message::new(
+                                            rank,
+                                            Tag::ABORT,
+                                            Payload::Empty,
+                                            0.0,
+                                        ));
                                     }
-                                    std::panic::resume_unwind(e)
                                 }
+                            }
+                            #[cfg(feature = "audit")]
+                            audit_shared.mark_done(rank);
+                            let (mailbox, _log) = ctx.into_teardown();
+                            NodeFinish {
+                                result,
+                                mailbox,
+                                #[cfg(feature = "audit")]
+                                log: _log,
                             }
                         })
                         .expect("failed to spawn node thread"),
                 );
             }
-            // Join all nodes; if any panicked, report the *root cause*
-            // (a real panic) rather than a secondary "peer aborted" one.
+
+            // Join all nodes first — teardown checks must see every log.
+            let finishes: Vec<NodeFinish<T>> = handles
+                .into_iter()
+                .map(|h| h.join().expect("node thread died outside the program"))
+                .collect();
+
             let mut values = Vec::with_capacity(n);
             let mut panics: Vec<(usize, String)> = Vec::new();
-            for (rank, h) in handles.into_iter().enumerate() {
-                match h.join() {
+            #[cfg(feature = "audit")]
+            let mut logs: Vec<crate::audit::NodeLog> = Vec::with_capacity(n);
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            let mut end_mailboxes: Vec<Mailbox> = Vec::with_capacity(n);
+            for (rank, fin) in finishes.into_iter().enumerate() {
+                match fin.result {
                     Ok(v) => values.push(v),
                     Err(e) => {
                         let msg = e
@@ -200,7 +239,66 @@ impl Cluster {
                         panics.push((rank, msg));
                     }
                 }
+                #[cfg(any(debug_assertions, feature = "audit"))]
+                end_mailboxes.push(fin.mailbox);
+                #[cfg(not(any(debug_assertions, feature = "audit")))]
+                drop(fin.mailbox);
+                #[cfg(feature = "audit")]
+                logs.push(fin.log.unwrap_or_default());
             }
+            let clean = panics.is_empty();
+
+            // Mailbox-drain inspection: a message still sitting in a queue at
+            // teardown is a protocol leak. Only meaningful on clean runs — a
+            // panic legitimately strands in-flight traffic (incl. ABORTs).
+            #[cfg(any(debug_assertions, feature = "audit"))]
+            let leaks: Vec<(usize, Message)> = if clean {
+                let mut leaks = Vec::new();
+                for (rank, mb) in end_mailboxes.iter_mut().enumerate() {
+                    for m in mb.drain_residue() {
+                        if m.tag != Tag::ABORT {
+                            leaks.push((rank, m));
+                        }
+                    }
+                }
+                leaks
+            } else {
+                Vec::new()
+            };
+
+            #[cfg(feature = "audit")]
+            {
+                let violations = crate::audit::check_teardown(&logs, &leaks, clean);
+                if !violations.is_empty() {
+                    let mut report =
+                        format!("parcomm audit: {} protocol violation(s):", violations.len());
+                    for v in &violations {
+                        report.push_str("\n  ");
+                        report.push_str(v);
+                    }
+                    if let Some((rank, msg)) = panics.first() {
+                        report.push_str(&format!("\n  (node {rank} also panicked: {msg})"));
+                    }
+                    panic!("{report}");
+                }
+            }
+
+            // Without the auditor, debug builds still refuse to let a leak
+            // pass silently (release keeps the hot path assertion-free).
+            #[cfg(all(debug_assertions, not(feature = "audit")))]
+            if let Some((rank, m)) = leaks.first() {
+                panic!(
+                    "mailbox residue at cluster teardown: rank {rank} holds an \
+                     unconsumed message from rank {} (tag {}, {} elems); \
+                     every send must be matched by a receive",
+                    m.src,
+                    m.tag.describe(),
+                    m.payload.elems()
+                );
+            }
+
+            // If any node panicked, report the *root cause* (a real panic)
+            // rather than a secondary "peer aborted" one.
             if let Some((rank, msg)) = panics
                 .iter()
                 .find(|(_, m)| !m.contains("aborted"))

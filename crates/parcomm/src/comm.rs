@@ -12,6 +12,8 @@
 
 use std::collections::HashMap;
 
+#[cfg(feature = "audit")]
+use crate::audit;
 use crate::fault::{FailAt, FaultOracle};
 use crate::group::Group;
 use crate::mailbox::{Mailbox, Outbox};
@@ -151,6 +153,8 @@ pub struct NodeCtx {
     coll_seq: u64,
     group_counters: HashMap<Vec<usize>, u32>,
     spares: usize,
+    #[cfg(feature = "audit")]
+    audit: Option<Box<audit::AuditState>>,
 }
 
 impl NodeCtx {
@@ -175,7 +179,87 @@ impl NodeCtx {
             coll_seq: 0,
             group_counters: HashMap::new(),
             spares,
+            #[cfg(feature = "audit")]
+            audit: None,
         }
+    }
+
+    /// Attach the protocol auditor (cluster-wide shared state plus this
+    /// node's event log). Called by `Cluster::run` before the program.
+    #[cfg(feature = "audit")]
+    pub(crate) fn install_audit(&mut self, shared: std::sync::Arc<audit::AuditShared>) {
+        self.mailbox.install_audit(shared.clone());
+        self.audit = Some(Box::new(audit::AuditState::new(self.rank, shared)));
+    }
+
+    /// Surrender the mailbox (for the cluster's teardown drain check) and
+    /// the audit event log, consuming the context.
+    #[cfg(feature = "audit")]
+    pub(crate) fn into_teardown(self) -> (Mailbox, Option<audit::NodeLog>) {
+        (self.mailbox, self.audit.map(|a| a.into_log()))
+    }
+
+    #[cfg(not(feature = "audit"))]
+    pub(crate) fn into_teardown(self) -> (Mailbox, Option<()>) {
+        (self.mailbox, None)
+    }
+
+    /// Record a matched receive into the audit log (no-op without the
+    /// `audit` feature — keeps call sites feature-agnostic).
+    #[cfg(feature = "audit")]
+    fn audit_recv(&mut self, m: &Message) {
+        if let Some(a) = &mut self.audit {
+            a.record_recv(m);
+        }
+    }
+
+    #[cfg(not(feature = "audit"))]
+    #[inline(always)]
+    fn audit_recv(&mut self, _m: &Message) {}
+
+    /// Record a collective call into the audit log.
+    #[cfg(feature = "audit")]
+    pub(crate) fn audit_coll(&mut self, ev: audit::CollEvent) {
+        if let Some(a) = &mut self.audit {
+            a.record_coll(ev);
+        }
+    }
+
+    /// Declare entry into recovery-attempt tag window `id` (a no-op without
+    /// the `audit` feature). The engine calls this at the top of each
+    /// recovery attempt; receives issued until the matching
+    /// [`NodeCtx::audit_exit_window`] must only match messages sent inside
+    /// the same window. Entering a new window while one is open closes the
+    /// old one (an aborted attempt), including its residue check.
+    pub fn audit_enter_window(&mut self, id: u32) {
+        #[cfg(feature = "audit")]
+        if let Some(a) = &mut self.audit {
+            if let Some(prev) = a.window.replace(id) {
+                self.mailbox.scan_window_residue(prev);
+            }
+        }
+        #[cfg(not(feature = "audit"))]
+        let _ = id;
+    }
+
+    /// Close the current recovery-attempt tag window (no-op without the
+    /// `audit` feature): checks that no message stamped with the closing
+    /// window remains unconsumed in this node's mailbox.
+    pub fn audit_exit_window(&mut self) {
+        #[cfg(feature = "audit")]
+        if let Some(a) = &mut self.audit {
+            if let Some(prev) = a.window.take() {
+                self.mailbox.scan_window_residue(prev);
+            }
+        }
+    }
+
+    /// Test double: reintroduce the PR 2 `swap_remove` FIFO defect in this
+    /// node's mailbox, to prove the auditor's non-overtaking check fires.
+    #[doc(hidden)]
+    #[cfg(feature = "audit")]
+    pub fn audit_seed_fifo_bug(&mut self) {
+        self.mailbox.seed_fifo_bug();
     }
 
     /// This node's rank in `0..size`.
@@ -213,12 +297,14 @@ impl NodeCtx {
     /// engine (which stamps with its own detached timeline).
     pub(crate) fn raw_send(&mut self, dest: usize, tag: Tag, payload: Payload, arrival_vtime: f64) {
         debug_assert_ne!(dest, self.rank, "self-send is a protocol bug");
-        let msg = Message {
-            src: self.rank,
-            tag,
-            payload,
-            arrival_vtime,
-        };
+        #[allow(unused_mut)]
+        let mut msg = Message::new(self.rank, tag, payload, arrival_vtime);
+        #[cfg(feature = "audit")]
+        if let Some(a) = &mut self.audit {
+            msg.stamp = a.stamp_send(dest, tag);
+            // Count the delivery *before* the push (see AuditShared).
+            a.shared.note_delivered(dest);
+        }
         // A closed channel means the peer thread panicked; propagate.
         self.outboxes[dest]
             .send(msg)
@@ -228,7 +314,9 @@ impl NodeCtx {
     /// Blocking mailbox receive with no clock or stats effects (the
     /// non-blocking engine accounts on its own timeline).
     pub(crate) fn raw_recv_blocking(&mut self, src: usize, tag: Tag) -> Message {
-        self.mailbox.recv(src, tag)
+        let m = self.mailbox.recv(src, tag);
+        self.audit_recv(&m);
+        m
     }
 
     /// Non-blocking, non-consuming mailbox probe with no clock or stats
@@ -298,7 +386,7 @@ impl NodeCtx {
     }
 
     pub(crate) fn recv_tag(&mut self, src: usize, tag: Tag, phase: CommPhase) -> Message {
-        let m = self.mailbox.recv(src, tag);
+        let m = self.raw_recv_blocking(src, tag);
         let stall = self.clock.absorb_arrival(m.arrival_vtime);
         self.stats.record_wait_vtime(phase, stall);
         m
@@ -307,6 +395,7 @@ impl NodeCtx {
     /// Blocking receive of a user-tagged message from any source.
     pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
         let m = self.mailbox.recv_any(Tag::user(tag));
+        self.audit_recv(&m);
         let stall = self.clock.absorb_arrival(m.arrival_vtime);
         self.stats.record_wait_vtime(CommPhase::Other, stall);
         (m.src, m.payload)
@@ -364,6 +453,16 @@ impl NodeCtx {
     pub fn iallreduce_vec(&mut self, opr: ReduceOp, x: Vec<f64>) -> AllreduceRequest {
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLREDUCE, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::ALLREDUCE,
+            rop: Some(opr),
+            len: Some(x.len()),
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         let (rank, size) = (self.rank, self.size);
         let start = self.clock.now();
         let mut port = EnginePort::new(self, start, CommPhase::Reduction);
@@ -389,6 +488,16 @@ impl NodeCtx {
     pub fn barrier(&mut self) {
         let seq = self.next_seq();
         let tag = Tag::coll(op::BARRIER, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::BARRIER,
+            rop: None,
+            len: Some(0),
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         let (rank, size) = (self.rank, self.size);
         let mut port = BlockingPort {
             ctx: self,
@@ -400,6 +509,18 @@ impl NodeCtx {
     /// Broadcast `payload` from `root`; every node returns the payload.
     pub fn bcast(&mut self, root: usize, payload: Payload) -> Payload {
         let seq = self.next_seq();
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::BCAST,
+            rop: None,
+            // Only the root knows the length up front; leaves record None
+            // and the checker compares lengths among declared values only.
+            len: None,
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         self.tree_bcast_from(root, payload, Tag::coll(op::BCAST, seq))
     }
 
@@ -429,6 +550,16 @@ impl NodeCtx {
     pub fn allreduce_vec(&mut self, opr: ReduceOp, x: Vec<f64>) -> Vec<f64> {
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLREDUCE, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::ALLREDUCE,
+            rop: Some(opr),
+            len: Some(x.len()),
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         let (rank, size) = (self.rank, self.size);
         let mut port = BlockingPort {
             ctx: self,
@@ -444,6 +575,16 @@ impl NodeCtx {
     pub fn gatherv_f64(&mut self, root: usize, x: Vec<f64>) -> Option<Vec<Vec<f64>>> {
         let seq = self.next_seq();
         let tag = Tag::coll(op::GATHER, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::GATHER,
+            rop: None,
+            len: None, // ragged by design
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         if self.rank == root {
             let mut own = Some(x);
             let mut out: Vec<Vec<f64>> = Vec::with_capacity(self.size);
@@ -471,6 +612,16 @@ impl NodeCtx {
     pub fn allgatherv_u64(&mut self, x: Vec<u64>) -> Vec<Vec<u64>> {
         let seq = self.next_seq();
         let tag = Tag::coll(op::GATHER, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::GATHER,
+            rop: None,
+            len: None, // ragged by design
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         let gathered: Option<Vec<Vec<u64>>> = if self.rank == 0 {
             let mut own = Some(x);
             let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
@@ -523,6 +674,16 @@ impl NodeCtx {
         assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLTOALL, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::ALLTOALL,
+            rop: None,
+            len: None, // ragged by design
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         let rank = self.rank;
         alltoallv_generic(self, rank, None, tag, CommPhase::Setup, sends)
     }
@@ -537,6 +698,16 @@ impl NodeCtx {
         assert_eq!(sends.len(), self.size, "alltoallv needs one list per rank");
         let seq = self.next_seq();
         let tag = Tag::coll(op::ALLTOALL, seq);
+        #[cfg(feature = "audit")]
+        self.audit_coll(audit::CollEvent {
+            scope: None,
+            seq,
+            kind: op::ALLTOALL,
+            rop: None,
+            len: None, // ragged by design
+            members_hash: audit::WORLD_HASH,
+            n_members: self.size,
+        });
         let rank = self.rank;
         alltoallv_generic(self, rank, None, tag, phase, sends)
     }

@@ -10,6 +10,8 @@
 //! communicator (see [`crate::comm`]), over group indices instead of global
 //! ranks — recovery's inner solves get the ⌈log₂ψ⌉-round cost too.
 
+#[cfg(feature = "audit")]
+use crate::audit;
 use crate::comm::{
     alltoallv_generic, rd_allreduce, split_by_counts, BlockingPort, NodeCtx, ReduceOp,
 };
@@ -71,10 +73,33 @@ impl Group {
         s
     }
 
+    /// Build the audit record for a group collective: scoped by `gid` so the
+    /// checker compares schedules member-against-member, never across groups.
+    #[cfg(feature = "audit")]
+    fn coll_event(
+        &self,
+        seq: u32,
+        kind: u8,
+        rop: Option<ReduceOp>,
+        len: Option<usize>,
+    ) -> audit::CollEvent {
+        audit::CollEvent {
+            scope: Some(self.gid),
+            seq: seq as u64,
+            kind,
+            rop,
+            len,
+            members_hash: fnv1a(&self.members) as u64,
+            n_members: self.size(),
+        }
+    }
+
     /// Group barrier (zero-length recursive-doubling exchange).
     pub fn barrier(&mut self, ctx: &mut NodeCtx) {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::BARRIER, seq);
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::BARRIER, None, Some(0)));
         let mut port = BlockingPort {
             ctx,
             phase: CommPhase::Recovery,
@@ -120,6 +145,8 @@ impl Group {
     ) -> Vec<f64> {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::ALLREDUCE, Some(opr), Some(x.len())));
         let mut port = BlockingPort { ctx, phase };
         let (acc, rounds) = rd_allreduce(
             &mut port,
@@ -149,6 +176,8 @@ impl Group {
     ) -> AllreduceRequest {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::ALLREDUCE, Some(opr), Some(x.len())));
         let start = ctx.clock().now();
         let mut port = EnginePort::new(ctx, start, phase);
         let (acc, rounds) = rd_allreduce(
@@ -176,6 +205,8 @@ impl Group {
         assert_eq!(sends.len(), self.size());
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLTOALL, seq);
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::ALLTOALL, None, None));
         alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends)
     }
 
@@ -191,6 +222,8 @@ impl Group {
         assert_eq!(sends.len(), self.size());
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::ALLTOALL, seq);
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::ALLTOALL, None, None));
         alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends)
     }
 
@@ -198,6 +231,8 @@ impl Group {
     pub fn allgatherv_f64(&mut self, ctx: &mut NodeCtx, x: Vec<f64>) -> Vec<Vec<f64>> {
         let seq = self.next_seq();
         let tag = Tag::group(self.gid, op::GATHER, seq);
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::GATHER, None, None));
         // Gather on group index 0.
         let gathered: Option<Vec<Vec<f64>>> = if self.my_index == 0 {
             let mut own = Some(x);
@@ -244,6 +279,8 @@ impl Group {
     // per-child `data.clone()` is an `Arc` bump, not a buffer copy.
 
     fn tree_bcast(&self, ctx: &mut NodeCtx, payload: Payload, seq: u32) -> Payload {
+        #[cfg(feature = "audit")]
+        ctx.audit_coll(self.coll_event(seq, op::BCAST, None, None));
         let n = self.size();
         if n == 1 {
             return payload;

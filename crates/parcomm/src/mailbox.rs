@@ -5,16 +5,30 @@
 //! arbitrarily, a receive for a specific `(src, tag)` buffers any
 //! non-matching messages in a pending list — the standard MPI unexpected-
 //! message queue.
+//!
+//! With `--features audit`, blocking receives poll the channel on a short
+//! interval and consult the cluster-wide [`crate::audit::AuditShared`]
+//! blocked-on table: a wait-for cycle (or a wait on a terminated rank) with
+//! no messages in flight panics immediately with the cycle spelled out,
+//! instead of stalling until the 300 s backstop.
 
-use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
 
 use crate::payload::Message;
 use crate::tag::Tag;
 
+#[cfg(feature = "audit")]
+use crate::audit::{AuditShared, BlockedOn};
+#[cfg(feature = "audit")]
+use std::sync::Arc;
+#[cfg(feature = "audit")]
+use std::time::Instant;
+
 /// How long a blocking receive waits before declaring the cluster
 /// deadlocked. A backstop only — a panicking peer broadcasts
-/// [`Tag::ABORT`] so genuine failures tear the cluster down immediately.
+/// [`Tag::ABORT`] so genuine failures tear the cluster down immediately
+/// (and the `audit` feature detects wait-for cycles within milliseconds).
 const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// The receiving half of a node's mailbox.
@@ -23,10 +37,31 @@ pub struct Mailbox {
     rx: Receiver<Message>,
     /// Unexpected-message queue: arrived but not yet matched.
     pending: Vec<Message>,
+    #[cfg(feature = "audit")]
+    audit: Option<Arc<AuditShared>>,
+    /// Test double: reintroduces the PR 2 `swap_remove` FIFO defect so the
+    /// auditor's non-overtaking check can be proven against it.
+    #[cfg(feature = "audit")]
+    fifo_bug: bool,
 }
 
 /// A handle for delivering messages to some node.
 pub type Outbox = Sender<Message>;
+
+/// Clears this rank's blocked-on entry even if the receive panics (abort,
+/// deadlock report), so peers never chain through a stale entry.
+#[cfg(feature = "audit")]
+struct BlockedGuard {
+    shared: Arc<AuditShared>,
+    rank: usize,
+}
+
+#[cfg(feature = "audit")]
+impl Drop for BlockedGuard {
+    fn drop(&mut self) {
+        self.shared.set_blocked(self.rank, None);
+    }
+}
 
 impl Mailbox {
     /// Create a mailbox for `rank`; returns the mailbox and the sender handle
@@ -38,9 +73,48 @@ impl Mailbox {
                 rank,
                 rx,
                 pending: Vec::new(),
+                #[cfg(feature = "audit")]
+                audit: None,
+                #[cfg(feature = "audit")]
+                fifo_bug: false,
             },
             tx,
         )
+    }
+
+    /// Attach the cluster-wide deadlock-detection state.
+    #[cfg(feature = "audit")]
+    pub(crate) fn install_audit(&mut self, shared: Arc<AuditShared>) {
+        self.audit = Some(shared);
+    }
+
+    #[cfg(feature = "audit")]
+    pub(crate) fn seed_fifo_bug(&mut self) {
+        self.fifo_bug = true;
+    }
+
+    /// Bump this rank's consumed-message counter (deadlock detection: a rank
+    /// whose channel may hold an unexamined message is never starved). Must
+    /// be called for every message pulled off `rx`.
+    fn note_consumed(&self) {
+        #[cfg(feature = "audit")]
+        if let Some(a) = &self.audit {
+            a.note_consumed(self.rank);
+        }
+    }
+
+    /// Remove and return `pending[pos]`, preserving arrival order.
+    fn take_pending(&mut self, pos: usize) -> Message {
+        #[cfg(feature = "audit")]
+        if self.fifo_bug {
+            // Test double: the PR 2 defect. `swap_remove` moves the last
+            // buffered message into this slot, so a later receive for the
+            // same `(src, tag)` matches out of arrival order.
+            return self.pending.swap_remove(pos);
+        }
+        // Order-preserving removal: `swap_remove` would reorder later
+        // same-`(src, tag)` matches — an MPI non-overtaking violation.
+        self.pending.remove(pos)
     }
 
     /// Blocking receive matching an exact `(src, tag)`.
@@ -48,40 +122,112 @@ impl Mailbox {
     /// # Panics
     /// Panics after a long timeout — in this simulator an unmatched receive
     /// is always a protocol bug (deadlock), and panicking with context beats
-    /// hanging the test suite.
+    /// hanging the test suite. With `--features audit` a provable wait-for
+    /// cycle panics within milliseconds instead, naming the cycle.
     pub fn recv(&mut self, src: usize, tag: Tag) -> Message {
-        if let Some(pos) = self
-            .pending
-            .iter()
-            .position(|m| m.src == src && m.tag == tag)
-        {
-            // Order-preserving removal: `swap_remove` would move the last
-            // buffered message into this slot, so a later receive for the
-            // same `(src, tag)` would match messages out of arrival order —
-            // an MPI non-overtaking violation.
-            return self.pending.remove(pos);
+        self.recv_matching(Some(src), tag)
+    }
+
+    /// Blocking receive matching a tag from *any* source. Returns the full
+    /// message so the caller learns the source.
+    pub fn recv_any(&mut self, tag: Tag) -> Message {
+        self.recv_matching(None, tag)
+    }
+
+    fn recv_matching(&mut self, src: Option<usize>, tag: Tag) -> Message {
+        let matches = |m: &Message| src.is_none_or(|s| m.src == s) && m.tag == tag;
+        if let Some(pos) = self.pending.iter().position(matches) {
+            return self.take_pending(pos);
         }
+        #[cfg(feature = "audit")]
+        let _guard = self.audit.as_ref().map(|a| {
+            a.set_blocked(self.rank, Some(BlockedOn { src, tag }));
+            BlockedGuard {
+                shared: a.clone(),
+                rank: self.rank,
+            }
+        });
+        #[cfg(feature = "audit")]
+        let deadline = Instant::now() + DEADLOCK_TIMEOUT;
+        let poll = self.poll_interval();
         loop {
-            match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
+            // A deadlock probe may have parked new arrivals in `pending`.
+            #[cfg(feature = "audit")]
+            if let Some(pos) = self.pending.iter().position(matches) {
+                return self.take_pending(pos);
+            }
+            match self.rx.recv_timeout(poll) {
                 Ok(m) => {
+                    self.note_consumed();
                     if m.tag == Tag::ABORT {
                         panic!("rank {}: peer {} aborted", self.rank, m.src);
                     }
-                    if m.src == src && m.tag == tag {
+                    if matches(&m) {
                         return m;
                     }
                     self.pending.push(m);
                 }
-                Err(_) => panic!(
-                    "rank {}: deadlock waiting for message from rank {} with tag {:?} \
-                     ({} unexpected messages pending)",
-                    self.rank,
-                    src,
-                    tag,
-                    self.pending.len()
-                ),
+                Err(RecvTimeoutError::Timeout) => {
+                    #[cfg(feature = "audit")]
+                    if self.audit.is_some() {
+                        self.deadlock_probe();
+                        if Instant::now() < deadline {
+                            continue;
+                        }
+                    }
+                    panic!(
+                        "rank {}: deadlock waiting for {} with tag {:?} \
+                         ({} unexpected messages pending)",
+                        self.rank,
+                        match src {
+                            Some(s) => format!("message from rank {s}"),
+                            None => "any-source message".to_string(),
+                        },
+                        tag,
+                        self.pending.len()
+                    );
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Senders live as long as the cluster; losing them all
+                    // means every peer is gone.
+                    panic!("rank {}: all peers disconnected", self.rank);
+                }
             }
         }
+    }
+
+    fn poll_interval(&self) -> Duration {
+        #[cfg(feature = "audit")]
+        if self.audit.is_some() {
+            return crate::audit::POLL_INTERVAL;
+        }
+        DEADLOCK_TIMEOUT
+    }
+
+    /// Poll timeout expired: ask the shared table whether the cluster is in
+    /// a provable stall involving this rank, and panic with the report if
+    /// so. Messages that raced in while the probe deliberated defuse it.
+    #[cfg(feature = "audit")]
+    fn deadlock_probe(&mut self) {
+        let Some(shared) = self.audit.clone() else {
+            return;
+        };
+        let Some(report) = shared.stall_report(self.rank) else {
+            return;
+        };
+        let mut arrived = false;
+        while let Ok(m) = self.rx.try_recv() {
+            self.note_consumed();
+            if m.tag == Tag::ABORT {
+                panic!("rank {}: peer {} aborted", self.rank, m.src);
+            }
+            self.pending.push(m);
+            arrived = true;
+        }
+        if arrived {
+            return;
+        }
+        panic!("{report}");
     }
 
     /// Non-blocking, **non-consuming** probe for an exact `(src, tag)`
@@ -94,6 +240,7 @@ impl Mailbox {
     /// independent of host-thread delivery timing.
     pub fn peek_match(&mut self, src: usize, tag: Tag) -> Option<&Message> {
         while let Ok(m) = self.rx.try_recv() {
+            self.note_consumed();
             if m.tag == Tag::ABORT {
                 panic!("rank {}: peer {} aborted", self.rank, m.src);
             }
@@ -102,31 +249,40 @@ impl Mailbox {
         self.pending.iter().find(|m| m.src == src && m.tag == tag)
     }
 
-    /// Blocking receive matching a tag from *any* source. Returns the full
-    /// message so the caller learns the source.
-    pub fn recv_any(&mut self, tag: Tag) -> Message {
-        if let Some(pos) = self.pending.iter().position(|m| m.tag == tag) {
-            return self.pending.remove(pos);
+    /// Drain the channel and hand over everything still unconsumed. Called
+    /// by the cluster after all node threads have joined (so every send has
+    /// landed); any non-ABORT message here was never matched by a receive.
+    pub(crate) fn drain_residue(&mut self) -> Vec<Message> {
+        while let Ok(m) = self.rx.try_recv() {
+            self.note_consumed();
+            self.pending.push(m);
         }
-        loop {
-            match self.rx.recv_timeout(DEADLOCK_TIMEOUT) {
-                Ok(m) => {
-                    if m.tag == Tag::ABORT {
-                        panic!("rank {}: peer {} aborted", self.rank, m.src);
-                    }
-                    if m.tag == tag {
-                        return m;
-                    }
-                    self.pending.push(m);
-                }
-                Err(_) => panic!(
-                    "rank {}: deadlock waiting for any-source message with tag {:?} \
-                     ({} unexpected messages pending)",
-                    self.rank,
-                    tag,
-                    self.pending.len()
-                ),
+        std::mem::take(&mut self.pending)
+    }
+
+    /// Recovery-attempt boundary check: when the engine closes tag window
+    /// `window`, no message stamped with it may remain undelivered to the
+    /// program — such a message could only ever be matched (wrongly) by a
+    /// later attempt, or leak. Panics with provenance if one is found.
+    #[cfg(feature = "audit")]
+    pub(crate) fn scan_window_residue(&mut self, window: u32) {
+        while let Ok(m) = self.rx.try_recv() {
+            self.note_consumed();
+            if m.tag == Tag::ABORT {
+                panic!("rank {}: peer {} aborted", self.rank, m.src);
             }
+            self.pending.push(m);
+        }
+        if let Some(m) = self.pending.iter().find(|m| m.stamp.window == Some(window)) {
+            panic!(
+                "[message-drain] rank {}: recovery window {window} closed with an \
+                 unconsumed message from rank {} (tag {}, {} elems, send #{})",
+                self.rank,
+                m.src,
+                m.tag.describe(),
+                m.payload.elems(),
+                m.stamp.seq,
+            );
         }
     }
 
@@ -142,12 +298,7 @@ mod tests {
     use crate::payload::Payload;
 
     fn msg(src: usize, tag: Tag, x: f64) -> Message {
-        Message {
-            src,
-            tag,
-            payload: Payload::F64(x),
-            arrival_vtime: 0.0,
-        }
+        Message::new(src, tag, Payload::F64(x), 0.0)
     }
 
     #[test]
@@ -245,5 +396,37 @@ mod tests {
         // tag 2, which buffers tag 1, then receive tag 1 from pending.
         assert_eq!(mb.recv(1, Tag::user(2)).payload, Payload::F64(2.0));
         assert_eq!(mb.recv(1, Tag::user(1)).payload, Payload::F64(1.0));
+    }
+
+    #[test]
+    fn drain_residue_hands_over_everything() {
+        let (mut mb, tx) = Mailbox::new(0);
+        tx.send(msg(1, Tag::user(1), 1.0)).unwrap();
+        tx.send(msg(2, Tag::user(2), 2.0)).unwrap();
+        // Buffer the first by receiving the second.
+        assert_eq!(mb.recv(2, Tag::user(2)).payload, Payload::F64(2.0));
+        tx.send(msg(3, Tag::user(3), 3.0)).unwrap();
+        let residue = mb.drain_residue();
+        assert_eq!(residue.len(), 2);
+        assert_eq!(residue[0].src, 1); // buffered pending first…
+        assert_eq!(residue[1].src, 3); // …then the undelivered channel tail
+        assert_eq!(mb.pending_len(), 0);
+    }
+
+    #[cfg(feature = "audit")]
+    #[test]
+    fn fifo_bug_double_reorders_same_key_matches() {
+        let (mut mb, tx) = Mailbox::new(0);
+        mb.seed_fifo_bug();
+        tx.send(msg(1, Tag::user(7), 1.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
+        tx.send(msg(1, Tag::user(7), 3.0)).unwrap();
+        tx.send(msg(2, Tag::user(9), 99.0)).unwrap();
+        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(99.0));
+        // The defect: matching the earliest entry but removing with
+        // swap_remove delivers 1, then *3*, then 2.
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(3.0));
+        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
     }
 }

@@ -37,22 +37,26 @@ fn unwrap_or_clone<T: Clone>(a: Arc<T>) -> T {
 
 impl Payload {
     /// Wrap a vector of floats (allocates only the `Arc`).
+    #[must_use]
     pub fn f64s(v: Vec<f64>) -> Self {
         Payload::F64s(Arc::new(v))
     }
 
     /// Wrap an index list.
+    #[must_use]
     pub fn u64s(v: Vec<u64>) -> Self {
         Payload::U64s(Arc::new(v))
     }
 
     /// Wrap an index–value pair list.
+    #[must_use]
     pub fn pairs(v: Vec<(u64, f64)>) -> Self {
         Payload::Pairs(Arc::new(v))
     }
 
     /// Wrap an already-shared float buffer (zero-copy fan-out: send the same
     /// `Arc` to many destinations without duplicating the data).
+    #[must_use]
     pub fn f64s_shared(v: Arc<Vec<f64>>) -> Self {
         Payload::F64s(v)
     }
@@ -134,6 +138,26 @@ pub struct Message {
     pub payload: Payload,
     /// Virtual arrival time at the destination under the λ/µ cost model.
     pub arrival_vtime: f64,
+    /// Protocol-auditor provenance (send sequence number and recovery
+    /// window); filled in by `NodeCtx::raw_send`.
+    #[cfg(feature = "audit")]
+    pub stamp: crate::audit::MsgStamp,
+}
+
+impl Message {
+    /// Construct a message (with a default audit stamp, when that feature is
+    /// compiled in — the one constructor keeps call sites feature-agnostic).
+    #[must_use]
+    pub fn new(src: usize, tag: crate::tag::Tag, payload: Payload, arrival_vtime: f64) -> Self {
+        Message {
+            src,
+            tag,
+            payload,
+            arrival_vtime,
+            #[cfg(feature = "audit")]
+            stamp: crate::audit::MsgStamp::default(),
+        }
+    }
 }
 
 #[cfg(test)]

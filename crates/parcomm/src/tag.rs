@@ -41,6 +41,29 @@ impl Tag {
     pub fn group(gid: u32, op: u8, seq: u32) -> Self {
         Tag((KIND_GROUP << 62) | ((gid as u64) << 30) | ((op as u64) << 22) | seq as u64)
     }
+
+    /// Human-readable decoding for diagnostics ("user(7)",
+    /// "coll(allreduce, seq 3)", "group(gid 0x2a, gather, seq 1)", …).
+    pub fn describe(&self) -> String {
+        if *self == Tag::ABORT {
+            return "ABORT".to_string();
+        }
+        match self.0 >> 62 {
+            KIND_USER => format!("user({})", self.0 & 0xFFFF_FFFF),
+            KIND_COLL => format!(
+                "coll({}, seq {})",
+                op::name(((self.0 >> 48) & 0xFF) as u8),
+                self.0 & ((1 << 48) - 1)
+            ),
+            KIND_GROUP => format!(
+                "group(gid {:#x}, {}, seq {})",
+                (self.0 >> 30) & 0xFFFF_FFFF,
+                op::name(((self.0 >> 22) & 0xFF) as u8),
+                self.0 & ((1 << 22) - 1)
+            ),
+            _ => format!("invalid({:#x})", self.0),
+        }
+    }
 }
 
 /// Collective operation identifiers (for tag scoping only).
@@ -61,6 +84,20 @@ pub mod op {
     /// within one call every ordered pair of ranks exchanges at most one
     /// message, so rounds cannot be confused).
     pub const ALLREDUCE: u8 = 7;
+
+    /// The operation's name, for diagnostics.
+    pub(crate) fn name(op: u8) -> &'static str {
+        match op {
+            BARRIER => "barrier",
+            BCAST => "bcast",
+            REDUCE => "reduce",
+            GATHER => "gather",
+            ALLTOALL => "alltoall",
+            SCATTER => "scatter",
+            ALLREDUCE => "allreduce",
+            _ => "unknown",
+        }
+    }
 }
 
 #[cfg(test)]
@@ -87,5 +124,19 @@ mod tests {
     #[test]
     fn group_ids_scope_tags() {
         assert_ne!(Tag::group(1, op::GATHER, 5), Tag::group(2, op::GATHER, 5));
+    }
+
+    #[test]
+    fn describe_decodes_every_kind() {
+        assert_eq!(Tag::user(42).describe(), "user(42)");
+        assert_eq!(
+            Tag::coll(op::ALLREDUCE, 3).describe(),
+            "coll(allreduce, seq 3)"
+        );
+        assert_eq!(
+            Tag::group(0x2A, op::GATHER, 1).describe(),
+            "group(gid 0x2a, gather, seq 1)"
+        );
+        assert_eq!(Tag::ABORT.describe(), "ABORT");
     }
 }

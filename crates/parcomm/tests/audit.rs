@@ -1,0 +1,211 @@
+//! Seeded-violation self-tests for the protocol auditor.
+//!
+//! Each test plants one historical (or representative) protocol bug behind a
+//! test double and asserts that the auditor detects it **and names it** —
+//! rank, tag, and violated invariant. A checker that cannot re-find the
+//! bugs it was built for is worse than no checker, so this suite is the
+//! auditor's own acceptance test.
+
+#![cfg(feature = "audit")]
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use parcomm::{Cluster, ClusterConfig, CommPhase, Payload, ReduceOp};
+
+/// Run a cluster program that must panic; return the panic message.
+fn expect_panic<T, F>(f: F) -> String
+where
+    T: Send,
+    F: Fn(&mut parcomm::NodeCtx) -> T + Sync,
+    F: std::panic::RefUnwindSafe,
+{
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _ = Cluster::run(ClusterConfig::new(2), f);
+    }))
+    .expect_err("the auditor must have flagged this run");
+    err.downcast_ref::<String>()
+        .map(String::as_str)
+        .or_else(|| err.downcast_ref::<&str>().copied())
+        .unwrap_or("<non-string panic>")
+        .to_string()
+}
+
+// ---- (1) message drain ----------------------------------------------------
+
+#[test]
+fn orphaned_message_is_named_with_provenance() {
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            // Send that no receive will ever match.
+            ctx.send(1, 3, Payload::F64(1.0), CommPhase::Other);
+        }
+    });
+    assert!(msg.contains("parcomm audit"), "{msg}");
+    assert!(msg.contains("[message-drain]"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("from rank 0"), "{msg}");
+    assert!(msg.contains("user(3)"), "{msg}");
+}
+
+// ---- (2) non-overtaking ---------------------------------------------------
+
+#[test]
+fn resurrected_swap_remove_fifo_bug_is_caught() {
+    // PR 2 shipped a `Vec::swap_remove` in the pending-queue match that
+    // reordered same-(src, tag) messages once two were queued. The bug is
+    // re-seeded behind a test double; the auditor must name the reorder.
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            for v in [1.0, 2.0, 3.0] {
+                ctx.send(1, 7, Payload::F64(v), CommPhase::Other);
+            }
+            ctx.send(1, 9, Payload::F64(9.0), CommPhase::Other);
+        } else {
+            ctx.audit_seed_fifo_bug();
+            // Receiving tag 9 first forces the three tag-7 messages through
+            // the pending queue, where the seeded swap_remove reorders them.
+            let _ = ctx.recv(0, 9);
+            for _ in 0..3 {
+                let _ = ctx.recv(0, 7);
+            }
+        }
+    });
+    assert!(msg.contains("[non-overtaking]"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("user(7)"), "{msg}");
+    assert!(msg.contains("send order"), "{msg}");
+}
+
+// ---- (3) collective agreement --------------------------------------------
+
+#[test]
+fn mismatched_reduce_operators_are_caught() {
+    // Both ranks complete (n = 2 exchanges one message each way), the
+    // results silently disagree — exactly the class of corruption that
+    // today manifests as a wrong residual thousands of iterations later.
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.allreduce_sum(1.0)
+        } else {
+            ctx.allreduce_max(1.0)
+        }
+    });
+    assert!(msg.contains("[collective-mismatch]"), "{msg}");
+    assert!(msg.contains("seq 0"), "{msg}");
+    assert!(msg.contains("Sum"), "{msg}");
+    assert!(msg.contains("Max"), "{msg}");
+}
+
+#[test]
+fn length_mismatched_collective_is_caught() {
+    let msg = expect_panic(|ctx| {
+        let n = 1 + ctx.rank(); // rank 0 contributes len 1, rank 1 len 2
+        ctx.allreduce_vec(ReduceOp::Sum, vec![1.0; n])
+    });
+    assert!(msg.contains("[collective-mismatch]"), "{msg}");
+    assert!(msg.contains("len 1"), "{msg}");
+    assert!(msg.contains("len 2"), "{msg}");
+}
+
+// ---- (4) tag-window disjointness ------------------------------------------
+
+#[test]
+fn cross_attempt_tag_reuse_is_caught() {
+    // Rank 0 sends inside recovery attempt 0; rank 1 matches it from
+    // attempt 1 — the cross-attempt match the engine's restart protocol
+    // must never allow.
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.audit_enter_window(0);
+            ctx.send(1, 5, Payload::F64(1.0), CommPhase::Recovery);
+            ctx.audit_exit_window();
+        } else {
+            ctx.audit_enter_window(1);
+            let _ = ctx.recv(0, 5);
+            ctx.audit_exit_window();
+        }
+    });
+    assert!(msg.contains("[tag-window]"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("user(5)"), "{msg}");
+    assert!(msg.contains("recovery window 0"), "{msg}");
+    assert!(msg.contains("recovery window 1"), "{msg}");
+}
+
+#[test]
+fn window_close_with_unconsumed_recovery_message_panics() {
+    // A recovery-window message still queued when its window closes is
+    // flagged *at the boundary* (not only at teardown): the next attempt
+    // must start with a clean slate.
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.audit_enter_window(2);
+            ctx.send(1, 4, Payload::F64(1.0), CommPhase::Recovery);
+            ctx.send(1, 8, Payload::F64(2.0), CommPhase::Recovery);
+            ctx.audit_exit_window();
+        } else {
+            ctx.audit_enter_window(2);
+            // Receiving the marker (tag 8) first parks the tag-4 message in
+            // the pending queue, so it is provably queued at window close.
+            let _ = ctx.recv(0, 8);
+            ctx.audit_exit_window();
+        }
+    });
+    assert!(msg.contains("recovery window 2 closed"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("user(4)"), "{msg}");
+}
+
+// ---- (5) deadlock detection -----------------------------------------------
+
+#[test]
+fn wait_for_cycle_is_reported_not_hung() {
+    // Classic two-rank cycle: each blocks receiving from the other with no
+    // message in flight. Without the auditor this hangs until the 300 s
+    // backstop; with it, the cycle is reported with per-rank blocked-on
+    // state within a poll interval.
+    let msg = expect_panic(|ctx| {
+        let peer = 1 - ctx.rank();
+        let _ = ctx.recv(peer, 1);
+    });
+    assert!(msg.contains("[deadlock]"), "{msg}");
+    assert!(msg.contains("blocked in recv"), "{msg}");
+    assert!(msg.contains("user(1)"), "{msg}");
+}
+
+// ---- clean runs stay clean ------------------------------------------------
+
+#[test]
+fn full_protocol_workout_is_audit_clean() {
+    // Point-to-point, world + group collectives, non-blocking all-reduce,
+    // and a recovery window, all properly drained: the auditor must stay
+    // silent (a checker that cries wolf gets turned off).
+    let out = Cluster::run(ClusterConfig::new(4), |ctx| {
+        let next = (ctx.rank() + 1) % ctx.size();
+        let prev = (ctx.rank() + ctx.size() - 1) % ctx.size();
+        ctx.send(next, 11, Payload::F64(ctx.rank() as f64), CommPhase::Other);
+        let from_prev = ctx.recv(prev, 11).into_f64();
+
+        let total = ctx.allreduce_sum(1.0);
+        let req = ctx.iallreduce_vec(ReduceOp::Max, vec![ctx.rank() as f64]);
+        let mx = req.wait(ctx)[0];
+
+        ctx.audit_enter_window(0);
+        let gsum = if ctx.rank() < 2 {
+            let mut g = ctx.group(&[0, 1]);
+            g.allreduce_sum(ctx, 1.0)
+        } else {
+            0.0
+        };
+        ctx.audit_exit_window();
+        ctx.barrier();
+        (from_prev, total, mx, gsum)
+    });
+    for (rank, &(from_prev, total, mx, gsum)) in out.iter().enumerate() {
+        let prev = (rank + 3) % 4;
+        assert_eq!(from_prev, prev as f64);
+        assert_eq!(total, 4.0);
+        assert_eq!(mx, 3.0);
+        assert_eq!(gsum, if rank < 2 { 2.0 } else { 0.0 });
+    }
+}
