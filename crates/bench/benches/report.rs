@@ -16,12 +16,15 @@
 //!   iteration and the exposed/hidden reduction time per iteration. At
 //!   N ≥ 16 the pipelined solver's exposed reduction time must come in
 //!   strictly below blocking PCG's (asserted here, so CI gates on it).
-//! * **`BENCH_policy_matrix.json`** — the full recovery-policy × solver
-//!   grid through the shared `RecoveryEngine`: for every cell of
-//!   {replace, spares(1), shrink} × {PCG, pipelined PCG, BiCGSTAB},
-//!   recovery virtual time, reconstruction traffic (Recovery-phase
-//!   messages/elements), retired-node count, and post-recovery iterations
-//!   for the same ψ = 2 failure event at N ≤ 16.
+//! * **`BENCH_policy_matrix.json`** — the full protection × policy ×
+//!   solver grid through the shared `RecoveryEngine`: for every cell of
+//!   {ESR, checkpoint} × {replace, spares(1), shrink} × {PCG, pipelined
+//!   PCG, BiCGSTAB}, recovery virtual time, reconstruction traffic
+//!   (Recovery-phase messages/elements), retired-node count, and
+//!   post-recovery iterations for the same ψ = 2 failure event at N ≤ 16.
+//!   Checkpoint cells additionally report the rolled-back iteration count
+//!   and each solver carries the steady-state checkpoint overhead
+//!   (failure-free C/R vtime vs. the unprotected reference).
 //!
 //! `BENCH_comm`/`BENCH_pcg` embed the pre-overhaul numbers
 //! (reduce-to-root + broadcast all-reduce, 3 reductions per PCG iteration)
@@ -320,19 +323,23 @@ fn pipecg_report(
     )
 }
 
-/// The recovery-policy × solver grid (`BENCH_policy_matrix.json`): the
-/// same ψ-failure event handled by every [`RecoveryPolicy`] — in-place
-/// replacement, an *undersized* spare pool (1 spare for ψ = 2, so one
-/// subdomain is replaced and one adopted in a mixed event), and pure
-/// shrink — on every `RecoveryEngine`-backed solver (blocking PCG,
-/// pipelined PCG, BiCGSTAB). Reports per cell the recovery cost (virtual
-/// time, Recovery-phase reconstruction traffic), retired-node count, and
-/// the post-recovery iteration count, which shows what continuing on
-/// N − ψ ranks with merged preconditioner blocks (and, for the pipelined
-/// solver, the recurrence re-bootstrap) does to convergence.
+/// The protection × policy × solver grid (`BENCH_policy_matrix.json`):
+/// the same ψ-failure event handled by both protection flavors — exact
+/// state reconstruction and periodic diskless checkpointing — under every
+/// [`RecoveryPolicy`] — in-place replacement, an *undersized* spare pool
+/// (1 spare for ψ = 2, so one subdomain is replaced and one adopted in a
+/// mixed event), and pure shrink — on every `RecoveryEngine`-backed
+/// solver (blocking PCG, pipelined PCG, BiCGSTAB). Reports per cell the
+/// recovery cost (virtual time, Recovery-phase reconstruction traffic),
+/// retired-node count, and the post-recovery iteration count; checkpoint
+/// cells add the rolled-back iteration count (`fail_at mod interval` —
+/// re-executed work ESR never pays), and each solver reports the
+/// steady-state checkpoint overhead of the failure-free C/R run against
+/// the unprotected reference.
 fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
     const PSI: usize = 2;
     const PHI: usize = 2;
+    const CR_INTERVAL: usize = 4;
     type Runner = fn(
         &esr_core::Problem,
         usize,
@@ -367,32 +374,72 @@ fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
             .unwrap();
             assert!(reference.converged, "{sname} reference (N={n})");
             let fail_at = (reference.iterations as u64 / 2).max(1);
+            let cr = esr_core::CrConfig::default()
+                .with_interval(CR_INTERVAL)
+                .with_copies(PSI);
+            // Steady-state checkpoint cost: the failure-free C/R run pays
+            // the periodic deposits but never rolls back, so its vtime
+            // excess over the unprotected reference is pure protection
+            // overhead (the quantity paper Sec. 2.2 argues against).
+            let cr_clean_cfg = {
+                let mut c = SolverConfig::resilient(PHI);
+                c.resilience = c
+                    .resilience
+                    .map(|r| r.with_protection(esr_core::Protection::Checkpoint(cr.clone())));
+                c
+            };
+            let cr_clean =
+                runner(&problem, n, &cr_clean_cfg, cfgb.cost, FailureScript::none()).unwrap();
+            assert!(cr_clean.converged, "{sname} clean C/R (N={n})");
+            let ckpt_overhead_pct = 100.0 * (cr_clean.vtime / reference.vtime - 1.0);
             let mut rows = Vec::new();
             for (label, policy) in policies {
-                let cfg = SolverConfig::resilient_with_policy(PHI, policy);
-                let script = FailureScript::simultaneous(fail_at, n / 2, PSI, n);
-                let r = runner(&problem, n, &cfg, cfgb.cost, script).unwrap();
-                assert!(r.converged, "{sname} × {label} must converge (N={n})");
-                let post = r.iterations as u64 - fail_at;
-                rows.push(format!(
-                    r#"        {{"policy": "{label}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}}}"#,
-                    r.iterations,
-                    json_f(r.vtime_recovery),
-                    json_f(r.vtime),
-                    r.retired_nodes(),
-                    r.stats.msgs(CommPhase::Recovery),
-                    r.stats.elems(CommPhase::Recovery),
-                ));
-                println!(
-                    "matrix N={n:3} {sname:8} {label:10}  iters {:3} (post-fail {post:3})  t_rec {:.3e}s  retired {}",
-                    r.iterations,
-                    r.vtime_recovery,
-                    r.retired_nodes()
-                );
+                for prot in ["esr", "checkpoint"] {
+                    let mut cfg = SolverConfig::resilient_with_policy(PHI, policy);
+                    if prot == "checkpoint" {
+                        cfg.resilience = cfg.resilience.map(|r| {
+                            r.with_protection(esr_core::Protection::Checkpoint(cr.clone()))
+                        });
+                    }
+                    let script = FailureScript::simultaneous(fail_at, n / 2, PSI, n);
+                    let r = runner(&problem, n, &cfg, cfgb.cost, script).unwrap();
+                    assert!(
+                        r.converged,
+                        "{sname} × {label} × {prot} must converge (N={n})"
+                    );
+                    let post = r.iterations as u64 - fail_at;
+                    // Deposits land at multiples of the interval, so the
+                    // rollback re-executes `fail_at mod interval` iterations.
+                    let rolled_back = if prot == "checkpoint" {
+                        format!(
+                            r#", "rolled_back_iterations": {}"#,
+                            fail_at as usize % CR_INTERVAL
+                        )
+                    } else {
+                        String::new()
+                    };
+                    rows.push(format!(
+                        r#"        {{"policy": "{label}", "protection": "{prot}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}{rolled_back}}}"#,
+                        r.iterations,
+                        json_f(r.vtime_recovery),
+                        json_f(r.vtime),
+                        r.retired_nodes(),
+                        r.stats.msgs(CommPhase::Recovery),
+                        r.stats.elems(CommPhase::Recovery),
+                    ));
+                    println!(
+                        "matrix N={n:3} {sname:8} {label:10} {prot:10}  iters {:3} (post-fail {post:3})  t_rec {:.3e}s  retired {}",
+                        r.iterations,
+                        r.vtime_recovery,
+                        r.retired_nodes()
+                    );
+                }
             }
             solver_rows.push(format!(
-                "      {{\"solver\": \"{sname}\", \"reference_iterations\": {}, \"fail_at_iteration\": {fail_at}, \"policies\": [\n{}\n      ]}}",
+                "      {{\"solver\": \"{sname}\", \"reference_iterations\": {}, \"fail_at_iteration\": {fail_at}, \"checkpoint\": {{\"interval\": {CR_INTERVAL}, \"copies\": {PSI}, \"clean_vtime_total\": {}, \"steady_state_overhead_pct\": {}}}, \"cells\": [\n{}\n      ]}}",
                 reference.iterations,
+                json_f(cr_clean.vtime),
+                json_f(ckpt_overhead_pct),
                 rows.join(",\n")
             ));
         }
@@ -402,7 +449,7 @@ fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
         ));
     }
     format!(
-        "{{\n  \"schema\": \"esr-bench/policy-matrix/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of each solver's reference progress\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"esr-bench/policy-matrix/v2\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of each solver's reference progress; protections: esr (exact reconstruction) and checkpoint (diskless neighbour C/R, interval 4, psi replicas)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_f(cfgb.scale),
         json_f(cfgb.cost.lambda),
         json_f(cfgb.cost.mu),

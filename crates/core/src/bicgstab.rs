@@ -92,6 +92,12 @@ pub(crate) struct BicgstabKernel<'a> {
     /// iteration's β; `ρ(j+1)` is recomputed by the post-recovery fused
     /// reduction, but `ρ(j)` itself would be lost with the node).
     pub rho: &'a mut f64,
+    /// The replicated scalar `ω(j)` (checkpoint-pack state: the loop-top
+    /// β-update reads it; ESR restarts mid-iteration and recomputes it).
+    pub omega: &'a mut f64,
+    /// The replicated scalar `ρ(j+1)` carried by the fused end-of-iteration
+    /// reduction (checkpoint-pack state, like `ω`).
+    pub rho_next: &'a mut f64,
 }
 
 impl ResilientKernel for BicgstabKernel<'_> {
@@ -138,8 +144,54 @@ impl ResilientKernel for BicgstabKernel<'_> {
         poison(self.ghosts);
         *self.alpha = f64::NAN;
         *self.rho = f64::NAN;
+        *self.omega = f64::NAN;
+        *self.rho_next = f64::NAN;
         // r̂0 and b_loc are static data (r̂0 = b with x(0) = 0) and survive
         // on reliable storage — paper Sec. 1.1.2.
+    }
+
+    fn n_pack_vecs(&self) -> usize {
+        5
+    }
+
+    fn n_pack_scalars(&self) -> usize {
+        4
+    }
+
+    fn pack(&self) -> Vec<f64> {
+        // Loop-top recurrence state: [x | r | r̂0 | p | v | α, ω, ρ, ρ(j+1)].
+        // Everything else (s, p̂, ŝ, t, ghosts) is recomputed within the
+        // restarted iteration.
+        let mut data = Vec::with_capacity(5 * self.x.len() + 4);
+        data.extend_from_slice(self.x);
+        data.extend_from_slice(self.r);
+        data.extend_from_slice(self.rhat0);
+        data.extend_from_slice(self.p);
+        data.extend_from_slice(self.v);
+        data.push(*self.alpha);
+        data.push(*self.omega);
+        data.push(*self.rho);
+        data.push(*self.rho_next);
+        data
+    }
+
+    fn unpack(&mut self, data: &[f64], new_range: &Range<usize>, b: &[f64]) {
+        let nloc = new_range.len();
+        let vec_at = |slot: usize| data[slot * nloc..(slot + 1) * nloc].to_vec();
+        *self.x = vec_at(0);
+        *self.r = vec_at(1);
+        *self.rhat0 = vec_at(2);
+        *self.p = vec_at(3);
+        *self.v = vec_at(4);
+        *self.alpha = data[5 * nloc];
+        *self.omega = data[5 * nloc + 1];
+        *self.rho = data[5 * nloc + 2];
+        *self.rho_next = data[5 * nloc + 3];
+        *self.b_loc = b[new_range.clone()].to_vec();
+        *self.s = vec![0.0; nloc];
+        *self.phat = vec![0.0; nloc];
+        *self.shat = vec![0.0; nloc];
+        *self.t = vec![0.0; nloc];
     }
 
     fn n_block_vecs(&self) -> usize {
@@ -244,8 +296,11 @@ pub fn esr_bicgstab_node(
     let n = a.n_rows();
     assert_eq!(b.len(), n, "rhs length");
     let rank = ctx.rank();
-    // Two retention channels: copies of p̂(j) and of ŝ(j).
-    let mut layout = Layout::build_full(ctx, a, cfg, 2);
+    // Protection flavor (see `pcg`): ESR needs two retention channels,
+    // copies of p̂(j) and of ŝ(j); checkpoint/rollback needs none.
+    let cr = cfg.resilience.as_ref().and_then(|res| res.cr());
+    let esr = cfg.resilience.is_some() && cr.is_none();
+    let mut layout = Layout::build_full(ctx, a, cfg, if cr.is_some() { 0 } else { 2 });
     assert!(
         !layout.prec.is_explicit_p(),
         "rank {rank}: ESR-BiCGSTAB supports the block-diagonal (M-given) preconditioners"
@@ -293,9 +348,40 @@ pub fn esr_bicgstab_node(
     let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
     let mut recovery_seq: u32 = 0;
     let resilient = cfg.resilience.is_some();
+    let mut ckpt =
+        cr.map(|c| crate::retention::CheckpointStore::new(c, &layout.members, layout.my_slot));
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
+
+        // Periodic checkpoint deposit of the loop-top recurrence state
+        // (before the p-update, which consumes ρ(j+1)).
+        if let Some(store) = ckpt.as_mut() {
+            if j.is_multiple_of(store.interval() as u64) {
+                let kernel = BicgstabKernel {
+                    x: &mut x,
+                    r: &mut r,
+                    p: &mut p,
+                    v: &mut v,
+                    s: &mut s,
+                    phat: &mut phat,
+                    shat: &mut shat,
+                    t: &mut t,
+                    ghosts: &mut ghosts,
+                    b_loc: &mut b_loc,
+                    rhat0: &mut rhat0,
+                    alpha: &mut alpha,
+                    rho: &mut rho,
+                    omega: &mut omega,
+                    rho_next: &mut rho_next,
+                };
+                let data = kernel.pack();
+                let seq = recovery_seq;
+                recovery_seq += 1;
+                store.deposit(ctx, seq, j, data);
+            }
+        }
+
         // p update (j > 0): p = r + β (p − ω v); ρ(j) was carried from the
         // previous iteration's fused reduction.
         if j > 0 {
@@ -311,7 +397,7 @@ pub fn esr_bicgstab_node(
         }
         // p̂ = M⁻¹ p ; first scatter (channel 0).
         layout.prec.apply(ctx, &p, &mut phat);
-        if resilient {
+        if esr {
             layout.channels[0].rotate();
             layout
                 .plan
@@ -333,7 +419,7 @@ pub fn esr_bicgstab_node(
         ctx.clock_mut().advance_flops(2 * nloc);
         // ŝ = M⁻¹ s ; second scatter (channel 1).
         layout.prec.apply(ctx, &s, &mut shat);
-        if resilient {
+        if esr {
             layout.channels[1].rotate();
             layout
                 .plan
@@ -374,8 +460,10 @@ pub fn esr_bicgstab_node(
                     rhat0: &mut rhat0,
                     alpha: &mut alpha,
                     rho: &mut rho,
+                    omega: &mut omega,
+                    rho_next: &mut rho_next,
                 };
-                match engine::recover(
+                let rolled_back = match engine::recover(
                     ctx,
                     &env,
                     &mut layout,
@@ -384,6 +472,7 @@ pub fn esr_bicgstab_node(
                     &mut handled_sub,
                     &mut recovery_seq,
                     &mut pool,
+                    ckpt.as_mut(),
                 ) {
                     EngineOutcome::Retired => {
                         retired = true;
@@ -394,7 +483,15 @@ pub fn esr_bicgstab_node(
                         ranks_recovered += report.total_failed;
                         vtime_recovery += ctx.vtime() - t0;
                         nloc = layout.lm.n_local();
+                        report.rollback_to
                     }
+                };
+                if let Some(epoch) = rolled_back {
+                    // Rollback restores *loop-top* state: abandon the
+                    // interrupted iteration entirely and resume the epoch
+                    // (ESR instead restarts mid-iteration below).
+                    iterations = epoch as usize;
+                    continue;
                 }
                 // Restart from the ŝ scatter: re-exchange (restores the
                 // replacement ghosts and the s-channel redundancy; the

@@ -116,11 +116,71 @@ pub enum RecoveryPolicy {
     Shrink,
 }
 
+/// Periodic checkpoint parameters for [`Protection::Checkpoint`].
+///
+/// Diskless neighbour checkpointing (paper Sec. 1.2's comparator class):
+/// every `interval` iterations each node packs its dynamic solver state
+/// and deposits `copies` replicas on ring partners picked by the same
+/// Eqn. (5) alternating-ring placement ESR uses for redundant copies.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrConfig {
+    /// Checkpoint every `interval` outer iterations (`interval ≥ 1`;
+    /// iteration 0 is always checkpointed).
+    pub interval: usize,
+    /// Replicas per checkpoint, placed on the Eqn. (5) ring
+    /// (`1 ≤ copies ≤ N − 1`). Recovery from `ψ` failures needs at least
+    /// one replica of every failed block on a survivor.
+    pub copies: usize,
+}
+
+impl Default for CrConfig {
+    fn default() -> Self {
+        CrConfig {
+            interval: 10,
+            copies: 1,
+        }
+    }
+}
+
+impl CrConfig {
+    /// Same configuration with a different checkpoint interval.
+    #[must_use]
+    pub fn with_interval(mut self, interval: usize) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Same configuration with a different replica count.
+    #[must_use]
+    pub fn with_copies(mut self, copies: usize) -> Self {
+        self.copies = copies;
+        self
+    }
+}
+
+/// Which state-protection flavor guards the dynamic solver state — the
+/// axis the paper's headline comparison (Sec. 1.2/2.2) varies while
+/// holding solver, failure script, and recovery policy fixed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Protection {
+    /// Exact state reconstruction: `φ` redundant copies of the two most
+    /// recent search directions ride the SpMV traffic, and recovery
+    /// rebuilds the lost state algebraically. No rollback — surviving
+    /// nodes keep their iterates.
+    Esr,
+    /// Periodic diskless neighbour checkpointing: recovery fetches the
+    /// newest surviving replica of every failed block and rolls *all*
+    /// ranks back to the checkpointed iteration.
+    Checkpoint(CrConfig),
+}
+
 /// Resilience configuration: how many simultaneous failures to tolerate.
 #[derive(Clone, Debug)]
 pub struct ResilienceConfig {
     /// `φ`: number of redundant copies ≡ maximum simultaneous (or
     /// overlapping) node failures tolerated. Must satisfy `φ < N`.
+    /// (Only meaningful under [`Protection::Esr`]; the checkpointing
+    /// flavor sizes its survivability by [`CrConfig::copies`] instead.)
     pub phi: usize,
     /// Placement strategy for the copies.
     pub strategy: BackupStrategy,
@@ -129,16 +189,21 @@ pub struct ResilienceConfig {
     /// What happens to a failed node's subdomain (replacement node,
     /// finite spare pool, or adoption by survivors).
     pub policy: RecoveryPolicy,
+    /// How the dynamic state is protected: ESR reconstruction (the
+    /// paper's method) or periodic checkpoint/rollback.
+    pub protection: Protection,
 }
 
 impl ResilienceConfig {
-    /// The paper's configuration for a given `φ` (in-place replacement).
+    /// The paper's configuration for a given `φ` (in-place replacement,
+    /// ESR protection).
     pub fn paper(phi: usize) -> Self {
         ResilienceConfig {
             phi,
             strategy: BackupStrategy::Minimal,
             recovery: RecoveryConfig::default(),
             policy: RecoveryPolicy::Replace,
+            protection: Protection::Esr,
         }
     }
 
@@ -146,6 +211,26 @@ impl ResilienceConfig {
     pub fn with_policy(mut self, policy: RecoveryPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Same, with an explicit state-protection flavor.
+    #[must_use]
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// The checkpoint parameters, when checkpointing is the protection.
+    pub fn cr(&self) -> Option<&CrConfig> {
+        match &self.protection {
+            Protection::Esr => None,
+            Protection::Checkpoint(cr) => Some(cr),
+        }
+    }
+
+    /// True when the protection flavor is exact state reconstruction.
+    pub fn is_esr(&self) -> bool {
+        self.protection == Protection::Esr
     }
 }
 
@@ -210,6 +295,18 @@ pub enum ConfigError {
         /// Cluster size.
         nodes: usize,
     },
+    /// The checkpoint parameters are out of range for this cluster, or
+    /// checkpoint protection is unsupported here.
+    CrInvalid {
+        /// Requested checkpoint interval.
+        interval: usize,
+        /// Requested replicas per checkpoint.
+        copies: usize,
+        /// Cluster size.
+        nodes: usize,
+        /// The constraint that rules the combination out.
+        constraint: &'static str,
+    },
 }
 
 impl std::fmt::Display for ConfigError {
@@ -237,6 +334,16 @@ impl std::fmt::Display for ConfigError {
                 f,
                 "phi = {phi} redundant copies on a cluster of {nodes} nodes: \
                  φ ≤ N−1 must leave at least one survivor holding copies"
+            ),
+            ConfigError::CrInvalid {
+                interval,
+                copies,
+                nodes,
+                constraint,
+            } => write!(
+                f,
+                "CrConfig {{ interval: {interval}, copies: {copies} }} on a cluster \
+                 of {nodes} nodes: {constraint}"
             ),
         }
     }
@@ -289,11 +396,13 @@ impl SolverConfig {
     /// Check this configuration against a solver and cluster size, naming
     /// the violated constraint on rejection. The full recovery-policy ×
     /// solver matrix {Replace, Spares, Shrink} × {PCG, PipeCG, BiCGSTAB}
-    /// runs through the shared [`crate::engine::RecoveryEngine`]; what
-    /// remains unsupported:
+    /// runs through the shared [`crate::engine::RecoveryEngine`] under
+    /// either state-protection flavor; what remains unsupported:
     ///
-    /// * the stationary Jacobi solver and the checkpoint/restart baseline
-    ///   assume the full cluster outlives the solve (Replace only);
+    /// * the stationary Jacobi solver assumes the full cluster outlives
+    ///   the solve (Replace only) and has no checkpoint pack;
+    /// * [`Protection::Checkpoint`] needs `interval ≥ 1` and
+    ///   `1 ≤ copies ≤ N − 1` (a replica on every node is the ceiling);
     /// * `ExplicitP` reconstruction (P-given, Alg. 2 lines 5–6) gathers
     ///   over the full cluster, which a shrunken cluster no longer has —
     ///   Replace only, and blocking PCG only (the pipelined solver would
@@ -336,7 +445,10 @@ impl SolverConfig {
         let policy = res.policy;
         let engine_backed = matches!(
             solver,
-            SolverKind::Pcg | SolverKind::PipeCg | SolverKind::BiCgStab
+            SolverKind::Pcg
+                | SolverKind::PipeCg
+                | SolverKind::BiCgStab
+                | SolverKind::CheckpointRestart
         );
         if policy != RecoveryPolicy::Replace && !engine_backed {
             return Err(ConfigError::PolicyUnsupported {
@@ -344,8 +456,58 @@ impl SolverConfig {
                 policy,
                 constraint: "this solver assumes the full cluster outlives the solve; \
                              only the RecoveryEngine-backed solvers (PCG, pipelined PCG, \
-                             BiCGSTAB) support spare pools and shrinking",
+                             BiCGSTAB, checkpoint/restart) support spare pools and \
+                             shrinking",
             });
+        }
+        if let Protection::Checkpoint(cr) = &res.protection {
+            if !engine_backed {
+                return Err(ConfigError::CrInvalid {
+                    interval: cr.interval,
+                    copies: cr.copies,
+                    nodes,
+                    constraint: "the stationary Jacobi iteration has no checkpoint \
+                                 pack; checkpoint protection runs on the \
+                                 RecoveryEngine-backed solvers only",
+                });
+            }
+            if cr.interval == 0 {
+                return Err(ConfigError::CrInvalid {
+                    interval: cr.interval,
+                    copies: cr.copies,
+                    nodes,
+                    constraint: "interval ≥ 1 is required (interval = 0 would \
+                                 checkpoint every message boundary, i.e. never \
+                                 advance)",
+                });
+            }
+            if cr.copies == 0 {
+                return Err(ConfigError::CrInvalid {
+                    interval: cr.interval,
+                    copies: cr.copies,
+                    nodes,
+                    constraint: "copies ≥ 1 is required: with no replicas every \
+                                 failure is unrecoverable",
+                });
+            }
+            if cr.copies >= nodes {
+                return Err(ConfigError::CrInvalid {
+                    interval: cr.interval,
+                    copies: cr.copies,
+                    nodes,
+                    constraint: "copies ≤ N − 1 must hold: a node deposits replicas \
+                                 on *other* ring members, of which there are only \
+                                 N − 1",
+                });
+            }
+            if matches!(self.precond, PrecondConfig::ExplicitP(_)) {
+                return Err(ConfigError::PrecondUnsupported {
+                    solver,
+                    precond: format!("{:?}", self.precond),
+                    constraint: "the checkpoint/rollback path wires the paper's \
+                                 M-given (block-diagonal) preconditioners only",
+                });
+            }
         }
         if matches!(self.precond, PrecondConfig::ExplicitP(_)) && policy != RecoveryPolicy::Replace
         {
@@ -395,5 +557,83 @@ mod tests {
         let cfg = SolverConfig::resilient(1);
         let s = format!("{cfg:?}");
         assert!(s.contains("BlockJacobiExact"));
+    }
+
+    #[test]
+    fn protection_defaults_to_esr() {
+        let res = SolverConfig::resilient(2).resilience.unwrap();
+        assert_eq!(res.protection, Protection::Esr);
+        assert!(res.is_esr());
+        assert!(res.cr().is_none());
+    }
+
+    fn cr_cfg(cr: CrConfig) -> SolverConfig {
+        let mut cfg = SolverConfig::resilient(1);
+        cfg.resilience =
+            Some(ResilienceConfig::paper(1).with_protection(Protection::Checkpoint(cr)));
+        cfg
+    }
+
+    #[test]
+    fn cr_bounds_are_typed_errors() {
+        let zero_interval = cr_cfg(CrConfig::default().with_interval(0));
+        assert!(matches!(
+            zero_interval.validate(SolverKind::Pcg, 4),
+            Err(ConfigError::CrInvalid { interval: 0, .. })
+        ));
+        let zero_copies = cr_cfg(CrConfig::default().with_copies(0));
+        assert!(matches!(
+            zero_copies.validate(SolverKind::Pcg, 4),
+            Err(ConfigError::CrInvalid { copies: 0, .. })
+        ));
+        // copies ≥ N leaves no legal ring placement.
+        let too_many = cr_cfg(CrConfig::default().with_copies(4));
+        assert!(matches!(
+            too_many.validate(SolverKind::Pcg, 4),
+            Err(ConfigError::CrInvalid { copies: 4, .. })
+        ));
+        // N − 1 replicas (a copy on every other node) is the legal ceiling.
+        let ceiling = cr_cfg(CrConfig::default().with_copies(3));
+        assert!(ceiling.validate(SolverKind::Pcg, 4).is_ok());
+    }
+
+    #[test]
+    fn cr_rejects_jacobi_and_explicit_p() {
+        let cfg = cr_cfg(CrConfig::default());
+        assert!(matches!(
+            cfg.validate(SolverKind::Jacobi, 4),
+            Err(ConfigError::CrInvalid { .. })
+        ));
+        let mut cfg = cr_cfg(CrConfig::default());
+        cfg.precond = PrecondConfig::ExplicitP(Arc::new(Csr::identity(8)));
+        assert!(matches!(
+            cfg.validate(SolverKind::Pcg, 4),
+            Err(ConfigError::PrecondUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn cr_supports_every_engine_policy() {
+        for policy in [
+            RecoveryPolicy::Replace,
+            RecoveryPolicy::Spares(2),
+            RecoveryPolicy::Shrink,
+        ] {
+            let mut cfg = cr_cfg(CrConfig::default().with_copies(2));
+            cfg.resilience = Some(cfg.resilience.unwrap().with_policy(policy));
+            for solver in [SolverKind::Pcg, SolverKind::PipeCg, SolverKind::BiCgStab] {
+                assert!(cfg.validate(solver, 5).is_ok(), "{solver:?} × {policy:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cr_error_display_names_the_constraint() {
+        let err = cr_cfg(CrConfig::default().with_interval(0))
+            .validate(SolverKind::Pcg, 4)
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("interval: 0"), "{msg}");
+        assert!(msg.contains("interval ≥ 1"), "{msg}");
     }
 }

@@ -237,26 +237,29 @@ pub fn run_jacobi(
     ))
 }
 
-/// Run the checkpoint/restart baseline (paper Sec. 1.2's comparator class;
-/// see [`crate::checkpoint`]). Replace-only.
+/// Run checkpoint/restart-protected PCG (paper Sec. 1.2's comparator
+/// class; see [`crate::checkpoint`]).
+///
+/// Compatibility shim over the engine-backed protection axis: equivalent
+/// to [`run_pcg`] with `resilience.protection =`
+/// [`Protection::Checkpoint`]`(cr)`. A missing `cfg.resilience` defaults
+/// to [`ResilienceConfig::paper`] (the C/R parameters all live in `cr`).
 pub fn run_checkpoint_restart(
     problem: &Problem,
     nodes: usize,
     cfg: &SolverConfig,
-    cr: &crate::checkpoint::CrConfig,
+    cr: &crate::config::CrConfig,
     cost: CostModel,
     script: FailureScript,
 ) -> Result<ExperimentResult, ConfigError> {
+    let mut cfg = cfg.clone();
+    let res = cfg
+        .resilience
+        .take()
+        .unwrap_or_else(|| crate::config::ResilienceConfig::paper(1));
+    cfg.resilience = Some(res.with_protection(crate::config::Protection::Checkpoint(cr.clone())));
     cfg.validate(SolverKind::CheckpointRestart, nodes)?;
-    let cr = cr.clone();
-    Ok(run_with(
-        problem,
-        nodes,
-        cfg,
-        cost,
-        script,
-        move |ctx, a, b, cfg| crate::checkpoint::cr_pcg_node(ctx, a, b, cfg, &cr),
-    ))
+    Ok(run_with(problem, nodes, &cfg, cost, script, esr_pcg_node))
 }
 
 fn run_with<F>(

@@ -63,7 +63,7 @@ use sparsemat::vecops::{axpy, dot, xpay};
 use sparsemat::{BlockPartition, Csr};
 
 use crate::config::{
-    PrecondConfig, RecoveryConfig, RecoveryPolicy, ResilienceConfig, SolverConfig,
+    PrecondConfig, Protection, RecoveryConfig, RecoveryPolicy, ResilienceConfig, SolverConfig,
 };
 use crate::localmat::LocalMatrix;
 use crate::precsetup::NodePrecond;
@@ -72,14 +72,17 @@ use crate::retention::{Gen, Retention};
 use crate::scatter::ScatterPlan;
 
 // Recovery tag bases; each attempt gets its own tag window so messages
-// from an aborted attempt can never be confused with a later one.
+// from an aborted attempt can never be confused with a later one. The
+// same sequence counter numbers checkpoint-deposit rounds and rollback
+// attempts (`checkpoint`/`retention`), so every window — ESR attempt,
+// deposit, rollback attempt — is globally unique.
 const TAG_STRIDE: u32 = 32;
 const TAG_BASE: u32 = 1 << 16;
 const OFF_SCALARS: u32 = 0;
 const OFF_COPIES: u32 = 1; // one offset per channel read, up to OFF_DYNAMIC
 const OFF_DYNAMIC: u32 = 10; // request/response pairs allocated per gather
 
-fn tag(seq: u32, off: u32) -> u32 {
+pub(crate) fn tag(seq: u32, off: u32) -> u32 {
     debug_assert!(off < TAG_STRIDE);
     TAG_BASE + seq * TAG_STRIDE + off
 }
@@ -117,16 +120,21 @@ impl Layout {
         let part = BlockPartition::new(a.n_rows(), ctx.size());
         let lm = LocalMatrix::build(a, &part, rank);
         let mut plan = ScatterPlan::build(ctx, &lm, &part);
-        if let Some(res) = &cfg.resilience {
-            plan.send_extra = redundancy::compute_extra_sends(
-                rank,
-                ctx.size(),
-                res.phi,
-                &res.strategy,
-                lm.n_local(),
-                &plan.send_natural,
-            );
-            plan.announce_extras(ctx);
+        match &cfg.resilience {
+            // Only ESR rides redundancy extras on the SpMV traffic;
+            // checkpoint protection pays its deposit traffic instead.
+            Some(res) if res.is_esr() => {
+                plan.send_extra = redundancy::compute_extra_sends(
+                    rank,
+                    ctx.size(),
+                    res.phi,
+                    &res.strategy,
+                    lm.n_local(),
+                    &plan.send_natural,
+                );
+                plan.announce_extras(ctx);
+            }
+            _ => {}
         }
         let channels = (0..n_channels)
             .map(|_| Retention::build(&plan, &lm.ghost_cols))
@@ -203,6 +211,12 @@ pub struct RecoveryReport {
     pub attempts: usize,
     /// Inner-solver iterations of the final attempt's distributed systems.
     pub inner_iterations: usize,
+    /// `Some(epoch)` when the recovery was a checkpoint rollback
+    /// ([`crate::config::Protection::Checkpoint`]): *all* ranks restored
+    /// the state saved at iteration `epoch` and the node program must
+    /// rewind its iteration counter there. `None` for ESR — survivors
+    /// keep their iterates and nothing is re-executed.
+    pub rollback_to: Option<u64>,
 }
 
 /// How a recovery ended for this node.
@@ -320,6 +334,35 @@ pub(crate) trait ResilientKernel {
     );
     /// Resize scratch buffers after the post-shrink layout rebuild.
     fn resize_scratch(&mut self, nloc: usize, n_ghosts: usize);
+
+    // ---- checkpoint pack ([`crate::config::Protection::Checkpoint`]) ----
+    // Solvers that support checkpoint protection override the four pack
+    // methods; the defaults declare no pack, and `SolverConfig::validate`
+    // keeps checkpoint protection away from such solvers.
+
+    /// Number of owned-block-length vectors in this solver's checkpoint
+    /// pack.
+    fn n_pack_vecs(&self) -> usize {
+        panic!("this solver declares no checkpoint pack")
+    }
+    /// Number of replicated scalars at the tail of the pack.
+    fn n_pack_scalars(&self) -> usize {
+        panic!("this solver declares no checkpoint pack")
+    }
+    /// Pack the dynamic state: `n_pack_vecs()` vectors of the owned block
+    /// length concatenated, then `n_pack_scalars()` scalars.
+    fn pack(&self) -> Vec<f64> {
+        panic!("this solver declares no checkpoint pack")
+    }
+    /// Restore the dynamic state over `new_range` from a pack produced by
+    /// [`ResilientKernel::pack`] (after a shrink: merged across the
+    /// adopted blocks, so `new_range` may be wider than the packing
+    /// range). Must also resize every scratch vector that tracks the
+    /// owned-block length.
+    fn unpack(&mut self, data: &[f64], new_range: &Range<usize>, b: &[f64]) {
+        let _ = (data, new_range, b);
+        panic!("this solver declares no checkpoint pack")
+    }
 }
 
 /// Static per-attempt context shared with kernel callbacks.
@@ -339,6 +382,12 @@ pub struct RecoveryEngine;
 /// Run the unified recovery protocol. All *active* members call this
 /// together at a failure boundary with the same failed set (already
 /// filtered to active members — ULFM-consistent notification).
+///
+/// Dispatches on the configured protection flavor: ESR reconstruction
+/// (below) or checkpoint rollback ([`crate::checkpoint::recover_rollback`]
+/// — `ckpt` must then carry the node's deposit store). Both flavors share
+/// the attempt loop with per-attempt tag windows, the overlap substep
+/// boundaries, and the policy grant/retire/adoption math.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn recover(
     ctx: &mut NodeCtx,
@@ -349,7 +398,22 @@ pub(crate) fn recover(
     handled: &mut HashSet<(u64, u32)>,
     recovery_seq: &mut u32,
     pool: &mut SparePool,
+    ckpt: Option<&mut crate::retention::CheckpointStore>,
 ) -> EngineOutcome {
+    if let Protection::Checkpoint(_) = &env.res.protection {
+        let store = ckpt.expect("checkpoint protection requires a deposit store");
+        return crate::checkpoint::recover_rollback(
+            ctx,
+            env,
+            layout,
+            kernel,
+            store,
+            initial_failed,
+            handled,
+            recovery_seq,
+            pool,
+        );
+    }
     let me = ctx.rank();
     let mut failed = initial_failed.to_vec();
     failed.sort_unstable();
@@ -629,6 +693,7 @@ pub(crate) fn recover(
             retired_ranks: retired.len(),
             attempts,
             inner_iterations,
+            rollback_to: None,
         };
 
         if retired.is_empty() {
@@ -652,51 +717,73 @@ pub(crate) fn recover(
         let new_range = new_part.range(my_new_slot);
         let own = if am_failed { None } else { Some(&my_range) };
         kernel.splice(&new_range, own, &blocks, env.b);
-
-        let lm = LocalMatrix::build(env.a, &new_part, my_new_slot);
-        // Coarse cost of re-extracting the adopted static rows.
-        ctx.clock_mut()
-            .advance_flops(lm.diag.nnz() + lm.offdiag.nnz());
-        let prec = NodePrecond::setup(ctx, env.precond, &new_part, &lm)
-            .unwrap_or_else(|e| panic!("rank {me}: preconditioner rebuild after shrink: {e}"));
-        let mut group = ctx.group(&new_members);
-        let mut plan = ScatterPlan::build_on(ctx, &mut group, &lm, &new_part);
-        let k = new_members.len();
-        let phi_eff = env.res.phi.min(k.saturating_sub(1));
-        if phi_eff >= 1 {
-            plan.send_extra = redundancy::compute_extra_sends(
-                my_new_slot,
-                k,
-                phi_eff,
-                &env.res.strategy,
-                lm.n_local(),
-                &plan.send_natural,
-            );
-            plan.announce_extras_on(ctx, &mut group);
-        }
-        let channels = (0..layout.channels.len())
-            .map(|_| Retention::build(&plan, &lm.ghost_cols))
-            .collect();
-        kernel.resize_scratch(lm.n_local(), lm.ghost_cols.len());
-
-        layout.part = new_part;
-        layout.lm = lm;
-        layout.plan = plan;
-        layout.channels = channels;
-        layout.prec = prec;
-        layout.members = new_members;
-        layout.my_slot = my_new_slot;
-        layout.group = Some(group);
+        rebuild_layout_after_shrink(ctx, env, layout, kernel, new_part, new_members, true);
         ctx.audit_exit_window();
         return EngineOutcome::Recovered(report);
     }
+}
+
+/// Rebuild every piece of distributed state on the shrunken layout:
+/// [`LocalMatrix`], preconditioner, the survivors' [`Group`], the scatter
+/// plan (with re-derived redundancy extras when `with_redundancy` — the
+/// ESR flavor; checkpoint protection deposits replicas instead), retention
+/// channels, and the kernel's scratch buffers. Collective over
+/// `new_members`; the caller has already installed the solver state over
+/// the new ranges (ESR: `splice`; rollback: `unpack`).
+pub(crate) fn rebuild_layout_after_shrink(
+    ctx: &mut NodeCtx,
+    env: &EngineEnv<'_>,
+    layout: &mut Layout,
+    kernel: &mut dyn ResilientKernel,
+    new_part: BlockPartition,
+    new_members: Vec<usize>,
+    with_redundancy: bool,
+) {
+    let me = ctx.rank();
+    let my_new_slot = new_members
+        .binary_search(&me)
+        .expect("active non-retired rank is a new member");
+    let lm = LocalMatrix::build(env.a, &new_part, my_new_slot);
+    // Coarse cost of re-extracting the adopted static rows.
+    ctx.clock_mut()
+        .advance_flops(lm.diag.nnz() + lm.offdiag.nnz());
+    let prec = NodePrecond::setup(ctx, env.precond, &new_part, &lm)
+        .unwrap_or_else(|e| panic!("rank {me}: preconditioner rebuild after shrink: {e}"));
+    let mut group = ctx.group(&new_members);
+    let mut plan = ScatterPlan::build_on(ctx, &mut group, &lm, &new_part);
+    let k = new_members.len();
+    let phi_eff = env.res.phi.min(k.saturating_sub(1));
+    if with_redundancy && phi_eff >= 1 {
+        plan.send_extra = redundancy::compute_extra_sends(
+            my_new_slot,
+            k,
+            phi_eff,
+            &env.res.strategy,
+            lm.n_local(),
+            &plan.send_natural,
+        );
+        plan.announce_extras_on(ctx, &mut group);
+    }
+    let channels = (0..layout.channels.len())
+        .map(|_| Retention::build(&plan, &lm.ghost_cols))
+        .collect();
+    kernel.resize_scratch(lm.n_local(), lm.ghost_cols.len());
+
+    layout.part = new_part;
+    layout.lm = lm;
+    layout.plan = plan;
+    layout.channels = channels;
+    layout.prec = prec;
+    layout.members = new_members;
+    layout.my_slot = my_new_slot;
+    layout.group = Some(group);
 }
 
 /// Check the overlap boundary `(iteration, substep)`; merge any newly
 /// failed *active* ranks into `failed` and report whether a restart is
 /// needed. Failures naming ranks outside `members` are inert — retired
 /// hardware is gone and has nothing left to lose.
-fn poll_overlap(
+pub(crate) fn poll_overlap(
     ctx: &NodeCtx,
     iteration: u64,
     substep: u32,

@@ -47,10 +47,9 @@ pub mod retention;
 pub mod scatter;
 pub mod stationary;
 
-pub use checkpoint::CrConfig;
 pub use config::{
-    BackupStrategy, ConfigError, PrecondConfig, RecoveryConfig, RecoveryPolicy, ResilienceConfig,
-    SolverConfig, SolverKind,
+    BackupStrategy, ConfigError, CrConfig, PrecondConfig, Protection, RecoveryConfig,
+    RecoveryPolicy, ResilienceConfig, SolverConfig, SolverKind,
 };
 pub use driver::{
     run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, run_pipecg, ExperimentResult,

@@ -140,6 +140,9 @@ pub(crate) struct PcgKernel<'a> {
     pub b_loc: &'a mut Vec<f64>,
     /// The replicated scalar `β(j-1)`.
     pub beta_prev: &'a mut f64,
+    /// The replicated scalar `r(j)ᵀz(j)` (checkpoint-pack state; ESR
+    /// re-derives it with a fresh reduction instead).
+    pub rz: &'a mut f64,
     /// `P = M⁻¹` when configured: selects the P-given reconstruction
     /// (Alg. 2 lines 5–6) in the distributed stage.
     pub explicit_p: Option<Arc<Csr>>,
@@ -182,6 +185,43 @@ impl ResilientKernel for PcgKernel<'_> {
         poison(self.p);
         poison(self.ghosts);
         *self.beta_prev = f64::NAN;
+        *self.rz = f64::NAN;
+    }
+
+    fn n_pack_vecs(&self) -> usize {
+        4
+    }
+
+    fn n_pack_scalars(&self) -> usize {
+        2
+    }
+
+    fn pack(&self) -> Vec<f64> {
+        // Layout [x | r | z | p | β(j-1), r(j)ᵀz(j)] — the loop-top state a
+        // restarted iteration resumes from.
+        let mut data = Vec::with_capacity(4 * self.x.len() + 2);
+        data.extend_from_slice(self.x);
+        data.extend_from_slice(self.r);
+        data.extend_from_slice(self.z);
+        data.extend_from_slice(self.p);
+        data.push(*self.beta_prev);
+        data.push(*self.rz);
+        data
+    }
+
+    fn unpack(&mut self, data: &[f64], new_range: &Range<usize>, b: &[f64]) {
+        let nloc = new_range.len();
+        let vec_at = |slot: usize| data[slot * nloc..(slot + 1) * nloc].to_vec();
+        *self.x = vec_at(0);
+        *self.r = vec_at(1);
+        *self.z = vec_at(2);
+        *self.p = vec_at(3);
+        *self.beta_prev = data[4 * nloc];
+        *self.rz = data[4 * nloc + 1];
+        *self.b_loc = b[new_range.clone()].to_vec();
+        // Scratch follows the (possibly unchanged) block length; ghosts are
+        // refreshed by the restarted iteration's re-scatter.
+        *self.u = vec![0.0; nloc];
     }
 
     fn n_block_vecs(&self) -> usize {
@@ -336,8 +376,14 @@ pub fn esr_pcg_node(
         );
     }
 
+    // Protection flavor: ESR retains search directions in the scatter and
+    // reconstructs; checkpoint/rollback deposits loop-top packs on a ring
+    // and rolls every rank back. CR needs no retention channels.
+    let cr = cfg.resilience.as_ref().and_then(|res| res.cr());
+    let esr = cfg.resilience.is_some() && cr.is_none();
+
     // ---- setup: local rows, communication plans, preconditioner --------
-    let mut layout = Layout::build_full(ctx, a, cfg, 1);
+    let mut layout = Layout::build_full(ctx, a, cfg, if cr.is_some() { 0 } else { 1 });
     ctx.barrier();
     let vtime_setup = ctx.vtime();
     ctx.reset_metrics();
@@ -374,15 +420,42 @@ pub fn esr_pcg_node(
     let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
     let mut recovery_seq: u32 = 0;
     let resilient = cfg.resilience.is_some();
+    let mut ckpt =
+        cr.map(|c| crate::retention::CheckpointStore::new(c, &layout.members, layout.my_slot));
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
+
+        // Periodic checkpoint deposit (loop top = the state a rollback
+        // resumes from). Runs again right after a rollback — the agreed
+        // epoch is itself a multiple of the interval — which refills
+        // replicas lost with the failed ranks, on the current ring.
+        if let Some(store) = ckpt.as_mut() {
+            if j.is_multiple_of(store.interval() as u64) {
+                let kernel = PcgKernel {
+                    x: &mut x,
+                    r: &mut r,
+                    z: &mut z,
+                    p: &mut p,
+                    u: &mut u,
+                    ghosts: &mut ghosts,
+                    b_loc: &mut b_loc,
+                    beta_prev: &mut beta_prev,
+                    rz: &mut rz,
+                    explicit_p: None,
+                };
+                let data = kernel.pack();
+                let seq = recovery_seq;
+                recovery_seq += 1;
+                store.deposit(ctx, seq, j, data);
+            }
+        }
 
         // SpMV scatter: ghost exchange + redundancy distribution. The
         // retention generations rotate with every scatter of a new p(j)
         // (and identically on the post-recovery restart, which re-scatters
         // the recovered p(j) and thereby restores lost redundancy).
-        if resilient {
+        if esr {
             layout.channels[0].rotate();
             layout
                 .plan
@@ -418,12 +491,13 @@ pub fn esr_pcg_node(
                     ghosts: &mut ghosts,
                     b_loc: &mut b_loc,
                     beta_prev: &mut beta_prev,
+                    rz: &mut rz,
                     explicit_p: match &cfg.precond {
                         PrecondConfig::ExplicitP(p) => Some(p.clone()),
                         _ => None,
                     },
                 };
-                match engine::recover(
+                let rolled_back = match engine::recover(
                     ctx,
                     &env,
                     &mut layout,
@@ -432,6 +506,7 @@ pub fn esr_pcg_node(
                     &mut handled_sub,
                     &mut recovery_seq,
                     &mut pool,
+                    ckpt.as_mut(),
                 ) {
                     EngineOutcome::Retired => {
                         retired = true;
@@ -442,12 +517,19 @@ pub fn esr_pcg_node(
                         ranks_recovered += report.total_failed;
                         vtime_recovery += ctx.vtime() - t0;
                         nloc = layout.lm.n_local();
+                        report.rollback_to
                     }
+                };
+                if let Some(epoch) = rolled_back {
+                    // Rollback: every rank resumes the checkpointed epoch;
+                    // the unpacked state carries rz with it.
+                    iterations = epoch as usize;
+                } else {
+                    // ESR: rz must be re-established (replacements recompute
+                    // their share); bitwise identical on survivors' data.
+                    ctx.clock_mut().advance_flops(2 * nloc);
+                    rz = layout.allreduce_sum(ctx, dot(&r, &z));
                 }
-                // rz must be re-established (replacements recompute their
-                // share); bitwise identical on survivors' data.
-                ctx.clock_mut().advance_flops(2 * nloc);
-                rz = layout.allreduce_sum(ctx, dot(&r, &z));
                 // Restart the interrupted iteration: re-scatter p(j) (also
                 // restores redundancy and replacement ghosts).
                 continue;

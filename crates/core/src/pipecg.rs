@@ -100,6 +100,9 @@ pub(crate) struct PipeKernel<'a> {
     pub gamma_prev: &'a mut f64,
     /// The replicated scalar `α(j-1)`.
     pub alpha_prev: &'a mut f64,
+    /// Whether a search direction `p(j-1)` exists yet (replicated;
+    /// checkpoint-pack state — the restarted loop top branches on it).
+    pub has_dir: &'a mut bool,
 }
 
 impl ResilientKernel for PipeKernel<'_> {
@@ -145,6 +148,52 @@ impl ResilientKernel for PipeKernel<'_> {
         poison(self.ghosts);
         *self.gamma_prev = f64::NAN;
         *self.alpha_prev = f64::NAN;
+    }
+
+    fn n_pack_vecs(&self) -> usize {
+        8
+    }
+
+    fn n_pack_scalars(&self) -> usize {
+        3
+    }
+
+    fn pack(&self) -> Vec<f64> {
+        // The full 8-vector recurrence state plus the replicated scalars;
+        // has_dir travels as 0.0/1.0 so the restarted loop top takes the
+        // same β branch it originally did.
+        let mut data = Vec::with_capacity(8 * self.x.len() + 3);
+        data.extend_from_slice(self.x);
+        data.extend_from_slice(self.r);
+        data.extend_from_slice(self.u);
+        data.extend_from_slice(self.w);
+        data.extend_from_slice(self.p);
+        data.extend_from_slice(self.s);
+        data.extend_from_slice(self.q);
+        data.extend_from_slice(self.z);
+        data.push(*self.gamma_prev);
+        data.push(*self.alpha_prev);
+        data.push(if *self.has_dir { 1.0 } else { 0.0 });
+        data
+    }
+
+    fn unpack(&mut self, data: &[f64], new_range: &Range<usize>, b: &[f64]) {
+        let nloc = new_range.len();
+        let vec_at = |slot: usize| data[slot * nloc..(slot + 1) * nloc].to_vec();
+        *self.x = vec_at(0);
+        *self.r = vec_at(1);
+        *self.u = vec_at(2);
+        *self.w = vec_at(3);
+        *self.p = vec_at(4);
+        *self.s = vec_at(5);
+        *self.q = vec_at(6);
+        *self.z = vec_at(7);
+        *self.gamma_prev = data[8 * nloc];
+        *self.alpha_prev = data[8 * nloc + 1];
+        *self.has_dir = data[8 * nloc + 2] != 0.0;
+        *self.b_loc = b[new_range.clone()].to_vec();
+        *self.mbuf = vec![0.0; nloc];
+        *self.nbuf = vec![0.0; nloc];
     }
 
     fn n_block_vecs(&self) -> usize {
@@ -263,8 +312,11 @@ pub fn esr_pipecg_node(
     let rank = ctx.rank();
 
     // ---- setup: local rows, communication plans, preconditioner --------
-    // Two retention channels: copies of u(j) and of p(j-1).
-    let mut layout = Layout::build_full(ctx, a, cfg, 2);
+    // Protection flavor (see `pcg`): ESR needs two retention channels,
+    // copies of u(j) and of p(j-1); checkpoint/rollback needs none.
+    let cr = cfg.resilience.as_ref().and_then(|res| res.cr());
+    let esr = cfg.resilience.is_some() && cr.is_none();
+    let mut layout = Layout::build_full(ctx, a, cfg, if cr.is_some() { 0 } else { 2 });
     assert!(
         !layout.prec.is_explicit_p(),
         "rank {rank}: pipelined PCG requires a block-diagonal (M-given) preconditioner \
@@ -318,9 +370,39 @@ pub fn esr_pipecg_node(
     // re-bootstraps the pipeline (below): the recurrences restart through
     // the β = 0 branch, exactly like iteration 0.
     let mut has_dir = false;
+    let mut ckpt =
+        cr.map(|c| crate::retention::CheckpointStore::new(c, &layout.members, layout.my_slot));
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
+
+        // Periodic checkpoint deposit of the loop-top recurrence state
+        // (before the overlapped reduction is issued).
+        if let Some(store) = ckpt.as_mut() {
+            if j.is_multiple_of(store.interval() as u64) {
+                let kernel = PipeKernel {
+                    x: &mut x,
+                    r: &mut r,
+                    u: &mut u,
+                    w: &mut w,
+                    p: &mut p,
+                    s: &mut s,
+                    q: &mut q,
+                    z: &mut z,
+                    mbuf: &mut mbuf,
+                    nbuf: &mut nbuf,
+                    ghosts: &mut ghosts,
+                    b_loc: &mut b_loc,
+                    gamma_prev: &mut gamma_prev,
+                    alpha_prev: &mut alpha_prev,
+                    has_dir: &mut has_dir,
+                };
+                let data = kernel.pack();
+                let seq = recovery_seq;
+                recovery_seq += 1;
+                store.deposit(ctx, seq, j, data);
+            }
+        }
 
         // The single fused reduction of the iteration, overlapped with
         // everything below until the wait (group-backed after a shrink).
@@ -337,7 +419,7 @@ pub fn esr_pipecg_node(
         // Ghost exchange of m(j), with redundant copies of u(j), p(j-1)
         // appended. The rotation per scatter expires stale generations (and
         // the post-recovery restart re-scatters, restoring lost copies).
-        if resilient {
+        if esr {
             let (ch_u, ch_p) = layout.channels.split_at_mut(1);
             let ret_u = &mut ch_u[0];
             let ret_p = &mut ch_p[0];
@@ -398,6 +480,7 @@ pub fn esr_pipecg_node(
                     b_loc: &mut b_loc,
                     gamma_prev: &mut gamma_prev,
                     alpha_prev: &mut alpha_prev,
+                    has_dir: &mut has_dir,
                 };
                 match engine::recover(
                     ctx,
@@ -408,6 +491,7 @@ pub fn esr_pipecg_node(
                     &mut handled_sub,
                     &mut recovery_seq,
                     &mut pool,
+                    ckpt.as_mut(),
                 ) {
                     EngineOutcome::Retired => {
                         retired = true;
@@ -417,6 +501,11 @@ pub fn esr_pipecg_node(
                         recoveries += 1;
                         ranks_recovered += report.total_failed;
                         nloc = layout.lm.n_local();
+                        if let Some(epoch) = report.rollback_to {
+                            // Rollback: every rank resumes the checkpointed
+                            // epoch with the unpacked loop-top state.
+                            iterations = epoch as usize;
+                        }
                         if report.retired_ranks > 0 {
                             // The layout shrank, so the preconditioner was
                             // rebuilt with merged blocks — but the pipelined

@@ -1,15 +1,34 @@
-//! The redundant-copy store.
+//! The redundant-state stores — one per protection flavor.
 //!
-//! In non-resilient PCG, a node drops the search-direction elements it
-//! received for SpMV once the product is computed. ESR instead **retains**
-//! everything received for the two most recent search directions
-//! (paper Sec. 2.2): "there is a redundant copy of each element of p(j)
-//! after computing A·p(j)". The store holds two generations — `cur` for
-//! `p(j)`, `prev` for `p(j-1)` — rotated at every SpMV, and answers the
-//! recovery-time query *"give me every retained element owned by the failed
-//! nodes"*.
+//! **[`Retention`]** (ESR): in non-resilient PCG, a node drops the
+//! search-direction elements it received for SpMV once the product is
+//! computed. ESR instead **retains** everything received for the two most
+//! recent search directions (paper Sec. 2.2): "there is a redundant copy
+//! of each element of p(j) after computing A·p(j)". The store holds two
+//! generations — `cur` for `p(j)`, `prev` for `p(j-1)` — rotated at every
+//! SpMV, and answers the recovery-time query *"give me every retained
+//! element owned by the failed nodes"*.
+//!
+//! **[`CheckpointStore`]** (checkpoint/rollback): the periodic-checkpoint
+//! counterpart. Every deposit round each node replicates its packed
+//! dynamic state to `copies` ring partners — the same Eqn. (5)
+//! alternating-ring placement ESR uses for redundant copies, so the two
+//! flavors are equally failure-decorrelated — and holds the newest
+//! replica deposited by each of its clients, answering the rollback-time
+//! query *"give me the newest surviving checkpoint of this failed block"*.
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parcomm::{CommPhase, NodeCtx, Payload};
+
+use crate::config::CrConfig;
+use crate::redundancy::backup_targets;
 use crate::scatter::ScatterPlan;
+
+/// Tag offset of deposit fan-out messages inside a deposit round's window
+/// (each round gets its own window from the shared recovery sequence).
+const OFF_CKPT: u32 = 0;
 
 /// Which generation of retained copies.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -190,6 +209,151 @@ impl Retention {
     }
 }
 
+/// One saved state: the iteration it was packed at and the packed block
+/// (see [`crate::engine::ResilientKernel::pack`] for the layout).
+#[derive(Clone, Debug)]
+pub(crate) struct Checkpoint {
+    /// The outer iteration the pack describes (a deposit-round boundary).
+    pub iteration: u64,
+    /// The packed dynamic state.
+    pub data: Vec<f64>,
+}
+
+/// Periodic-checkpoint store for
+/// [`crate::config::Protection::Checkpoint`]: this node's own newest
+/// checkpoint plus the newest replica held for each ring client.
+///
+/// Placement is by **member slot**, not global rank, so the ring contracts
+/// correctly after a shrink: `partners = members[backup_targets(my_slot)]`.
+/// On the full cluster the two coincide.
+#[derive(Clone, Debug)]
+pub(crate) struct CheckpointStore {
+    interval: usize,
+    copies: usize,
+    /// Global ranks this node deposits replicas on (current layout).
+    partners: Vec<usize>,
+    /// Global ranks that deposit replicas here (current layout).
+    clients: Vec<usize>,
+    /// Newest replica held per client, keyed by global rank.
+    held: HashMap<usize, Checkpoint>,
+    /// This node's own newest checkpoint.
+    pub own: Checkpoint,
+}
+
+impl CheckpointStore {
+    /// Build the store for the current layout. `copies` is clamped to the
+    /// member count minus one (a shrink can leave fewer ring partners than
+    /// configured replicas).
+    pub fn new(cr: &CrConfig, members: &[usize], my_slot: usize) -> Self {
+        let (partners, clients) = Self::placement(cr.copies, members, my_slot);
+        CheckpointStore {
+            interval: cr.interval,
+            copies: cr.copies,
+            partners,
+            clients,
+            held: HashMap::new(),
+            own: Checkpoint {
+                iteration: 0,
+                data: Vec::new(),
+            },
+        }
+    }
+
+    fn placement(copies: usize, members: &[usize], my_slot: usize) -> (Vec<usize>, Vec<usize>) {
+        let k = members.len();
+        let copies_eff = copies.min(k.saturating_sub(1));
+        if copies_eff == 0 {
+            return (Vec::new(), Vec::new()); // single survivor: no ring
+        }
+        let partners: Vec<usize> = backup_targets(my_slot, k, copies_eff)
+            .into_iter()
+            .map(|s| members[s])
+            .collect();
+        let clients: Vec<usize> = (0..k)
+            .filter(|&s| s != my_slot && backup_targets(s, k, copies_eff).contains(&my_slot))
+            .map(|s| members[s])
+            .collect();
+        (partners, clients)
+    }
+
+    /// Checkpoint every `interval` outer iterations.
+    pub fn interval(&self) -> usize {
+        self.interval
+    }
+
+    /// Global ranks holding replicas of member `f`'s block (ring order —
+    /// rollback serves from the first *surviving* one).
+    pub fn holders_of(&self, members: &[usize], f: usize) -> Vec<usize> {
+        let k = members.len();
+        let copies_eff = self.copies.min(k.saturating_sub(1));
+        if copies_eff == 0 {
+            return Vec::new();
+        }
+        let slot = members
+            .binary_search(&f)
+            .expect("failed rank is an active member");
+        backup_targets(slot, k, copies_eff)
+            .into_iter()
+            .map(|s| members[s])
+            .collect()
+    }
+
+    /// The newest replica held for global rank `f`, if any.
+    pub fn replica_of(&self, f: usize) -> Option<&Checkpoint> {
+        self.held.get(&f)
+    }
+
+    /// One deposit round: save `data` as this node's own checkpoint for
+    /// `iteration`, fan the replica out to the ring partners, and collect
+    /// the clients' replicas. Collective over the active members;
+    /// bracketed in its own audit tag window `seq` (drawn from the shared
+    /// recovery sequence, so deposit rounds and recovery attempts can
+    /// never alias). One shared buffer fans out to every partner (Arc
+    /// bump per send, no per-destination deep copy; each message still
+    /// pays the full λ + s·µ).
+    pub fn deposit(&mut self, ctx: &mut NodeCtx, seq: u32, iteration: u64, data: Vec<f64>) {
+        ctx.audit_enter_window(seq);
+        self.own = Checkpoint { iteration, data };
+        let shared = Arc::new(self.own.data.clone());
+        for &d in &self.partners {
+            ctx.send(
+                d,
+                crate::engine::tag(seq, OFF_CKPT),
+                Payload::f64s_shared(shared.clone()),
+                CommPhase::Redundancy,
+            );
+        }
+        for &c in &self.clients {
+            let data = ctx
+                .recv_phase(c, crate::engine::tag(seq, OFF_CKPT), CommPhase::Redundancy)
+                .into_f64s();
+            self.held.insert(c, Checkpoint { iteration, data });
+        }
+        ctx.audit_exit_window();
+    }
+
+    /// Destroy all checkpoint data (this node failed): both the own copy
+    /// and every held replica are gone.
+    pub fn poison(&mut self) {
+        self.own.data.clear();
+        self.held.clear();
+    }
+
+    /// Recompute the ring for a new layout (post-shrink) and drop all
+    /// state; the caller re-seeds `own`, and the re-deposit at the rolled
+    /// -back iteration (always a deposit boundary) refills the replicas.
+    pub fn rebuild(&mut self, members: &[usize], my_slot: usize) {
+        let (partners, clients) = Self::placement(self.copies, members, my_slot);
+        self.partners = partners;
+        self.clients = clients;
+        self.held.clear();
+        self.own = Checkpoint {
+            iteration: 0,
+            data: Vec::new(),
+        };
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -314,5 +478,76 @@ mod tests {
         ret.set_valid(Gen::Prev);
         assert_eq!(ret.collect_range(Gen::Prev, 0, 2), vec![(0, 7.0), (1, 8.0)]);
         assert!(!ret.is_valid(Gen::Cur));
+    }
+
+    // ---- CheckpointStore ring placement --------------------------------
+
+    fn store_on(members: &[usize], my_slot: usize, copies: usize) -> CheckpointStore {
+        CheckpointStore::new(&CrConfig::default().with_copies(copies), members, my_slot)
+    }
+
+    #[test]
+    fn checkpoint_placement_full_cluster_matches_ring() {
+        let members: Vec<usize> = (0..5).collect();
+        let st = store_on(&members, 1, 2);
+        assert_eq!(st.partners, backup_targets(1, 5, 2));
+        // Partner/client relations are mutually consistent across nodes.
+        for slot in 0..5 {
+            let s = store_on(&members, slot, 2);
+            for &c in &s.clients {
+                let cs = store_on(&members, c, 2);
+                assert!(cs.partners.contains(&members[slot]));
+            }
+            for &d in &s.partners {
+                let ds = store_on(&members, d, 2);
+                assert!(ds.clients.contains(&members[slot]));
+            }
+        }
+    }
+
+    #[test]
+    fn checkpoint_placement_is_by_slot_after_shrink() {
+        // Members {0, 2, 3, 6}: the ring runs over slots, then maps back
+        // to global ranks — slot 1 (rank 2) targets slot 2 (rank 3).
+        let members = vec![0, 2, 3, 6];
+        let st = store_on(&members, 1, 1);
+        assert_eq!(st.partners, vec![3]);
+        assert_eq!(st.holders_of(&members, 2), vec![3]);
+    }
+
+    #[test]
+    fn checkpoint_copies_clamp_to_surviving_ring() {
+        // Three members but five configured replicas: only two other
+        // nodes exist to hold them.
+        let members = vec![1, 4, 7];
+        let st = store_on(&members, 0, 5);
+        assert_eq!(st.partners.len(), 2);
+        // A single survivor has no ring at all.
+        let st = store_on(&[4], 0, 3);
+        assert!(st.partners.is_empty() && st.clients.is_empty());
+        assert!(st.holders_of(&[4], 4).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_poison_and_rebuild_drop_replicas() {
+        let members: Vec<usize> = (0..4).collect();
+        let mut st = store_on(&members, 2, 1);
+        st.own = Checkpoint {
+            iteration: 10,
+            data: vec![1.0, 2.0],
+        };
+        st.held.insert(
+            1,
+            Checkpoint {
+                iteration: 10,
+                data: vec![3.0],
+            },
+        );
+        st.poison();
+        assert!(st.own.data.is_empty());
+        assert!(st.replica_of(1).is_none());
+        st.rebuild(&[0, 2], 1);
+        assert_eq!(st.partners, vec![0]);
+        assert_eq!(st.own.iteration, 0);
     }
 }

@@ -156,6 +156,64 @@ fn window_close_with_unconsumed_recovery_message_panics() {
     assert!(msg.contains("user(4)"), "{msg}");
 }
 
+// The engine's checkpoint traffic uses tags from the recovery range
+// ((1 << 16) + seq * 32 + offset) with offset 0 for periodic deposits and
+// offset 1 for rollback fetches; both flow inside audit windows numbered by
+// the shared recovery sequence. These two tests seed the checkpoint-specific
+// leak shapes and prove the window invariants cover them.
+
+#[test]
+fn leaked_checkpoint_deposit_is_flagged_at_window_close() {
+    // A deposit replica pushed to a partner that never receives it — the
+    // bug a mis-rebuilt ring placement after a shrink would produce. The
+    // deposit travels in the Redundancy phase, but window residue is
+    // phase-blind: the window stamp alone must flag it at the boundary.
+    const DEPOSIT_TAG: u32 = (1 << 16) + 6 * 32; // tag(seq 6, OFF_CKPT)
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.audit_enter_window(6);
+            ctx.send(1, DEPOSIT_TAG, Payload::F64(1.0), CommPhase::Redundancy);
+            // Marker so the deposit is provably queued before rank 1 exits.
+            ctx.send(1, 8, Payload::F64(2.0), CommPhase::Redundancy);
+            ctx.audit_exit_window();
+        } else {
+            ctx.audit_enter_window(6);
+            let _ = ctx.recv(0, 8);
+            ctx.audit_exit_window();
+        }
+    });
+    assert!(msg.contains("[message-drain]"), "{msg}");
+    assert!(msg.contains("recovery window 6 closed"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains("from rank 0"), "{msg}");
+    assert!(msg.contains(&format!("user({DEPOSIT_TAG})")), "{msg}");
+}
+
+#[test]
+fn checkpoint_fetch_across_windows_is_flagged() {
+    // A rollback fetch deposited in one recovery attempt must never satisfy
+    // a receive posted in a later attempt — a desynchronized recovery
+    // sequence (one rank skipping a deposit round) would produce exactly
+    // this cross-window match.
+    const FETCH_TAG: u32 = (1 << 16) + 3 * 32 + 1; // tag(seq 3, OFF_FETCH)
+    let msg = expect_panic(|ctx| {
+        if ctx.rank() == 0 {
+            ctx.audit_enter_window(3);
+            ctx.send(1, FETCH_TAG, Payload::F64(1.0), CommPhase::Recovery);
+            ctx.audit_exit_window();
+        } else {
+            ctx.audit_enter_window(4);
+            let _ = ctx.recv(0, FETCH_TAG);
+            ctx.audit_exit_window();
+        }
+    });
+    assert!(msg.contains("[tag-window]"), "{msg}");
+    assert!(msg.contains("rank 1"), "{msg}");
+    assert!(msg.contains(&format!("user({FETCH_TAG})")), "{msg}");
+    assert!(msg.contains("recovery window 3"), "{msg}");
+    assert!(msg.contains("recovery window 4"), "{msg}");
+}
+
 // ---- (5) deadlock detection -----------------------------------------------
 
 #[test]

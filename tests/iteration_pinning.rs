@@ -196,6 +196,54 @@ fn replace_overlapping_recovery_trajectory_is_pinned_bitwise() {
 }
 
 #[test]
+fn checkpoint_restart_trajectories_are_pinned_bitwise() {
+    // Captured on the code that *predates* folding checkpoint/restart into
+    // the RecoveryEngine (when `cr_pcg_node` carried its own PCG loop and
+    // its own deposit/rollback protocol). The engine-backed Replace × PCG
+    // C/R path must reproduce them bitwise: the fused loop-top reductions
+    // are element-wise identical to the old separate ones, the pack layout
+    // is unchanged, and rollback restores the exact deposited state.
+    use esr_suite::core::{run_checkpoint_restart, CrConfig};
+    let problem = Problem::with_ones_solution(poisson2d(14, 14));
+
+    // Two simultaneous failures at iteration 6, interval 5: rollback to
+    // epoch 5 re-executes one iteration.
+    let cr = CrConfig::default().with_interval(5).with_copies(2);
+    let r = run_checkpoint_restart(
+        &problem,
+        7,
+        &SolverConfig::resilient(2),
+        &cr,
+        CostModel::default(),
+        FailureScript::simultaneous(6, 2, 2, 7),
+    )
+    .unwrap();
+    assert!(r.converged);
+    assert_eq!(r.recoveries, 1);
+    assert_eq!(r.iterations, 20);
+    assert_eq!(r.solver_residual, 3.559_024_370_317_102e-8);
+    assert_eq!(r.solver_residual.to_bits(), 0x3e63_1b7c_608f_2b29);
+
+    // Single failure at iteration 13 on 4 nodes, one replica per block:
+    // rollback to epoch 10 re-executes three iterations.
+    let cr = CrConfig::default().with_interval(5).with_copies(1);
+    let r = run_checkpoint_restart(
+        &problem,
+        4,
+        &SolverConfig::resilient(1),
+        &cr,
+        CostModel::default(),
+        FailureScript::simultaneous(13, 2, 1, 4),
+    )
+    .unwrap();
+    assert!(r.converged);
+    assert_eq!(r.recoveries, 1);
+    assert_eq!(r.iterations, 19);
+    assert_eq!(r.solver_residual, 4.851_781_963_741_809e-8);
+    assert_eq!(r.solver_residual.to_bits(), 0x3e6a_0c3d_04e1_3b3c);
+}
+
+#[test]
 fn resilient_pcg_iteration_count_matches_reference() {
     // ESR's whole point (paper Sec. 5): reconstruction is *exact*, so a
     // failure run performs the same mathematical iterations as the

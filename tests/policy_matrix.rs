@@ -1,12 +1,14 @@
 //! The full recovery scenario matrix through the shared `RecoveryEngine`:
 //!
-//! {Replace, Spares(1), Shrink} × {PCG, PipeCG, BiCGSTAB}
-//!                               × {single, simultaneous, overlapping}
+//! {ESR, Checkpoint} × {Replace, Spares(1), Shrink} × {PCG, PipeCG, BiCGSTAB}
+//!                   × {single, simultaneous, overlapping}
 //!
 //! at N = 7 and N = 13 (non-power-of-two collective sizes, uneven
 //! partitions). Before the engine existed this grid had 3 working cells
 //! (the three failure modes on blocking PCG × Replace, plus the PCG-only
-//! policy module); every cell now runs through one shared protocol.
+//! policy module); every cell now runs through one shared protocol — and
+//! since the checkpoint/restart fold, both protection flavors share the
+//! attempt loop, so the C/R half of the grid rides the same machinery.
 //!
 //! The pinned invariant everywhere: reconstruction at the failure
 //! boundary is *exact* — the solve converges to the usual tolerance and
@@ -20,7 +22,8 @@
 //! — the mixed event exercises both halves of the engine at once.
 
 use esr_core::{
-    run_bicgstab, run_pcg, run_pipecg, ExperimentResult, Problem, RecoveryPolicy, SolverConfig,
+    run_bicgstab, run_pcg, run_pipecg, CrConfig, ExperimentResult, Problem, Protection,
+    RecoveryPolicy, SolverConfig,
 };
 use parcomm::{CostModel, FailAt, FailureEvent, FailureScript};
 use sparsemat::gen::poisson2d;
@@ -79,7 +82,27 @@ fn failed_count(mode: Failure) -> usize {
     }
 }
 
+#[derive(Clone, Copy, Debug)]
+enum Prot {
+    Esr,
+    Cr,
+}
+
 fn run_cell(
+    solver: Solver,
+    policy: RecoveryPolicy,
+    mode: Failure,
+    nodes: usize,
+    grid: (usize, usize),
+    at: u64,
+    first: usize,
+) -> ExperimentResult {
+    run_cell_prot(Prot::Esr, solver, policy, mode, nodes, grid, at, first)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_cell_prot(
+    prot: Prot,
     solver: Solver,
     policy: RecoveryPolicy,
     mode: Failure,
@@ -90,7 +113,13 @@ fn run_cell(
 ) -> ExperimentResult {
     let a = poisson2d(grid.0, grid.1);
     let problem = Problem::with_ones_solution(a);
-    let cfg = SolverConfig::resilient_with_policy(2, policy);
+    let mut cfg = SolverConfig::resilient_with_policy(2, policy);
+    if matches!(prot, Prot::Cr) {
+        let res = cfg.resilience.take().unwrap();
+        cfg.resilience = Some(res.with_protection(Protection::Checkpoint(
+            CrConfig::default().with_interval(4).with_copies(2),
+        )));
+    }
     let cost = CostModel::default();
     let sc = script(mode, at, first, nodes);
     let res = match solver {
@@ -99,7 +128,7 @@ fn run_cell(
         Solver::BiCgStab => run_bicgstab(&problem, nodes, &cfg, cost, sc),
     }
     .expect("every engine-backed cell is a supported configuration");
-    let label = format!("{solver:?} × {policy:?} × {mode:?} (N={nodes})");
+    let label = format!("{prot:?} × {solver:?} × {policy:?} × {mode:?} (N={nodes})");
     assert!(res.converged, "{label}: did not converge");
     let err = res.x.iter().map(|xi| (xi - 1.0).abs()).fold(0.0, f64::max);
     assert!(err < 1e-6, "{label}: reconstruction not exact, err={err}");
@@ -170,6 +199,66 @@ fn full_matrix_n13() {
             run_cell(solver, policy, Failure::Single, 13, (15, 15), 4, 7);
             run_cell(solver, policy, Failure::Simultaneous, 13, (15, 15), 6, 11);
             run_cell(solver, policy, Failure::Overlapping(2), 13, (15, 15), 5, 6);
+        }
+    }
+}
+
+#[test]
+fn checkpoint_protection_full_matrix_n7() {
+    // The C/R half of the protection axis: every solver × policy cell
+    // runs single, simultaneous, and overlapping failures through the
+    // rollback flavor (deposits every 4 iterations, 2 replicas per block).
+    for solver in SOLVERS {
+        for policy in policies() {
+            run_cell_prot(Prot::Cr, solver, policy, Failure::Single, 7, (14, 14), 5, 3);
+            run_cell_prot(
+                Prot::Cr,
+                solver,
+                policy,
+                Failure::Simultaneous,
+                7,
+                (14, 14),
+                5,
+                2,
+            );
+            run_cell_prot(
+                Prot::Cr,
+                solver,
+                policy,
+                Failure::Overlapping(2),
+                7,
+                (14, 14),
+                5,
+                2,
+            );
+        }
+    }
+}
+
+#[test]
+fn checkpoint_protection_full_matrix_n13() {
+    for solver in SOLVERS {
+        for policy in policies() {
+            run_cell_prot(
+                Prot::Cr,
+                solver,
+                policy,
+                Failure::Single,
+                13,
+                (15, 15),
+                4,
+                7,
+            );
+            run_cell_prot(
+                Prot::Cr,
+                solver,
+                policy,
+                Failure::Simultaneous,
+                13,
+                (15, 15),
+                6,
+                11,
+            );
         }
     }
 }

@@ -351,11 +351,12 @@ fn shrink_with_jacobi_and_plain_cg() {
 
 #[test]
 fn solvers_outside_the_engine_reject_non_replace_policies() {
-    // The stationary Jacobi solver and the checkpoint/restart baseline
-    // assume the full cluster outlives the solve: non-Replace policies
-    // come back as a typed ConfigError naming the constraint — a Result,
-    // not a panic deep inside a node thread.
-    use esr_core::{run_checkpoint_restart, run_jacobi, ConfigError, CrConfig, SolverKind};
+    // The stationary Jacobi solver assumes the full cluster outlives the
+    // solve: non-Replace policies come back as a typed ConfigError naming
+    // the constraint — a Result, not a panic deep inside a node thread.
+    // (Checkpoint/restart used to be in this club; it is engine-backed now
+    // and supports the whole policy matrix — covered below.)
+    use esr_core::{run_jacobi, ConfigError, SolverKind};
     let a = poisson2d(8, 8);
     let problem = Problem::with_ones_solution(a);
     for policy in [RecoveryPolicy::Spares(2), RecoveryPolicy::Shrink] {
@@ -374,20 +375,41 @@ fn solvers_outside_the_engine_reject_non_replace_policies() {
             }
             other => panic!("wrong error variant: {other:?}"),
         }
-        let cr = CrConfig {
-            interval: 4,
-            copies: 2,
+    }
+}
+
+#[test]
+fn checkpoint_restart_runs_under_every_policy() {
+    // The other half of the engine fold: C/R protection composes with the
+    // full recovery-policy axis, not just Replace.
+    use esr_core::{run_checkpoint_restart, CrConfig};
+    let a = poisson2d(12, 12);
+    let problem = Problem::with_ones_solution(a);
+    let cr = CrConfig::default().with_interval(4).with_copies(2);
+    for policy in [
+        RecoveryPolicy::Replace,
+        RecoveryPolicy::Spares(2),
+        RecoveryPolicy::Shrink,
+    ] {
+        let cfg = SolverConfig::resilient_with_policy(2, policy);
+        let res = run_checkpoint_restart(
+            &problem,
+            6,
+            &cfg,
+            &cr,
+            cost(),
+            FailureScript::simultaneous(5, 2, 2, 6),
+        )
+        .unwrap();
+        assert!(res.converged, "{policy:?}");
+        assert_eq!(res.recoveries, 1, "{policy:?}");
+        assert!(max_err_ones(&res) < 1e-6, "{policy:?}");
+        let expected_retired = if policy == RecoveryPolicy::Shrink {
+            2
+        } else {
+            0
         };
-        let err = run_checkpoint_restart(&problem, 4, &cfg, &cr, cost(), FailureScript::none())
-            .expect_err("checkpoint/restart must reject non-Replace policies");
-        assert!(
-            matches!(err, ConfigError::PolicyUnsupported { .. }),
-            "{err:?}"
-        );
-        // The error's Display names both the policy and the solver.
-        let msg = err.to_string();
-        assert!(msg.contains("RecoveryPolicy"), "{msg}");
-        assert!(msg.contains("checkpoint/restart"), "{msg}");
+        assert_eq!(res.retired_nodes(), expected_retired, "{policy:?}");
     }
 }
 

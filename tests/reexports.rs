@@ -56,6 +56,7 @@ fn engine_and_config_error_types_reach_through_umbrella_paths() {
         retired_ranks: 1,
         attempts: 1,
         inner_iterations: 40,
+        rollback_to: None,
     };
     let via_member: esr_core::RecoveryReport = report;
     assert_eq!(via_member.total_failed, 2);
@@ -82,6 +83,44 @@ fn engine_and_config_error_types_reach_through_umbrella_paths() {
         err,
         esr_core::ConfigError::PhiTooLarge { phi: 9, nodes: 4 }
     ));
+}
+
+#[test]
+fn checkpoint_protection_reaches_through_umbrella_paths() {
+    // The protection axis (engine-folded checkpoint/restart) is public
+    // surface: CrConfig through both spellings (the old `core::checkpoint`
+    // home re-exports the config type), Protection on ResilienceConfig,
+    // and the run_checkpoint_restart compatibility entry point.
+    let via_umbrella = esr_suite::core::CrConfig::default()
+        .with_interval(5)
+        .with_copies(2);
+    let via_member: esr_core::CrConfig = via_umbrella.clone();
+    let via_old_home: esr_core::checkpoint::CrConfig = via_member.clone();
+    assert_eq!(via_old_home.interval, 5);
+    assert_eq!(via_old_home.copies, 2);
+
+    let res = esr_core::ResilienceConfig::paper(2)
+        .with_protection(esr_suite::core::Protection::Checkpoint(via_member));
+    assert!(res.cr().is_some());
+    assert!(!res.is_esr());
+    assert!(esr_core::ResilienceConfig::paper(2).is_esr());
+
+    // The compatibility shim still runs a full C/R-protected solve.
+    let a = esr_suite::sparsemat::gen::poisson2d(8, 8);
+    let problem = Problem::with_ones_solution(a);
+    let result = esr_suite::core::run_checkpoint_restart(
+        &problem,
+        4,
+        &SolverConfig::resilient(1),
+        &via_old_home,
+        CostModel::default(),
+        FailureScript::simultaneous(6, 1, 1, 4),
+    )
+    .unwrap();
+    assert!(result.converged);
+    assert_eq!(result.recoveries, 1);
+    let err = result.x.iter().map(|x| (x - 1.0).abs()).fold(0.0, f64::max);
+    assert!(err < 1e-6, "rollback restart not convergent: {err}");
 }
 
 #[test]
