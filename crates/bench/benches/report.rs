@@ -24,7 +24,13 @@
 //!   post-recovery iterations for the same ψ = 2 failure event at N ≤ 16.
 //!   Checkpoint cells additionally report the rolled-back iteration count
 //!   and each solver carries the steady-state checkpoint overhead
-//!   (failure-free C/R vtime vs. the unprotected reference).
+//!   (failure-free C/R vtime vs. the unprotected reference). Schema v3
+//!   adds per-cell log-bucket quantiles (message sizes, per-phase wait
+//!   times) and the per-substep recovery timelines.
+//! * **`BENCH_trace.json` + `ESR_pcg_n16_failure.trace.json`** (only with
+//!   `--features trace`) — a traced N = 16 single-failure solve: the
+//!   Chrome-trace/Perfetto artifact plus an event census and the
+//!   virtual-time critical path attributed by phase/rank/scope.
 //!
 //! `BENCH_comm`/`BENCH_pcg` embed the pre-overhaul numbers
 //! (reduce-to-root + broadcast all-reduce, 3 reductions per PCG iteration)
@@ -65,12 +71,14 @@ const BASELINE_PCG: &[(usize, usize, f64)] = &[
 ];
 
 /// PR 5 reference-PCG timings (M1, default cost model, default scale),
-/// captured before the audit layer existed. The `audit` feature must be
-/// zero-cost when compiled **off**: every instrumentation point is behind
-/// `#[cfg(feature = "audit")]`, so an audit-off build must reproduce these
-/// *bitwise* — equality of `f64::to_bits`, not a tolerance. Virtual times
-/// are deterministic, so any drift is a real hot-path change.
-const AUDIT_OFF_PCG: &[(usize, usize, f64)] = &[
+/// captured before any instrumentation layer existed and still exact
+/// through PR 7. The `audit` and `trace` features must be zero-cost when
+/// compiled **off**: every instrumentation point is behind its
+/// `#[cfg(feature = ...)]` (or reads the clock without advancing it), so a
+/// build with both features off must reproduce these *bitwise* — equality
+/// of `f64::to_bits`, not a tolerance. Virtual times are deterministic, so
+/// any drift is a real hot-path change.
+const INSTR_OFF_PCG: &[(usize, usize, f64)] = &[
     (4, 25, 1.2476338399999983e-4),
     (8, 31, 5.1020322580645216e-5),
     (13, 39, 2.6066512820512788e-5),
@@ -152,11 +160,13 @@ fn comm_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
     )
 }
 
-/// Whether the audit-off bitwise guard applies: the feature must be
-/// compiled out and the run must use the baseline configuration.
-fn audit_guard_applicable(cfgb: &BenchConfig) -> bool {
+/// Whether the instrumentation-off bitwise guard applies: both observation
+/// features must be compiled out and the run must use the baseline
+/// configuration.
+fn instr_guard_applicable(cfgb: &BenchConfig) -> bool {
     let d = parcomm::CostModel::default();
     cfg!(not(feature = "audit"))
+        && cfg!(not(feature = "trace"))
         && cfgb.scale == 0.01
         && cfgb.cost.lambda == d.lambda
         && cfgb.cost.mu == d.mu
@@ -164,7 +174,7 @@ fn audit_guard_applicable(cfgb: &BenchConfig) -> bool {
 }
 
 fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, ExperimentResult)>) {
-    let guard = audit_guard_applicable(cfgb);
+    let guard = instr_guard_applicable(cfgb);
     let mut guarded = 0usize;
     let mut cases = Vec::new();
     let mut results = Vec::new();
@@ -181,17 +191,17 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, Exper
         assert!(r.converged, "reference PCG must converge (N={n})");
         let iters = r.iterations as f64;
         if guard {
-            if let Some(&(_, bi, bvt)) = AUDIT_OFF_PCG.iter().find(|b| b.0 == n) {
+            if let Some(&(_, bi, bvt)) = INSTR_OFF_PCG.iter().find(|b| b.0 == n) {
                 let vt = r.vtime / iters;
                 assert_eq!(
                     r.iterations as usize, bi,
-                    "N={n}: iteration count drifted from the audit-off baseline"
+                    "N={n}: iteration count drifted from the instrumentation-off baseline"
                 );
                 assert_eq!(
                     vt.to_bits(),
                     bvt.to_bits(),
-                    "N={n}: vtime/iter {vt:e} != audit-off baseline {bvt:e} — \
-                     the audit feature must be zero-cost when compiled out"
+                    "N={n}: vtime/iter {vt:e} != instrumentation-off baseline {bvt:e} — \
+                     the audit/trace features must be zero-cost when compiled out"
                 );
                 guarded += 1;
             }
@@ -240,12 +250,13 @@ fn pcg_report(cfgb: &BenchConfig, nodes: &[usize]) -> (String, Vec<(usize, Exper
         results.push((n, r));
     }
     if guard {
-        println!("audit-off bitwise guard: {guarded} case(s) matched PR 5 baselines exactly");
+        println!("instrumentation-off bitwise guard: {guarded} case(s) matched the pinned baselines exactly");
     }
     let json = format!(
-        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"audit_zero_cost\": {{\"audit_feature_compiled\": {}, \"bitwise_guard_cases\": {guarded}}},\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"esr-bench/pcg/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"solver\": \"reference PCG, fused rr+rz reduction (2 allreduces/iter)\",\n  \"instrumentation_zero_cost\": {{\"audit_feature_compiled\": {}, \"trace_feature_compiled\": {}, \"bitwise_guard_cases\": {guarded}}},\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_f(cfgb.scale),
         cfg!(feature = "audit"),
+        cfg!(feature = "trace"),
         json_f(cfgb.cost.lambda),
         json_f(cfgb.cost.mu),
         json_f(cfgb.cost.gamma),
@@ -418,14 +429,63 @@ fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
                     } else {
                         String::new()
                     };
+                    // Schema v3: deterministic log-bucket quantiles of the
+                    // message-size and per-phase wait-time distributions
+                    // (cluster-merged), plus the per-substep virtual-time
+                    // timeline of each completed recovery.
+                    let ms = r.stats.msg_size_hist();
+                    let waits = CommPhase::ALL
+                        .iter()
+                        .map(|&p| (p, r.stats.wait_hist(p)))
+                        .filter(|(_, h)| h.count() > 0)
+                        .map(|(p, h)| {
+                            format!(
+                                r#""{}": {{"count": {}, "p50": {}, "p99": {}}}"#,
+                                p.name(),
+                                h.count(),
+                                json_f(h.p50()),
+                                json_f(h.p99())
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
+                    let substeps = r
+                        .recovery_timelines
+                        .iter()
+                        .map(|tl| {
+                            let segs = tl
+                                .segments
+                                .iter()
+                                .map(|s| {
+                                    format!(
+                                        r#"{{"attempt": {}, "label": "{}", "vtime": {}}}"#,
+                                        s.attempt,
+                                        s.label,
+                                        json_f(s.vtime)
+                                    )
+                                })
+                                .collect::<Vec<_>>()
+                                .join(", ");
+                            format!(
+                                r#"{{"iteration": {}, "flavor": "{}", "total_vtime": {}, "segments": [{segs}]}}"#,
+                                tl.iteration,
+                                tl.flavor,
+                                json_f(tl.total_vtime())
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ");
                     rows.push(format!(
-                        r#"        {{"policy": "{label}", "protection": "{prot}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}{rolled_back}}}"#,
+                        r#"        {{"policy": "{label}", "protection": "{prot}", "iterations": {}, "post_recovery_iterations": {post}, "vtime_recovery": {}, "vtime_total": {}, "retired_nodes": {}, "recovery_msgs": {}, "recovery_elems": {}{rolled_back}, "msg_size_elems": {{"count": {}, "p50": {}, "p99": {}}}, "wait_vtime_quantiles": {{{waits}}}, "recovery_substeps": [{substeps}]}}"#,
                         r.iterations,
                         json_f(r.vtime_recovery),
                         json_f(r.vtime),
                         r.retired_nodes(),
                         r.stats.msgs(CommPhase::Recovery),
                         r.stats.elems(CommPhase::Recovery),
+                        ms.count(),
+                        json_f(ms.p50()),
+                        json_f(ms.p99()),
                     ));
                     println!(
                         "matrix N={n:3} {sname:8} {label:10} {prot:10}  iters {:3} (post-fail {post:3})  t_rec {:.3e}s  retired {}",
@@ -449,13 +509,95 @@ fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
         ));
     }
     format!(
-        "{{\n  \"schema\": \"esr-bench/policy-matrix/v2\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of each solver's reference progress; protections: esr (exact reconstruction) and checkpoint (diskless neighbour C/R, interval 4, psi replicas)\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"esr-bench/policy-matrix/v3\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"psi=2 contiguous failures at N/2, injected at 50% of each solver's reference progress; protections: esr (exact reconstruction) and checkpoint (diskless neighbour C/R, interval 4, psi replicas); v3 adds log-bucket msg-size/wait quantiles and per-substep recovery timelines per cell\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
         json_f(cfgb.scale),
         json_f(cfgb.cost.lambda),
         json_f(cfgb.cost.mu),
         json_f(cfgb.cost.gamma),
         cases.join(",\n")
     )
+}
+
+/// The trace artifact pair (`--features trace` builds only): a resilient
+/// N = 16 PCG solve with one injected failure, exported as (a) a
+/// Perfetto-loadable Chrome-trace JSON (`about://tracing` / ui.perfetto.dev
+/// both open it) and (b) a `BENCH_trace.json` summary with the event
+/// census and the virtual-time critical path attributed by phase, rank,
+/// and enclosing scope. Both are derived from the same validated
+/// [`parcomm::ClusterTrace`], so CI loading this artifact is also a
+/// schema gate.
+#[cfg(feature = "trace")]
+fn trace_report(cfgb: &BenchConfig) -> (String, String) {
+    const N: usize = 16;
+    let problem = cfgb.problem(PaperMatrix::M1);
+    let reference = run_pcg(
+        &problem,
+        N,
+        &SolverConfig::reference(),
+        cfgb.cost,
+        FailureScript::none(),
+    )
+    .unwrap();
+    let fail_at = (reference.iterations as u64 / 2).max(1);
+    let r = run_pcg(
+        &problem,
+        N,
+        &SolverConfig::resilient(1),
+        cfgb.cost,
+        FailureScript::simultaneous(fail_at, N / 2, 1, N),
+    )
+    .unwrap();
+    assert!(r.converged, "traced N={N} single-failure PCG must converge");
+    assert_eq!(r.recoveries, 1, "exactly one recovery event expected");
+    r.trace.validate().expect("trace must be well-formed");
+    let chrome = r.trace.chrome_trace_json();
+    let chrome_events =
+        parcomm::trace::validate_chrome_trace(&chrome).expect("chrome trace JSON must validate");
+    let cp = r.trace.critical_path();
+    let by_phase = cp
+        .by_phase
+        .iter()
+        .map(|(p, t)| format!(r#""{}": {}"#, p.name(), json_f(*t)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let by_rank = cp
+        .by_rank
+        .iter()
+        .map(|(rk, t)| format!(r#"{{"rank": {rk}, "vtime": {}}}"#, json_f(*t)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let top_scopes = cp
+        .by_scope
+        .iter()
+        .take(8)
+        .map(|(s, t)| format!(r#"{{"scope": "{s}", "vtime": {}}}"#, json_f(*t)))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let per_rank_events = r
+        .trace
+        .nodes
+        .iter()
+        .map(|nt| nt.events.len().to_string())
+        .collect::<Vec<_>>()
+        .join(", ");
+    println!(
+        "trace N={N}  events {}  chrome-events {chrome_events}  critical path {:.4e}s (vtime {:.4e}s)  steps {}",
+        r.trace.total_events(),
+        cp.total,
+        r.vtime,
+        cp.steps.len()
+    );
+    let summary = format!(
+        "{{\n  \"schema\": \"esr-bench/trace/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"scenario\": \"resilient PCG (phi=1), N={N}, one failure at rank {} iteration {fail_at}\",\n  \"artifact\": \"ESR_pcg_n16_failure.trace.json\",\n  \"events_total\": {},\n  \"events_per_rank\": [{per_rank_events}],\n  \"chrome_events\": {chrome_events},\n  \"iterations\": {},\n  \"vtime_total\": {},\n  \"critical_path\": {{\"total\": {}, \"steps\": {}, \"by_phase\": {{{by_phase}}}, \"by_rank\": [{by_rank}], \"top_scopes\": [{top_scopes}]}}\n}}\n",
+        json_f(cfgb.scale),
+        N / 2,
+        r.trace.total_events(),
+        r.iterations,
+        json_f(r.vtime),
+        json_f(cp.total),
+        cp.steps.len(),
+    );
+    (summary, chrome)
 }
 
 fn main() {
@@ -473,4 +615,10 @@ fn main() {
         "BENCH_policy_matrix.json",
         &policy_matrix_report(&cfgb, &nodes),
     );
+    #[cfg(feature = "trace")]
+    {
+        let (summary, chrome) = trace_report(&cfgb);
+        write_json("BENCH_trace.json", &summary);
+        write_json("ESR_pcg_n16_failure.trace.json", &chrome);
+    }
 }

@@ -46,7 +46,7 @@ use sparsemat::Csr;
 use crate::config::SolverConfig;
 use crate::engine::{
     self, splice, ChannelRead, EngineComm, EngineEnv, EngineOutcome, EngineShared, Layout,
-    ReconBlock, ResilientKernel,
+    ReconBlock, RecoveryTimeline, ResilientKernel,
 };
 use crate::pcg::NodeOutcome;
 use crate::retention::Gen;
@@ -347,12 +347,14 @@ pub fn esr_bicgstab_node(
     let mut handled_iter: HashSet<u64> = HashSet::new();
     let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
     let mut recovery_seq: u32 = 0;
+    let mut recovery_timelines: Vec<RecoveryTimeline> = Vec::new();
     let resilient = cfg.resilience.is_some();
     let mut ckpt =
         cr.map(|c| crate::retention::CheckpointStore::new(c, &layout.members, layout.my_slot));
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
+        ctx.trace_open("iteration", j);
 
         // Periodic checkpoint deposit of the loop-top recurrence state
         // (before the p-update, which consumes ρ(j+1)).
@@ -476,6 +478,7 @@ pub fn esr_bicgstab_node(
                 ) {
                     EngineOutcome::Retired => {
                         retired = true;
+                        ctx.trace_close(); // iteration
                         break;
                     }
                     EngineOutcome::Recovered(report) => {
@@ -483,7 +486,9 @@ pub fn esr_bicgstab_node(
                         ranks_recovered += report.total_failed;
                         vtime_recovery += ctx.vtime() - t0;
                         nloc = layout.lm.n_local();
-                        report.rollback_to
+                        let rollback_to = report.rollback_to;
+                        recovery_timelines.push(report.timeline);
+                        rollback_to
                     }
                 };
                 if let Some(epoch) = rolled_back {
@@ -491,6 +496,7 @@ pub fn esr_bicgstab_node(
                     // interrupted iteration entirely and resume the epoch
                     // (ESR instead restarts mid-iteration below).
                     iterations = epoch as usize;
+                    ctx.trace_close(); // iteration
                     continue;
                 }
                 // Restart from the ŝ scatter: re-exchange (restores the
@@ -530,6 +536,7 @@ pub fn esr_bicgstab_node(
         if residual_sq <= target_sq {
             converged = true;
         }
+        ctx.trace_close(); // iteration
     }
 
     NodeOutcome::finish(
@@ -545,6 +552,7 @@ pub fn esr_bicgstab_node(
         ranks_recovered,
         vtime_setup,
         retired,
+        recovery_timelines,
     )
 }
 

@@ -50,7 +50,7 @@ pub use crate::config::CrConfig;
 use crate::config::RecoveryPolicy;
 use crate::engine::{
     poll_overlap, rebuild_layout_after_shrink, tag, EngineEnv, EngineOutcome, Layout,
-    RecoveryReport, ResilientKernel,
+    RecoveryReport, RecoveryTimeline, ResilientKernel,
 };
 use crate::retention::{Checkpoint, CheckpointStore};
 
@@ -93,6 +93,8 @@ pub(crate) fn recover_rollback(
     pool: &mut SparePool,
 ) -> EngineOutcome {
     let me = ctx.rank();
+    ctx.trace_open("rollback", env.iteration);
+    let mut timeline = RecoveryTimeline::new(env.iteration, "cr");
     let mut failed = initial_failed.to_vec();
     failed.sort_unstable();
     failed.dedup();
@@ -110,6 +112,9 @@ pub(crate) fn recover_rollback(
         let seq = *recovery_seq;
         *recovery_seq += 1;
         ctx.audit_enter_window(seq);
+        ctx.trace_open("attempt", seq as u64);
+        let mut seg_t = ctx.vtime();
+        ctx.trace_open("setup", 0);
         assert!(
             failed.len() < layout.members.len(),
             "all {} active nodes failed — nothing left to roll back to",
@@ -120,7 +125,11 @@ pub(crate) fn recover_rollback(
         let granted = avail.min(failed.len());
         let replaced: Vec<usize> = failed[..granted].to_vec();
         let retired: Vec<usize> = failed[granted..].to_vec();
+        ctx.trace_instant("grant", granted as u64);
         if retired.binary_search(&me).is_ok() {
+            ctx.trace_close(); // setup
+            ctx.trace_close(); // attempt
+            ctx.trace_close(); // rollback
             ctx.audit_exit_window();
             return EngineOutcome::Retired;
         }
@@ -166,9 +175,14 @@ pub(crate) fn recover_rollback(
         }
 
         // ---- substep 0: before any recovery communication --------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "setup");
         if poll_overlap(ctx, env.iteration, 0, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("fetch", 0);
 
         // ---- replica fetch ----------------------------------------------
         // Push each failed block's newest surviving replica to its
@@ -233,9 +247,14 @@ pub(crate) fn recover_rollback(
         }
 
         // ---- substep 1: after the replica fetch -------------------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "fetch");
         if poll_overlap(ctx, env.iteration, 1, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("epoch", 0);
 
         // ---- epoch agreement over the post-event members ----------------
         // Survivors propose their own newest checkpoint's iteration;
@@ -257,24 +276,35 @@ pub(crate) fn recover_rollback(
         drop(g);
 
         // ---- substep 2: after epoch agreement ---------------------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "epoch");
         if poll_overlap(ctx, env.iteration, 2, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("idle", 0);
         // ---- substep 3: last boundary before the state is committed -----
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "idle");
         if poll_overlap(ctx, env.iteration, 3, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("commit", 0);
 
         // ---- success: commit the spare claim, install the rollback ------
         if matches!(env.res.policy, RecoveryPolicy::Spares(_)) {
             pool.claim(granted);
         }
-        let report = RecoveryReport {
+        let mut report = RecoveryReport {
             total_failed: failed.len(),
             retired_ranks: retired.len(),
             attempts,
             inner_iterations: 0,
             rollback_to: Some(epoch),
+            timeline: RecoveryTimeline::default(),
         };
 
         if retired.is_empty() {
@@ -291,6 +321,11 @@ pub(crate) fn recover_rollback(
                 debug_assert_eq!(store.own.iteration, epoch);
                 kernel.unpack(&store.own.data, &my_range, env.b);
             }
+            ctx.trace_close(); // commit
+            timeline.mark(ctx, &mut seg_t, attempts, "commit");
+            ctx.trace_close(); // attempt
+            ctx.trace_close(); // rollback
+            report.timeline = timeline;
             ctx.audit_exit_window();
             return EngineOutcome::Recovered(report);
         }
@@ -348,6 +383,11 @@ pub(crate) fn recover_rollback(
             iteration: epoch,
             data: merged,
         };
+        ctx.trace_close(); // commit
+        timeline.mark(ctx, &mut seg_t, attempts, "commit");
+        ctx.trace_close(); // attempt
+        ctx.trace_close(); // rollback
+        report.timeline = timeline;
         ctx.audit_exit_window();
         return EngineOutcome::Recovered(report);
     }

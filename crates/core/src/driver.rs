@@ -9,6 +9,7 @@ use sparsemat::vecops::norm2;
 use sparsemat::Csr;
 
 use crate::config::{ConfigError, RecoveryPolicy, SolverConfig, SolverKind};
+use crate::engine::RecoveryTimeline;
 use crate::pcg::{esr_pcg_node, NodeOutcome};
 
 /// A linear system `A x = b` with `A` SPD.
@@ -80,6 +81,33 @@ pub struct ExperimentResult {
     pub ranks_recovered: usize,
     /// Per-node outcomes for detailed analysis.
     pub per_node: Vec<NodeOutcome>,
+    /// Per-substep virtual-time timeline of every completed recovery, in
+    /// event order (from the canonical surviving node; empty when the run
+    /// was failure-free).
+    pub recovery_timelines: Vec<RecoveryTimeline>,
+    /// Per-rank span trace of the whole run (virtual-clock-stamped).
+    /// Export with [`parcomm::ClusterTrace::chrome_trace_json`] or analyze
+    /// with [`parcomm::ClusterTrace::critical_path`].
+    #[cfg(feature = "trace")]
+    pub trace: parcomm::ClusterTrace,
+}
+
+/// Critical-path communication-time breakdown for one [`parcomm::CommPhase`]:
+/// the max-over-nodes totals of the three ways an operation's virtual time
+/// can be spent. `exposed` is the time charged on the critical path
+/// (blocking transfers + stalls + non-blocking wait charges); `wait` is the
+/// stalled subset of it (receiver idle at a matched recv or wait); `hidden`
+/// is flight time fully overlapped by compute (never on the critical path).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PhaseBreakdown {
+    /// The communication phase this breakdown describes.
+    pub phase: parcomm::CommPhase,
+    /// Exposed (critical-path) communication vtime, max over nodes.
+    pub exposed: f64,
+    /// Stalled (wait-only) vtime, max over nodes. A subset of `exposed`.
+    pub wait: f64,
+    /// Overlapped (hidden) flight vtime, max over nodes.
+    pub hidden: f64,
 }
 
 impl ExperimentResult {
@@ -115,39 +143,52 @@ impl ExperimentResult {
         }
     }
 
+    /// Full exposed/wait/hidden breakdown of `phase`, max over nodes.
+    /// The one place benches and tests get per-phase communication time
+    /// from — re-deriving these folds from raw [`CommStats`] at call sites
+    /// is a bug factory (easy to forget the max-over-nodes step).
+    pub fn phase_breakdown(&self, phase: parcomm::CommPhase) -> PhaseBreakdown {
+        let fold = |get: fn(&CommStats, parcomm::CommPhase) -> f64| {
+            self.per_node
+                .iter()
+                .map(|o| get(&o.stats, phase))
+                .fold(0.0, f64::max)
+        };
+        PhaseBreakdown {
+            phase,
+            exposed: fold(CommStats::exposed_vtime),
+            wait: fold(CommStats::wait_vtime),
+            hidden: fold(CommStats::hidden_vtime),
+        }
+    }
+
+    /// [`Self::phase_breakdown`] for every [`parcomm::CommPhase`], in
+    /// `CommPhase::ALL` order.
+    pub fn phase_breakdowns(&self) -> Vec<PhaseBreakdown> {
+        parcomm::CommPhase::ALL
+            .iter()
+            .map(|&p| self.phase_breakdown(p))
+            .collect()
+    }
+
     /// Critical-path **exposed** communication time per iteration in
     /// `phase`: max over nodes of blocking send transfers + stalls +
     /// non-blocking wait charges, divided by the iteration count. The
     /// metric the pipelined-vs-blocking comparison gates on — defined
     /// once here so the bench, tests, and examples measure the same thing.
     pub fn exposed_vtime_per_iter(&self, phase: parcomm::CommPhase) -> f64 {
-        self.per_iter(
-            self.per_node
-                .iter()
-                .map(|o| o.stats.exposed_vtime(phase))
-                .fold(0.0, f64::max),
-        )
+        self.per_iter(self.phase_breakdown(phase).exposed)
     }
 
     /// Critical-path stalled (wait-only) time per iteration in `phase`.
     pub fn wait_vtime_per_iter(&self, phase: parcomm::CommPhase) -> f64 {
-        self.per_iter(
-            self.per_node
-                .iter()
-                .map(|o| o.stats.wait_vtime(phase))
-                .fold(0.0, f64::max),
-        )
+        self.per_iter(self.phase_breakdown(phase).wait)
     }
 
     /// Critical-path **hidden** communication time per iteration in
     /// `phase` (non-blocking flight time overlapped by compute).
     pub fn hidden_vtime_per_iter(&self, phase: parcomm::CommPhase) -> f64 {
-        self.per_iter(
-            self.per_node
-                .iter()
-                .map(|o| o.stats.hidden_vtime(phase))
-                .fold(0.0, f64::max),
-        )
+        self.per_iter(self.phase_breakdown(phase).hidden)
     }
 
     /// Number of nodes that retired mid-solve (left the cluster because no
@@ -287,6 +328,10 @@ where
         .with_script(script)
         .with_spares(spares);
     let start = Instant::now();
+    #[cfg(feature = "trace")]
+    let (per_node, trace) =
+        Cluster::run_traced(cluster_cfg, move |ctx| node_program(ctx, &a, &b, &cfg));
+    #[cfg(not(feature = "trace"))]
     let per_node = Cluster::run(cluster_cfg, move |ctx| node_program(ctx, &a, &b, &cfg));
     let wall = start.elapsed();
 
@@ -337,8 +382,11 @@ where
         stats,
         recoveries: canon.recoveries,
         ranks_recovered: canon.ranks_recovered,
+        recovery_timelines: canon.recovery_timelines.clone(),
         x,
         per_node,
+        #[cfg(feature = "trace")]
+        trace,
     }
 }
 

@@ -195,6 +195,66 @@ impl Layout {
     }
 }
 
+/// One timed segment of a recovery attempt.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubstepTiming {
+    /// Attempt number within the event (1-based; > 1 iff overlapping
+    /// failures forced a restart).
+    pub attempt: usize,
+    /// Substep label — ESR: `setup`/`gather`/`rebuild`/`xsolve`/`commit`;
+    /// checkpoint rollback: `setup`/`fetch`/`epoch`/`idle`/`commit`.
+    pub label: &'static str,
+    /// Virtual time this node spent in the segment.
+    pub vtime: f64,
+}
+
+/// Per-substep virtual-time breakdown of one recovery event on this node,
+/// across every attempt (aborted attempts included). Built from clock
+/// *reads* at the substep boundaries — recording it never advances the
+/// clock, so enabling it cannot perturb the experiments.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RecoveryTimeline {
+    /// The iteration whose boundary detected the failure.
+    pub iteration: u64,
+    /// `"esr"` (reconstruction) or `"cr"` (checkpoint rollback).
+    pub flavor: &'static str,
+    /// Timed segments in execution order.
+    pub segments: Vec<SubstepTiming>,
+}
+
+impl RecoveryTimeline {
+    pub(crate) fn new(iteration: u64, flavor: &'static str) -> Self {
+        RecoveryTimeline {
+            iteration,
+            flavor,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Close the segment running since `*seg_t` under `label` and restart
+    /// the segment clock.
+    pub(crate) fn mark(
+        &mut self,
+        ctx: &NodeCtx,
+        seg_t: &mut f64,
+        attempt: usize,
+        label: &'static str,
+    ) {
+        let now = ctx.vtime();
+        self.segments.push(SubstepTiming {
+            attempt,
+            label,
+            vtime: now - *seg_t,
+        });
+        *seg_t = now;
+    }
+
+    /// Total virtual time across all segments.
+    pub fn total_vtime(&self) -> f64 {
+        self.segments.iter().map(|s| s.vtime).sum()
+    }
+}
+
 /// Outcome of one recovery event.
 #[derive(Clone, Debug)]
 #[must_use = "a recovery report carries attempt/retirement counts the caller must fold into its own accounting"]
@@ -217,6 +277,8 @@ pub struct RecoveryReport {
     /// rewind its iteration counter there. `None` for ESR — survivors
     /// keep their iterates and nothing is re-executed.
     pub rollback_to: Option<u64>,
+    /// Per-substep virtual-time timeline of the event on this node.
+    pub timeline: RecoveryTimeline,
 }
 
 /// How a recovery ended for this node.
@@ -415,6 +477,8 @@ pub(crate) fn recover(
         );
     }
     let me = ctx.rank();
+    ctx.trace_open("recovery", env.iteration);
+    let mut timeline = RecoveryTimeline::new(env.iteration, "esr");
     let mut failed = initial_failed.to_vec();
     failed.sort_unstable();
     failed.dedup();
@@ -440,6 +504,9 @@ pub(crate) fn recover(
         // to attempt `seq`, and must never match a receive posted under a
         // different attempt (no-op without the `audit` feature).
         ctx.audit_enter_window(seq);
+        ctx.trace_open("attempt", seq as u64);
+        let mut seg_t = ctx.vtime();
+        ctx.trace_open("setup", 0);
         assert!(
             failed.len() < layout.members.len(),
             "all {} active nodes failed — nothing left to recover from",
@@ -450,9 +517,13 @@ pub(crate) fn recover(
         let granted = avail.min(failed.len());
         let replaced: Vec<usize> = failed[..granted].to_vec();
         let retired: Vec<usize> = failed[granted..].to_vec();
+        ctx.trace_instant("grant", granted as u64);
         if retired.binary_search(&me).is_ok() {
             // No replacement for this node: it is gone. Its subdomain is
             // adopted by a survivor; the thread leaves the cluster.
+            ctx.trace_close(); // setup
+            ctx.trace_close(); // attempt
+            ctx.trace_close(); // recovery
             ctx.audit_exit_window();
             return EngineOutcome::Retired;
         }
@@ -520,9 +591,14 @@ pub(crate) fn recover(
         }
 
         // ---- substep 0: before any recovery communication --------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "setup");
         if poll_overlap(ctx, env.iteration, 0, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("gather", 0);
 
         // ---- replicated scalars → the replaced ranks -------------------
         // Adopters are survivors and already hold them; replaced ranks
@@ -610,9 +686,14 @@ pub(crate) fn recover(
         }
 
         // ---- substep 1: after copy gathering ---------------------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "gather");
         if poll_overlap(ctx, env.iteration, 1, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("rebuild", 0);
 
         // ---- kernel-specific distributed rebuilds ----------------------
         let mut comm = EngineComm {
@@ -634,9 +715,14 @@ pub(crate) fn recover(
         kernel.rebuild_distributed(ctx, &shared, &mut comm, &mut blocks);
 
         // ---- substep 2: after the auxiliary rebuilds -------------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "rebuild");
         if poll_overlap(ctx, env.iteration, 2, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("xsolve", 0);
 
         // ---- x reconstruction (Alg. 2 lines 7–8) -----------------------
         // Reconstructors gather the surviving x values their failed rows
@@ -680,20 +766,26 @@ pub(crate) fn recover(
         drop(comm);
 
         // ---- substep 3: failures during the x solve --------------------
+        ctx.trace_close();
+        timeline.mark(ctx, &mut seg_t, attempts, "xsolve");
         if poll_overlap(ctx, env.iteration, 3, handled, &mut failed, &layout.members) {
+            ctx.trace_instant("overlap_restart", failed.len() as u64);
+            ctx.trace_close(); // attempt
             continue 'attempt;
         }
+        ctx.trace_open("commit", 0);
 
         // ---- success: commit the spare claim, apply the new layout -----
         if matches!(env.res.policy, RecoveryPolicy::Spares(_)) {
             pool.claim(granted);
         }
-        let report = RecoveryReport {
+        let mut report = RecoveryReport {
             total_failed: failed.len(),
             retired_ranks: retired.len(),
             attempts,
             inner_iterations,
             rollback_to: None,
+            timeline: RecoveryTimeline::default(),
         };
 
         if retired.is_empty() {
@@ -704,6 +796,11 @@ pub(crate) fn recover(
                 // ghosts/retention refill on the restarted iteration's
                 // re-scatter, exactly as before.
             }
+            ctx.trace_close(); // commit
+            timeline.mark(ctx, &mut seg_t, attempts, "commit");
+            ctx.trace_close(); // attempt
+            ctx.trace_close(); // recovery
+            report.timeline = timeline;
             ctx.audit_exit_window();
             return EngineOutcome::Recovered(report);
         }
@@ -718,6 +815,11 @@ pub(crate) fn recover(
         let own = if am_failed { None } else { Some(&my_range) };
         kernel.splice(&new_range, own, &blocks, env.b);
         rebuild_layout_after_shrink(ctx, env, layout, kernel, new_part, new_members, true);
+        ctx.trace_close(); // commit
+        timeline.mark(ctx, &mut seg_t, attempts, "commit");
+        ctx.trace_close(); // attempt
+        ctx.trace_close(); // recovery
+        report.timeline = timeline;
         ctx.audit_exit_window();
         return EngineOutcome::Recovered(report);
     }

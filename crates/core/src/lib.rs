@@ -53,7 +53,7 @@ pub use config::{
 };
 pub use driver::{
     run_bicgstab, run_checkpoint_restart, run_jacobi, run_pcg, run_pipecg, ExperimentResult,
-    Problem,
+    PhaseBreakdown, Problem,
 };
-pub use engine::{RecoveryEngine, RecoveryReport};
+pub use engine::{RecoveryEngine, RecoveryReport, RecoveryTimeline, SubstepTiming};
 pub use pcg::NodeOutcome;

@@ -35,7 +35,7 @@ use sparsemat::Csr;
 use crate::config::{PrecondConfig, SolverConfig};
 use crate::engine::{
     self, splice, ChannelRead, EngineComm, EngineEnv, EngineOutcome, EngineShared, Layout,
-    ReconBlock, ResilientKernel,
+    ReconBlock, RecoveryTimeline, ResilientKernel,
 };
 use crate::retention::Gen;
 
@@ -72,6 +72,9 @@ pub struct NodeOutcome {
     /// cluster (its subdomain was adopted by a survivor; `x_loc` is empty).
     /// Always `false` under [`crate::config::RecoveryPolicy::Replace`].
     pub retired: bool,
+    /// Per-substep virtual-time timeline of every recovery event this node
+    /// completed, in event order (empty on failure-free runs).
+    pub recovery_timelines: Vec<RecoveryTimeline>,
 }
 
 impl NodeOutcome {
@@ -95,6 +98,7 @@ impl NodeOutcome {
         ranks_recovered: usize,
         vtime_setup: f64,
         retired: bool,
+        recovery_timelines: Vec<RecoveryTimeline>,
     ) -> Self {
         NodeOutcome {
             rank: ctx.rank(),
@@ -111,6 +115,7 @@ impl NodeOutcome {
             stats: ctx.stats().clone(),
             vtime_setup,
             retired,
+            recovery_timelines,
         }
     }
 }
@@ -419,12 +424,14 @@ pub fn esr_pcg_node(
     let mut handled_iter: HashSet<u64> = HashSet::new();
     let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
     let mut recovery_seq: u32 = 0;
+    let mut recovery_timelines: Vec<RecoveryTimeline> = Vec::new();
     let resilient = cfg.resilience.is_some();
     let mut ckpt =
         cr.map(|c| crate::retention::CheckpointStore::new(c, &layout.members, layout.my_slot));
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
+        ctx.trace_open("iteration", j);
 
         // Periodic checkpoint deposit (loop top = the state a rollback
         // resumes from). Runs again right after a rollback — the agreed
@@ -510,6 +517,7 @@ pub fn esr_pcg_node(
                 ) {
                     EngineOutcome::Retired => {
                         retired = true;
+                        ctx.trace_close(); // iteration
                         break;
                     }
                     EngineOutcome::Recovered(report) => {
@@ -517,7 +525,9 @@ pub fn esr_pcg_node(
                         ranks_recovered += report.total_failed;
                         vtime_recovery += ctx.vtime() - t0;
                         nloc = layout.lm.n_local();
-                        report.rollback_to
+                        let rollback_to = report.rollback_to;
+                        recovery_timelines.push(report.timeline);
+                        rollback_to
                     }
                 };
                 if let Some(epoch) = rolled_back {
@@ -532,6 +542,7 @@ pub fn esr_pcg_node(
                 }
                 // Restart the interrupted iteration: re-scatter p(j) (also
                 // restores redundancy and replacement ghosts).
+                ctx.trace_close(); // iteration
                 continue;
             }
         }
@@ -566,6 +577,7 @@ pub fn esr_pcg_node(
         residual_sq = rr_rz[0];
         if residual_sq <= target_sq {
             converged = true;
+            ctx.trace_close(); // iteration
             break;
         }
         let rz_next = rr_rz[1];
@@ -573,6 +585,7 @@ pub fn esr_pcg_node(
         rz = rz_next;
         xpay(&z, beta_prev, &mut p); // line 8
         ctx.clock_mut().advance_flops(2 * nloc);
+        ctx.trace_close(); // iteration
     }
 
     NodeOutcome::finish(
@@ -588,5 +601,6 @@ pub fn esr_pcg_node(
         ranks_recovered,
         vtime_setup,
         retired,
+        recovery_timelines,
     )
 }

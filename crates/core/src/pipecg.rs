@@ -40,7 +40,7 @@ use sparsemat::Csr;
 use crate::config::SolverConfig;
 use crate::engine::{
     self, splice, ChannelRead, EngineComm, EngineEnv, EngineOutcome, EngineShared, Layout,
-    ReconBlock, ResilientKernel,
+    ReconBlock, RecoveryTimeline, ResilientKernel,
 };
 use crate::pcg::NodeOutcome;
 use crate::retention::Gen;
@@ -365,6 +365,7 @@ pub fn esr_pipecg_node(
     let mut handled_iter: HashSet<u64> = HashSet::new();
     let mut handled_sub: HashSet<(u64, u32)> = HashSet::new();
     let mut recovery_seq: u32 = 0;
+    let mut recovery_timelines: Vec<RecoveryTimeline> = Vec::new();
     let resilient = cfg.resilience.is_some();
     // True once a search direction p(j-1) exists. Cleared when a shrink
     // re-bootstraps the pipeline (below): the recurrences restart through
@@ -375,6 +376,7 @@ pub fn esr_pipecg_node(
 
     while !converged && iterations < cfg.max_iter {
         let j = iterations as u64;
+        ctx.trace_open("iteration", j);
 
         // Periodic checkpoint deposit of the loop-top recurrence state
         // (before the overlapped reduction is issued).
@@ -495,12 +497,14 @@ pub fn esr_pipecg_node(
                 ) {
                     EngineOutcome::Retired => {
                         retired = true;
+                        ctx.trace_close(); // iteration
                         break;
                     }
                     EngineOutcome::Recovered(report) => {
                         recoveries += 1;
                         ranks_recovered += report.total_failed;
                         nloc = layout.lm.n_local();
+                        recovery_timelines.push(report.timeline.clone());
                         if let Some(epoch) = report.rollback_to {
                             // Rollback: every rank resumes the checkpointed
                             // epoch with the unpacked loop-top state.
@@ -530,6 +534,7 @@ pub fn esr_pipecg_node(
                 // Restart the interrupted iteration: re-scatter m(j) (which
                 // also restores redundancy) and re-reduce from the
                 // reconstructed state.
+                ctx.trace_close(); // iteration
                 continue;
             }
         }
@@ -543,6 +548,7 @@ pub fn esr_pipecg_node(
         residual_sq = red[2];
         if residual_sq <= target_sq {
             converged = true;
+            ctx.trace_close(); // iteration
             break;
         }
 
@@ -582,6 +588,7 @@ pub fn esr_pipecg_node(
         gamma_prev = gamma;
         alpha_prev = alpha;
         iterations += 1;
+        ctx.trace_close(); // iteration
     }
 
     NodeOutcome::finish(
@@ -597,5 +604,6 @@ pub fn esr_pipecg_node(
         ranks_recovered,
         vtime_setup,
         retired,
+        recovery_timelines,
     )
 }

@@ -313,6 +313,7 @@ impl CheckpointStore {
     /// pays the full λ + s·µ).
     pub fn deposit(&mut self, ctx: &mut NodeCtx, seq: u32, iteration: u64, data: Vec<f64>) {
         ctx.audit_enter_window(seq);
+        ctx.trace_open("deposit", iteration);
         self.own = Checkpoint { iteration, data };
         let shared = Arc::new(self.own.data.clone());
         for &d in &self.partners {
@@ -329,6 +330,7 @@ impl CheckpointStore {
                 .into_f64s();
             self.held.insert(c, Checkpoint { iteration, data });
         }
+        ctx.trace_close();
         ctx.audit_exit_window();
     }
 

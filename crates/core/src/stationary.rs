@@ -186,6 +186,7 @@ pub fn esr_jacobi_node(
         stats: ctx.stats().clone(),
         vtime_setup,
         retired: false,
+        recovery_timelines: Vec::new(),
     }
 }
 

@@ -24,7 +24,16 @@ struct NodeFinish<T> {
     mailbox: Mailbox,
     #[cfg(feature = "audit")]
     log: Option<crate::audit::NodeLog>,
+    #[cfg(feature = "trace")]
+    trace: Option<crate::trace::NodeTrace>,
 }
+
+/// What `run_inner` hands back next to the per-node results: the gathered
+/// per-rank trace logs under `--features trace`, nothing otherwise.
+#[cfg(feature = "trace")]
+type TraceVec = Vec<crate::trace::NodeTrace>;
+#[cfg(not(feature = "trace"))]
+type TraceVec = ();
 
 /// Cluster-wide configuration.
 #[derive(Clone, Debug)]
@@ -126,6 +135,32 @@ impl Cluster {
         T: Send,
         F: Fn(&mut NodeCtx) -> T + Sync,
     {
+        Self::run_inner(config, program).0
+    }
+
+    /// Like [`Cluster::run`], but also returns the gathered per-rank trace
+    /// logs as a [`crate::trace::ClusterTrace`]. Only meaningful under
+    /// `--features trace`; the tracer observes the virtual clock without
+    /// ever advancing it, so the per-node results are bitwise identical to
+    /// what [`Cluster::run`] returns.
+    #[cfg(feature = "trace")]
+    pub fn run_traced<T, F>(
+        config: ClusterConfig,
+        program: F,
+    ) -> (Vec<T>, crate::trace::ClusterTrace)
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> T + Sync,
+    {
+        let (values, nodes) = Self::run_inner(config, program);
+        (values, crate::trace::ClusterTrace { nodes })
+    }
+
+    fn run_inner<T, F>(config: ClusterConfig, program: F) -> (Vec<T>, TraceVec)
+    where
+        T: Send,
+        F: Fn(&mut NodeCtx) -> T + Sync,
+    {
         let n = config.nodes;
         assert!(n >= 1, "cluster needs at least one node");
         // A script naming ranks the cluster does not have would be silently
@@ -146,7 +181,7 @@ impl Cluster {
         let audit_shared = std::sync::Arc::new(crate::audit::AuditShared::new(n));
 
         let program = &program;
-        let results: Vec<T> = thread::scope(|s| {
+        thread::scope(|s| {
             let mut handles = Vec::with_capacity(n);
             for (rank, mb) in mailboxes.into_iter().enumerate() {
                 let outboxes = outboxes.clone();
@@ -178,6 +213,8 @@ impl Cluster {
                             );
                             #[cfg(feature = "audit")]
                             ctx.install_audit(audit_shared.clone());
+                            #[cfg(feature = "trace")]
+                            ctx.install_trace();
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                     program(&mut ctx)
@@ -202,12 +239,16 @@ impl Cluster {
                             }
                             #[cfg(feature = "audit")]
                             audit_shared.mark_done(rank);
+                            #[cfg(feature = "trace")]
+                            let trace = ctx.take_trace();
                             let (mailbox, _log) = ctx.into_teardown();
                             NodeFinish {
                                 result,
                                 mailbox,
                                 #[cfg(feature = "audit")]
                                 log: _log,
+                                #[cfg(feature = "trace")]
+                                trace,
                             }
                         })
                         .expect("failed to spawn node thread"),
@@ -224,6 +265,8 @@ impl Cluster {
             let mut panics: Vec<(usize, String)> = Vec::new();
             #[cfg(feature = "audit")]
             let mut logs: Vec<crate::audit::NodeLog> = Vec::with_capacity(n);
+            #[cfg(feature = "trace")]
+            let mut traces: TraceVec = Vec::with_capacity(n);
             #[cfg(any(debug_assertions, feature = "audit"))]
             let mut end_mailboxes: Vec<Mailbox> = Vec::with_capacity(n);
             for (rank, fin) in finishes.into_iter().enumerate() {
@@ -245,6 +288,8 @@ impl Cluster {
                 drop(fin.mailbox);
                 #[cfg(feature = "audit")]
                 logs.push(fin.log.unwrap_or_default());
+                #[cfg(feature = "trace")]
+                traces.push(fin.trace.unwrap_or_default());
             }
             let clean = panics.is_empty();
 
@@ -306,9 +351,11 @@ impl Cluster {
             {
                 panic!("node {rank} panicked: {msg}");
             }
-            values
-        });
-        results
+            #[cfg(feature = "trace")]
+            return (values, traces);
+            #[cfg(not(feature = "trace"))]
+            (values, ())
+        })
     }
 }
 

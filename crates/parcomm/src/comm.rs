@@ -155,6 +155,8 @@ pub struct NodeCtx {
     spares: usize,
     #[cfg(feature = "audit")]
     audit: Option<Box<audit::AuditState>>,
+    #[cfg(feature = "trace")]
+    trace: Option<Box<crate::trace::TraceState>>,
 }
 
 impl NodeCtx {
@@ -181,7 +183,23 @@ impl NodeCtx {
             spares,
             #[cfg(feature = "audit")]
             audit: None,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
+    }
+
+    /// Attach the virtual-time tracer. Called by `Cluster::run` before the
+    /// program starts; strictly observational (never touches the clock).
+    #[cfg(feature = "trace")]
+    pub(crate) fn install_trace(&mut self) {
+        self.trace = Some(Box::new(crate::trace::TraceState::new(self.rank)));
+    }
+
+    /// Surrender this node's trace log (called at teardown, before
+    /// [`NodeCtx::into_teardown`]).
+    #[cfg(feature = "trace")]
+    pub(crate) fn take_trace(&mut self) -> Option<crate::trace::NodeTrace> {
+        self.trace.take().map(|t| t.into_log())
     }
 
     /// Attach the protocol auditor (cluster-wide shared state plus this
@@ -254,6 +272,121 @@ impl NodeCtx {
         }
     }
 
+    /// Open a named trace span stamped with the current virtual clock (a
+    /// no-op without the `trace` feature — keeps call sites
+    /// feature-agnostic). Spans nest; close the innermost one with
+    /// [`NodeCtx::trace_close`]. Strictly observational.
+    pub fn trace_open(&mut self, name: &'static str, arg: u64) {
+        #[cfg(feature = "trace")]
+        {
+            let t = self.clock.now();
+            if let Some(tr) = &mut self.trace {
+                tr.record(t, crate::trace::TraceEventKind::Open { name, arg });
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (name, arg);
+    }
+
+    /// Close the innermost open trace span (no-op without `trace`).
+    pub fn trace_close(&mut self) {
+        #[cfg(feature = "trace")]
+        {
+            let t = self.clock.now();
+            if let Some(tr) = &mut self.trace {
+                tr.record(t, crate::trace::TraceEventKind::Close);
+            }
+        }
+    }
+
+    /// Record a zero-duration trace marker (no-op without `trace`).
+    pub fn trace_instant(&mut self, name: &'static str, arg: u64) {
+        #[cfg(feature = "trace")]
+        {
+            let t = self.clock.now();
+            if let Some(tr) = &mut self.trace {
+                tr.record(t, crate::trace::TraceEventKind::Instant { name, arg });
+            }
+        }
+        #[cfg(not(feature = "trace"))]
+        let _ = (name, arg);
+    }
+
+    /// Record a send event with its per-`(dst, tag)` sequence number.
+    #[cfg(feature = "trace")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn trace_send_event(
+        &mut self,
+        phase: CommPhase,
+        dst: usize,
+        tag: Tag,
+        elems: usize,
+        t: f64,
+        dt: f64,
+        engine: bool,
+    ) {
+        if let Some(tr) = &mut self.trace {
+            let seq = tr.next_send_seq(dst, tag);
+            tr.record(
+                t,
+                crate::trace::TraceEventKind::Send {
+                    phase,
+                    dst,
+                    tag,
+                    elems,
+                    seq,
+                    dt,
+                    engine,
+                },
+            );
+        }
+    }
+
+    /// Record a receive event with its per-`(src, tag)` sequence number.
+    #[cfg(feature = "trace")]
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn trace_recv_event(
+        &mut self,
+        phase: CommPhase,
+        src: usize,
+        tag: Tag,
+        elems: usize,
+        t: f64,
+        stall: f64,
+        engine: bool,
+    ) {
+        if let Some(tr) = &mut self.trace {
+            let seq = tr.next_recv_seq(src, tag);
+            tr.record(
+                t,
+                crate::trace::TraceEventKind::Recv {
+                    phase,
+                    src,
+                    tag,
+                    elems,
+                    seq,
+                    stall,
+                    engine,
+                },
+            );
+        }
+    }
+
+    /// Record the exposed/hidden split charged by a non-blocking `wait`.
+    #[cfg(feature = "trace")]
+    pub(crate) fn trace_wait_event(&mut self, phase: CommPhase, t: f64, exposed: f64, hidden: f64) {
+        if let Some(tr) = &mut self.trace {
+            tr.record(
+                t,
+                crate::trace::TraceEventKind::Wait {
+                    phase,
+                    exposed,
+                    hidden,
+                },
+            );
+        }
+    }
+
     /// Test double: reintroduce the PR 2 `swap_remove` FIFO defect in this
     /// node's mailbox, to prove the auditor's non-overtaking check fires.
     #[doc(hidden)]
@@ -288,6 +421,8 @@ impl NodeCtx {
         let t0 = self.clock.now();
         let arrival_vtime = self.clock.stamp_send(elems);
         self.stats.record_send_vtime(phase, arrival_vtime - t0);
+        #[cfg(feature = "trace")]
+        self.trace_send_event(phase, dest, tag, elems, t0, arrival_vtime - t0, false);
         self.raw_send(dest, tag, payload, arrival_vtime);
     }
 
@@ -369,6 +504,16 @@ impl NodeCtx {
             .find(|&&(_, n)| n > 0)
             .map_or(split[0].0, |&(p, _)| p);
         self.stats.record_send_vtime(owner, arrival_vtime - t0);
+        #[cfg(feature = "trace")]
+        self.trace_send_event(
+            owner,
+            dest,
+            Tag::user(tag),
+            elems,
+            t0,
+            arrival_vtime - t0,
+            false,
+        );
         self.raw_send(dest, Tag::user(tag), payload, arrival_vtime);
     }
 
@@ -387,8 +532,12 @@ impl NodeCtx {
 
     pub(crate) fn recv_tag(&mut self, src: usize, tag: Tag, phase: CommPhase) -> Message {
         let m = self.raw_recv_blocking(src, tag);
+        #[cfg(feature = "trace")]
+        let t0 = self.clock.now();
         let stall = self.clock.absorb_arrival(m.arrival_vtime);
         self.stats.record_wait_vtime(phase, stall);
+        #[cfg(feature = "trace")]
+        self.trace_recv_event(phase, src, tag, m.payload.elems(), t0, stall, false);
         m
     }
 
@@ -396,8 +545,20 @@ impl NodeCtx {
     pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
         let m = self.mailbox.recv_any(Tag::user(tag));
         self.audit_recv(&m);
+        #[cfg(feature = "trace")]
+        let t0 = self.clock.now();
         let stall = self.clock.absorb_arrival(m.arrival_vtime);
         self.stats.record_wait_vtime(CommPhase::Other, stall);
+        #[cfg(feature = "trace")]
+        self.trace_recv_event(
+            CommPhase::Other,
+            m.src,
+            Tag::user(tag),
+            m.payload.elems(),
+            t0,
+            stall,
+            false,
+        );
         (m.src, m.payload)
     }
 
@@ -423,6 +584,8 @@ impl NodeCtx {
         let start = self.clock.now();
         let cost = self.clock.model().msg_cost(elems);
         let done_at = start + cost;
+        #[cfg(feature = "trace")]
+        self.trace_send_event(phase, dest, Tag::user(tag), elems, start, cost, true);
         self.raw_send(dest, Tag::user(tag), payload, done_at);
         SendRequest::new(done_at, cost, phase)
     }
@@ -464,10 +627,12 @@ impl NodeCtx {
             n_members: self.size,
         });
         let (rank, size) = (self.rank, self.size);
+        self.trace_open("iallreduce", seq);
         let start = self.clock.now();
         let mut port = EnginePort::new(self, start, CommPhase::Reduction);
         let (acc, rounds) = rd_allreduce(&mut port, rank, size, None, tag, opr, x);
         let done_at = port.now();
+        self.trace_close();
         self.stats.record_allreduce(rounds);
         AllreduceRequest::new(acc, start, done_at, CommPhase::Reduction)
     }
@@ -499,11 +664,13 @@ impl NodeCtx {
             n_members: self.size,
         });
         let (rank, size) = (self.rank, self.size);
+        self.trace_open("barrier", seq);
         let mut port = BlockingPort {
             ctx: self,
             phase: CommPhase::Reduction,
         };
         rd_allreduce(&mut port, rank, size, None, tag, ReduceOp::Sum, Vec::new());
+        self.trace_close();
     }
 
     /// Broadcast `payload` from `root`; every node returns the payload.
@@ -521,7 +688,10 @@ impl NodeCtx {
             members_hash: audit::WORLD_HASH,
             n_members: self.size,
         });
-        self.tree_bcast_from(root, payload, Tag::coll(op::BCAST, seq))
+        self.trace_open("bcast", seq);
+        let out = self.tree_bcast_from(root, payload, Tag::coll(op::BCAST, seq));
+        self.trace_close();
+        out
     }
 
     /// All-reduce a scalar.
@@ -561,11 +731,13 @@ impl NodeCtx {
             n_members: self.size,
         });
         let (rank, size) = (self.rank, self.size);
+        self.trace_open("allreduce", seq);
         let mut port = BlockingPort {
             ctx: self,
             phase: CommPhase::Reduction,
         };
         let (acc, rounds) = rd_allreduce(&mut port, rank, size, None, tag, opr, x);
+        self.trace_close();
         self.stats.record_allreduce(rounds);
         acc
     }
@@ -585,7 +757,8 @@ impl NodeCtx {
             members_hash: audit::WORLD_HASH,
             n_members: self.size,
         });
-        if self.rank == root {
+        self.trace_open("gather", seq);
+        let out = if self.rank == root {
             let mut own = Some(x);
             let mut out: Vec<Vec<f64>> = Vec::with_capacity(self.size);
             for r in 0..self.size {
@@ -599,7 +772,9 @@ impl NodeCtx {
         } else {
             self.send_tag(root, tag, Payload::f64s(x), CommPhase::Other);
             None
-        }
+        };
+        self.trace_close();
+        out
     }
 
     /// All-gather variable-length `f64` buffers; result indexed by rank.
@@ -622,6 +797,7 @@ impl NodeCtx {
             members_hash: audit::WORLD_HASH,
             n_members: self.size,
         });
+        self.trace_open("gather", seq);
         let gathered: Option<Vec<Vec<u64>>> = if self.rank == 0 {
             let mut own = Some(x);
             let mut out: Vec<Vec<u64>> = Vec::with_capacity(self.size);
@@ -637,6 +813,7 @@ impl NodeCtx {
             self.send_tag(0, tag, Payload::u64s(x), CommPhase::Other);
             None
         };
+        self.trace_close();
         self.bcast_ragged(0, gathered)
     }
 
@@ -685,7 +862,10 @@ impl NodeCtx {
             n_members: self.size,
         });
         let rank = self.rank;
-        alltoallv_generic(self, rank, None, tag, CommPhase::Setup, sends)
+        self.trace_open("alltoall", seq);
+        let out = alltoallv_generic(self, rank, None, tag, CommPhase::Setup, sends);
+        self.trace_close();
+        out
     }
 
     /// Personalized all-to-all of `(index, value)` pair lists, charged to
@@ -709,7 +889,10 @@ impl NodeCtx {
             n_members: self.size,
         });
         let rank = self.rank;
-        alltoallv_generic(self, rank, None, tag, phase, sends)
+        self.trace_open("alltoall", seq);
+        let out = alltoallv_generic(self, rank, None, tag, phase, sends);
+        self.trace_close();
+        out
     }
 
     // ------------------------------------------------------------------
@@ -822,8 +1005,13 @@ impl NodeCtx {
     /// Reset clock and statistics (between timed experiment sections);
     /// collective sequence numbers are preserved (they must stay aligned).
     pub fn reset_metrics(&mut self) {
+        #[cfg(feature = "trace")]
+        if let Some(tr) = self.trace.as_mut() {
+            tr.clock_reset(self.clock.now());
+        }
         self.clock.reset();
         self.stats.reset();
+        self.trace_instant("reset_metrics", 0);
     }
 }
 
@@ -835,6 +1023,11 @@ impl NodeCtx {
 pub(crate) trait RdPort {
     fn port_send(&mut self, peer: usize, tag: Tag, payload: Payload);
     fn port_recv(&mut self, peer: usize, tag: Tag) -> Payload;
+    /// Trace hook: one recursive-doubling communication round begins
+    /// (default no-op; ports forward to the node's tracer).
+    fn round_open(&mut self, _round: usize) {}
+    /// Trace hook: the current communication round ends.
+    fn round_close(&mut self) {}
 }
 
 /// The blocking transport: sends charge the node clock, receives stall it.
@@ -850,6 +1043,14 @@ impl RdPort for BlockingPort<'_> {
 
     fn port_recv(&mut self, peer: usize, tag: Tag) -> Payload {
         self.ctx.recv_tag(peer, tag, self.phase).payload
+    }
+
+    fn round_open(&mut self, round: usize) {
+        self.ctx.trace_open("round", round as u64);
+    }
+
+    fn round_close(&mut self) {
+        self.ctx.trace_close();
     }
 }
 
@@ -894,8 +1095,9 @@ pub(crate) fn rd_allreduce<P: RdPort>(
 
     // Phase 1: fold-in.
     let newidx = if my_index < 2 * rem {
+        port.round_open(rounds);
         rounds += 1;
-        if my_index.is_multiple_of(2) {
+        let r = if my_index.is_multiple_of(2) {
             let peer = rank_of(my_index + 1);
             port.port_send(peer, tag, Payload::f64s(acc.clone()));
             None // folded out until phase 3
@@ -903,7 +1105,9 @@ pub(crate) fn rd_allreduce<P: RdPort>(
             let theirs = port.port_recv(rank_of(my_index - 1), tag).into_f64s();
             acc = combined(opr, theirs, &acc); // lower index first
             Some(my_index / 2)
-        }
+        };
+        port.round_close();
+        r
     } else {
         Some(my_index - rem)
     };
@@ -914,6 +1118,7 @@ pub(crate) fn rd_allreduce<P: RdPort>(
         let orig = |d: usize| if d < rem { 2 * d + 1 } else { d + rem };
         let mut mask = 1usize;
         while mask < pof2 {
+            port.round_open(rounds);
             let peer = rank_of(orig(v ^ mask));
             port.port_send(peer, tag, Payload::f64s(acc.clone()));
             let theirs = port.port_recv(peer, tag).into_f64s();
@@ -922,6 +1127,7 @@ pub(crate) fn rd_allreduce<P: RdPort>(
             } else {
                 acc = combined(opr, theirs, &acc);
             }
+            port.round_close();
             mask <<= 1;
             rounds += 1;
         }
@@ -929,6 +1135,7 @@ pub(crate) fn rd_allreduce<P: RdPort>(
 
     // Phase 3: fold-out.
     if my_index < 2 * rem {
+        port.round_open(rounds);
         rounds += 1;
         if my_index % 2 == 1 {
             let peer = rank_of(my_index - 1);
@@ -936,6 +1143,7 @@ pub(crate) fn rd_allreduce<P: RdPort>(
         } else {
             acc = port.port_recv(rank_of(my_index + 1), tag).into_f64s();
         }
+        port.round_close();
     }
     (acc, rounds)
 }

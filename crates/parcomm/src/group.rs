@@ -100,6 +100,7 @@ impl Group {
         let tag = Tag::group(self.gid, op::BARRIER, seq);
         #[cfg(feature = "audit")]
         ctx.audit_coll(self.coll_event(seq, op::BARRIER, None, Some(0)));
+        ctx.trace_open("group_barrier", seq as u64);
         let mut port = BlockingPort {
             ctx,
             phase: CommPhase::Recovery,
@@ -113,6 +114,7 @@ impl Group {
             ReduceOp::Sum,
             Vec::new(),
         );
+        ctx.trace_close();
     }
 
     /// Group all-reduce of a scalar sum.
@@ -147,6 +149,7 @@ impl Group {
         let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
         #[cfg(feature = "audit")]
         ctx.audit_coll(self.coll_event(seq, op::ALLREDUCE, Some(opr), Some(x.len())));
+        ctx.trace_open("group_allreduce", seq as u64);
         let mut port = BlockingPort { ctx, phase };
         let (acc, rounds) = rd_allreduce(
             &mut port,
@@ -157,6 +160,7 @@ impl Group {
             opr,
             x,
         );
+        ctx.trace_close();
         ctx.stats_mut().record_allreduce(rounds);
         acc
     }
@@ -178,6 +182,7 @@ impl Group {
         let tag = Tag::group(self.gid, op::ALLREDUCE, seq);
         #[cfg(feature = "audit")]
         ctx.audit_coll(self.coll_event(seq, op::ALLREDUCE, Some(opr), Some(x.len())));
+        ctx.trace_open("group_iallreduce", seq as u64);
         let start = ctx.clock().now();
         let mut port = EnginePort::new(ctx, start, phase);
         let (acc, rounds) = rd_allreduce(
@@ -190,6 +195,7 @@ impl Group {
             x,
         );
         let done_at = port.now();
+        ctx.trace_close();
         ctx.stats_mut().record_allreduce(rounds);
         AllreduceRequest::new(acc, start, done_at, phase)
     }
@@ -207,7 +213,10 @@ impl Group {
         let tag = Tag::group(self.gid, op::ALLTOALL, seq);
         #[cfg(feature = "audit")]
         ctx.audit_coll(self.coll_event(seq, op::ALLTOALL, None, None));
-        alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends)
+        ctx.trace_open("group_alltoall", seq as u64);
+        let out = alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends);
+        ctx.trace_close();
+        out
     }
 
     /// Personalized all-to-all of `u64` index lists among members;
@@ -224,7 +233,10 @@ impl Group {
         let tag = Tag::group(self.gid, op::ALLTOALL, seq);
         #[cfg(feature = "audit")]
         ctx.audit_coll(self.coll_event(seq, op::ALLTOALL, None, None));
-        alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends)
+        ctx.trace_open("group_alltoall", seq as u64);
+        let out = alltoallv_generic(ctx, self.my_index, Some(&self.members), tag, phase, sends);
+        ctx.trace_close();
+        out
     }
 
     /// All-gather variable-length `f64` buffers within the group.
@@ -233,6 +245,7 @@ impl Group {
         let tag = Tag::group(self.gid, op::GATHER, seq);
         #[cfg(feature = "audit")]
         ctx.audit_coll(self.coll_event(seq, op::GATHER, None, None));
+        ctx.trace_open("group_gather", seq as u64);
         // Gather on group index 0.
         let gathered: Option<Vec<Vec<f64>>> = if self.my_index == 0 {
             let mut own = Some(x);
@@ -272,6 +285,7 @@ impl Group {
             },
             seq_flat,
         );
+        ctx.trace_close();
         split_by_counts(flat.into_f64s(), &counts.into_u64s())
     }
 
@@ -286,6 +300,7 @@ impl Group {
             return payload;
         }
         let tag = Tag::group(self.gid, op::BCAST, seq);
+        ctx.trace_open("group_bcast", seq as u64);
         let v = self.my_index;
         let mut top = 1usize;
         while top << 1 < n {
@@ -317,6 +332,7 @@ impl Group {
             }
             mask >>= 1;
         }
+        ctx.trace_close();
         data
     }
 }

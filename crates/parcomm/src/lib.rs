@@ -50,6 +50,8 @@ pub mod payload;
 pub mod request;
 pub mod stats;
 pub mod tag;
+#[cfg(feature = "trace")]
+pub mod trace;
 pub mod vclock;
 
 pub use cluster::{Cluster, ClusterConfig, SparePool};
@@ -58,6 +60,8 @@ pub use fault::{FailAt, FailureEvent, FailureScript, FaultOracle};
 pub use group::Group;
 pub use payload::Payload;
 pub use request::{AllreduceRequest, RecvRequest, SendRequest};
-pub use stats::{CommPhase, CommStats};
+pub use stats::{CommPhase, CommStats, LogHist};
 pub use tag::Tag;
+#[cfg(feature = "trace")]
+pub use trace::{ClusterTrace, CriticalPath, NodeTrace, TraceEvent, TraceEventKind};
 pub use vclock::{CostModel, VClock};

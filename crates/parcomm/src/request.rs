@@ -67,6 +67,9 @@ impl RdPort for EnginePort<'_> {
         let elems = payload.elems();
         self.ctx.stats_mut().record_send(self.phase, elems);
         let cost = self.ctx.clock().model().msg_cost(elems);
+        #[cfg(feature = "trace")]
+        self.ctx
+            .trace_send_event(self.phase, peer, tag, elems, self.now, cost, true);
         self.now += cost;
         self.ctx.raw_send(peer, tag, payload, self.now);
     }
@@ -76,7 +79,25 @@ impl RdPort for EnginePort<'_> {
         if m.arrival_vtime > self.now {
             self.now = m.arrival_vtime;
         }
+        #[cfg(feature = "trace")]
+        self.ctx.trace_recv_event(
+            self.phase,
+            peer,
+            tag,
+            m.payload.elems(),
+            self.now,
+            0.0,
+            true,
+        );
         m.payload
+    }
+
+    fn round_open(&mut self, round: usize) {
+        self.ctx.trace_open("round", round as u64);
+    }
+
+    fn round_close(&mut self) {
+        self.ctx.trace_close();
     }
 }
 
@@ -85,14 +106,17 @@ impl RdPort for EnginePort<'_> {
 /// `max(done_at − clock, 0)` (exposed, recorded as wait time); the rest of
 /// the operation's duration was hidden behind compute.
 fn charge_wait(ctx: &mut NodeCtx, phase: CommPhase, start: f64, done_at: f64) {
-    let exposed = (done_at - ctx.clock().now()).max(0.0);
+    let t0 = ctx.clock().now();
+    let exposed = (done_at - t0).max(0.0);
     if exposed > 0.0 {
         ctx.clock_mut().advance(exposed);
     }
     ctx.stats_mut().record_wait_vtime(phase, exposed);
     let duration = (done_at - start).max(0.0);
-    ctx.stats_mut()
-        .record_hidden_vtime(phase, (duration - exposed).max(0.0));
+    let hidden = (duration - exposed).max(0.0);
+    ctx.stats_mut().record_hidden_vtime(phase, hidden);
+    #[cfg(feature = "trace")]
+    ctx.trace_wait_event(phase, t0, exposed, hidden);
 }
 
 fn guard_unwaited(what: &str, completed: bool) {
@@ -185,6 +209,19 @@ impl RecvRequest {
     pub fn wait(mut self, ctx: &mut NodeCtx) -> Payload {
         self.completed = true;
         let m = ctx.raw_recv_blocking(self.src, self.tag);
+        #[cfg(feature = "trace")]
+        {
+            let t = ctx.clock().now();
+            ctx.trace_recv_event(
+                self.phase,
+                self.src,
+                self.tag,
+                m.payload.elems(),
+                t,
+                0.0,
+                true,
+            );
+        }
         charge_wait(
             ctx,
             self.phase,

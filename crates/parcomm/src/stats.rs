@@ -24,7 +24,8 @@ pub enum CommPhase {
     Other,
 }
 
-const NPHASES: usize = 6;
+/// Number of [`CommPhase`] variants (the length of per-phase arrays).
+pub const NPHASES: usize = 6;
 
 fn phase_index(p: CommPhase) -> usize {
     match p {
@@ -34,6 +35,133 @@ fn phase_index(p: CommPhase) -> usize {
         CommPhase::Reduction => 3,
         CommPhase::Recovery => 4,
         CommPhase::Other => 5,
+    }
+}
+
+impl CommPhase {
+    /// Every phase, in [`CommPhase::index`] order.
+    pub const ALL: [CommPhase; NPHASES] = [
+        CommPhase::Setup,
+        CommPhase::Spmv,
+        CommPhase::Redundancy,
+        CommPhase::Reduction,
+        CommPhase::Recovery,
+        CommPhase::Other,
+    ];
+
+    /// Stable index of this phase in `0..NPHASES`.
+    pub fn index(self) -> usize {
+        phase_index(self)
+    }
+
+    /// Short lowercase name for reports and trace lanes.
+    pub fn name(self) -> &'static str {
+        match self {
+            CommPhase::Setup => "setup",
+            CommPhase::Spmv => "spmv",
+            CommPhase::Redundancy => "redundancy",
+            CommPhase::Reduction => "reduction",
+            CommPhase::Recovery => "recovery",
+            CommPhase::Other => "other",
+        }
+    }
+}
+
+/// A deterministic logarithmic-bucket histogram over non-negative `f64`
+/// samples. Bucket selection reads the sample's binary exponent straight
+/// from its bit pattern — no floating-point `log` call, so two runs that
+/// produce bitwise-identical samples produce identical histograms on any
+/// platform. Bucket `0` collects zero (and any non-positive) samples;
+/// bucket `k ≥ 1` collects samples in `[2^(k−32), 2^(k−31))`, covering
+/// `~2.3e-10 .. ~4.3e9` — message sizes in elements and virtual-second
+/// wait times both land comfortably inside. Out-of-range samples clamp to
+/// the edge buckets.
+#[derive(Clone, Debug)]
+pub struct LogHist {
+    buckets: [u64; 64],
+    count: u64,
+}
+
+impl Default for LogHist {
+    fn default() -> Self {
+        LogHist {
+            buckets: [0; 64],
+            count: 0,
+        }
+    }
+}
+
+impl LogHist {
+    /// Empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket(v: f64) -> usize {
+        // NaN lands in the zero bucket too (partial_cmp → None).
+        if v.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+            return 0;
+        }
+        // IEEE-754 biased exponent; bias 1023, so `e − 1023 = ⌊log₂ v⌋`
+        // for normal numbers (subnormals collapse into the low edge).
+        let e = ((v.to_bits() >> 52) & 0x7ff) as i64;
+        (e - 1023 + 32).clamp(1, 63) as usize
+    }
+
+    /// Upper bound of bucket `i` (0 for the zero bucket).
+    fn upper_bound(i: usize) -> f64 {
+        if i == 0 {
+            0.0
+        } else {
+            (2.0f64).powi(i as i32 - 31)
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[Self::bucket(v)] += 1;
+        self.count += 1;
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) as the upper bound of the bucket
+    /// containing it — a deterministic overestimate within one octave.
+    /// Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Self::upper_bound(i);
+            }
+        }
+        Self::upper_bound(63)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Accumulate another histogram's samples into this one.
+    pub fn merge(&mut self, other: &LogHist) {
+        for i in 0..64 {
+            self.buckets[i] += other.buckets[i];
+        }
+        self.count += other.count;
     }
 }
 
@@ -60,6 +188,11 @@ pub struct CommStats {
     /// Virtual seconds of non-blocking communication that overlapped local
     /// compute — flight time the node clock never had to pay for.
     hidden_vtime: [f64; NPHASES],
+    /// Distribution of message sizes (in elements), all phases together.
+    msg_size_hist: LogHist,
+    /// Per-phase distribution of individual wait charges (blocking recv
+    /// stalls and non-blocking `wait` exposures, in virtual seconds).
+    wait_hist: [LogHist; NPHASES],
 }
 
 impl CommStats {
@@ -73,6 +206,7 @@ impl CommStats {
         let i = phase_index(phase);
         self.msgs[i] += 1;
         self.elems[i] += elems as u64;
+        self.msg_size_hist.record(elems as f64);
     }
 
     /// Record that a redundancy message needed its own link (extra λ).
@@ -96,7 +230,9 @@ impl CommStats {
     /// the exposed remainder charged by a non-blocking `wait`) in `phase`.
     pub fn record_wait_vtime(&mut self, phase: CommPhase, dt: f64) {
         debug_assert!(dt >= 0.0);
-        self.wait_vtime[phase_index(phase)] += dt;
+        let i = phase_index(phase);
+        self.wait_vtime[i] += dt;
+        self.wait_hist[i].record(dt);
     }
 
     /// Record non-blocking communication time hidden behind compute.
@@ -164,6 +300,25 @@ impl CommStats {
         self.hidden_vtime[phase_index(phase)]
     }
 
+    /// Distribution of message sizes in elements (all phases).
+    pub fn msg_size_hist(&self) -> &LogHist {
+        &self.msg_size_hist
+    }
+
+    /// Distribution of individual wait charges in `phase`.
+    pub fn wait_hist(&self, phase: CommPhase) -> &LogHist {
+        &self.wait_hist[phase_index(phase)]
+    }
+
+    /// Distribution of individual wait charges across all phases.
+    pub fn total_wait_hist(&self) -> LogHist {
+        let mut h = LogHist::new();
+        for p in &self.wait_hist {
+            h.merge(p);
+        }
+        h
+    }
+
     /// *Exposed* communication time in `phase`: virtual time the node clock
     /// actually advanced doing communication (blocking send transfers plus
     /// stalls). Hidden time is excluded — that is the point of the split.
@@ -195,7 +350,9 @@ impl CommStats {
             self.send_vtime[i] += other.send_vtime[i];
             self.wait_vtime[i] += other.wait_vtime[i];
             self.hidden_vtime[i] += other.hidden_vtime[i];
+            self.wait_hist[i].merge(&other.wait_hist[i]);
         }
+        self.msg_size_hist.merge(&other.msg_size_hist);
         self.extra_latency_msgs += other.extra_latency_msgs;
         self.allreduces += other.allreduces;
         self.allreduce_rounds += other.allreduce_rounds;
@@ -256,6 +413,68 @@ mod tests {
         assert_eq!(a.total_wait_vtime(), 6.5);
         assert_eq!(a.total_hidden_vtime(), 4.5);
         assert_eq!(a.total_exposed_vtime(), 7.5);
+    }
+
+    #[test]
+    fn loghist_buckets_by_octave() {
+        let mut h = LogHist::new();
+        for _ in 0..99 {
+            h.record(1.5); // [1, 2)
+        }
+        h.record(1000.0); // [512, 1024)
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.p50(), 2.0);
+        assert_eq!(h.p99(), 2.0);
+        assert_eq!(h.quantile(1.0), 1024.0);
+    }
+
+    #[test]
+    fn loghist_zero_and_empty() {
+        let h = LogHist::new();
+        assert_eq!(h.p50(), 0.0);
+        let mut h = LogHist::new();
+        h.record(0.0);
+        h.record(-3.0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn loghist_merge_accumulates() {
+        let mut a = LogHist::new();
+        a.record(4.0);
+        let mut b = LogHist::new();
+        b.record(4.0);
+        b.record(1e-6);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        // Two of three samples in [4, 8) ⇒ the median bucket is [4, 8).
+        assert_eq!(a.p50(), 8.0);
+    }
+
+    #[test]
+    fn loghist_deterministic_on_tiny_vtimes() {
+        // Wait-time scale samples land in distinct, reproducible buckets.
+        let mut h = LogHist::new();
+        h.record(1.2e-5);
+        h.record(2.5e-5);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.p50(), h.quantile(0.5));
+        assert!(h.p50() > 1.2e-5 && h.p50() < 1.2e-4, "{}", h.p50());
+    }
+
+    #[test]
+    fn stats_histograms_follow_sends_and_waits() {
+        let mut a = CommStats::new();
+        a.record_send(CommPhase::Spmv, 100);
+        a.record_wait_vtime(CommPhase::Reduction, 1e-5);
+        let mut b = CommStats::new();
+        b.record_send(CommPhase::Spmv, 100);
+        a.merge(&b);
+        assert_eq!(a.msg_size_hist().count(), 2);
+        assert_eq!(a.wait_hist(CommPhase::Reduction).count(), 1);
+        assert_eq!(a.total_wait_hist().count(), 1);
+        assert_eq!(a.msg_size_hist().p99(), 128.0); // 100 ∈ [64, 128)
     }
 
     #[test]

@@ -143,6 +143,31 @@ fn run_cell_prot(
         RecoveryPolicy::Shrink => failed_count(mode),
     };
     assert_eq!(res.retired_nodes(), expect_retired, "{label}");
+    // Every completed recovery leaves a per-substep virtual-time timeline
+    // on the result: one per recovery event, flavored by the protection,
+    // with the final attempt covering all five substep labels and no
+    // negative segment durations.
+    assert_eq!(res.recovery_timelines.len(), 1, "{label}: timeline count");
+    let tl = &res.recovery_timelines[0];
+    let (flavor, substeps): (&str, [&str; 5]) = match prot {
+        Prot::Esr => ("esr", ["setup", "gather", "rebuild", "xsolve", "commit"]),
+        Prot::Cr => ("cr", ["setup", "fetch", "epoch", "idle", "commit"]),
+    };
+    assert_eq!(tl.flavor, flavor, "{label}: timeline flavor");
+    assert!(!tl.segments.is_empty(), "{label}: empty substep timeline");
+    let last_attempt = tl.segments.iter().map(|s| s.attempt).max().unwrap();
+    for want in substeps {
+        assert!(
+            tl.segments
+                .iter()
+                .any(|s| s.attempt == last_attempt && s.label == want),
+            "{label}: final attempt lacks substep {want:?}"
+        );
+    }
+    assert!(
+        tl.segments.iter().all(|s| s.vtime >= 0.0),
+        "{label}: negative substep vtime"
+    );
     res
 }
 

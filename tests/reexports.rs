@@ -57,9 +57,11 @@ fn engine_and_config_error_types_reach_through_umbrella_paths() {
         attempts: 1,
         inner_iterations: 40,
         rollback_to: None,
+        timeline: esr_suite::core::RecoveryTimeline::default(),
     };
     let via_member: esr_core::RecoveryReport = report;
     assert_eq!(via_member.total_failed, 2);
+    assert!(via_member.timeline.segments.is_empty());
     let _engine_marker: Option<esr_suite::core::RecoveryEngine> = None;
 
     // ConfigError is a std::error::Error with the constraint in Display.
