@@ -27,6 +27,14 @@
 //!   (failure-free C/R vtime vs. the unprotected reference). Schema v3
 //!   adds per-cell log-bucket quantiles (message sizes, per-phase wait
 //!   times) and the per-substep recovery timelines.
+//! * **`BENCH_scale.json`** — the event-driven runtime's scaling sweep:
+//!   the same fixed-work problem (M1 at the configured scale) solved by
+//!   resilient PCG with one injected failure across cluster sizes
+//!   N ∈ {16, 64, 128, 256, 1024}. Reports virtual time and host
+//!   wall-clock per size, and asserts the N = 1024 solve finishes within
+//!   its wall-clock budget (60 s) — the capability the scheduler refactor
+//!   bought; the old thread-per-node runtime could not run N = 1024 at
+//!   all (1024 free-running OS threads on a 2-core host).
 //! * **`BENCH_trace.json` + `ESR_pcg_n16_failure.trace.json`** (only with
 //!   `--features trace`) — a traced N = 16 single-failure solve: the
 //!   Chrome-trace/Perfetto artifact plus an event census and the
@@ -37,8 +45,11 @@
 //! measured on the same machine/model as `baseline`, so the before/after
 //! is part of the artifact.
 //!
-//! Knobs: `ESR_REPORT_NODES` (comma list, default `4,8,13,16,32,64`) and
-//! the usual `ESR_SCALE`. CI runs this at small N as a smoke gate.
+//! Knobs: `ESR_REPORT_NODES` (comma list, default `4,8,13,16,32,64`),
+//! `ESR_SCALE_REPORT_NODES` (the scaling sweep's sizes, default
+//! `16,64,128,256,1024`) and the usual `ESR_SCALE`. CI runs this at small
+//! N as a smoke gate (the scaling sweep always includes N = 1024 — that
+//! *is* the smoke test for the scheduler).
 
 use std::time::Instant;
 
@@ -518,6 +529,78 @@ fn policy_matrix_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
     )
 }
 
+/// Wall-clock budget for the N = 1024 cell of the scaling sweep. The
+/// acceptance bar of the event-driven-runtime refactor: a 1024-node
+/// resilient PCG solve with one injected failure, on a laptop-class host.
+const SCALE_WALL_BUDGET_S: f64 = 60.0;
+
+fn scale_nodes() -> Vec<usize> {
+    match std::env::var("ESR_SCALE_REPORT_NODES") {
+        Ok(s) if !s.trim().is_empty() => s
+            .split(',')
+            .map(|t| t.trim().parse().expect("bad ESR_SCALE_REPORT_NODES"))
+            .collect(),
+        _ => vec![16, 64, 128, 256, 1024],
+    }
+}
+
+/// The scaling sweep (`BENCH_scale.json`): fixed work — the same M1
+/// system at the configured scale — solved by resilient PCG (φ = 1) with
+/// one failure injected at rank N/2, across cluster sizes up to the
+/// paper-scale N = 128 and beyond to N = 1024. Virtual time measures the
+/// simulated cluster (strong scaling under the BSP cost model); wall
+/// time measures the simulator itself — the scheduler dispatches one
+/// node at a time, so wall cost grows with total event count, not with
+/// host-thread contention.
+fn scale_report(cfgb: &BenchConfig, nodes: &[usize]) -> String {
+    // A fixed early iteration keeps the failure inside every solve
+    // (iteration counts grow with N as the block-Jacobi blocks shrink,
+    // so any later choice could fall past convergence at small N).
+    const FAIL_AT: u64 = 8;
+    let problem = cfgb.problem(PaperMatrix::M1);
+    let n_rows = problem.n();
+    let mut cases = Vec::new();
+    for &n in nodes {
+        let script = FailureScript::simultaneous(FAIL_AT, n / 2, 1, n);
+        let r = run_pcg(&problem, n, &SolverConfig::resilient(1), cfgb.cost, script).unwrap();
+        assert!(r.converged, "scaling sweep solve must converge (N={n})");
+        assert_eq!(r.recoveries, 1, "exactly one recovery expected (N={n})");
+        let wall_s = r.wall.as_secs_f64();
+        if n >= 1024 {
+            assert!(
+                wall_s < SCALE_WALL_BUDGET_S,
+                "N={n}: wall-clock {wall_s:.1}s exceeds the {SCALE_WALL_BUDGET_S:.0}s budget \
+                 — the event-driven scheduler has regressed"
+            );
+        }
+        cases.push(format!(
+            r#"    {{"nodes": {n}, "iterations": {}, "vtime_total": {}, "vtime_recovery": {}, "total_msgs": {}, "total_elems": {}, "wall_s": {}}}"#,
+            r.iterations,
+            json_f(r.vtime),
+            json_f(r.vtime_recovery),
+            r.stats.total_msgs(),
+            r.stats.total_elems(),
+            json_f(wall_s),
+        ));
+        println!(
+            "scale N={n:4}  iters {:3}  vtime {:.4e}s  t_rec {:.3e}s  msgs {:8}  wall {:.2}s",
+            r.iterations,
+            r.vtime,
+            r.vtime_recovery,
+            r.stats.total_msgs(),
+            wall_s
+        );
+    }
+    format!(
+        "{{\n  \"schema\": \"esr-bench/scale/v1\",\n  \"matrix\": \"M1\",\n  \"scale\": {},\n  \"rows\": {n_rows},\n  \"scenario\": \"fixed-work resilient PCG (phi=1), one failure at rank N/2 iteration 8; wall budget {SCALE_WALL_BUDGET_S}s at N=1024\",\n  \"cost_model\": {{\"lambda\": {}, \"mu\": {}, \"gamma\": {}}},\n  \"cases\": [\n{}\n  ]\n}}\n",
+        json_f(cfgb.scale),
+        json_f(cfgb.cost.lambda),
+        json_f(cfgb.cost.mu),
+        json_f(cfgb.cost.gamma),
+        cases.join(",\n")
+    )
+}
+
 /// The trace artifact pair (`--features trace` builds only): a resilient
 /// N = 16 PCG solve with one injected failure, exported as (a) a
 /// Perfetto-loadable Chrome-trace JSON (`about://tracing` / ui.perfetto.dev
@@ -615,6 +698,7 @@ fn main() {
         "BENCH_policy_matrix.json",
         &policy_matrix_report(&cfgb, &nodes),
     );
+    write_json("BENCH_scale.json", &scale_report(&cfgb, &scale_nodes()));
     #[cfg(feature = "trace")]
     {
         let (summary, chrome) = trace_report(&cfgb);

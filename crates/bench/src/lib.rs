@@ -6,7 +6,7 @@
 //! | variable | default | meaning |
 //! |---|---|---|
 //! | `ESR_SCALE` | `0.01` | problem size as a fraction of the paper's (1.0 ≈ paper) |
-//! | `ESR_NODES` | `16` | simulated cluster size N (paper: 128) |
+//! | `ESR_NODES` | `128` | simulated cluster size N (the paper's 128) |
 //! | `ESR_MATRICES` | all | comma list, e.g. `M1,M5,M8` |
 //! | `ESR_PROGRESS` | `0.2,0.5,0.8` | failure-injection progress points |
 //! | `ESR_REPS` | `1` | repetitions (virtual time is deterministic) |
@@ -36,7 +36,10 @@ impl BenchConfig {
     /// Read the configuration from `ESR_*` environment variables.
     pub fn from_env() -> Self {
         let scale = env_f64("ESR_SCALE", 0.01);
-        let nodes = env_usize("ESR_NODES", 16);
+        // The event-driven scheduler runs one node at a time on parked OS
+        // threads, so the paper's full cluster size is the cheap default —
+        // N no longer multiplies host-thread contention, only stack count.
+        let nodes = env_usize("ESR_NODES", 128);
         let matrices = match std::env::var("ESR_MATRICES") {
             Ok(s) if !s.trim().is_empty() => s
                 .split(',')

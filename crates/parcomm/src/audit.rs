@@ -14,10 +14,14 @@
 //! * [`check_teardown`] runs after all node threads have joined (so every
 //!   send has landed — the checks are deterministic) and enforces
 //!   **message-drain**, **non-overtaking**, **collective agreement**, and
-//!   **tag-window disjointness**;
-//! * a shared [`AuditShared`] table of per-rank blocked-on state turns a
-//!   wait-for cycle into an immediate panic naming the cycle
-//!   (**deadlock detection**), instead of a 300 s timeout per rank.
+//!   **tag-window disjointness**.
+//!
+//! Deadlock detection is *not* an audit concern anymore: the event-driven
+//! scheduler ([`crate::sched`]) proves a wait-for cycle the instant the
+//! cluster runs out of runnable nodes, in every build. (It used to live
+//! here as a polled shared blocked-on table with double-snapshot
+//! heuristics, needed only because free-running threads could race the
+//! detector.)
 //!
 //! Everything here is diagnostics: the auditor never touches the virtual
 //! clock or the statistics, so enabling the feature cannot change any
@@ -25,9 +29,6 @@
 //! feature off; see `crates/bench/benches/report.rs`).
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
 
 use crate::comm::ReduceOp;
 use crate::payload::Message;
@@ -98,7 +99,6 @@ pub struct NodeLog {
 
 /// Per-node audit state owned by the `NodeCtx`.
 pub(crate) struct AuditState {
-    pub(crate) shared: Arc<AuditShared>,
     pub(crate) log: NodeLog,
     send_seqs: HashMap<(usize, Tag), u64>,
     /// Current recovery-attempt window (see `NodeCtx::audit_enter_window`).
@@ -106,9 +106,8 @@ pub(crate) struct AuditState {
 }
 
 impl AuditState {
-    pub(crate) fn new(rank: usize, shared: Arc<AuditShared>) -> Self {
+    pub(crate) fn new(rank: usize) -> Self {
         AuditState {
-            shared,
             log: NodeLog {
                 rank,
                 ..NodeLog::default()
@@ -147,226 +146,6 @@ impl AuditState {
 
     pub(crate) fn into_log(self) -> NodeLog {
         self.log
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Deadlock detection
-// ---------------------------------------------------------------------------
-
-/// What a blocked rank is waiting for (`src: None` ⇒ any source).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) struct BlockedOn {
-    pub src: Option<usize>,
-    pub tag: Tag,
-}
-
-impl BlockedOn {
-    fn describe(&self) -> String {
-        match self.src {
-            Some(s) => format!("recv(src {}, tag {})", s, self.tag.describe()),
-            None => format!("recv_any(tag {})", self.tag.describe()),
-        }
-    }
-}
-
-/// How often a blocked (audited) receive polls its channel and re-examines
-/// the cluster for a wait-for cycle.
-pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(100);
-/// How long a stall candidate must stay byte-identical before it is
-/// declared a deadlock (filters in-flight races).
-const RECHECK: Duration = Duration::from_millis(150);
-
-/// One coherent picture of the cluster's wait state: per-rank blocked-on
-/// entries, done flags, and `(delivered, consumed)` counters.
-type Snapshot = (Vec<Option<BlockedOn>>, Vec<bool>, Vec<(u64, u64)>);
-
-/// Cluster-wide state shared by all node threads for deadlock detection:
-/// who is blocked on what, who has finished, and per-rank delivered/consumed
-/// message counters (a rank with `delivered > consumed` has an unexamined
-/// message in its channel and is never considered starved).
-pub(crate) struct AuditShared {
-    blocked: Mutex<Vec<Option<BlockedOn>>>,
-    done: Mutex<Vec<bool>>,
-    delivered: Vec<AtomicU64>,
-    consumed: Vec<AtomicU64>,
-}
-
-/// A stall candidate: the set of ranks that can only be unblocked by each
-/// other (or by a terminated rank) while no message is in flight to any of
-/// them.
-#[derive(Debug, PartialEq, Eq)]
-enum Stall {
-    /// `cycle[i]` waits on `cycle[i+1]` (wrapping).
-    Cycle(Vec<usize>),
-    /// `chain` ends waiting on the terminated rank `dead`.
-    Terminated { chain: Vec<usize>, dead: usize },
-    /// Every live rank is blocked (at least one on any-source).
-    AllBlocked,
-}
-
-impl Stall {
-    fn involved(&self, done: &[bool]) -> Vec<usize> {
-        match self {
-            Stall::Cycle(c) => c.clone(),
-            Stall::Terminated { chain, .. } => chain.clone(),
-            Stall::AllBlocked => (0..done.len()).filter(|&r| !done[r]).collect(),
-        }
-    }
-}
-
-impl AuditShared {
-    pub(crate) fn new(n: usize) -> Self {
-        AuditShared {
-            blocked: Mutex::new(vec![None; n]),
-            done: Mutex::new(vec![false; n]),
-            delivered: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            consumed: (0..n).map(|_| AtomicU64::new(0)).collect(),
-        }
-    }
-
-    /// A message is about to be pushed into `dest`'s channel. Must be called
-    /// *before* the push so `delivered ≥` the true channel occupancy.
-    pub(crate) fn note_delivered(&self, dest: usize) {
-        self.delivered[dest].fetch_add(1, Ordering::SeqCst);
-    }
-
-    /// `rank` pulled one message off its channel.
-    pub(crate) fn note_consumed(&self, rank: usize) {
-        self.consumed[rank].fetch_add(1, Ordering::SeqCst);
-    }
-
-    pub(crate) fn set_blocked(&self, rank: usize, on: Option<BlockedOn>) {
-        self.blocked.lock().expect("audit lock poisoned")[rank] = on;
-    }
-
-    /// `rank`'s program has returned (normally or by panic).
-    pub(crate) fn mark_done(&self, rank: usize) {
-        self.done.lock().expect("audit lock poisoned")[rank] = true;
-    }
-
-    fn snapshot(&self) -> Snapshot {
-        let blocked = self.blocked.lock().expect("audit lock poisoned").clone();
-        let done = self.done.lock().expect("audit lock poisoned").clone();
-        let counters = self
-            .delivered
-            .iter()
-            .zip(&self.consumed)
-            .map(|(d, c)| (d.load(Ordering::SeqCst), c.load(Ordering::SeqCst)))
-            .collect();
-        (blocked, done, counters)
-    }
-
-    /// Called by a blocked rank after a poll timeout: if the cluster is in a
-    /// stable wait-for stall involving this rank, return the report to panic
-    /// with. `None` means "keep waiting" (someone is runnable, or a message
-    /// is in flight, or the picture changed during the recheck interval).
-    pub(crate) fn stall_report(&self, me: usize) -> Option<String> {
-        let (b1, d1, c1) = self.snapshot();
-        let s1 = find_stall(&b1, &d1, &c1, me)?;
-        std::thread::sleep(RECHECK);
-        let (b2, d2, c2) = self.snapshot();
-        let s2 = find_stall(&b2, &d2, &c2, me)?;
-        if s1 != s2 {
-            return None;
-        }
-        // Monotonic counters identical across the interval ⇒ nothing moved.
-        for r in s2.involved(&d2) {
-            if c1[r] != c2[r] {
-                return None;
-            }
-        }
-        Some(format_stall(&s2, &b2, &d2))
-    }
-}
-
-/// A rank is *starved* when its channel holds no unexamined message.
-fn starved(counters: &[(u64, u64)], r: usize) -> bool {
-    let (delivered, consumed) = counters[r];
-    consumed >= delivered
-}
-
-fn find_stall(
-    blocked: &[Option<BlockedOn>],
-    done: &[bool],
-    counters: &[(u64, u64)],
-    me: usize,
-) -> Option<Stall> {
-    let mut chain = vec![me];
-    loop {
-        let cur = *chain.last().expect("chain non-empty");
-        let b = blocked[cur]?;
-        if !starved(counters, cur) {
-            return None;
-        }
-        match b.src {
-            // Any-source: only a whole-cluster stall is conclusive (any live
-            // rank could in principle send the awaited message).
-            None => {
-                for r in 0..blocked.len() {
-                    if !done[r] && (blocked[r].is_none() || !starved(counters, r)) {
-                        return None;
-                    }
-                }
-                return Some(Stall::AllBlocked);
-            }
-            Some(s) => {
-                if done[s] {
-                    return Some(Stall::Terminated { chain, dead: s });
-                }
-                if let Some(pos) = chain.iter().position(|&r| r == s) {
-                    return Some(Stall::Cycle(chain[pos..].to_vec()));
-                }
-                chain.push(s);
-            }
-        }
-    }
-}
-
-fn format_stall(stall: &Stall, blocked: &[Option<BlockedOn>], done: &[bool]) -> String {
-    let state = |r: usize| match blocked[r] {
-        Some(b) => format!("rank {} blocked in {}", r, b.describe()),
-        None => format!("rank {r} (running)"),
-    };
-    match stall {
-        Stall::Cycle(cycle) => {
-            let mut s = String::from("[deadlock] wait-for cycle, no messages in flight: ");
-            for (i, &r) in cycle.iter().enumerate() {
-                if i > 0 {
-                    s.push_str(" -> ");
-                }
-                s.push_str(&state(r));
-            }
-            s.push_str(&format!(" -> rank {}", cycle[0]));
-            s
-        }
-        Stall::Terminated { chain, dead } => {
-            let mut s = String::from("[deadlock] wait chain ends at a terminated rank: ");
-            for (i, &r) in chain.iter().enumerate() {
-                if i > 0 {
-                    s.push_str(" -> ");
-                }
-                s.push_str(&state(r));
-            }
-            s.push_str(&format!(" -> rank {dead} (terminated)"));
-            s
-        }
-        Stall::AllBlocked => {
-            let mut s =
-                String::from("[deadlock] every live rank is blocked with no messages in flight: ");
-            let mut first = true;
-            for r in 0..blocked.len() {
-                if done[r] {
-                    continue;
-                }
-                if !first {
-                    s.push_str("; ");
-                }
-                first = false;
-                s.push_str(&state(r));
-            }
-            s
-        }
     }
 }
 
@@ -737,68 +516,5 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert!(v[0].contains("1 of 2 members"), "{}", v[0]);
         assert!(check_teardown(&logs, &[], false).is_empty());
-    }
-
-    #[test]
-    fn stall_detection_finds_cycles() {
-        let blocked = vec![
-            Some(BlockedOn {
-                src: Some(1),
-                tag: Tag::user(1),
-            }),
-            Some(BlockedOn {
-                src: Some(0),
-                tag: Tag::user(2),
-            }),
-        ];
-        let done = vec![false, false];
-        let counters = vec![(3, 3), (5, 5)];
-        match find_stall(&blocked, &done, &counters, 0) {
-            Some(Stall::Cycle(c)) => assert_eq!(c, vec![0, 1]),
-            other => panic!("expected cycle, got {other:?}"),
-        }
-        // An unexamined in-flight message to rank 1 defuses the stall.
-        let counters = vec![(3, 3), (6, 5)];
-        assert_eq!(find_stall(&blocked, &done, &counters, 0), None);
-    }
-
-    #[test]
-    fn stall_detection_finds_terminated_targets() {
-        let blocked = vec![
-            Some(BlockedOn {
-                src: Some(1),
-                tag: Tag::user(1),
-            }),
-            None,
-        ];
-        let done = vec![false, true];
-        let counters = vec![(0, 0), (0, 0)];
-        match find_stall(&blocked, &done, &counters, 0) {
-            Some(Stall::Terminated { chain, dead }) => {
-                assert_eq!(chain, vec![0]);
-                assert_eq!(dead, 1);
-            }
-            other => panic!("expected terminated chain, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn running_rank_defuses_any_source_stall() {
-        let blocked = vec![
-            Some(BlockedOn {
-                src: None,
-                tag: Tag::user(1),
-            }),
-            None,
-        ];
-        let done = vec![false, false];
-        let counters = vec![(0, 0), (0, 0)];
-        assert_eq!(find_stall(&blocked, &done, &counters, 0), None);
-        // …but with the other rank done, a lone any-source wait is a stall.
-        let done = vec![false, true];
-        assert!(matches!(
-            find_stall(&blocked, &done, &counters, 0),
-            Some(Stall::AllBlocked)
-        ));
     }
 }

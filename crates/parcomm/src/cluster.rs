@@ -1,19 +1,26 @@
 //! The SPMD cluster harness.
 //!
-//! [`Cluster::run`] spawns one OS thread per simulated compute node, wires
-//! up the mailboxes, and executes the same program on every node — the SPMD
-//! model of MPI. Per-node results are collected in rank order.
+//! [`Cluster::run`] gives every simulated compute node its own OS thread
+//! (private stack, blocking call style), wires up the mailboxes, and
+//! executes the same program on every node — the SPMD model of MPI. The
+//! threads do not free-run: a [`crate::sched::Scheduler`] dispatches
+//! exactly one runnable node at a time by minimum `(virtual time, rank)`,
+//! so execution order is deterministic and node count is decoupled from
+//! host parallelism (N = 1024 clusters run fine on a 2-core host).
+//! Per-node results are collected in rank order.
 //!
 //! The paper runs one MPI process per node (Sec. 7.1, "we use only one
 //! process per node"), so a node ≡ a rank here too.
 
+use std::sync::Arc;
 use std::thread;
 
 use crate::comm::NodeCtx;
 use crate::fault::{FailureScript, FaultOracle};
 use crate::mailbox::Mailbox;
-use crate::payload::{Message, Payload};
-use crate::tag::Tag;
+#[cfg(any(debug_assertions, feature = "audit"))]
+use crate::payload::Message;
+use crate::sched::Scheduler;
 use crate::vclock::{CostModel, VClock};
 
 /// What a node thread hands back at teardown: the program's result (or its
@@ -83,13 +90,15 @@ impl ClusterConfig {
 
 /// The cluster's finite pool of hot-spare nodes.
 ///
-/// In the simulation the spare is not a separate thread: as in the paper's
-/// methodology (Sec. 6), the failed rank's thread continues in the
-/// replacement-node role — what a spare buys is the *right* to do so. The
-/// pool is claimed at failure boundaries, which every node reaches with the
-/// same SPMD-deterministic failure information, so each node's private copy
-/// of the pool evolves identically and no shared mutable state is needed
-/// (the same determinism argument that stands in for `MPI_Comm_agree`).
+/// In the simulation the spare is not a separate scheduler entity: as in
+/// the paper's methodology (Sec. 6), the failed rank keeps its scheduler
+/// slot and continues in the replacement-node role (see the node lifecycle
+/// state machine in [`crate::fault`]) — what a spare buys is the *right*
+/// to do so. The pool is claimed at failure boundaries, which every node
+/// reaches with the same SPMD-deterministic failure information, so each
+/// node's private copy of the pool evolves identically and no shared
+/// mutable state is needed (the same determinism argument that stands in
+/// for `MPI_Comm_agree`).
 #[derive(Clone, Debug)]
 pub struct SparePool {
     total: usize,
@@ -177,8 +186,7 @@ impl Cluster {
             outboxes.push(tx);
         }
 
-        #[cfg(feature = "audit")]
-        let audit_shared = std::sync::Arc::new(crate::audit::AuditShared::new(n));
+        let sched = Arc::new(Scheduler::new(n));
 
         let program = &program;
         thread::scope(|s| {
@@ -188,8 +196,7 @@ impl Cluster {
                 let oracle = oracle.clone();
                 let cost = config.cost;
                 let spares = config.spares;
-                #[cfg(feature = "audit")]
-                let audit_shared = audit_shared.clone();
+                let sched = sched.clone();
                 handles.push(
                     thread::Builder::new()
                         .name(format!("node-{rank}"))
@@ -198,10 +205,6 @@ impl Cluster {
                         // plenty. Set explicitly for predictability.
                         .stack_size(4 * 1024 * 1024)
                         .spawn_scoped(s, move || {
-                            // Keep abort handles so a panic on this node
-                            // tears the whole cluster down immediately
-                            // instead of stranding peers in recv.
-                            let abort_outboxes = outboxes.clone();
                             let mut ctx = NodeCtx::new(
                                 rank,
                                 n,
@@ -211,34 +214,26 @@ impl Cluster {
                                 VClock::new(cost),
                                 spares,
                             );
+                            ctx.install_sched(sched.clone());
                             #[cfg(feature = "audit")]
-                            ctx.install_audit(audit_shared.clone());
+                            ctx.install_audit();
                             #[cfg(feature = "trace")]
                             ctx.install_trace();
+                            // The baton wait sits inside catch_unwind: a
+                            // peer abort or a deadlock report surfaces as
+                            // a panic out of the scheduler park.
                             let result =
                                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    sched.wait_for_baton(rank);
                                     program(&mut ctx)
                                 }));
-                            if result.is_err() {
-                                for (dest, tx) in abort_outboxes.iter().enumerate() {
-                                    if dest != rank {
-                                        // Keep the delivered-counter invariant
-                                        // (delivered ≥ channel occupancy) so
-                                        // the stall detector never mistakes an
-                                        // in-flight abort for starvation.
-                                        #[cfg(feature = "audit")]
-                                        audit_shared.note_delivered(dest);
-                                        let _ = tx.send(Message::new(
-                                            rank,
-                                            Tag::ABORT,
-                                            Payload::Empty,
-                                            0.0,
-                                        ));
-                                    }
-                                }
+                            // Hand the baton on — or, on a panic, wake all
+                            // parked peers into immediate teardown instead
+                            // of stranding them in recv.
+                            match &result {
+                                Ok(_) => sched.finish(rank),
+                                Err(_) => sched.abort(rank),
                             }
-                            #[cfg(feature = "audit")]
-                            audit_shared.mark_done(rank);
                             #[cfg(feature = "trace")]
                             let trace = ctx.take_trace();
                             let (mailbox, _log) = ctx.into_teardown();
@@ -254,6 +249,10 @@ impl Cluster {
                         .expect("failed to spawn node thread"),
                 );
             }
+
+            // Every node thread parks on the scheduler first; hand out the
+            // first baton (rank 0, all clocks at 0.0).
+            sched.start();
 
             // Join all nodes first — teardown checks must see every log.
             let finishes: Vec<NodeFinish<T>> = handles
@@ -291,19 +290,18 @@ impl Cluster {
                 #[cfg(feature = "trace")]
                 traces.push(fin.trace.unwrap_or_default());
             }
+            #[cfg(any(debug_assertions, feature = "audit"))]
             let clean = panics.is_empty();
 
             // Mailbox-drain inspection: a message still sitting in a queue at
             // teardown is a protocol leak. Only meaningful on clean runs — a
-            // panic legitimately strands in-flight traffic (incl. ABORTs).
+            // panic legitimately strands in-flight traffic.
             #[cfg(any(debug_assertions, feature = "audit"))]
             let leaks: Vec<(usize, Message)> = if clean {
                 let mut leaks = Vec::new();
                 for (rank, mb) in end_mailboxes.iter_mut().enumerate() {
                     for m in mb.drain_residue() {
-                        if m.tag != Tag::ABORT {
-                            leaks.push((rank, m));
-                        }
+                        leaks.push((rank, m));
                     }
                 }
                 leaks
@@ -639,6 +637,30 @@ mod tests {
     fn spare_pool_defaults_to_empty() {
         let out = Cluster::run(ClusterConfig::new(2), |ctx| ctx.spare_pool().remaining());
         assert_eq!(out, vec![0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "[deadlock] wait-for cycle")]
+    fn cross_recv_deadlock_reported_in_every_build() {
+        // Rank 0 and rank 1 each wait for the other: the scheduler runs
+        // out of runnable nodes and names the cycle instantly — no audit
+        // feature, no timeout.
+        Cluster::run(ClusterConfig::new(2), |ctx| {
+            let peer = 1 - ctx.rank();
+            ctx.recv(peer, 1);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "wait chain ends at a terminated rank")]
+    fn recv_from_finished_rank_is_reported() {
+        Cluster::run(ClusterConfig::new(2), |ctx| {
+            if ctx.rank() == 1 {
+                // Rank 0 finishes without ever sending; rank 1's wait can
+                // never be satisfied.
+                ctx.recv(0, 1);
+            }
+        });
     }
 
     #[test]

@@ -153,6 +153,10 @@ pub struct NodeCtx {
     coll_seq: u64,
     group_counters: HashMap<Vec<usize>, u32>,
     spares: usize,
+    /// The cluster's node scheduler (`None` only in standalone unit
+    /// tests): sends notify it so a blocked matching receiver becomes
+    /// runnable.
+    sched: Option<std::sync::Arc<crate::sched::Scheduler>>,
     #[cfg(feature = "audit")]
     audit: Option<Box<audit::AuditState>>,
     #[cfg(feature = "trace")]
@@ -181,6 +185,7 @@ impl NodeCtx {
             coll_seq: 0,
             group_counters: HashMap::new(),
             spares,
+            sched: None,
             #[cfg(feature = "audit")]
             audit: None,
             #[cfg(feature = "trace")]
@@ -202,12 +207,19 @@ impl NodeCtx {
         self.trace.take().map(|t| t.into_log())
     }
 
-    /// Attach the protocol auditor (cluster-wide shared state plus this
-    /// node's event log). Called by `Cluster::run` before the program.
+    /// Attach the cluster's node scheduler: would-block receives park on
+    /// it, sends wake matching blocked receivers. Called by `Cluster::run`
+    /// before the program starts.
+    pub(crate) fn install_sched(&mut self, sched: std::sync::Arc<crate::sched::Scheduler>) {
+        self.mailbox.install_sched(sched.clone());
+        self.sched = Some(sched);
+    }
+
+    /// Attach the protocol auditor (this node's event log). Called by
+    /// `Cluster::run` before the program.
     #[cfg(feature = "audit")]
-    pub(crate) fn install_audit(&mut self, shared: std::sync::Arc<audit::AuditShared>) {
-        self.mailbox.install_audit(shared.clone());
-        self.audit = Some(Box::new(audit::AuditState::new(self.rank, shared)));
+    pub(crate) fn install_audit(&mut self) {
+        self.audit = Some(Box::new(audit::AuditState::new(self.rank)));
     }
 
     /// Surrender the mailbox (for the cluster's teardown drain check) and
@@ -437,19 +449,23 @@ impl NodeCtx {
         #[cfg(feature = "audit")]
         if let Some(a) = &mut self.audit {
             msg.stamp = a.stamp_send(dest, tag);
-            // Count the delivery *before* the push (see AuditShared).
-            a.shared.note_delivered(dest);
         }
         // A closed channel means the peer thread panicked; propagate.
         self.outboxes[dest]
             .send(msg)
             .unwrap_or_else(|_| panic!("rank {}: peer {} is gone", self.rank, dest));
+        // Push first, then notify: when the receiver is re-dispatched the
+        // message is guaranteed to be in its channel.
+        if let Some(sched) = &self.sched {
+            sched.notify_send(dest, self.rank, tag);
+        }
     }
 
     /// Blocking mailbox receive with no clock or stats effects (the
     /// non-blocking engine accounts on its own timeline).
     pub(crate) fn raw_recv_blocking(&mut self, src: usize, tag: Tag) -> Message {
-        let m = self.mailbox.recv(src, tag);
+        let now = self.clock.now();
+        let m = self.mailbox.recv(src, tag, now);
         self.audit_recv(&m);
         m
     }
@@ -543,7 +559,8 @@ impl NodeCtx {
 
     /// Blocking receive of a user-tagged message from any source.
     pub fn recv_any(&mut self, tag: u32) -> (usize, Payload) {
-        let m = self.mailbox.recv_any(Tag::user(tag));
+        let now = self.clock.now();
+        let m = self.mailbox.recv_any(Tag::user(tag), now);
         self.audit_recv(&m);
         #[cfg(feature = "trace")]
         let t0 = self.clock.now();

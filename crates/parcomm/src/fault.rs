@@ -10,13 +10,42 @@
 //!   the same identifier, so all nodes agree on the announced failures
 //!   without an explicit agreement protocol (this stands in for
 //!   ULFM's `MPI_Comm_agree`);
-//! * the *failed* node itself learns of its failure at the boundary, poisons
-//!   its dynamic state with NaN ([`poison`]) and continues in the
+//! * the *failed* node itself learns of its failure at the boundary,
+//!   poisons its dynamic state with NaN ([`poison`]) and continues in the
 //!   **replacement node** role — exactly the simulation methodology of the
 //!   paper (Sec. 6), which keeps ranks alive and re-purposes them;
 //! * failures scheduled *inside* a recovery ([`FailAt::RecoverySubstep`])
 //!   model **overlapping failures**: the reconstruction is aborted and
 //!   restarted with the enlarged failed set (paper Sec. 4.1).
+//!
+//! ## Node lifecycle
+//!
+//! A node's life is a composition of two state machines. The *scheduler*
+//! level ([`crate::sched`]) knows only execution states — a node is
+//! **Runnable** (parked, dispatchable), **Running** (holds the baton),
+//! **Blocked** (parked in a receive with no matching message), or **Done**
+//! (its program returned). The *solver* level layers failure roles on top,
+//! without ever leaving the scheduler's view:
+//!
+//! ```text
+//!   Healthy ──failure announced at a boundary──▶ Failed (state poisoned)
+//!      ▲                                            │
+//!      │                      ┌─────────────────────┤
+//!      │              spare granted           no spare left
+//!      │                      │                     │
+//!      └── Replacement ◀──────┘                     ▼
+//!          (same rank,                       Retired (leaves the
+//!           reconstructs via ESR)            solve; its subdomain
+//!                                            is adopted by survivors)
+//! ```
+//!
+//! A **Failed** node is not torn down: it keeps its rank and scheduler
+//! slot, and — having poisoned its dynamic data — either re-enters the
+//! solve as the **Replacement** node (reconstructing its subdomain from
+//! redundant copies) or **Retires**, finishing its program early so its
+//! scheduler state goes Done while the survivors adopt its rows. There is
+//! no per-role thread bookkeeping anywhere: roles are pure solver-level
+//! facts, derived deterministically from the script by every node.
 
 use std::sync::Arc;
 

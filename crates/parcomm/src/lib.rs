@@ -5,9 +5,15 @@
 //! Method Resilient Against Multiple Node Failures"* (ICPP 2019).
 //!
 //! The paper runs on MPI (with ULFM-style fault tolerance assumed) on 128
-//! physical nodes. Here, every **node** of the parallel computer is an OS
-//! thread with strictly private state and a mailbox; all interaction happens
-//! through explicit message passing, mirroring the MPI programming model:
+//! physical nodes. Here, every **node** of the parallel computer has
+//! strictly private state and a mailbox; all interaction happens through
+//! explicit message passing, mirroring the MPI programming model. Node
+//! programs are written in blocking style (each node owns an OS thread as
+//! its stack), but execution is driven by a deterministic discrete-event
+//! scheduler ([`sched`]): exactly one node runs at a time, blocking
+//! operations park the node, and the next runnable node is dispatched by
+//! minimum `(virtual time, rank)` — so a 1024-node cluster runs on one
+//! core and every run replays the identical schedule. The primitives:
 //!
 //! * point-to-point [`NodeCtx::send`] / [`NodeCtx::recv`] with
 //!   `(source, tag)` matching,
@@ -31,9 +37,10 @@
 //!   timing *shapes* even on a 2-core host.
 //!
 //! Failures are *simulated* exactly as in the paper (Sec. 6): a failed
-//! node's dynamic data is poisoned (NaN) and the node thread continues in
-//! the *replacement node* role. Tests rely on the poisoning to prove that
-//! recovery never reads lost data.
+//! node's dynamic data is poisoned (NaN) and the node keeps its scheduler
+//! slot, continuing in the *replacement node* role (the lifecycle state
+//! machine is documented in [`fault`]). Tests rely on the poisoning to
+//! prove that recovery never reads lost data.
 
 // Indexed loops over several parallel arrays are the clearest form for
 // the numeric kernels in this crate; iterator-zip pyramids obscure the math.
@@ -48,6 +55,7 @@ pub mod group;
 pub mod mailbox;
 pub mod payload;
 pub mod request;
+pub(crate) mod sched;
 pub mod stats;
 pub mod tag;
 #[cfg(feature = "trace")]

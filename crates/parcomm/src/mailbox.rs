@@ -6,30 +6,24 @@
 //! non-matching messages in a pending list — the standard MPI unexpected-
 //! message queue.
 //!
-//! With `--features audit`, blocking receives poll the channel on a short
-//! interval and consult the cluster-wide [`crate::audit::AuditShared`]
-//! blocked-on table: a wait-for cycle (or a wait on a terminated rank) with
-//! no messages in flight panics immediately with the cycle spelled out,
-//! instead of stalling until the 300 s backstop.
+//! A receive that finds no match does not poll: it parks the node on the
+//! cluster's [`crate::sched::Scheduler`], which hands the baton to the next
+//! runnable node and wakes this one when a matching send arrives. A receive
+//! that can *never* match — a wait-for cycle, or a wait on a terminated
+//! rank — is detected the moment the cluster runs out of runnable nodes and
+//! panics with the exact wait-for chain spelled out (in every build, not
+//! just under `--features audit`).
+//!
+//! A standalone mailbox (no scheduler installed — unit tests drive it
+//! directly) panics immediately on a would-block receive: with no peers to
+//! park for, an unmatched receive is always a bug.
 
-use std::sync::mpsc::{channel as unbounded, Receiver, RecvTimeoutError, Sender};
-use std::time::Duration;
+use std::sync::mpsc::{channel as unbounded, Receiver, Sender};
+use std::sync::Arc;
 
 use crate::payload::Message;
+use crate::sched::{BlockedOn, Scheduler};
 use crate::tag::Tag;
-
-#[cfg(feature = "audit")]
-use crate::audit::{AuditShared, BlockedOn};
-#[cfg(feature = "audit")]
-use std::sync::Arc;
-#[cfg(feature = "audit")]
-use std::time::Instant;
-
-/// How long a blocking receive waits before declaring the cluster
-/// deadlocked. A backstop only — a panicking peer broadcasts
-/// [`Tag::ABORT`] so genuine failures tear the cluster down immediately
-/// (and the `audit` feature detects wait-for cycles within milliseconds).
-const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(300);
 
 /// The receiving half of a node's mailbox.
 pub struct Mailbox {
@@ -37,8 +31,8 @@ pub struct Mailbox {
     rx: Receiver<Message>,
     /// Unexpected-message queue: arrived but not yet matched.
     pending: Vec<Message>,
-    #[cfg(feature = "audit")]
-    audit: Option<Arc<AuditShared>>,
+    /// The cluster's node scheduler; `None` for standalone mailboxes.
+    sched: Option<Arc<Scheduler>>,
     /// Test double: reintroduces the PR 2 `swap_remove` FIFO defect so the
     /// auditor's non-overtaking check can be proven against it.
     #[cfg(feature = "audit")]
@@ -47,21 +41,6 @@ pub struct Mailbox {
 
 /// A handle for delivering messages to some node.
 pub type Outbox = Sender<Message>;
-
-/// Clears this rank's blocked-on entry even if the receive panics (abort,
-/// deadlock report), so peers never chain through a stale entry.
-#[cfg(feature = "audit")]
-struct BlockedGuard {
-    shared: Arc<AuditShared>,
-    rank: usize,
-}
-
-#[cfg(feature = "audit")]
-impl Drop for BlockedGuard {
-    fn drop(&mut self) {
-        self.shared.set_blocked(self.rank, None);
-    }
-}
 
 impl Mailbox {
     /// Create a mailbox for `rank`; returns the mailbox and the sender handle
@@ -73,8 +52,7 @@ impl Mailbox {
                 rank,
                 rx,
                 pending: Vec::new(),
-                #[cfg(feature = "audit")]
-                audit: None,
+                sched: None,
                 #[cfg(feature = "audit")]
                 fifo_bug: false,
             },
@@ -82,25 +60,15 @@ impl Mailbox {
         )
     }
 
-    /// Attach the cluster-wide deadlock-detection state.
-    #[cfg(feature = "audit")]
-    pub(crate) fn install_audit(&mut self, shared: Arc<AuditShared>) {
-        self.audit = Some(shared);
+    /// Attach the cluster's node scheduler: would-block receives park there
+    /// instead of panicking.
+    pub(crate) fn install_sched(&mut self, sched: Arc<Scheduler>) {
+        self.sched = Some(sched);
     }
 
     #[cfg(feature = "audit")]
     pub(crate) fn seed_fifo_bug(&mut self) {
         self.fifo_bug = true;
-    }
-
-    /// Bump this rank's consumed-message counter (deadlock detection: a rank
-    /// whose channel may hold an unexamined message is never starved). Must
-    /// be called for every message pulled off `rx`.
-    fn note_consumed(&self) {
-        #[cfg(feature = "audit")]
-        if let Some(a) = &self.audit {
-            a.note_consumed(self.rank);
-        }
     }
 
     /// Remove and return `pending[pos]`, preserving arrival order.
@@ -117,117 +85,61 @@ impl Mailbox {
         self.pending.remove(pos)
     }
 
-    /// Blocking receive matching an exact `(src, tag)`.
+    /// Pull everything already delivered into the pending queue; returns
+    /// whether anything arrived.
+    fn drain_channel(&mut self) -> bool {
+        let mut arrived = false;
+        while let Ok(m) = self.rx.try_recv() {
+            self.pending.push(m);
+            arrived = true;
+        }
+        arrived
+    }
+
+    /// Blocking receive matching an exact `(src, tag)`; `now` is the node's
+    /// current virtual time (recorded by the scheduler while parked).
     ///
     /// # Panics
-    /// Panics after a long timeout — in this simulator an unmatched receive
-    /// is always a protocol bug (deadlock), and panicking with context beats
-    /// hanging the test suite. With `--features audit` a provable wait-for
-    /// cycle panics within milliseconds instead, naming the cycle.
-    pub fn recv(&mut self, src: usize, tag: Tag) -> Message {
-        self.recv_matching(Some(src), tag)
+    /// Panics when the receive can never be matched: the scheduler detects
+    /// the moment no node is runnable and reports the exact wait-for cycle
+    /// (or terminated-rank chain). A standalone mailbox panics immediately.
+    pub fn recv(&mut self, src: usize, tag: Tag, now: f64) -> Message {
+        self.recv_matching(Some(src), tag, now)
     }
 
     /// Blocking receive matching a tag from *any* source. Returns the full
     /// message so the caller learns the source.
-    pub fn recv_any(&mut self, tag: Tag) -> Message {
-        self.recv_matching(None, tag)
+    pub fn recv_any(&mut self, tag: Tag, now: f64) -> Message {
+        self.recv_matching(None, tag, now)
     }
 
-    fn recv_matching(&mut self, src: Option<usize>, tag: Tag) -> Message {
+    fn recv_matching(&mut self, src: Option<usize>, tag: Tag, now: f64) -> Message {
         let matches = |m: &Message| src.is_none_or(|s| m.src == s) && m.tag == tag;
-        if let Some(pos) = self.pending.iter().position(matches) {
-            return self.take_pending(pos);
-        }
-        #[cfg(feature = "audit")]
-        let _guard = self.audit.as_ref().map(|a| {
-            a.set_blocked(self.rank, Some(BlockedOn { src, tag }));
-            BlockedGuard {
-                shared: a.clone(),
-                rank: self.rank,
-            }
-        });
-        #[cfg(feature = "audit")]
-        let deadline = Instant::now() + DEADLOCK_TIMEOUT;
-        let poll = self.poll_interval();
         loop {
-            // A deadlock probe may have parked new arrivals in `pending`.
-            #[cfg(feature = "audit")]
             if let Some(pos) = self.pending.iter().position(matches) {
                 return self.take_pending(pos);
             }
-            match self.rx.recv_timeout(poll) {
-                Ok(m) => {
-                    self.note_consumed();
-                    if m.tag == Tag::ABORT {
-                        panic!("rank {}: peer {} aborted", self.rank, m.src);
-                    }
-                    if matches(&m) {
-                        return m;
-                    }
-                    self.pending.push(m);
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    #[cfg(feature = "audit")]
-                    if self.audit.is_some() {
-                        self.deadlock_probe();
-                        if Instant::now() < deadline {
-                            continue;
-                        }
-                    }
-                    panic!(
-                        "rank {}: deadlock waiting for {} with tag {:?} \
-                         ({} unexpected messages pending)",
-                        self.rank,
-                        match src {
-                            Some(s) => format!("message from rank {s}"),
-                            None => "any-source message".to_string(),
-                        },
-                        tag,
-                        self.pending.len()
-                    );
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    // Senders live as long as the cluster; losing them all
-                    // means every peer is gone.
-                    panic!("rank {}: all peers disconnected", self.rank);
-                }
+            if self.drain_channel() {
+                continue;
+            }
+            // Nothing delivered matches: park until a matching send wakes
+            // us (the re-scan above is then guaranteed to succeed — the
+            // scheduler wakes on match only).
+            match &self.sched {
+                Some(sched) => sched.park_recv(self.rank, BlockedOn { src, tag }, now),
+                None => panic!(
+                    "rank {}: deadlock waiting for {} with tag {:?} \
+                     ({} unexpected messages pending)",
+                    self.rank,
+                    match src {
+                        Some(s) => format!("message from rank {s}"),
+                        None => "any-source message".to_string(),
+                    },
+                    tag,
+                    self.pending.len()
+                ),
             }
         }
-    }
-
-    fn poll_interval(&self) -> Duration {
-        #[cfg(feature = "audit")]
-        if self.audit.is_some() {
-            return crate::audit::POLL_INTERVAL;
-        }
-        DEADLOCK_TIMEOUT
-    }
-
-    /// Poll timeout expired: ask the shared table whether the cluster is in
-    /// a provable stall involving this rank, and panic with the report if
-    /// so. Messages that raced in while the probe deliberated defuse it.
-    #[cfg(feature = "audit")]
-    fn deadlock_probe(&mut self) {
-        let Some(shared) = self.audit.clone() else {
-            return;
-        };
-        let Some(report) = shared.stall_report(self.rank) else {
-            return;
-        };
-        let mut arrived = false;
-        while let Ok(m) = self.rx.try_recv() {
-            self.note_consumed();
-            if m.tag == Tag::ABORT {
-                panic!("rank {}: peer {} aborted", self.rank, m.src);
-            }
-            self.pending.push(m);
-            arrived = true;
-        }
-        if arrived {
-            return;
-        }
-        panic!("{report}");
     }
 
     /// Non-blocking, **non-consuming** probe for an exact `(src, tag)`
@@ -237,26 +149,19 @@ impl Mailbox {
     /// of the non-blocking API. Because nothing is consumed, a later
     /// blocking `recv` (or the request's own `wait`) still matches
     /// messages purely in program order, keeping payload matching
-    /// independent of host-thread delivery timing.
+    /// independent of delivery timing.
     pub fn peek_match(&mut self, src: usize, tag: Tag) -> Option<&Message> {
-        while let Ok(m) = self.rx.try_recv() {
-            self.note_consumed();
-            if m.tag == Tag::ABORT {
-                panic!("rank {}: peer {} aborted", self.rank, m.src);
-            }
-            self.pending.push(m);
-        }
+        self.drain_channel();
         self.pending.iter().find(|m| m.src == src && m.tag == tag)
     }
 
     /// Drain the channel and hand over everything still unconsumed. Called
     /// by the cluster after all node threads have joined (so every send has
-    /// landed); any non-ABORT message here was never matched by a receive.
+    /// landed); any message here was never matched by a receive. The leak
+    /// check that consumes this only exists in debug and audit builds.
+    #[cfg(any(debug_assertions, feature = "audit", test))]
     pub(crate) fn drain_residue(&mut self) -> Vec<Message> {
-        while let Ok(m) = self.rx.try_recv() {
-            self.note_consumed();
-            self.pending.push(m);
-        }
+        self.drain_channel();
         std::mem::take(&mut self.pending)
     }
 
@@ -266,13 +171,7 @@ impl Mailbox {
     /// later attempt, or leak. Panics with provenance if one is found.
     #[cfg(feature = "audit")]
     pub(crate) fn scan_window_residue(&mut self, window: u32) {
-        while let Ok(m) = self.rx.try_recv() {
-            self.note_consumed();
-            if m.tag == Tag::ABORT {
-                panic!("rank {}: peer {} aborted", self.rank, m.src);
-            }
-            self.pending.push(m);
-        }
+        self.drain_channel();
         if let Some(m) = self.pending.iter().find(|m| m.stamp.window == Some(window)) {
             panic!(
                 "[message-drain] rank {}: recovery window {window} closed with an \
@@ -307,10 +206,10 @@ mod tests {
         tx.send(msg(2, Tag::user(9), 2.0)).unwrap();
         tx.send(msg(1, Tag::user(7), 1.0)).unwrap();
         // Ask for the later-sent message first: the other must be buffered.
-        let m = mb.recv(1, Tag::user(7));
+        let m = mb.recv(1, Tag::user(7), 0.0);
         assert_eq!(m.payload, Payload::F64(1.0));
         assert_eq!(mb.pending_len(), 1);
-        let m = mb.recv(2, Tag::user(9));
+        let m = mb.recv(2, Tag::user(9), 0.0);
         assert_eq!(m.payload, Payload::F64(2.0));
         assert_eq!(mb.pending_len(), 0);
     }
@@ -320,8 +219,8 @@ mod tests {
         let (mut mb, tx) = Mailbox::new(0);
         tx.send(msg(1, Tag::user(7), 1.0)).unwrap();
         tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(2.0));
     }
 
     #[test]
@@ -335,11 +234,11 @@ mod tests {
         tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
         tx.send(msg(1, Tag::user(7), 3.0)).unwrap();
         tx.send(msg(2, Tag::user(9), 99.0)).unwrap();
-        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(99.0));
+        assert_eq!(mb.recv(2, Tag::user(9), 0.0).payload, Payload::F64(99.0));
         assert_eq!(mb.pending_len(), 3);
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(3.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(3.0));
         assert_eq!(mb.pending_len(), 0);
     }
 
@@ -351,10 +250,10 @@ mod tests {
         tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
         tx.send(msg(1, Tag::user(7), 3.0)).unwrap();
         tx.send(msg(2, Tag::user(9), 99.0)).unwrap();
-        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(99.0));
-        assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(1.0));
-        assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(2.0));
-        assert_eq!(mb.recv_any(Tag::user(7)).payload, Payload::F64(3.0));
+        assert_eq!(mb.recv(2, Tag::user(9), 0.0).payload, Payload::F64(99.0));
+        assert_eq!(mb.recv_any(Tag::user(7), 0.0).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv_any(Tag::user(7), 0.0).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv_any(Tag::user(7), 0.0).payload, Payload::F64(3.0));
     }
 
     #[test]
@@ -374,16 +273,16 @@ mod tests {
             Payload::F64(1.0)
         );
         // ...so a blocking recv still matches in arrival order.
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
-        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(9.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(2, Tag::user(9), 0.0).payload, Payload::F64(9.0));
     }
 
     #[test]
     fn recv_any_returns_source() {
         let (mut mb, tx) = Mailbox::new(0);
         tx.send(msg(5, Tag::user(3), 4.0)).unwrap();
-        let m = mb.recv_any(Tag::user(3));
+        let m = mb.recv_any(Tag::user(3), 0.0);
         assert_eq!(m.src, 5);
     }
 
@@ -394,8 +293,8 @@ mod tests {
         tx.send(msg(1, Tag::user(2), 2.0)).unwrap();
         // Buffer both by asking for something else first? Instead: receive
         // tag 2, which buffers tag 1, then receive tag 1 from pending.
-        assert_eq!(mb.recv(1, Tag::user(2)).payload, Payload::F64(2.0));
-        assert_eq!(mb.recv(1, Tag::user(1)).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(2), 0.0).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(1, Tag::user(1), 0.0).payload, Payload::F64(1.0));
     }
 
     #[test]
@@ -404,13 +303,23 @@ mod tests {
         tx.send(msg(1, Tag::user(1), 1.0)).unwrap();
         tx.send(msg(2, Tag::user(2), 2.0)).unwrap();
         // Buffer the first by receiving the second.
-        assert_eq!(mb.recv(2, Tag::user(2)).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(2, Tag::user(2), 0.0).payload, Payload::F64(2.0));
         tx.send(msg(3, Tag::user(3), 3.0)).unwrap();
         let residue = mb.drain_residue();
         assert_eq!(residue.len(), 2);
         assert_eq!(residue[0].src, 1); // buffered pending first…
         assert_eq!(residue[1].src, 3); // …then the undelivered channel tail
         assert_eq!(mb.pending_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock waiting for message from rank 1")]
+    fn standalone_would_block_panics_immediately() {
+        // No scheduler installed: a receive that cannot match must fail
+        // fast, not hang (the old runtime slept 300 s here).
+        let (mut mb, tx) = Mailbox::new(0);
+        tx.send(msg(2, Tag::user(9), 2.0)).unwrap();
+        mb.recv(1, Tag::user(7), 0.0);
     }
 
     #[cfg(feature = "audit")]
@@ -422,11 +331,11 @@ mod tests {
         tx.send(msg(1, Tag::user(7), 2.0)).unwrap();
         tx.send(msg(1, Tag::user(7), 3.0)).unwrap();
         tx.send(msg(2, Tag::user(9), 99.0)).unwrap();
-        assert_eq!(mb.recv(2, Tag::user(9)).payload, Payload::F64(99.0));
+        assert_eq!(mb.recv(2, Tag::user(9), 0.0).payload, Payload::F64(99.0));
         // The defect: matching the earliest entry but removing with
         // swap_remove delivers 1, then *3*, then 2.
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(1.0));
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(3.0));
-        assert_eq!(mb.recv(1, Tag::user(7)).payload, Payload::F64(2.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(1.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(3.0));
+        assert_eq!(mb.recv(1, Tag::user(7), 0.0).payload, Payload::F64(2.0));
     }
 }

@@ -20,10 +20,10 @@
 //!   the overlapped part `T − t₀ − exposed` as *hidden*
 //!   ([`crate::CommStats::hidden_vtime`]).
 //!
-//! Host-thread blocking inside `start` (the engine drains its partner
-//! messages eagerly through the real mailbox) is invisible to the cost
-//! model: wall time is meaningless in the simulator, virtual time is what
-//! the experiments measure.
+//! The engine drains its partner messages eagerly through the real mailbox
+//! inside `start` — which may park the node on the scheduler like any
+//! blocking receive. That is invisible to the cost model: scheduling order
+//! carries no time, virtual time is what the experiments measure.
 //!
 //! Requests are **linear**: every request must be consumed by `wait`.
 //! Dropping an un-waited request is a protocol bug (MPI would leak the

@@ -1,0 +1,358 @@
+//! The discrete-event node scheduler: deterministic cooperative execution
+//! of the simulated cluster.
+//!
+//! [`crate::cluster::Cluster::run`] still gives every node its own OS
+//! thread (node programs keep their blocking call style and their private
+//! stacks), but the threads no longer free-run: exactly **one** node
+//! executes at any moment, and the scheduler decides which. A node runs
+//! until it *blocks* (a receive with no matching message) or *finishes*;
+//! the scheduler then hands the baton to the runnable node with the
+//! minimum `(virtual time, rank)` key. Execution order is therefore a
+//! pure function of the program — independent of host load, core count,
+//! and OS scheduling — and the cluster occupies one core no matter how
+//! many nodes it simulates, which is what makes N = 1024 runs routine.
+//!
+//! ## Invariants
+//!
+//! * **Single baton.** At most one node is in [`NodeState::Running`];
+//!   every other thread is parked on its per-rank condvar. All scheduler
+//!   state sits behind one mutex, and the running node is the only
+//!   thread that transitions it (until the baton is handed over).
+//! * **Park implies no match.** A node parks only after draining its
+//!   channel and finding no matching message — and no peer can send
+//!   while it drains, because sending requires the baton. A parked
+//!   node's wait is therefore genuine, and "no runnable node while
+//!   blocked nodes exist" is *exactly* a deadlock: detected the instant
+//!   it forms, with the wait-for chain spelled out. No timeouts, no
+//!   snapshot heuristics.
+//! * **Wake on match only.** A send marks a blocked matching receiver
+//!   [`NodeState::Runnable`] (at the virtual time it parked at) but does
+//!   not preempt the sender; the receiver runs when dispatch order
+//!   reaches it.
+//!
+//! Dispatching by minimum `(vtime, rank)` mirrors the BSP cost model of
+//! [`crate::vclock`]: virtual time advances only through each node's own
+//! compute and communication charges, and message arrival stamps are
+//! fixed by the sender — the scheduler's choice never feeds back into
+//! the clock algebra. Every virtual-time result is bitwise identical to
+//! the old free-running thread-per-node runtime, which computed the same
+//! clock values in whatever order the host happened to run the threads.
+
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+use crate::tag::Tag;
+
+/// What a blocked node is waiting for (`src: None` ⇒ any source).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct BlockedOn {
+    pub src: Option<usize>,
+    pub tag: Tag,
+}
+
+impl BlockedOn {
+    fn matches(&self, src: usize, tag: Tag) -> bool {
+        self.src.is_none_or(|s| s == src) && self.tag == tag
+    }
+
+    fn describe(&self) -> String {
+        match self.src {
+            Some(s) => format!("recv(src {}, tag {})", s, self.tag.describe()),
+            None => format!("recv_any(tag {})", self.tag.describe()),
+        }
+    }
+}
+
+/// The node lifecycle, as the scheduler sees it. (Failed-and-replaced
+/// and retired are *solver-level* roles layered on top — see
+/// [`crate::fault`]; a node acting as a replacement or retiring early is
+/// still Runnable/Blocked/Done here.)
+#[derive(Clone, Debug)]
+enum NodeState {
+    /// Parked but dispatchable: runs when its `(vtime, rank)` key is the
+    /// minimum among runnable nodes.
+    Runnable(f64),
+    /// Holds the baton (at most one node at a time).
+    Running,
+    /// Parked in a blocking receive with no matching message delivered.
+    Blocked { on: BlockedOn, vtime: f64 },
+    /// The node program returned — or panicked (see `abort`).
+    Done,
+}
+
+struct SchedInner {
+    state: Vec<NodeState>,
+    /// First rank whose program panicked; set before waking everyone so
+    /// woken peers can name the culprit.
+    abort: Option<usize>,
+    /// Deadlock report, built by the dispatch that proved the stall.
+    deadlock: Option<String>,
+}
+
+/// The cluster-wide scheduler. One per [`crate::cluster::Cluster`] run,
+/// shared by all node threads.
+pub(crate) struct Scheduler {
+    inner: Mutex<SchedInner>,
+    /// One condvar per rank: a single shared condvar would thundering-herd
+    /// every baton handoff at N = 1024.
+    cvs: Vec<Condvar>,
+}
+
+impl Scheduler {
+    pub(crate) fn new(n: usize) -> Self {
+        Scheduler {
+            inner: Mutex::new(SchedInner {
+                state: vec![NodeState::Runnable(0.0); n],
+                abort: None,
+                deadlock: None,
+            }),
+            cvs: (0..n).map(|_| Condvar::new()).collect(),
+        }
+    }
+
+    /// Hand out the first baton (all nodes start Runnable at vtime 0.0,
+    /// so rank 0 runs first). Called by the harness thread after the node
+    /// threads are spawned.
+    pub(crate) fn start(&self) {
+        let mut g = self.lock();
+        self.dispatch_locked(&mut g);
+    }
+
+    /// Node-thread entry point: park until dispatched for the first time.
+    pub(crate) fn wait_for_baton(&self, rank: usize) {
+        let g = self.lock();
+        self.wait_until_running(rank, g);
+    }
+
+    /// Block `rank` in a receive: record what it waits for, hand the baton
+    /// to the next runnable node (or declare deadlock), and park until a
+    /// matching send makes this node runnable and dispatch reaches it.
+    pub(crate) fn park_recv(&self, rank: usize, on: BlockedOn, vtime: f64) {
+        let mut g = self.lock();
+        g.state[rank] = NodeState::Blocked { on, vtime };
+        self.dispatch_locked(&mut g);
+        self.wait_until_running(rank, g);
+    }
+
+    /// A message `(src, tag)` was pushed into `dest`'s channel. If `dest`
+    /// is blocked on a matching receive it becomes runnable (at the
+    /// virtual time it parked at) — the sender keeps the baton.
+    pub(crate) fn notify_send(&self, dest: usize, src: usize, tag: Tag) {
+        let mut g = self.lock();
+        if let NodeState::Blocked { on, vtime } = g.state[dest] {
+            if on.matches(src, tag) {
+                g.state[dest] = NodeState::Runnable(vtime);
+            }
+        }
+    }
+
+    /// `rank`'s program returned cleanly; hand the baton on.
+    pub(crate) fn finish(&self, rank: usize) {
+        let mut g = self.lock();
+        g.state[rank] = NodeState::Done;
+        self.dispatch_locked(&mut g);
+    }
+
+    /// `rank`'s program panicked. Record the root cause (first aborter
+    /// wins) and wake every parked node; each wakes into a panic naming
+    /// the culprit, so the whole cluster tears down immediately.
+    pub(crate) fn abort(&self, rank: usize) {
+        let mut g = self.lock();
+        if g.abort.is_none() {
+            g.abort = Some(rank);
+        }
+        g.state[rank] = NodeState::Done;
+        for cv in &self.cvs {
+            cv.notify_all();
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, SchedInner> {
+        self.inner.lock().expect("scheduler lock poisoned")
+    }
+
+    /// Park on this rank's condvar until dispatched. Panics (inside the
+    /// node's `catch_unwind`) when the cluster aborted or deadlocked
+    /// while parked.
+    fn wait_until_running(&self, rank: usize, mut g: MutexGuard<'_, SchedInner>) {
+        loop {
+            if matches!(g.state[rank], NodeState::Running) {
+                return;
+            }
+            if let Some(report) = &g.deadlock {
+                let report = report.clone();
+                drop(g);
+                panic!("{report}");
+            }
+            if let Some(p) = g.abort {
+                drop(g);
+                panic!("rank {rank}: peer {p} aborted");
+            }
+            g = self.cvs[rank].wait(g).expect("scheduler lock poisoned");
+        }
+    }
+
+    /// Hand the baton to the runnable node with the minimum
+    /// `(vtime, rank)` key. If none is runnable but blocked nodes remain,
+    /// the cluster is deadlocked: publish the report and wake everyone.
+    fn dispatch_locked(&self, inner: &mut SchedInner) {
+        let mut best: Option<(f64, usize)> = None;
+        for (rank, st) in inner.state.iter().enumerate() {
+            if let NodeState::Runnable(vt) = st {
+                // Ascending rank scan with a strict comparison ⇒ ties on
+                // vtime resolve to the lower rank. NaN never appears in a
+                // vclock, but total_cmp keeps the order total regardless.
+                if best.is_none_or(|(bt, _)| vt.total_cmp(&bt).is_lt()) {
+                    best = Some((*vt, rank));
+                }
+            }
+        }
+        match best {
+            Some((_, rank)) => {
+                inner.state[rank] = NodeState::Running;
+                self.cvs[rank].notify_one();
+            }
+            None => {
+                let any_blocked = inner
+                    .state
+                    .iter()
+                    .any(|s| matches!(s, NodeState::Blocked { .. }));
+                if any_blocked && inner.abort.is_none() && inner.deadlock.is_none() {
+                    inner.deadlock = Some(deadlock_report(&inner.state));
+                    for cv in &self.cvs {
+                        cv.notify_all();
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Spell out why the cluster can make no progress. Reached only when no
+/// node is runnable and at least one is blocked — every live node is
+/// blocked, so the wait-for graph has either a cycle, a chain into a
+/// terminated rank, or an any-source wait that nobody can satisfy.
+fn deadlock_report(state: &[NodeState]) -> String {
+    let blocked_on = |r: usize| match &state[r] {
+        NodeState::Blocked { on, .. } => Some(*on),
+        _ => None,
+    };
+    let describe = |r: usize| match blocked_on(r) {
+        Some(b) => format!("rank {} blocked in {}", r, b.describe()),
+        None => format!("rank {r} (running)"),
+    };
+    let start = state
+        .iter()
+        .position(|s| matches!(s, NodeState::Blocked { .. }))
+        .expect("deadlock report needs a blocked node");
+    let mut chain = vec![start];
+    loop {
+        let cur = *chain.last().expect("chain non-empty");
+        let on = blocked_on(cur).expect("chain members are blocked");
+        let Some(src) = on.src else {
+            // An any-source wait that no live node can satisfy: report
+            // the whole (fully blocked) cluster.
+            let mut out =
+                String::from("[deadlock] every live rank is blocked with no messages in flight: ");
+            let mut first = true;
+            for r in 0..state.len() {
+                if matches!(state[r], NodeState::Done) {
+                    continue;
+                }
+                if !first {
+                    out.push_str("; ");
+                }
+                first = false;
+                out.push_str(&describe(r));
+            }
+            return out;
+        };
+        if matches!(state[src], NodeState::Done) {
+            let mut out = String::from("[deadlock] wait chain ends at a terminated rank: ");
+            for (i, &r) in chain.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" -> ");
+                }
+                out.push_str(&describe(r));
+            }
+            out.push_str(&format!(" -> rank {src} (terminated)"));
+            return out;
+        }
+        if let Some(pos) = chain.iter().position(|&r| r == src) {
+            let cycle = &chain[pos..];
+            let mut out = String::from("[deadlock] wait-for cycle, no messages in flight: ");
+            for (i, &r) in cycle.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(" -> ");
+                }
+                out.push_str(&describe(r));
+            }
+            out.push_str(&format!(" -> rank {}", cycle[0]));
+            return out;
+        }
+        chain.push(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blocked(src: Option<usize>, tag: Tag) -> NodeState {
+        NodeState::Blocked {
+            on: BlockedOn { src, tag },
+            vtime: 0.0,
+        }
+    }
+
+    #[test]
+    fn blocked_on_matching() {
+        let b = BlockedOn {
+            src: Some(3),
+            tag: Tag::user(7),
+        };
+        assert!(b.matches(3, Tag::user(7)));
+        assert!(!b.matches(2, Tag::user(7)));
+        assert!(!b.matches(3, Tag::user(8)));
+        let any = BlockedOn {
+            src: None,
+            tag: Tag::user(7),
+        };
+        assert!(any.matches(5, Tag::user(7)));
+        assert!(!any.matches(5, Tag::user(8)));
+    }
+
+    #[test]
+    fn report_names_cycles() {
+        let state = vec![
+            blocked(Some(1), Tag::user(1)),
+            blocked(Some(0), Tag::user(2)),
+        ];
+        let r = deadlock_report(&state);
+        assert!(r.contains("[deadlock] wait-for cycle"), "{r}");
+        assert!(
+            r.contains("rank 0 blocked in recv(src 1, tag user(1))"),
+            "{r}"
+        );
+        assert!(
+            r.contains("rank 1 blocked in recv(src 0, tag user(2))"),
+            "{r}"
+        );
+        assert!(r.ends_with("-> rank 0"), "{r}");
+    }
+
+    #[test]
+    fn report_names_terminated_targets() {
+        let state = vec![blocked(Some(1), Tag::user(1)), NodeState::Done];
+        let r = deadlock_report(&state);
+        assert!(r.contains("wait chain ends at a terminated rank"), "{r}");
+        assert!(r.ends_with("-> rank 1 (terminated)"), "{r}");
+    }
+
+    #[test]
+    fn report_names_starved_any_source_waits() {
+        let state = vec![blocked(None, Tag::user(4)), NodeState::Done];
+        let r = deadlock_report(&state);
+        assert!(r.contains("every live rank is blocked"), "{r}");
+        assert!(r.contains("recv_any(tag user(4))"), "{r}");
+    }
+}

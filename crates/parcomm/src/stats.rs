@@ -76,7 +76,7 @@ impl CommPhase {
 /// `~2.3e-10 .. ~4.3e9` — message sizes in elements and virtual-second
 /// wait times both land comfortably inside. Out-of-range samples clamp to
 /// the edge buckets.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct LogHist {
     buckets: [u64; 64],
     count: u64,
@@ -166,7 +166,7 @@ impl LogHist {
 }
 
 /// Per-phase message/element counters for one node.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct CommStats {
     msgs: [u64; NPHASES],
     elems: [u64; NPHASES],

@@ -21,10 +21,6 @@ const KIND_COLL: u64 = 1;
 const KIND_GROUP: u64 = 2;
 
 impl Tag {
-    /// The out-of-band abort tag: broadcast by a panicking node so peers
-    /// fail fast instead of waiting for the deadlock timeout.
-    pub const ABORT: Tag = Tag(u64::MAX);
-
     /// A user (application-level) point-to-point tag.
     pub fn user(t: u32) -> Self {
         Tag((KIND_USER << 62) | t as u64)
@@ -45,9 +41,6 @@ impl Tag {
     /// Human-readable decoding for diagnostics ("user(7)",
     /// "coll(allreduce, seq 3)", "group(gid 0x2a, gather, seq 1)", …).
     pub fn describe(&self) -> String {
-        if *self == Tag::ABORT {
-            return "ABORT".to_string();
-        }
         match self.0 >> 62 {
             KIND_USER => format!("user({})", self.0 & 0xFFFF_FFFF),
             KIND_COLL => format!(
@@ -137,6 +130,5 @@ mod tests {
             Tag::group(0x2A, op::GATHER, 1).describe(),
             "group(gid 0x2a, gather, seq 1)"
         );
-        assert_eq!(Tag::ABORT.describe(), "ABORT");
     }
 }
