@@ -215,7 +215,7 @@ pub(crate) fn recover_rollback(
                 ctx.send(
                     rho,
                     tag(seq, OFF_FETCH),
-                    Payload::f64s(ck.data.clone()),
+                    Payload::f64s_shared(ck.data.clone()),
                     CommPhase::Recovery,
                 );
             }
@@ -231,6 +231,7 @@ pub(crate) fn recover_rollback(
                     .replica_of(f)
                     .expect("surviving holder keeps the replica")
                     .data
+                    .as_ref()
                     .clone()
             } else {
                 ctx.recv_phase(server, tag(seq, OFF_FETCH), CommPhase::Recovery)
@@ -315,7 +316,7 @@ pub(crate) fn recover_rollback(
                 kernel.unpack(&blocks[0].data, &my_range, env.b);
                 store.own = Checkpoint {
                     iteration: epoch,
-                    data: std::mem::take(&mut blocks[0].data),
+                    data: std::sync::Arc::new(std::mem::take(&mut blocks[0].data)),
                 };
             } else {
                 debug_assert_eq!(store.own.iteration, epoch);
@@ -381,7 +382,7 @@ pub(crate) fn recover_rollback(
         store.rebuild(&layout.members, layout.my_slot);
         store.own = Checkpoint {
             iteration: epoch,
-            data: merged,
+            data: std::sync::Arc::new(merged),
         };
         ctx.trace_close(); // commit
         timeline.mark(ctx, &mut seg_t, attempts, "commit");

@@ -740,9 +740,10 @@ pub(crate) fn recover(
                     let (cols, vals) = env.a.row(gr);
                     let mut s = 0.0;
                     for (c, v) in cols.iter().zip(vals) {
-                        if if_indices.binary_search(c).is_err() {
+                        let c = *c as usize;
+                        if if_indices.binary_search(&c).is_err() {
                             let pos = lookup
-                                .binary_search_by_key(c, |e| e.0)
+                                .binary_search_by_key(&c, |e| e.0)
                                 .expect("gathered every surviving coupled x");
                             s += v * lookup[pos].1;
                         }
@@ -1024,7 +1025,7 @@ impl EngineComm<'_> {
                     let (cols, _) = m.row(gr);
                     needed.extend(
                         cols.iter()
-                            .copied()
+                            .map(|&c| c as usize)
                             .filter(|c| self.if_indices.binary_search(c).is_err()),
                     );
                 }
@@ -1132,11 +1133,12 @@ impl EngineComm<'_> {
                 let mut s_if = 0.0;
                 let mut s_out = 0.0;
                 for (c, v) in cols.iter().zip(vals) {
-                    match self.if_indices.binary_search(c) {
+                    let c = *c as usize;
+                    match self.if_indices.binary_search(&c) {
                         Ok(pos) => s_if += v * v_if[pos],
                         Err(_) => {
                             let pos = lookup
-                                .binary_search_by_key(c, |e| e.0)
+                                .binary_search_by_key(&c, |e| e.0)
                                 .expect("gathered every outside value");
                             s_out += v * lookup[pos].1;
                         }

@@ -41,12 +41,13 @@ impl LocalMatrix {
         for r in range.clone() {
             let (cols, vals) = a.row(r);
             for (c, v) in cols.iter().zip(vals) {
-                if range.contains(c) {
+                let c = *c as usize;
+                if range.contains(&c) {
                     diag_col.push(c - range.start);
                     diag_val.push(*v);
                 } else {
                     // ghost_cols is sorted and complete by construction.
-                    let pos = ghost_cols.binary_search(c).expect("ghost column");
+                    let pos = ghost_cols.binary_search(&c).expect("ghost column");
                     off_col.push(pos);
                     off_val.push(*v);
                 }
@@ -68,9 +69,11 @@ impl LocalMatrix {
     }
 
     /// Distributed SpMV local part: `y = diag·x_loc + offdiag·ghosts`.
+    ///
+    /// Fused single pass over the owned rows (each `y[i]` is written once);
+    /// bitwise identical to the two-pass diag-then-offdiag formulation.
     pub fn spmv(&self, x_loc: &[f64], ghosts: &[f64], y: &mut [f64]) {
-        self.diag.spmv(x_loc, y);
-        self.offdiag.spmv_add(ghosts, y);
+        self.diag.spmv_fused(&self.offdiag, x_loc, ghosts, y);
     }
 
     /// Flops of one local SpMV.
@@ -147,7 +150,10 @@ mod tests {
             let expect: f64 = cols
                 .iter()
                 .zip(vals)
-                .filter(|(c, _)| !lm.range.contains(c) && !excluded.contains(c))
+                .filter(|&(&c, _)| {
+                    let c = c as usize;
+                    !lm.range.contains(&c) && !excluded.contains(&c)
+                })
                 .map(|(_, v)| v)
                 .sum();
             assert!((y[i] - expect).abs() < 1e-14);

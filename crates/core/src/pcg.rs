@@ -304,9 +304,10 @@ impl ResilientKernel for PcgKernel<'_> {
                 let (cols, vals) = p_full.row(gr);
                 let mut s = 0.0;
                 for (c, v) in cols.iter().zip(vals) {
-                    if comm.if_indices.binary_search(c).is_err() {
+                    let c = *c as usize;
+                    if comm.if_indices.binary_search(&c).is_err() {
                         let pos = lookup
-                            .binary_search_by_key(c, |e| e.0)
+                            .binary_search_by_key(&c, |e| e.0)
                             .expect("gathered every surviving coupled r");
                         s += v * lookup[pos].1;
                     }

@@ -215,8 +215,10 @@ impl Retention {
 pub(crate) struct Checkpoint {
     /// The outer iteration the pack describes (a deposit-round boundary).
     pub iteration: u64,
-    /// The packed dynamic state.
-    pub data: Vec<f64>,
+    /// The packed dynamic state. `Arc`-backed so one deposit buffer serves
+    /// as the own copy *and* every outgoing ring replica without a deep
+    /// copy per destination.
+    pub data: Arc<Vec<f64>>,
 }
 
 /// Periodic-checkpoint store for
@@ -254,7 +256,7 @@ impl CheckpointStore {
             held: HashMap::new(),
             own: Checkpoint {
                 iteration: 0,
-                data: Vec::new(),
+                data: Arc::new(Vec::new()),
             },
         }
     }
@@ -314,20 +316,22 @@ impl CheckpointStore {
     pub fn deposit(&mut self, ctx: &mut NodeCtx, seq: u32, iteration: u64, data: Vec<f64>) {
         ctx.audit_enter_window(seq);
         ctx.trace_open("deposit", iteration);
-        self.own = Checkpoint { iteration, data };
-        let shared = Arc::new(self.own.data.clone());
+        self.own = Checkpoint {
+            iteration,
+            data: Arc::new(data),
+        };
         for &d in &self.partners {
             ctx.send(
                 d,
                 crate::engine::tag(seq, OFF_CKPT),
-                Payload::f64s_shared(shared.clone()),
+                Payload::f64s_shared(self.own.data.clone()),
                 CommPhase::Redundancy,
             );
         }
         for &c in &self.clients {
             let data = ctx
                 .recv_phase(c, crate::engine::tag(seq, OFF_CKPT), CommPhase::Redundancy)
-                .into_f64s();
+                .into_f64s_arc();
             self.held.insert(c, Checkpoint { iteration, data });
         }
         ctx.trace_close();
@@ -337,7 +341,7 @@ impl CheckpointStore {
     /// Destroy all checkpoint data (this node failed): both the own copy
     /// and every held replica are gone.
     pub fn poison(&mut self) {
-        self.own.data.clear();
+        self.own.data = Arc::new(Vec::new());
         self.held.clear();
     }
 
@@ -351,7 +355,7 @@ impl CheckpointStore {
         self.held.clear();
         self.own = Checkpoint {
             iteration: 0,
-            data: Vec::new(),
+            data: Arc::new(Vec::new()),
         };
     }
 }
@@ -363,7 +367,7 @@ mod tests {
     fn mini_plan() -> (ScatterPlan, Vec<usize>) {
         // 2 peers; this node (rank 1 of 3) has ghosts {0, 1, 20} and
         // receives extras {2} from peer 0, {21} from peer 2.
-        let plan = ScatterPlan {
+        let mut plan = ScatterPlan {
             nodes: 3,
             members: vec![0, 1, 2],
             my_slot: 1,
@@ -373,7 +377,10 @@ mod tests {
             send_extra: vec![vec![], vec![], vec![]],
             recv_ghost_range: vec![0..2, 0..0, 2..3],
             recv_extra: vec![vec![2], vec![], vec![21]],
+            gather: Vec::new(),
+            bufs: Vec::new(),
         };
+        plan.refresh_pack_lists();
         (plan, vec![0, 1, 20])
     }
 
@@ -536,13 +543,13 @@ mod tests {
         let mut st = store_on(&members, 2, 1);
         st.own = Checkpoint {
             iteration: 10,
-            data: vec![1.0, 2.0],
+            data: Arc::new(vec![1.0, 2.0]),
         };
         st.held.insert(
             1,
             Checkpoint {
                 iteration: 10,
-                data: vec![3.0],
+                data: Arc::new(vec![3.0]),
             },
         );
         st.poison();

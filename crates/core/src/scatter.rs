@@ -13,6 +13,7 @@
 use parcomm::{CommPhase, NodeCtx, Payload};
 use sparsemat::BlockPartition;
 use std::ops::Range;
+use std::sync::Arc;
 
 use crate::localmat::LocalMatrix;
 use crate::retention::Retention;
@@ -72,6 +73,18 @@ pub struct ScatterPlan {
     /// Per peer slot `k`: global indices of redundancy extras received
     /// from `k`.
     pub recv_extra: Vec<Vec<usize>>,
+    /// Per peer slot `k`: the precomputed pack list
+    /// `send_natural[k] ++ send_extra[k]` as compact local offsets — the
+    /// single gather walked by the exchange hot paths. Kept in sync by
+    /// [`ScatterPlan::refresh_pack_lists`].
+    pub(crate) gather: Vec<Vec<u32>>,
+    /// Per peer slot `k`: the reusable send buffer. In steady state the
+    /// receiver has dropped the previous message before our next exchange
+    /// (iterations are separated by blocking collectives), so
+    /// `Arc::get_mut` succeeds and packing reuses the allocation; a miss
+    /// is counted via [`sparsemat::hotpath`] and falls back to a fresh
+    /// buffer.
+    pub(crate) bufs: Vec<Arc<Vec<f64>>>,
 }
 
 impl ScatterPlan {
@@ -162,7 +175,7 @@ impl ScatterPlan {
             );
         }
 
-        ScatterPlan {
+        let mut plan = ScatterPlan {
             nodes,
             members,
             my_slot,
@@ -172,7 +185,52 @@ impl ScatterPlan {
             send_extra: vec![Vec::new(); nodes],
             recv_ghost_range,
             recv_extra: vec![Vec::new(); nodes],
+            gather: Vec::new(),
+            bufs: Vec::new(),
+        };
+        plan.refresh_pack_lists();
+        plan
+    }
+
+    /// Rebuild the per-peer pack lists and pre-size the reusable send
+    /// buffers from `send_natural`/`send_extra`. Must be called after
+    /// mutating `send_extra` directly (the redundancy setup does this via
+    /// [`ScatterPlan::announce_extras`]).
+    pub fn refresh_pack_lists(&mut self) {
+        self.gather = self
+            .send_natural
+            .iter()
+            .zip(&self.send_extra)
+            .map(|(nat, ext)| {
+                nat.iter()
+                    .chain(ext)
+                    .map(|&o| {
+                        debug_assert!(o < self.my_len, "send offset outside owned range");
+                        o as u32
+                    })
+                    .collect()
+            })
+            .collect();
+        // Worst-case payload is the pipelined one: m[nat] ++ u[g] ++ p[g].
+        self.bufs = self
+            .gather
+            .iter()
+            .zip(&self.send_natural)
+            .map(|(g, nat)| Arc::new(Vec::with_capacity(nat.len() + 2 * g.len())))
+            .collect();
+    }
+
+    /// Clear-and-borrow a peer's send buffer for packing, falling back to
+    /// a fresh allocation (and recording the reuse miss) if the previous
+    /// message is still alive at the receiver.
+    fn writable(arc: &mut Arc<Vec<f64>>) -> &mut Vec<f64> {
+        if Arc::get_mut(arc).is_none() {
+            sparsemat::hotpath::record_alloc_miss();
+            *arc = Arc::new(Vec::new());
         }
+        let buf = Arc::get_mut(arc).expect("fresh Arc is unique");
+        buf.clear();
+        buf
     }
 
     /// After `send_extra` is filled, announce the extras to their receivers
@@ -203,6 +261,9 @@ impl ScatterPlan {
             .into_iter()
             .map(|v| v.into_iter().map(|g| g as usize).collect())
             .collect();
+        // `send_extra` was just filled by the caller: fold it into the
+        // pack lists and re-size the send buffers.
+        self.refresh_pack_lists();
     }
 
     /// True if any peer receives traffic from us in SpMV.
@@ -224,7 +285,7 @@ impl ScatterPlan {
     /// `Some`, both natural ghosts and extras are recorded as redundant
     /// copies of the sender's block.
     pub fn exchange(
-        &self,
+        &mut self,
         ctx: &mut NodeCtx,
         v_loc: &[f64],
         ghosts: &mut [f64],
@@ -236,15 +297,14 @@ impl ScatterPlan {
             if k == self.my_slot {
                 continue;
             }
-            let nat = &self.send_natural[k];
-            let ext = &self.send_extra[k];
-            if nat.is_empty() && ext.is_empty() {
+            let n_nat = self.send_natural[k].len();
+            let gather = &self.gather[k];
+            if gather.is_empty() {
                 continue;
             }
-            let mut buf = Vec::with_capacity(nat.len() + ext.len());
-            buf.extend(nat.iter().map(|&o| v_loc[o]));
-            buf.extend(ext.iter().map(|&o| v_loc[o]));
-            if nat.is_empty() {
+            let buf = Self::writable(&mut self.bufs[k]);
+            buf.extend(gather.iter().map(|&o| v_loc[o as usize]));
+            if n_nat == 0 {
                 // This link exists only for redundancy: the extra-latency
                 // case of the paper's Sec. 4.2 analysis.
                 ctx.stats_mut().record_extra_latency();
@@ -252,10 +312,10 @@ impl ScatterPlan {
             ctx.send_with_phases(
                 self.members[k],
                 TAG_SPMV,
-                Payload::f64s(buf),
+                Payload::f64s_shared(self.bufs[k].clone()),
                 &[
-                    (CommPhase::Spmv, nat.len()),
-                    (CommPhase::Redundancy, ext.len()),
+                    (CommPhase::Spmv, n_nat),
+                    (CommPhase::Redundancy, gather.len() - n_nat),
                 ],
             );
         }
@@ -269,9 +329,8 @@ impl ScatterPlan {
             if ghost_range.is_empty() && n_ext == 0 {
                 continue;
             }
-            let data = ctx
-                .recv_phase(self.members[k], TAG_SPMV, CommPhase::Spmv)
-                .into_f64s();
+            let msg = ctx.recv_phase(self.members[k], TAG_SPMV, CommPhase::Spmv);
+            let data = msg.as_f64s();
             debug_assert_eq!(data.len(), ghost_range.len() + n_ext);
             let (nat_vals, ext_vals) = data.split_at(ghost_range.len());
             ghosts[ghost_range].copy_from_slice(nat_vals);
@@ -291,7 +350,7 @@ impl ScatterPlan {
     /// latency-avoidance argument as the blocking solver's (Sec. 4.2),
     /// which is what keeps communication hiding worthwhile.
     pub fn exchange_pipelined(
-        &self,
+        &mut self,
         ctx: &mut NodeCtx,
         m_loc: &[f64],
         ghosts: &mut [f64],
@@ -305,21 +364,19 @@ impl ScatterPlan {
                 continue;
             }
             let nat = &self.send_natural[k];
-            let ext = &self.send_extra[k];
-            if nat.is_empty() && ext.is_empty() {
+            let gather = &self.gather[k];
+            if gather.is_empty() {
                 continue;
             }
-            let per_vec = nat.len() + ext.len();
-            let mut buf = Vec::with_capacity(nat.len() + 2 * per_vec);
+            let per_vec = gather.len();
+            let buf = Self::writable(&mut self.bufs[k]);
             buf.extend(nat.iter().map(|&o| m_loc[o]));
             let mut backup_elems = 0;
             if let Some(b) = &backups {
-                buf.extend(nat.iter().map(|&o| b.u_loc[o]));
-                buf.extend(ext.iter().map(|&o| b.u_loc[o]));
+                buf.extend(gather.iter().map(|&o| b.u_loc[o as usize]));
                 backup_elems += per_vec;
                 if let Some(p_loc) = b.p_loc {
-                    buf.extend(nat.iter().map(|&o| p_loc[o]));
-                    buf.extend(ext.iter().map(|&o| p_loc[o]));
+                    buf.extend(gather.iter().map(|&o| p_loc[o as usize]));
                     backup_elems += per_vec;
                 }
             }
@@ -331,7 +388,7 @@ impl ScatterPlan {
             ctx.send_with_phases(
                 self.members[k],
                 TAG_SPMV,
-                Payload::f64s(buf),
+                Payload::f64s_shared(self.bufs[k].clone()),
                 &[
                     (CommPhase::Spmv, nat.len()),
                     (CommPhase::Redundancy, backup_elems),
@@ -350,9 +407,8 @@ impl ScatterPlan {
                 continue;
             }
             let per_vec = n_nat + n_ext;
-            let data = ctx
-                .recv_phase(self.members[k], TAG_SPMV, CommPhase::Spmv)
-                .into_f64s();
+            let msg = ctx.recv_phase(self.members[k], TAG_SPMV, CommPhase::Spmv);
+            let data = msg.as_f64s();
             let expect = n_nat
                 + if backups.is_some() {
                     per_vec * if has_p { 2 } else { 1 }
@@ -422,7 +478,7 @@ mod tests {
         let out = Cluster::run(ClusterConfig::new(3), move |ctx| {
             let part = BlockPartition::new(n, ctx.size());
             let lm = LocalMatrix::build(&a, &part, ctx.rank());
-            let plan = ScatterPlan::build(ctx, &lm, &part);
+            let mut plan = ScatterPlan::build(ctx, &lm, &part);
             // Global vector x[i] = i².
             let v_loc: Vec<f64> = lm.range.clone().map(|i| (i * i) as f64).collect();
             let mut ghosts = vec![f64::NAN; lm.ghost_cols.len()];
@@ -444,7 +500,7 @@ mod tests {
         let out = Cluster::run(ClusterConfig::new(5), move |ctx| {
             let part = BlockPartition::new(n, ctx.size());
             let lm = LocalMatrix::build(&a2, &part, ctx.rank());
-            let plan = ScatterPlan::build(ctx, &lm, &part);
+            let mut plan = ScatterPlan::build(ctx, &lm, &part);
             let x_loc: Vec<f64> = lm.range.clone().map(|i| (i as f64 * 0.31).cos()).collect();
             let mut ghosts = vec![0.0; lm.ghost_cols.len()];
             plan.exchange(ctx, &x_loc, &mut ghosts, None);

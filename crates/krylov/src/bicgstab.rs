@@ -171,7 +171,7 @@ mod tests {
         for r in 0..64 {
             let (cols, vals) = base.row(r);
             for (c, v) in cols.iter().zip(vals) {
-                coo.push(r, *c, *v);
+                coo.push(r, *c as usize, *v);
             }
             if r + 1 < 64 {
                 coo.push(r, r + 1, 0.3); // upwind bias

@@ -90,8 +90,8 @@ pub fn jacobi_iter(a: &Csr, b: &[f64], x0: &[f64], rel_tol: f64, max_iter: usize
             let (cols, vals) = a.row(i);
             let mut s = b[i];
             for (c, v) in cols.iter().zip(vals) {
-                if *c != i {
-                    s -= v * x[*c];
+                if *c as usize != i {
+                    s -= v * x[*c as usize];
                 }
             }
             xnew[i] = s / diag[i];
@@ -116,8 +116,8 @@ pub fn sor(
             let (cols, vals) = a.row(i);
             let mut s = b[i];
             for (c, v) in cols.iter().zip(vals) {
-                if *c != i {
-                    s -= v * x[*c];
+                if *c as usize != i {
+                    s -= v * x[*c as usize];
                 }
             }
             x[i] = (1.0 - omega) * x[i] + omega * s / diag[i];
@@ -146,8 +146,8 @@ pub fn ssor_iter(
             let (cols, vals) = a.row(i);
             let mut s = b[i];
             for (c, v) in cols.iter().zip(vals) {
-                if *c != i {
-                    s -= v * x[*c];
+                if *c as usize != i {
+                    s -= v * x[*c as usize];
                 }
             }
             x[i] = (1.0 - omega) * x[i] + omega * s / diag[i];
@@ -156,8 +156,8 @@ pub fn ssor_iter(
             let (cols, vals) = a.row(i);
             let mut s = b[i];
             for (c, v) in cols.iter().zip(vals) {
-                if *c != i {
-                    s -= v * x[*c];
+                if *c as usize != i {
+                    s -= v * x[*c as usize];
                 }
             }
             x[i] = (1.0 - omega) * x[i] + omega * s / diag[i];

@@ -87,12 +87,43 @@ impl Payload {
         }
     }
 
+    /// Borrow a vector payload without consuming it.
+    ///
+    /// Receive hot paths copy out of this borrow instead of calling
+    /// [`Payload::into_f64s`]: when the sender retains the buffer `Arc` for
+    /// reuse (ghost-exchange send buffers), `into_f64s` would see a shared
+    /// buffer and deep-copy, while the borrow costs nothing and releases
+    /// the sender's buffer as soon as the message is dropped.
+    ///
+    /// # Panics
+    /// Panics on index-list or pair payloads; a mismatch is a protocol bug.
+    pub fn as_f64s(&self) -> &[f64] {
+        match self {
+            Payload::F64s(v) => v,
+            Payload::F64(x) => std::slice::from_ref(x),
+            Payload::Empty => &[],
+            other => panic!("protocol error: expected F64s, got {:?}", other.kind()),
+        }
+    }
+
     /// Unwrap a vector payload (copies only if the buffer is still shared).
     pub fn into_f64s(self) -> Vec<f64> {
         match self {
             Payload::F64s(v) => unwrap_or_clone(v),
             Payload::F64(x) => vec![x],
             Payload::Empty => Vec::new(),
+            other => panic!("protocol error: expected F64s, got {:?}", other.kind()),
+        }
+    }
+
+    /// Unwrap a vector payload keeping the shared backing buffer: never
+    /// copies, even while the sender still holds the `Arc` (checkpoint
+    /// replicas are stored exactly as received).
+    pub fn into_f64s_arc(self) -> Arc<Vec<f64>> {
+        match self {
+            Payload::F64s(v) => v,
+            Payload::F64(x) => Arc::new(vec![x]),
+            Payload::Empty => Arc::new(Vec::new()),
             other => panic!("protocol error: expected F64s, got {:?}", other.kind()),
         }
     }

@@ -12,7 +12,7 @@
 
 use crate::ic::Ic0;
 use crate::ilu::Ilu0;
-use crate::ldl::SparseLdl;
+use crate::ldl::{LdlWorkspace, SparseLdl};
 use crate::traits::{PrecondError, Preconditioner};
 use sparsemat::{BlockPartition, Csr};
 
@@ -100,11 +100,13 @@ impl BlockJacobi {
         }
         let n = a.n_rows();
         let mut factors = Vec::with_capacity(starts.len() - 1);
+        // One scratch workspace shared across every LDLᵀ block factorization.
+        let mut ws = LdlWorkspace::new();
         for w in starts.windows(2) {
             let rows: Vec<usize> = (w[0]..w[1]).collect();
             let block = a.extract(&rows, &rows);
             factors.push(match solver {
-                BlockSolver::ExactLdl => Factor::Ldl(SparseLdl::new(&block)?),
+                BlockSolver::ExactLdl => Factor::Ldl(SparseLdl::factor_with(&block, &mut ws)?),
                 BlockSolver::Ilu0 => Factor::Ilu(Ilu0::new(&block)?),
                 BlockSolver::Ic0 => Factor::Ic(Ic0::new(&block)?),
             });

@@ -40,8 +40,8 @@ impl Ic0 {
         for r in 0..n {
             let (cols, vs) = a.row(r);
             for (c, v) in cols.iter().zip(vs) {
-                if *c <= r {
-                    col_idx.push(*c);
+                if *c as usize <= r {
+                    col_idx.push(*c as usize);
                     vals.push(*v);
                 }
             }
@@ -113,7 +113,7 @@ impl Ic0 {
             let mut s = x[i];
             // All columns < i, then the diagonal (last).
             for (c, v) in cols.iter().zip(vals).take(cols.len() - 1) {
-                s -= v * x[*c];
+                s -= v * x[*c as usize];
             }
             x[i] = s / vals[cols.len() - 1];
         }
@@ -127,7 +127,7 @@ impl Ic0 {
             // Diagonal first (columns ≥ i in Lᵀ row i).
             let mut s = x[i];
             for (c, v) in cols.iter().zip(vals).skip(1) {
-                s -= v * x[*c];
+                s -= v * x[*c as usize];
             }
             x[i] = s / vals[0];
         }

@@ -32,7 +32,7 @@ impl Ilu0 {
         let n = a.n_rows();
         let mut f = a.clone();
         let row_ptr = f.row_ptr().to_vec();
-        let col_idx = f.col_idx().to_vec();
+        let col_idx: Vec<usize> = f.col_idx().iter().map(|&c| c as usize).collect();
 
         // Locate diagonals up front.
         let mut diag_pos = vec![usize::MAX; n];
@@ -109,7 +109,7 @@ impl Ilu0 {
         for i in 0..n {
             let mut s = x[i];
             for p in row_ptr[i]..self.diag_pos[i] {
-                s -= vals[p] * x[col_idx[p]];
+                s -= vals[p] * x[col_idx[p] as usize];
             }
             x[i] = s;
         }
@@ -117,7 +117,7 @@ impl Ilu0 {
         for i in (0..n).rev() {
             let mut s = x[i];
             for p in self.diag_pos[i] + 1..row_ptr[i + 1] {
-                s -= vals[p] * x[col_idx[p]];
+                s -= vals[p] * x[col_idx[p] as usize];
             }
             x[i] = s / vals[self.diag_pos[i]];
         }

@@ -11,14 +11,55 @@
 use crate::traits::{PrecondError, Preconditioner};
 use sparsemat::Csr;
 
+/// Reusable scratch for [`SparseLdl`] factorizations.
+///
+/// One workspace amortizes the six O(n) scratch arrays (etree, marks,
+/// column counts, dense accumulator, row pattern, insertion cursors)
+/// across repeated factorizations — e.g. every block of a
+/// [`crate::BlockJacobi`], or the per-recovery subsystem factors in the
+/// engine. Buffers grow to the largest `n` seen and are then reused
+/// without further heap traffic; [`SparseLdl::factor_with`] leaves the
+/// workspace ready for the next call regardless of success or breakdown.
+#[derive(Clone, Debug, Default)]
+pub struct LdlWorkspace {
+    parent: Vec<usize>,
+    flag: Vec<usize>,
+    lnz: Vec<usize>,
+    y: Vec<f64>,
+    pattern: Vec<usize>,
+    next: Vec<usize>,
+}
+
+impl LdlWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resize-and-reset all scratch to a clean state for dimension `n`.
+    /// Allocation-free once capacity has reached `n`.
+    fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.resize(n, usize::MAX);
+        self.flag.clear();
+        self.flag.resize(n, usize::MAX);
+        self.lnz.clear();
+        self.lnz.resize(n, 0);
+        self.y.clear();
+        self.y.resize(n, 0.0);
+        self.pattern.clear();
+        self.pattern.resize(n, 0);
+    }
+}
+
 /// A sparse `L D Lᵀ` factorization of an SPD matrix.
 #[derive(Clone, Debug)]
 pub struct SparseLdl {
     n: usize,
     /// Column pointers of L (strictly lower part, unit diagonal implicit).
     lp: Vec<usize>,
-    /// Row indices per column of L.
-    li: Vec<usize>,
+    /// Row indices per column of L (compact, like [`Csr`] columns).
+    li: Vec<u32>,
     /// Values per column of L.
     lx: Vec<f64>,
     /// The diagonal D.
@@ -27,8 +68,17 @@ pub struct SparseLdl {
 
 impl SparseLdl {
     /// Factor a (numerically) symmetric positive definite matrix. Only the
-    /// lower triangle of `a` is read.
+    /// lower triangle of `a` is read. Allocates private scratch; callers
+    /// factoring many matrices should share an [`LdlWorkspace`] via
+    /// [`SparseLdl::factor_with`].
     pub fn new(a: &Csr) -> Result<Self, PrecondError> {
+        Self::factor_with(a, &mut LdlWorkspace::new())
+    }
+
+    /// Like [`SparseLdl::new`], but drawing all O(n) scratch from `ws` so
+    /// that repeated factorizations do not touch the allocator (beyond the
+    /// factor's own output arrays).
+    pub fn factor_with(a: &Csr, ws: &mut LdlWorkspace) -> Result<Self, PrecondError> {
         if a.n_rows() != a.n_cols() {
             return Err(PrecondError::Shape(format!(
                 "ldl needs square, got {}x{}",
@@ -37,16 +87,22 @@ impl SparseLdl {
             )));
         }
         let n = a.n_rows();
+        ws.reset(n);
+        let LdlWorkspace {
+            parent,
+            flag,
+            lnz,
+            y,
+            pattern,
+            next,
+        } = ws;
 
         // ---- Symbolic: elimination tree + column counts --------------
-        let mut parent = vec![usize::MAX; n];
-        let mut flag = vec![usize::MAX; n];
-        let mut lnz = vec![0usize; n];
         for k in 0..n {
             flag[k] = k;
             let (cols, _) = a.row(k);
-            for &i0 in cols.iter().take_while(|&&c| c < k) {
-                let mut i = i0;
+            for &i0 in cols.iter().take_while(|&&c| (c as usize) < k) {
+                let mut i = i0 as usize;
                 while flag[i] != k {
                     if parent[i] == usize::MAX {
                         parent[i] = k;
@@ -64,18 +120,20 @@ impl SparseLdl {
         let nnz_l = lp[n];
 
         // ---- Numeric: up-looking rows ---------------------------------
-        let mut li = vec![0usize; nnz_l];
+        let mut li = vec![0u32; nnz_l];
         let mut lx = vec![0.0f64; nnz_l];
         let mut d = vec![0.0f64; n];
-        let mut y = vec![0.0f64; n];
-        let mut pattern = vec![0usize; n];
-        let mut next = lp.clone(); // insertion cursor per column
-        let mut flag = vec![usize::MAX; n];
+        // Insertion cursor per column; `flag` is re-marked cleanly because
+        // the numeric pass uses the same never-repeating keys `k`.
+        next.clear();
+        next.extend_from_slice(&lp[..n]);
+        flag.iter_mut().for_each(|f| *f = usize::MAX);
         for k in 0..n {
             let mut top = n;
             flag[k] = k;
             let (cols, vals) = a.row(k);
             for (&c, &v) in cols.iter().zip(vals) {
+                let c = c as usize;
                 if c > k {
                     break; // sorted columns: lower triangle done
                 }
@@ -103,15 +161,18 @@ impl SparseLdl {
                 let yi = y[i];
                 y[i] = 0.0;
                 for p in lp[i]..next[i] {
-                    y[li[p]] -= lx[p] * yi;
+                    y[li[p] as usize] -= lx[p] * yi;
                 }
                 let l_ki = yi / d[i];
                 dk -= l_ki * yi;
-                li[next[i]] = k;
+                li[next[i]] = k as u32;
                 lx[next[i]] = l_ki;
                 next[i] += 1;
             }
             if dk <= 0.0 || !dk.is_finite() {
+                // Scrub the dense accumulator so the workspace is clean
+                // for the next factorization.
+                y.iter_mut().for_each(|v| *v = 0.0);
                 return Err(PrecondError::Breakdown(k));
             }
             d[k] = dk;
@@ -133,7 +194,7 @@ impl SparseLdl {
         for j in 0..self.n {
             let xj = x[j];
             for p in self.lp[j]..self.lp[j + 1] {
-                x[self.li[p]] -= self.lx[p] * xj;
+                x[self.li[p] as usize] -= self.lx[p] * xj;
             }
         }
         // D z = y
@@ -144,7 +205,7 @@ impl SparseLdl {
         for j in (0..self.n).rev() {
             let mut xj = x[j];
             for p in self.lp[j]..self.lp[j + 1] {
-                xj -= self.lx[p] * x[self.li[p]];
+                xj -= self.lx[p] * x[self.li[p] as usize];
             }
             x[j] = xj;
         }

@@ -36,6 +36,6 @@ pub use explicit::ExplicitPrec;
 pub use ic::Ic0;
 pub use ilu::Ilu0;
 pub use jacobi::Jacobi;
-pub use ldl::SparseLdl;
+pub use ldl::{LdlWorkspace, SparseLdl};
 pub use ssor::Ssor;
 pub use traits::{Identity, PrecondError, Preconditioner};

@@ -54,10 +54,10 @@ impl Preconditioner for Ssor {
             let (cols, vals) = self.a.row(i);
             let mut s = r[i];
             for (c, v) in cols.iter().zip(vals) {
-                if *c >= i {
+                if *c as usize >= i {
                     break;
                 }
-                s -= v * z[*c];
+                s -= v * z[*c as usize];
             }
             z[i] = s * w / self.diag[i];
         }
@@ -71,10 +71,10 @@ impl Preconditioner for Ssor {
             let (cols, vals) = self.a.row(i);
             let mut s = z[i];
             for (c, v) in cols.iter().zip(vals).rev() {
-                if *c <= i {
+                if *c as usize <= i {
                     break;
                 }
-                s -= v * z[*c];
+                s -= v * z[*c as usize];
             }
             z[i] = s * w / self.diag[i];
         }

@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use precond::{BlockJacobi, BlockSolver, Ic0, Ilu0, Jacobi, Preconditioner, SparseLdl, Ssor};
+use precond::{
+    BlockJacobi, BlockSolver, Ic0, Ilu0, Jacobi, LdlWorkspace, Preconditioner, SparseLdl, Ssor,
+};
 use sparsemat::gen::banded_spd;
 use sparsemat::vecops::{dot, norm2};
 use sparsemat::Csr;
@@ -90,6 +92,71 @@ proptest! {
                 m.name()
             );
             prop_assert!(dot(&x, &mx) > 0.0, "{} not positive", m.name());
+        }
+    }
+
+    /// Factoring through a shared [`LdlWorkspace`] is **bitwise** identical
+    /// to factoring with a fresh workspace each time, across a sequence of
+    /// systems of varying size (the block-Jacobi setup path: one workspace,
+    /// many blocks). A stale flag/lnz/y entry surviving `reset` would show
+    /// up here as a flipped bit in some solve.
+    #[test]
+    fn ldl_workspace_reuse_is_bitwise_identical(
+        seed in any::<u64>(),
+        n in 5usize..40,
+        bw in 1usize..5,
+        rounds in 2usize..6,
+    ) {
+        let mut ws = LdlWorkspace::new();
+        for k in 0..rounds {
+            // Grow and shrink across rounds so reset() covers both.
+            let ni = 5 + (n + k * 7) % 40;
+            let a = banded_spd(ni, bw.min(ni - 1), 0.7, seed.wrapping_add(k as u64));
+            let fresh = SparseLdl::new(&a).unwrap();
+            let reused = SparseLdl::factor_with(&a, &mut ws).unwrap();
+            let b: Vec<f64> = (0..ni).map(|i| (i as f64 * 0.31).cos()).collect();
+            let x_fresh = fresh.solve(&b);
+            let mut x_reused = b.clone();
+            reused.solve_in_place(&mut x_reused);
+            for (f, r) in x_fresh.iter().zip(&x_reused) {
+                prop_assert_eq!(f.to_bits(), r.to_bits());
+            }
+            // Repeated in-place solves through the same factor are pure.
+            let mut again = b.clone();
+            reused.solve_in_place(&mut again);
+            for (f, r) in again.iter().zip(&x_reused) {
+                prop_assert_eq!(f.to_bits(), r.to_bits());
+            }
+        }
+    }
+
+    /// A factorization breakdown (non-SPD input) must not poison the
+    /// workspace: the next factorization through the same workspace is
+    /// still bitwise identical to a fresh-workspace one.
+    #[test]
+    fn ldl_workspace_survives_breakdown(seed in any::<u64>(), n in 5usize..30) {
+        // Indefinite: an SPD band with one diagonal entry negated.
+        let good = banded_spd(n, 2, 0.7, seed);
+        let mut coo = sparsemat::Coo::new(n, n);
+        for r in 0..n {
+            let (cols, vals) = good.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                let c = *c as usize;
+                let v = if r == n / 2 && c == n / 2 { -v.abs() } else { *v };
+                coo.push(r, c, v);
+            }
+        }
+        let bad = coo.to_csr();
+        let mut ws = LdlWorkspace::new();
+        prop_assert!(SparseLdl::factor_with(&bad, &mut ws).is_err());
+        let reused = SparseLdl::factor_with(&good, &mut ws).unwrap();
+        let fresh = SparseLdl::new(&good).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.53).sin()).collect();
+        let x_fresh = fresh.solve(&b);
+        let mut x_reused = b.clone();
+        reused.solve_in_place(&mut x_reused);
+        for (f, r) in x_fresh.iter().zip(&x_reused) {
+            prop_assert_eq!(f.to_bits(), r.to_bits());
         }
     }
 

@@ -20,7 +20,11 @@ pub fn ghost_needs(a: &Csr, part: &BlockPartition, rank: usize) -> Vec<usize> {
     let mut needs: Vec<usize> = Vec::new();
     for r in range.clone() {
         let (cols, _) = a.row(r);
-        needs.extend(cols.iter().copied().filter(|c| !range.contains(c)));
+        needs.extend(
+            cols.iter()
+                .map(|&c| c as usize)
+                .filter(|c| !range.contains(c)),
+        );
     }
     needs.sort_unstable();
     needs.dedup();

@@ -130,9 +130,9 @@ mod tests {
         c.push(0, 0, 1.0);
         let a = c.to_csr();
         assert_eq!(a.nnz(), 3);
-        assert_eq!(a.row(0), (&[0usize, 2][..], &[1.0, 3.0][..]));
+        assert_eq!(a.row(0), (&[0u32, 2][..], &[1.0, 3.0][..]));
         assert_eq!(a.row(1), (&[][..], &[][..]));
-        assert_eq!(a.row(2), (&[1usize][..], &[5.0][..]));
+        assert_eq!(a.row(2), (&[1u32][..], &[5.0][..]));
     }
 
     #[test]

@@ -3,8 +3,31 @@
 //! The canonical storage format of the library: sorted column indices in
 //! every row, explicit zeros allowed (pattern and values are separate
 //! concerns — communication plans depend on the pattern).
+//!
+//! ## Kernel layer
+//!
+//! Column indices are stored as `u32` (validated at construction — every
+//! column fits, every row is sorted/unique/in-range), halving index
+//! bandwidth against the former `usize` storage. On top of the indexed
+//! representation, construction detects **runs** of consecutive columns
+//! and, when the average run is long enough ([`SEG_MIN_AVG_RUN`]), keeps a
+//! run-length encoding (`seg_*` arrays). The segment kernel turns the
+//! per-element gather `x[col[p]]` into contiguous slice dot-products with
+//! no index traffic at all — the big win on the banded matrices that
+//! dominate the paper's suite.
+//!
+//! **Accumulation-order contract:** every kernel — indexed, unrolled,
+//! segmented, fused — accumulates each row strictly left-to-right through
+//! a single accumulator chain, so results are *bitwise identical* to the
+//! reference scalar loop ([`Csr::spmv_reference`]). Optimizations here may
+//! re-shape memory traffic, never floating-point association.
 
 use crate::coo::Coo;
+
+/// Minimum average run length (nnz / runs) for construction to keep the
+/// run-length encoding. Below this the per-run slice overhead outweighs
+/// the saved index traffic and the indexed kernel is used instead.
+pub const SEG_MIN_AVG_RUN: usize = 4;
 
 /// A sparse matrix in CSR format.
 #[derive(Clone, Debug, PartialEq)]
@@ -12,12 +35,25 @@ pub struct Csr {
     n_rows: usize,
     n_cols: usize,
     row_ptr: Vec<usize>,
-    col_idx: Vec<usize>,
+    col_idx: Vec<u32>,
     vals: Vec<f64>,
+    /// Run-length encoding of `col_idx` (empty when not profitable):
+    /// `seg_ptr[r]..seg_ptr[r+1]` indexes the runs of row `r`; run `s`
+    /// covers columns `seg_col[s] .. seg_col[s] + seg_len[s]`.
+    seg_ptr: Vec<u32>,
+    seg_col: Vec<u32>,
+    seg_len: Vec<u32>,
 }
 
 impl Csr {
     /// Assemble from raw parts, validating the invariants.
+    ///
+    /// Every invariant is checked in **all** build profiles: `row_ptr`
+    /// monotone and spanning `col_idx`, and each row's columns sorted,
+    /// unique, and `< n_cols`. The compact-index kernels depend on these
+    /// (an out-of-range column would read past `x`; an unsorted row would
+    /// break the run-length encoding), so a release build must reject bad
+    /// input at the construction site, not corrupt results later.
     pub fn from_parts(
         n_rows: usize,
         n_cols: usize,
@@ -28,21 +64,82 @@ impl Csr {
         assert_eq!(row_ptr.len(), n_rows + 1, "row_ptr length");
         assert_eq!(col_idx.len(), vals.len(), "col/val length mismatch");
         assert_eq!(*row_ptr.last().unwrap(), col_idx.len(), "row_ptr end");
-        debug_assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
-        debug_assert!(
-            (0..n_rows).all(|r| {
-                let s = &col_idx[row_ptr[r]..row_ptr[r + 1]];
-                s.windows(2).all(|w| w[0] < w[1]) && s.iter().all(|&c| c < n_cols)
-            }),
-            "columns sorted, unique, in range"
+        assert!(row_ptr.windows(2).all(|w| w[0] <= w[1]), "row_ptr monotone");
+        assert!(
+            n_cols <= u32::MAX as usize,
+            "column count exceeds u32 index range"
         );
-        Csr {
+        for r in 0..n_rows {
+            let s = &col_idx[row_ptr[r]..row_ptr[r + 1]];
+            assert!(
+                s.windows(2).all(|w| w[0] < w[1]) && s.last().is_none_or(|&c| c < n_cols),
+                "row {r}: columns must be sorted, unique, in range"
+            );
+        }
+        let col_idx: Vec<u32> = col_idx.into_iter().map(|c| c as u32).collect();
+        let mut m = Csr {
             n_rows,
             n_cols,
             row_ptr,
             col_idx,
             vals,
+            seg_ptr: Vec::new(),
+            seg_col: Vec::new(),
+            seg_len: Vec::new(),
+        };
+        m.build_segments();
+        m
+    }
+
+    /// Detect runs of consecutive columns and keep the run-length encoding
+    /// when the average run is at least [`SEG_MIN_AVG_RUN`].
+    fn build_segments(&mut self) {
+        let nnz = self.col_idx.len();
+        if nnz == 0 || nnz >= u32::MAX as usize {
+            return;
         }
+        // First pass: count runs to decide profitability without building.
+        let mut runs = 0usize;
+        for r in 0..self.n_rows {
+            let row = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            let mut prev = u32::MAX;
+            for &c in row {
+                if prev == u32::MAX || c != prev + 1 {
+                    runs += 1;
+                }
+                prev = c;
+            }
+        }
+        if runs == 0 || nnz / runs < SEG_MIN_AVG_RUN {
+            return;
+        }
+        let mut seg_ptr = Vec::with_capacity(self.n_rows + 1);
+        let mut seg_col = Vec::with_capacity(runs);
+        let mut seg_len = Vec::with_capacity(runs);
+        seg_ptr.push(0u32);
+        for r in 0..self.n_rows {
+            let row = &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]];
+            let mut i = 0usize;
+            while i < row.len() {
+                let start = row[i];
+                let mut len = 1u32;
+                while i + (len as usize) < row.len() && row[i + len as usize] == start + len {
+                    len += 1;
+                }
+                seg_col.push(start);
+                seg_len.push(len);
+                i += len as usize;
+            }
+            seg_ptr.push(seg_col.len() as u32);
+        }
+        self.seg_ptr = seg_ptr;
+        self.seg_col = seg_col;
+        self.seg_len = seg_len;
+    }
+
+    /// True if the run-length-encoded kernel is active for this matrix.
+    pub fn uses_segments(&self) -> bool {
+        !self.seg_ptr.is_empty()
     }
 
     /// `n × n` identity.
@@ -70,8 +167,8 @@ impl Csr {
         &self.row_ptr
     }
 
-    /// All column indices, row-major.
-    pub fn col_idx(&self) -> &[usize] {
+    /// All column indices, row-major (compact `u32` storage).
+    pub fn col_idx(&self) -> &[u32] {
         &self.col_idx
     }
 
@@ -87,7 +184,7 @@ impl Csr {
 
     /// Column indices and values of row `r`.
     #[inline]
-    pub fn row(&self, r: usize) -> (&[usize], &[f64]) {
+    pub fn row(&self, r: usize) -> (&[u32], &[f64]) {
         let span = self.row_ptr[r]..self.row_ptr[r + 1];
         (&self.col_idx[span.clone()], &self.vals[span])
     }
@@ -95,9 +192,29 @@ impl Csr {
     /// Value at `(r, c)`, zero if not stored.
     pub fn get(&self, r: usize, c: usize) -> f64 {
         let (cols, vals) = self.row(r);
-        match cols.binary_search(&c) {
+        match cols.binary_search(&(c as u32)) {
             Ok(k) => vals[k],
             Err(_) => 0.0,
+        }
+    }
+
+    /// Dot-product of row `r` with `x`, left-to-right. Picks the
+    /// segment kernel when the encoding is active.
+    #[inline(always)]
+    fn row_dot(&self, r: usize, x: &[f64]) -> f64 {
+        if self.seg_ptr.is_empty() {
+            let span = self.row_ptr[r]..self.row_ptr[r + 1];
+            dot_indexed(&self.col_idx[span.clone()], &self.vals[span], x)
+        } else {
+            let mut acc = 0.0;
+            let mut base = self.row_ptr[r];
+            for s in self.seg_ptr[r] as usize..self.seg_ptr[r + 1] as usize {
+                let c0 = self.seg_col[s] as usize;
+                let l = self.seg_len[s] as usize;
+                acc = dot_run(acc, &self.vals[base..base + l], &x[c0..c0 + l]);
+                base += l;
+            }
+            acc
         }
     }
 
@@ -105,13 +222,8 @@ impl Csr {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols, "spmv x length");
         assert_eq!(y.len(), self.n_rows, "spmv y length");
-        for r in 0..self.n_rows {
-            let (cols, vals) = self.row(r);
-            let mut acc = 0.0;
-            for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
-            }
-            y[r] = acc;
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.row_dot(r, x);
         }
     }
 
@@ -119,17 +231,48 @@ impl Csr {
     pub fn spmv_add(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n_cols);
         assert_eq!(y.len(), self.n_rows);
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr += self.row_dot(r, x);
+        }
+    }
+
+    /// Fused `y ← self·x + off·xo` over matching row sets — the one-pass
+    /// local product of the distributed SpMV (`self` = diagonal block,
+    /// `off` = off-diagonal block, `xo` = ghost values). Bitwise identical
+    /// to `self.spmv(x, y); off.spmv_add(xo, y)`: each row forms its two
+    /// partial sums left-to-right and adds them once at the end, exactly
+    /// the association of the two-pass form — but `y` is written once and
+    /// both operands stream through the cache together.
+    pub fn spmv_fused(&self, off: &Csr, x: &[f64], xo: &[f64], y: &mut [f64]) {
+        assert_eq!(off.n_rows, self.n_rows, "fused spmv row mismatch");
+        assert_eq!(x.len(), self.n_cols, "fused spmv x length");
+        assert_eq!(xo.len(), off.n_cols, "fused spmv xo length");
+        assert_eq!(y.len(), self.n_rows, "fused spmv y length");
+        for (r, yr) in y.iter_mut().enumerate() {
+            *yr = self.row_dot(r, x) + off.row_dot(r, xo);
+        }
+    }
+
+    /// Reference scalar SpMV: the naive per-element gather loop every
+    /// optimized kernel is pinned against, bit for bit (see the
+    /// accumulation-order contract in the module docs). Kept for the
+    /// proptest oracle and the kernel microbench baseline.
+    #[doc(hidden)]
+    pub fn spmv_reference(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n_cols);
+        assert_eq!(y.len(), self.n_rows);
         for r in 0..self.n_rows {
             let (cols, vals) = self.row(r);
             let mut acc = 0.0;
             for (c, v) in cols.iter().zip(vals) {
-                acc += v * x[*c];
+                acc += v * x[*c as usize];
             }
-            y[r] += acc;
+            y[r] = acc;
         }
     }
 
-    /// Allocate-and-return variant of [`Csr::spmv`].
+    /// Allocate-and-return variant of [`Csr::spmv`] — a convenience for
+    /// tests and setup code; hot paths use the in-place kernels.
     pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
         let mut y = vec![0.0; self.n_rows];
         self.spmv(x, &mut y);
@@ -152,7 +295,7 @@ impl Csr {
     pub fn transpose(&self) -> Csr {
         let mut counts = vec![0usize; self.n_cols + 1];
         for &c in &self.col_idx {
-            counts[c + 1] += 1;
+            counts[c as usize + 1] += 1;
         }
         for i in 0..self.n_cols {
             counts[i + 1] += counts[i];
@@ -164,10 +307,10 @@ impl Csr {
         for r in 0..self.n_rows {
             let (cols, vs) = self.row(r);
             for (c, v) in cols.iter().zip(vs) {
-                let slot = next[*c];
+                let slot = next[*c as usize];
                 col_idx[slot] = r;
                 vals[slot] = *v;
-                next[*c] += 1;
+                next[*c as usize] += 1;
             }
         }
         // Rows of the transpose are built in increasing source-row order,
@@ -223,7 +366,7 @@ impl Csr {
             let old_r = inv[new_r];
             let (cols, vals) = self.row(old_r);
             for (c, v) in cols.iter().zip(vals) {
-                coo.push(new_r, perm[*c], *v);
+                coo.push(new_r, perm[*c as usize], *v);
             }
         }
         coo.to_csr()
@@ -247,7 +390,7 @@ impl Csr {
         for &r in rows {
             let (cs, vs) = self.row(r);
             for (c, v) in cs.iter().zip(vs) {
-                let nc = col_map[*c];
+                let nc = col_map[*c as usize];
                 if nc != usize::MAX {
                     col_idx.push(nc);
                     vals.push(*v);
@@ -266,7 +409,7 @@ impl Csr {
         row_ptr.push(0);
         for &r in rows {
             let (cs, vs) = self.row(r);
-            col_idx.extend_from_slice(cs);
+            col_idx.extend(cs.iter().map(|&c| c as usize));
             vals.extend_from_slice(vs);
             row_ptr.push(col_idx.len());
         }
@@ -279,7 +422,7 @@ impl Csr {
         for r in 0..self.n_rows {
             let (cols, _) = self.row(r);
             for &c in cols {
-                bw = bw.max(r.abs_diff(c));
+                bw = bw.max(r.abs_diff(c as usize));
             }
         }
         bw
@@ -295,11 +438,51 @@ impl Csr {
         for r in 0..self.n_rows {
             let (cols, vals) = self.row(r);
             for (c, v) in cols.iter().zip(vals) {
-                d[(r, *c)] = *v;
+                d[(r, *c as usize)] = *v;
             }
         }
         d
     }
+}
+
+/// Indexed row dot, 4-wide unrolled through a **single** accumulator chain
+/// (multiple accumulators would change the summation order and break the
+/// bitwise contract; the unroll only amortizes loop control and lets the
+/// four gathers issue together).
+#[inline(always)]
+fn dot_indexed(cols: &[u32], vals: &[f64], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    let mut cc = cols.chunks_exact(4);
+    let mut vv = vals.chunks_exact(4);
+    for (c4, v4) in (&mut cc).zip(&mut vv) {
+        acc += v4[0] * x[c4[0] as usize];
+        acc += v4[1] * x[c4[1] as usize];
+        acc += v4[2] * x[c4[2] as usize];
+        acc += v4[3] * x[c4[3] as usize];
+    }
+    for (c, v) in cc.remainder().iter().zip(vv.remainder()) {
+        acc += v * x[*c as usize];
+    }
+    acc
+}
+
+/// Contiguous-run dot: both operands are plain slices (no index traffic),
+/// accumulated left-to-right into the running `acc`.
+#[inline(always)]
+fn dot_run(acc: f64, vals: &[f64], xs: &[f64]) -> f64 {
+    let mut acc = acc;
+    let mut vv = vals.chunks_exact(4);
+    let mut xx = xs.chunks_exact(4);
+    for (v4, x4) in (&mut vv).zip(&mut xx) {
+        acc += v4[0] * x4[0];
+        acc += v4[1] * x4[1];
+        acc += v4[2] * x4[2];
+        acc += v4[3] * x4[3];
+    }
+    for (v, xv) in vv.remainder().iter().zip(xx.remainder()) {
+        acc += v * xv;
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -332,6 +515,91 @@ mod tests {
         let mut y = vec![1.0; 3];
         a.spmv_add(&[1.0, 2.0, 3.0], &mut y);
         assert_eq!(y, vec![1.0, 1.0, 5.0]);
+    }
+
+    #[test]
+    fn spmv_matches_reference_bitwise() {
+        let a = crate::gen::poisson2d(13, 11);
+        let x: Vec<f64> = (0..a.n_cols()).map(|i| (i as f64 * 0.37).sin()).collect();
+        let mut y_ref = vec![0.0; a.n_rows()];
+        let mut y = vec![0.0; a.n_rows()];
+        a.spmv_reference(&x, &mut y_ref);
+        a.spmv(&x, &mut y);
+        for (o, n) in y_ref.iter().zip(&y) {
+            assert_eq!(o.to_bits(), n.to_bits());
+        }
+    }
+
+    #[test]
+    fn segment_encoding_on_banded_matrix() {
+        // A dense band of half-width 6: long runs, so the RLE kernel
+        // must engage and agree with the reference bit for bit.
+        let n = 40;
+        let mut coo = Coo::new(n, n);
+        for i in 0..n {
+            for j in i.saturating_sub(6)..(i + 7).min(n) {
+                let v = if i == j {
+                    20.0
+                } else {
+                    -1.0 / (1.0 + j as f64)
+                };
+                coo.push(i, j, v);
+            }
+        }
+        let a = coo.to_csr();
+        assert!(a.uses_segments());
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+        let mut y_ref = vec![0.0; n];
+        let mut y = vec![0.0; n];
+        a.spmv_reference(&x, &mut y_ref);
+        a.spmv(&x, &mut y);
+        for (o, s) in y_ref.iter().zip(&y) {
+            assert_eq!(o.to_bits(), s.to_bits());
+        }
+    }
+
+    #[test]
+    fn fused_matches_two_pass_bitwise() {
+        // Split poisson2d rows into a left and right half-block and check
+        // the fused product against spmv-then-spmv_add.
+        let a = crate::gen::poisson2d(8, 9);
+        let n = a.n_rows();
+        let split = 30;
+        let left: Vec<usize> = (0..split).collect();
+        let right: Vec<usize> = (split..n).collect();
+        let all: Vec<usize> = (0..n).collect();
+        let d = a.extract(&all, &left);
+        let o = a.extract(&all, &right);
+        let xl: Vec<f64> = (0..split).map(|i| (i as f64 * 0.7).sin()).collect();
+        let xr: Vec<f64> = (split..n).map(|i| (i as f64 * 0.3).cos()).collect();
+        let mut y2 = vec![0.0; n];
+        d.spmv(&xl, &mut y2);
+        o.spmv_add(&xr, &mut y2);
+        let mut y1 = vec![0.0; n];
+        d.spmv_fused(&o, &xl, &xr, &mut y1);
+        for (a2, a1) in y2.iter().zip(&y1) {
+            assert_eq!(a2.to_bits(), a1.to_bits());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted, unique, in range")]
+    fn from_parts_rejects_unsorted_columns_in_release_too() {
+        // This guard is a hard assert in every profile: the compact
+        // kernels depend on it.
+        let _ = Csr::from_parts(1, 3, vec![0, 2], vec![2, 1], vec![1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted, unique, in range")]
+    fn from_parts_rejects_out_of_range_column() {
+        let _ = Csr::from_parts(1, 2, vec![0, 1], vec![5], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row_ptr monotone")]
+    fn from_parts_rejects_nonmonotone_row_ptr() {
+        let _ = Csr::from_parts(2, 2, vec![0, 2, 1], vec![0], vec![1.0]);
     }
 
     #[test]
@@ -400,7 +668,7 @@ mod tests {
         let s = a.extract_rows(&[1]);
         assert_eq!(s.n_rows(), 1);
         assert_eq!(s.n_cols(), 3);
-        assert_eq!(s.row(0), (&[0usize, 1, 2][..], &[-1.0, 2.0, -1.0][..]));
+        assert_eq!(s.row(0), (&[0u32, 1, 2][..], &[-1.0, 2.0, -1.0][..]));
     }
 
     #[test]

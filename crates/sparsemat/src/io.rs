@@ -143,14 +143,14 @@ pub fn write_matrix_market(a: &Csr, path: impl AsRef<Path>) -> Result<(), MmErro
     let symmetric = a.is_symmetric(0.0);
     if symmetric {
         let lower: usize = (0..a.n_rows())
-            .map(|r| a.row(r).0.iter().filter(|&&c| c <= r).count())
+            .map(|r| a.row(r).0.iter().filter(|&&c| c as usize <= r).count())
             .sum();
         writeln!(w, "%%MatrixMarket matrix coordinate real symmetric")?;
         writeln!(w, "{} {} {}", a.n_rows(), a.n_cols(), lower)?;
         for r in 0..a.n_rows() {
             let (cols, vals) = a.row(r);
             for (c, v) in cols.iter().zip(vals) {
-                if *c <= r {
+                if *c as usize <= r {
                     writeln!(w, "{} {} {:.17e}", r + 1, c + 1, v)?;
                 }
             }

@@ -29,6 +29,7 @@ pub mod coo;
 pub mod csr;
 pub mod dense;
 pub mod gen;
+pub mod hotpath;
 pub mod io;
 pub mod order;
 pub mod partition;

@@ -33,7 +33,11 @@ pub fn rcm(a: &Csr) -> Vec<usize> {
             order.push(v);
             neighbours.clear();
             let (cols, _) = a.row(v);
-            neighbours.extend(cols.iter().copied().filter(|&u| u != v && !visited[u]));
+            neighbours.extend(
+                cols.iter()
+                    .map(|&u| u as usize)
+                    .filter(|&u| u != v && !visited[u]),
+            );
             // Cuthill–McKee visits neighbours by increasing degree.
             neighbours.sort_unstable_by_key(|&u| degree(u));
             for &u in &neighbours {
@@ -85,6 +89,7 @@ fn bfs_farthest(a: &Csr, start: usize) -> (usize, usize) {
             let v = queue.pop_front().unwrap();
             let (cols, _) = a.row(v);
             for &u in cols {
+                let u = u as usize;
                 if u != v && dist[u] == usize::MAX {
                     dist[u] = dist[v] + 1;
                     queue.push_back(u);
@@ -112,7 +117,14 @@ pub fn mean_row_bandwidth(a: &Csr) -> f64 {
         return 0.0;
     }
     let total: usize = (0..a.n_rows())
-        .map(|r| a.row(r).0.iter().map(|&c| r.abs_diff(c)).max().unwrap_or(0))
+        .map(|r| {
+            a.row(r)
+                .0
+                .iter()
+                .map(|&c| r.abs_diff(c as usize))
+                .max()
+                .unwrap_or(0)
+        })
         .sum();
     total as f64 / a.n_rows() as f64
 }

@@ -17,6 +17,52 @@ fn coo_strategy() -> impl Strategy<Value = Coo> {
     })
 }
 
+/// Non-square matrices mixing empty, fully dense, and sparse rows — the
+/// shapes that stress the run-length segment encoding (long runs) and the
+/// unrolled scalar path (short scattered rows) at the same time.
+fn mixed_density_strategy() -> impl Strategy<Value = Coo> {
+    (2usize..24, 1usize..24, any::<u64>()).prop_map(|(nr, nc, seed)| {
+        let mut rng = Rng::new(seed);
+        let mut coo = Coo::new(nr, nc);
+        for r in 0..nr {
+            match rng.below(3) {
+                0 => {} // empty row
+                1 => {
+                    // Dense row: one maximal run.
+                    for c in 0..nc {
+                        coo.push(r, c, rng.range_f64(-2.0, 2.0));
+                    }
+                }
+                _ => {
+                    for _ in 0..rng.below(nc.min(8)) {
+                        coo.push(r, rng.below(nc), rng.range_f64(-2.0, 2.0));
+                    }
+                }
+            }
+        }
+        coo
+    })
+}
+
+fn probe_vector(n: usize, scale: f64) -> Vec<f64> {
+    (0..n).map(|i| (i as f64 * scale).sin()).collect()
+}
+
+fn assert_bitwise_eq(got: &[f64], want: &[f64]) -> Result<(), TestCaseError> {
+    prop_assert_eq!(got.len(), want.len());
+    for (r, (g, w)) in got.iter().zip(want).enumerate() {
+        prop_assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "row {} differs: {} vs {}",
+            r,
+            g,
+            w
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -46,7 +92,7 @@ proptest! {
         for r in 0..a.n_rows() {
             let (cols, _) = a.row(r);
             prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
-            prop_assert!(cols.iter().all(|&c| c < a.n_cols()));
+            prop_assert!(cols.iter().all(|&c| (c as usize) < a.n_cols()));
         }
     }
 
@@ -130,6 +176,79 @@ proptest! {
         let b = sparsemat::io::read_matrix_market(&path).unwrap();
         std::fs::remove_file(&path).ok();
         prop_assert_eq!(a, b);
+    }
+
+    /// The optimized SpMV (bounds-check-free, unrolled, segment-encoded)
+    /// is pinned **bitwise** against the plain textbook loop on random
+    /// patterns — the accumulation-order contract of the kernel layer.
+    #[test]
+    fn spmv_matches_reference_bitwise(coo in coo_strategy()) {
+        let a = coo.to_csr();
+        let x = probe_vector(a.n_cols(), 0.41);
+        let mut y = vec![f64::NAN; a.n_rows()];
+        let mut y_ref = vec![f64::NAN; a.n_rows()];
+        a.spmv(&x, &mut y);
+        a.spmv_reference(&x, &mut y_ref);
+        assert_bitwise_eq(&y, &y_ref)?;
+    }
+
+    /// Same pin on the shapes that pick the segment-encoded path: empty
+    /// rows, fully dense rows, and non-square blocks.
+    #[test]
+    fn spmv_matches_reference_bitwise_mixed_density(coo in mixed_density_strategy()) {
+        let a = coo.to_csr();
+        let x = probe_vector(a.n_cols(), 0.19);
+        let mut y = vec![f64::NAN; a.n_rows()];
+        let mut y_ref = vec![f64::NAN; a.n_rows()];
+        a.spmv(&x, &mut y);
+        a.spmv_reference(&x, &mut y_ref);
+        assert_bitwise_eq(&y, &y_ref)?;
+    }
+
+    /// Banded SPD matrices have long per-row runs — the case the run-length
+    /// encoding exists for. Still bitwise against the reference.
+    #[test]
+    fn spmv_matches_reference_bitwise_banded(seed in any::<u64>(), n in 4usize..50, bw in 1usize..8) {
+        let a = banded_spd(n, bw, 0.7, seed);
+        let x = probe_vector(n, 0.23);
+        let mut y = vec![f64::NAN; n];
+        let mut y_ref = vec![f64::NAN; n];
+        a.spmv(&x, &mut y);
+        a.spmv_reference(&x, &mut y_ref);
+        assert_bitwise_eq(&y, &y_ref)?;
+    }
+
+    /// The fused diag+offdiag kernel (`y = D·x + O·xo` in one row pass) is
+    /// bitwise identical to the two-pass form it replaced in
+    /// `LocalMatrix::spmv`: per row, both form the two partial sums
+    /// left-to-right and add them once.
+    #[test]
+    fn fused_spmv_matches_two_pass_bitwise(
+        nr in 2usize..20,
+        nc_diag in 1usize..16,
+        nc_off in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = Rng::new(seed);
+        let mut diag = Coo::new(nr, nc_diag);
+        let mut off = Coo::new(nr, nc_off);
+        for r in 0..nr {
+            for _ in 0..rng.below(nc_diag + 1) {
+                diag.push(r, rng.below(nc_diag), rng.range_f64(-2.0, 2.0));
+            }
+            for _ in 0..rng.below(nc_off + 1) {
+                off.push(r, rng.below(nc_off), rng.range_f64(-2.0, 2.0));
+            }
+        }
+        let (diag, off) = (diag.to_csr(), off.to_csr());
+        let x = probe_vector(nc_diag, 0.31);
+        let xo = probe_vector(nc_off, 0.47);
+        let mut fused = vec![f64::NAN; nr];
+        diag.spmv_fused(&off, &x, &xo, &mut fused);
+        let mut two_pass = vec![0.0; nr];
+        diag.spmv(&x, &mut two_pass);
+        off.spmv_add(&xo, &mut two_pass);
+        assert_bitwise_eq(&fused, &two_pass)?;
     }
 
     #[test]
